@@ -1,0 +1,195 @@
+// Package adprom is the public facade of the AD-PROM reproduction: an
+// anomaly-detection system protecting relational databases against data
+// leakage by application programs (Fadolalkarim, Bertino, Sallam — ICDE
+// 2020).
+//
+// AD-PROM builds a behavioural profile of a database client application by
+// combining static analysis (control-flow graphs, data-dependency labelling
+// of output statements, call-transition matrices aggregated over the call
+// graph) with dynamic analysis (a hidden Markov model initialised from the
+// static matrix and trained on library-call traces). At run time, sliding
+// windows of library calls are scored against the model; low-probability
+// windows raise alerts classified as Anomalous, DL (data leak, connected to
+// the originating query), or OutOfContext (a known call from an unexpected
+// function).
+//
+// # Quick start
+//
+//	app := adprom.HospitalApp()                     // a bundled client app
+//	traces, _ := app.CollectTraces(adprom.ModeADPROM)
+//	prof, _, _ := adprom.Train(app.Prog, traces, adprom.TrainOptions{})
+//	mon := adprom.NewMonitor(prof, nil)
+//	alerts := mon.ObserveTrace(suspiciousTrace)
+//
+// The facade re-exports the supported surface of the internal packages; see
+// examples/ for complete programs and internal/experiments for the paper's
+// evaluation harness.
+package adprom
+
+import (
+	"adprom/internal/attack"
+	"adprom/internal/collector"
+	"adprom/internal/core"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+	"adprom/internal/minidb"
+	"adprom/internal/profile"
+	"adprom/internal/qsig"
+)
+
+// Program building and execution.
+type (
+	// Program is an application program in AD-PROM's IR.
+	Program = ir.Program
+	// Builder constructs programs; see NewProgram.
+	Builder = ir.Builder
+	// Interp executes programs; see NewInterp.
+	Interp = interp.Interp
+	// World is the execution environment (database, terminal, files, net).
+	World = interp.World
+	// Database is the embedded relational engine.
+	Database = minidb.Database
+)
+
+// Collection and profiles.
+type (
+	// Trace is one run's recorded library-call sequence.
+	Trace = collector.Trace
+	// Call is one recorded library call.
+	Call = collector.Call
+	// Mode selects the collector strategy.
+	Mode = collector.Mode
+	// Profile is a trained application behaviour profile.
+	Profile = profile.Profile
+	// TrainOptions tunes profile construction.
+	TrainOptions = profile.Options
+	// HMMOptions tunes the Baum–Welch training inside TrainOptions.Train.
+	HMMOptions = hmm.TrainOptions
+	// StaticAnalysis is the Analyzer's output (DDG, CTMs, pCTM, timings).
+	StaticAnalysis = core.StaticAnalysis
+)
+
+// Detection.
+type (
+	// Monitor replays or observes executions against a profile.
+	Monitor = core.Monitor
+	// Alert is one detection finding.
+	Alert = detect.Alert
+	// Flag classifies an alert.
+	Flag = detect.Flag
+	// AlertSink receives alerts (the security administrator).
+	AlertSink = core.AlertSink
+	// AlertFunc adapts a function to AlertSink.
+	AlertFunc = core.AlertFunc
+)
+
+// Datasets and attacks.
+type (
+	// App bundles a program, database seeder, and test cases.
+	App = dataset.App
+	// TestCase is one input vector.
+	TestCase = dataset.TestCase
+	// Attack is one adversary scenario.
+	Attack = attack.Attack
+)
+
+// Collector modes.
+const (
+	// ModeADPROM records call labels and callers only (the paper's
+	// collector).
+	ModeADPROM = collector.ModeADPROM
+	// ModeLtrace emulates ltrace's costly argument capture.
+	ModeLtrace = collector.ModeLtrace
+)
+
+// Alert flags.
+const (
+	FlagNormal       = detect.FlagNormal
+	FlagAnomalous    = detect.FlagAnomalous
+	FlagDL           = detect.FlagDL
+	FlagOutOfContext = detect.FlagOutOfContext
+)
+
+// Expr is an IR expression; build them with the constructors below.
+type Expr = ir.Expr
+
+// Expression constructors for program building: S (string literal), I
+// (integer literal), V (variable), Cat (string concatenation), arithmetic,
+// comparisons, and At (row indexing). They alias internal/ir's constructors
+// so example programs read like the paper's C snippets.
+func S(v string) Expr    { return ir.S(v) }
+func I(v int64) Expr     { return ir.I(v) }
+func V(name string) Expr { return ir.V(name) }
+func Cat(p ...Expr) Expr { return ir.Cat(p...) }
+func Add(l, r Expr) Expr { return ir.Add(l, r) }
+func Sub(l, r Expr) Expr { return ir.Sub(l, r) }
+func Mul(l, r Expr) Expr { return ir.Mul(l, r) }
+func Div(l, r Expr) Expr { return ir.Div(l, r) }
+func Mod(l, r Expr) Expr { return ir.Mod(l, r) }
+func Eq(l, r Expr) Expr  { return ir.Eq(l, r) }
+func Ne(l, r Expr) Expr  { return ir.Ne(l, r) }
+func Lt(l, r Expr) Expr  { return ir.Lt(l, r) }
+func Le(l, r Expr) Expr  { return ir.Le(l, r) }
+func Gt(l, r Expr) Expr  { return ir.Gt(l, r) }
+func Ge(l, r Expr) Expr  { return ir.Ge(l, r) }
+func At(x, i Expr) Expr  { return ir.At(x, i) }
+
+// NewProgram starts building a program named name (entry function "main").
+func NewProgram(name string) *Builder { return ir.NewBuilder(name) }
+
+// NewDatabase returns an empty embedded database.
+func NewDatabase() *Database { return minidb.New() }
+
+// NewWorld wraps a database (nil for a fresh one) in an execution world.
+func NewWorld(db *Database) *World { return interp.NewWorld(db) }
+
+// NewInterp builds an interpreter for prog in world.
+func NewInterp(prog *Program, world *World) *Interp {
+	return interp.New(prog, world, interp.Options{})
+}
+
+// Analyze runs AD-PROM's static phase: DDG labelling, per-function CTMs, and
+// the aggregated pCTM.
+func Analyze(prog *Program) (*StaticAnalysis, error) { return core.Analyze(prog) }
+
+// Train runs the full training phase: static analysis followed by HMM
+// initialisation, optional state reduction, and Baum–Welch over the traces.
+func Train(prog *Program, traces []Trace, opts TrainOptions) (*Profile, *StaticAnalysis, error) {
+	return core.Train(prog, traces, opts)
+}
+
+// NewMonitor builds the detection phase around a trained profile; sink may
+// be nil.
+func NewMonitor(p *Profile, sink AlertSink) *Monitor { return core.NewMonitor(p, sink) }
+
+// NewCollector returns a calls collector for the given mode; attach it with
+// Interp.AddHook(c.Hook()).
+func NewCollector(mode Mode) *collector.Collector { return collector.New(mode, nil) }
+
+// Bundled applications of the paper's CA-dataset (Table III).
+func HospitalApp() *App    { return dataset.AppH() }
+func BankingApp() *App     { return dataset.AppB() }
+func SupermarketApp() *App { return dataset.AppS() }
+
+// SIRApps returns the four SIR-style programs of Table IV.
+func SIRApps() []*App { return dataset.SIRApps() }
+
+// BankingAttacks returns the five Table V attacks against the banking app.
+func BankingAttacks() []Attack { return attack.AppBAttacks() }
+
+// TautologyPayload is the SQL-injection input of attack 5.
+const TautologyPayload = attack.TautologyPayload
+
+// QueryAuditor is the §VII query-signature mitigation: it learns the
+// signatures of normal queries (and their issuing sites) and flags queries
+// whose shape or site was never seen — catching same-selectivity query swaps
+// that leave the call trace unchanged.
+type QueryAuditor = qsig.Auditor
+
+// NewQueryAuditor returns an empty query-signature auditor; feed it
+// World.Queries from training runs via Learn and check later runs with
+// Check.
+func NewQueryAuditor() *QueryAuditor { return qsig.NewAuditor() }

@@ -1,0 +1,108 @@
+package adprom
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: build a program,
+// run it, train, and detect the Figure 1 selectivity attack.
+func TestFacadeQuickstart(t *testing.T) {
+	build := func(where string) *Program {
+		b := NewProgram("facade")
+		m := b.Func("main")
+		e := m.Block()
+		loop := m.Block()
+		body := m.Block()
+		done := m.Block()
+		e.CallTo("conn", "PQconnectdb")
+		e.CallTo("res", "PQexec", V("conn"), S("SELECT * FROM t WHERE "+where))
+		e.CallTo("n", "PQntuples", V("res"))
+		e.Assign("i", I(0))
+		e.Goto(loop)
+		loop.If(Lt(V("i"), V("n")), body, done)
+		body.CallTo("x", "PQgetvalue", V("res"), V("i"), I(0))
+		body.Call("printf", S("%s"), V("x"))
+		body.Assign("i", Add(V("i"), I(1)))
+		body.Goto(loop)
+		done.Ret()
+		return b.MustBuild()
+	}
+
+	db := NewDatabase()
+	db.MustExec("CREATE TABLE t (a INT)")
+	for i := 0; i < 6; i++ {
+		db.MustExec("INSERT INTO t VALUES (" + string(rune('0'+i)) + ")")
+	}
+
+	run := func(p *Program) Trace {
+		world := NewWorld(db)
+		world.ResetIO()
+		ip := NewInterp(p, world)
+		col := NewCollector(ModeADPROM)
+		ip.AddHook(col.Hook())
+		if _, err := ip.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return col.Trace()
+	}
+
+	normal := build("a = 3")
+	var traces []Trace
+	for i := 0; i < 6; i++ {
+		traces = append(traces, run(normal))
+	}
+	prof, sa, err := Train(normal, traces, TrainOptions{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if sa.PCTM == nil || prof.Threshold >= 0 {
+		t.Fatal("training artefacts missing")
+	}
+
+	if alerts := NewMonitor(prof, nil).ObserveTrace(run(normal)); len(alerts) != 0 {
+		t.Fatalf("normal run alerted: %+v", alerts)
+	}
+
+	var got []Alert
+	sink := AlertFunc(func(a Alert) { got = append(got, a) })
+	mon := NewMonitor(prof, sink)
+	all := mon.ObserveTrace(run(build("a >= 0")))
+	if len(all) == 0 {
+		t.Fatal("selectivity attack not detected")
+	}
+	dl := false
+	for _, a := range all {
+		if a.Flag == FlagDL && len(a.Origins) > 0 {
+			dl = true
+		}
+	}
+	if !dl {
+		t.Error("no DL alert with origins")
+	}
+	if len(got) == 0 {
+		t.Error("sink not invoked")
+	}
+}
+
+func TestFacadeBundledApps(t *testing.T) {
+	names := map[string]*App{
+		"apph": HospitalApp(),
+		"appb": BankingApp(),
+		"apps": SupermarketApp(),
+	}
+	for want, app := range names {
+		if app.Name != want {
+			t.Errorf("app name %q, want %q", app.Name, want)
+		}
+	}
+	if len(SIRApps()) != 4 {
+		t.Errorf("SIRApps = %d", len(SIRApps()))
+	}
+	if len(BankingAttacks()) != 5 {
+		t.Errorf("BankingAttacks = %d", len(BankingAttacks()))
+	}
+	if !strings.Contains(TautologyPayload, "OR") {
+		t.Errorf("TautologyPayload = %q", TautologyPayload)
+	}
+}

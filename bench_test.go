@@ -1,0 +1,167 @@
+package adprom
+
+// One benchmark per evaluation artefact of the paper (§V). Each bench runs
+// the corresponding experiment at Quick scale and reports, beyond time and
+// allocations, the headline metric the paper's table or figure carries, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation. Run any
+// experiment at full scale with `go run ./cmd/adprom experiment <id> -full`.
+
+import (
+	"testing"
+
+	"adprom/internal/experiments"
+)
+
+func benchCfg(i int) experiments.Config {
+	return experiments.Config{Quick: true, Seed: int64(i%7 + 1)}
+}
+
+// BenchmarkTable3CADataset regenerates Table III: CA-dataset statistics.
+func BenchmarkTable3CADataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats, _, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var seqs int
+		for _, s := range stats {
+			seqs += s.Sequences
+		}
+		b.ReportMetric(float64(seqs), "sequences")
+	}
+}
+
+// BenchmarkTable4SIRDataset regenerates Table IV: SIR-dataset statistics.
+func BenchmarkTable4SIRDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats, _, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stats[3].States), "app4_states")
+	}
+}
+
+// BenchmarkTable5AttackDetection regenerates Table V: AD-PROM vs CMarkov on
+// the five attacks. The reported metrics count detections (paper: AD-PROM 5,
+// CMarkov 3).
+func BenchmarkTable5AttackDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table5(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ad, cm, conn int
+		for _, r := range rows {
+			if r.ADPROM {
+				ad++
+			}
+			if r.CMarkov {
+				cm++
+			}
+			if r.Connected {
+				conn++
+			}
+		}
+		b.ReportMetric(float64(ad), "adprom_detected")
+		b.ReportMetric(float64(cm), "cmarkov_detected")
+		b.ReportMetric(float64(conn), "connected_to_source")
+	}
+}
+
+// BenchmarkTable6CollectorOverhead regenerates Table VI: Calls Collector vs
+// ltrace. The metric is the average overhead decrease (paper: 78.29%).
+func BenchmarkTable6CollectorOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table6(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var avg float64
+		for _, r := range rows {
+			avg += r.Decrease
+		}
+		b.ReportMetric(100*avg/float64(len(rows)), "overhead_decrease_%")
+	}
+}
+
+// BenchmarkFig10Accuracy regenerates Figure 10: AD-PROM vs Rand-HMM FN rates
+// at equal FP rates across App1–App4. The metric is the mean FN-rate gap
+// (Rand-HMM − AD-PROM; positive means AD-PROM wins, as in the paper).
+func BenchmarkFig10Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig10(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		var n int
+		for _, r := range results {
+			for j := range r.FPRates {
+				gap += r.RandHMM[j].FNRate - r.ADPROM[j].FNRate
+				n++
+			}
+		}
+		b.ReportMetric(gap/float64(n), "mean_fn_gap")
+	}
+}
+
+// BenchmarkTable7Confusion regenerates Table VII: per-app confusion matrices
+// against A-S2/A-S3 anomalies. The metric is the mean accuracy (paper ≈
+// 0.997).
+func BenchmarkTable7Confusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table7(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc float64
+		for _, r := range rows {
+			acc += r.Matrix.Accuracy()
+		}
+		b.ReportMetric(acc/float64(len(rows)), "mean_accuracy")
+	}
+}
+
+// BenchmarkTable8TrainingSteps regenerates Table VIII: elapsed time per
+// static-analysis step. The metric is aggregation's share of the total for
+// the bash-scale app (the paper's dominant step).
+func BenchmarkTable8TrainingSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table8(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[3]
+		total := r.BuildCFG + r.ProbEst + r.Aggregation
+		b.ReportMetric(100*float64(r.Aggregation)/float64(total), "app4_aggregation_%")
+	}
+}
+
+// BenchmarkAblationInitialisation runs the extension ablation: CTM-init +
+// MAP prior vs ML-only vs random init (the design choices DESIGN.md calls
+// out). The metric is the full system's FN rate at a 1%-FP budget.
+func BenchmarkAblationInitialisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Ablation(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FNAt1pct, "adprom_fn_at_1pct")
+		b.ReportMetric(rows[2].FNAt1pct, "random_fn_at_1pct")
+	}
+}
+
+// BenchmarkClusteringSpeedup regenerates the §V-D clustering experiment. The
+// metric is the training-time reduction (paper: ≈70%).
+func BenchmarkClusteringSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Clustering(benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.TimeReduction, "training_time_reduction_%")
+		b.ReportMetric(float64(res.StatesBefore), "states_before")
+		b.ReportMetric(float64(res.StatesAfter), "states_after")
+	}
+}

@@ -1,0 +1,305 @@
+// Command adprom drives the AD-PROM reproduction from the command line:
+// static analysis, profile training, attack detection demos, and the paper's
+// full experiment suite.
+//
+// Usage:
+//
+//	adprom analyze    -app <name>
+//	adprom train      -app <name> -out <profile.gob>
+//	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
+//	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
+//
+// App names: apph, appb, apps (CA-dataset), app1..app4 (SIR-style).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"adprom/internal/attack"
+	"adprom/internal/collector"
+	"adprom/internal/core"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/experiments"
+	"adprom/internal/hmm"
+	"adprom/internal/interp"
+	"adprom/internal/profile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adprom:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  adprom analyze    -app <name>
+  adprom train      -app <name> -out <profile.gob>
+  adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
+  adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
+
+apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)`)
+}
+
+func lookupApp(name string) (*dataset.App, error) {
+	apps := append(dataset.CAApps(), dataset.SIRApps()...)
+	for _, a := range apps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown app %q", name)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	appName := fs.String("app", "appb", "application to analyze")
+	verbose := fs.Bool("v", false, "dump the full pCTM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := lookupApp(*appName)
+	if err != nil {
+		return err
+	}
+	sa, err := core.Analyze(app.Prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s: %d functions, %d blocks, %d call sites\n",
+		app.Name, len(app.Prog.Functions), app.Prog.NumBlocks(), app.NumStates())
+	fmt.Printf("labelled output statements (DDG): %d\n", len(sa.DDG.Labels))
+	for site, label := range sa.DDG.Labels {
+		fmt.Printf("  %s -> %s\n", site, label)
+	}
+	fmt.Printf("pCTM: %d sites, %d observation labels\n", sa.PCTM.NumSites(), len(sa.PCTM.Labels()))
+	fmt.Printf("timings: cfg=%v probest=%v aggregation=%v\n",
+		sa.Timings.BuildCFG, sa.Timings.ProbEst, sa.Timings.Aggregation)
+	if err := sa.PCTM.CheckInvariants(1e-9); err != nil {
+		fmt.Printf("pCTM invariants: VIOLATED: %v\n", err)
+	} else {
+		fmt.Println("pCTM invariants: ok")
+	}
+	if *verbose {
+		fmt.Print(sa.PCTM)
+	}
+	return nil
+}
+
+func trainApp(app *dataset.App) (*profile.Profile, error) {
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := core.Train(app.Prog, traces, profile.Options{
+		Train:           hmm.TrainOptions{MaxIters: 12},
+		MaxTrainWindows: 1500,
+	})
+	return p, err
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	appName := fs.String("app", "appb", "application to train")
+	out := fs.String("out", "", "profile output path (gob)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := lookupApp(*appName)
+	if err != nil {
+		return err
+	}
+	p, err := trainApp(app)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %s: %d states (before reduction %d), %d symbols, threshold %.4f, %d iterations\n",
+		p.Program, p.StatesAfter, p.StatesBefore, len(p.Symbols), p.Threshold, p.TrainResult.Iterations)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := p.Save(f); err != nil {
+			return err
+		}
+		fmt.Println("profile written to", *out)
+	}
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	appName := fs.String("app", "appb", "application to monitor")
+	profPath := fs.String("profile", "", "trained profile (gob); trains fresh when empty")
+	attackID := fs.String("attack", "", "attack to stage: 1..5 or mitm (empty = normal runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := lookupApp(*appName)
+	if err != nil {
+		return err
+	}
+
+	var p *profile.Profile
+	if *profPath != "" {
+		f, err := os.Open(*profPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if p, err = profile.Load(f); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("training profile (pass -profile to reuse one)...")
+		if p, err = trainApp(app); err != nil {
+			return err
+		}
+	}
+
+	prog := app.Prog
+	cases := app.TestCases
+
+	var atk *attack.Attack
+	if *attackID != "" {
+		if *attackID == "mitm" {
+			a := attack.AppBMITM()
+			atk = &a
+		} else {
+			n, err := strconv.Atoi(*attackID)
+			if err != nil {
+				return fmt.Errorf("bad -attack %q", *attackID)
+			}
+			for _, a := range attack.AppBAttacks() {
+				if a.ID == n {
+					cp := a
+					atk = &cp
+				}
+			}
+			if atk == nil {
+				return fmt.Errorf("no attack %d", n)
+			}
+		}
+		if prog, err = atk.Apply(app.Prog); err != nil {
+			return err
+		}
+		if atk.Cases != nil {
+			cases = atk.Cases
+		}
+		fmt.Printf("staging attack %d (%s): %s\n", atk.ID, atk.Name, atk.Description)
+	}
+
+	totals := map[detect.Flag]int{}
+	for _, tc := range cases {
+		var setup func(*interp.Interp, *interp.World)
+		if atk != nil {
+			setup = atk.Setup
+		}
+		tr, err := app.RunCase(prog, tc, collector.ModeADPROM, setup)
+		if err != nil {
+			return err
+		}
+		mon := core.NewMonitor(p, nil)
+		alerts := mon.ObserveTrace(tr)
+		for _, a := range alerts {
+			totals[a.Flag]++
+		}
+		if len(alerts) > 0 {
+			a := alerts[0]
+			fmt.Printf("case %-16s %3d alerts; first: %s", tc.Name, len(alerts), a.Flag)
+			if a.Flag == detect.FlagDL && len(a.Origins) > 0 {
+				fmt.Printf(" (source: %v)", a.Origins)
+			}
+			fmt.Println()
+		}
+	}
+	if len(totals) == 0 {
+		fmt.Println("no alerts: behaviour matches the profile")
+	} else {
+		fmt.Printf("alert totals: %v\n", totals)
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	full := fs.Bool("full", false, "run at full scale (slow)")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if len(args) == 0 {
+		return fmt.Errorf("experiment id required")
+	}
+	id := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: !*full, Seed: *seed}
+
+	run := func(id string) error {
+		var rep *experiments.Report
+		var err error
+		switch id {
+		case "table3":
+			_, rep, err = experiments.Table3()
+		case "table4":
+			_, rep, err = experiments.Table4()
+		case "table5":
+			_, rep, err = experiments.Table5(cfg)
+		case "table6":
+			_, rep, err = experiments.Table6(cfg)
+		case "table7":
+			_, rep, err = experiments.Table7(cfg)
+		case "table8":
+			_, rep, err = experiments.Table8(cfg)
+		case "fig10":
+			_, rep, err = experiments.Fig10(cfg)
+		case "clustering":
+			_, rep, err = experiments.Clustering(cfg)
+		case "ablation":
+			_, rep, err = experiments.Ablation(cfg)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	}
+
+	if id == "all" {
+		for _, e := range []string{"table3", "table4", "table5", "table6", "table7", "table8", "fig10", "clustering", "ablation"} {
+			if err := run(e); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	}
+	return run(id)
+}

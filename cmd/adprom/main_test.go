@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestLookupApp(t *testing.T) {
+	for _, name := range []string{"apph", "appb", "apps", "app1", "app2", "app3", "app4"} {
+		app, err := lookupApp(name)
+		if err != nil || app.Name != name {
+			t.Errorf("lookupApp(%q) = %v, %v", name, app, err)
+		}
+	}
+	if _, err := lookupApp("nope"); err == nil {
+		t.Error("lookupApp accepted unknown app")
+	}
+}
+
+func TestCmdAnalyzeRuns(t *testing.T) {
+	if err := cmdAnalyze([]string{"-app", "apph"}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if err := cmdAnalyze([]string{"-app", "ghost"}); err == nil {
+		t.Fatal("analyze accepted unknown app")
+	}
+}
+
+func TestCmdExperimentRejectsUnknown(t *testing.T) {
+	if err := cmdExperiment([]string{"tableX"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := cmdExperiment(nil); err == nil {
+		t.Fatal("missing experiment id accepted")
+	}
+}
+
+func TestCmdExperimentTable8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the SIR corpus")
+	}
+	if err := cmdExperiment([]string{"table8"}); err != nil {
+		t.Fatalf("table8: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Forensics and hardening extensions around the core detector:
+//
+//  1. Query-signature auditing (§VII mitigation): an attacker swaps the
+//     lookup query for one of identical shape over another table. The call
+//     trace is *identical* — the HMM is structurally blind — but the
+//     signature auditor flags the swapped query.
+//  2. Alert explanation: a flagged window is decomposed into per-call
+//     log-likelihood contributions (the §II decoding problem), pointing the
+//     administrator at the exact call that broke the pattern.
+//  3. Adaptive thresholding (§IV-D): administrator feedback on a false
+//     positive whitelists it for the future.
+//
+// Run with: go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adprom"
+	"adprom/internal/detect"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+)
+
+func main() {
+	app := adprom.BankingApp()
+	traces, err := app.CollectTraces(adprom.ModeADPROM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _, err := adprom.Train(app.Prog, traces, adprom.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- 1. query-signature audit --------------------------------------
+	fmt.Println("== query-signature audit (§VII) ==")
+	auditor := adprom.NewQueryAuditor()
+	runWithQueries := func(prog *adprom.Program, input ...string) ([]interp.QueryRecord, adprom.Trace) {
+		var world *interp.World
+		tr, err := app.RunCase(prog, adprom.TestCase{Name: "run", Input: input},
+			adprom.ModeADPROM, func(_ *interp.Interp, w *interp.World) {
+				world = w
+				// The attacker's shadow table exists in production.
+				w.DB.MustExec("CREATE TABLE payroll (id INT, name TEXT, salary INT)")
+				for i := 1; i <= 25; i++ {
+					w.DB.MustExec(fmt.Sprintf("INSERT INTO payroll VALUES (%d, 'emp%d', %d)", 100+i, i, i*1000))
+				}
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return world.Queries, tr
+	}
+
+	normalQ, normalTrace := runWithQueries(app.Prog, "1", "105")
+	auditor.Learn(normalQ)
+	fmt.Printf("learned %d signatures from normal runs\n", len(auditor.Signatures()))
+
+	// Attacker edit: same query shape, different table — same selectivity.
+	evil := ir.Clone(app.Prog)
+	blk := evil.Func("lookupAccount").Blocks[0]
+	lc := blk.Stmts[0].(ir.LibCall)
+	lc.Args = []ir.Expr{ir.S("SELECT * FROM payroll WHERE id='")}
+	blk.Stmts[0] = lc
+
+	evilQ, evilTrace := runWithQueries(evil, "1", "105")
+	hmmsAlerts := adprom.NewMonitor(prof, nil).ObserveTrace(evilTrace)
+	fmt.Printf("HMM alerts on the swapped query: %d (trace is label-identical: %v)\n",
+		len(hmmsAlerts), len(normalTrace) == len(evilTrace))
+	for _, v := range auditor.Check(evilQ) {
+		fmt.Printf("AUDIT VIOLATION at %s: %q\n", v.Record.Origin, v.Signature)
+	}
+
+	// ---- 2. alert explanation ------------------------------------------
+	fmt.Println("\n== alert explanation ==")
+	injTrace, err := app.RunCase(app.Prog,
+		adprom.TestCase{Name: "inj", Input: []string{"1", adprom.TautologyPayload}},
+		adprom.ModeADPROM, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alerts := adprom.NewMonitor(prof, nil).ObserveTrace(injTrace)
+	for _, a := range alerts {
+		if a.Flag == adprom.FlagDL && len(a.Window) == prof.WindowLen {
+			ex, err := detect.Explain(prof, a.Window)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("flagged window (score %.3f); costliest call is #%d:\n%s",
+				a.Score, ex.WorstIndex, ex)
+			break
+		}
+	}
+
+	// ---- 3. administrator feedback --------------------------------------
+	fmt.Println("\n== adaptive threshold ==")
+	eng := detect.NewEngine(prof)
+	eng.SetThreshold(prof.Threshold + 0.5) // over-tight deployment
+	var fp *adprom.Alert
+	for _, tr := range traces {
+		eng.ResetWindow()
+		for _, c := range tr {
+			for _, a := range eng.Observe(c) {
+				if a.Flag == adprom.FlagAnomalous || a.Flag == adprom.FlagDL {
+					cp := a
+					fp = &cp
+				}
+			}
+		}
+		for _, a := range eng.Flush() {
+			if a.Flag == adprom.FlagAnomalous || a.Flag == adprom.FlagDL {
+				cp := a
+				fp = &cp
+			}
+		}
+		if fp != nil {
+			break
+		}
+	}
+	if fp == nil {
+		fmt.Println("over-tight threshold raised nothing on this trace")
+		return
+	}
+	fmt.Printf("false positive at threshold %.3f (score %.3f)\n", eng.Threshold(), fp.Score)
+	eng.MarkFalsePositive(*fp, 0)
+	fmt.Printf("administrator feedback applied; threshold now %.3f\n", eng.Threshold())
+}

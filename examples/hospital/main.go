@@ -1,0 +1,85 @@
+// Hospital monitoring: profile the bundled hospital client, then stage a
+// Dyninst-style binary patch (the paper's attack case 2 / §V-C attack 4)
+// that copies every looked-up patient record into a hidden file.
+//
+// The demo shows the full pipeline: static analysis artefacts, training,
+// quiet normal operation, the DL alert chain for the patched binary, and the
+// §VII file-audit mitigation (the exfiltration file is flagged as tainted by
+// the query's origin).
+//
+// Run with: go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adprom"
+	"adprom/internal/attack"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+)
+
+func main() {
+	app := adprom.HospitalApp()
+
+	// Phase 1: training.
+	traces, err := app.CollectTraces(adprom.ModeADPROM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, sa, err := adprom.Train(app.Prog, traces, adprom.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analysis: %d call sites, %d DDG-labelled outputs, pCTM %d sites\n",
+		app.NumStates(), len(sa.DDG.Labels), sa.PCTM.NumSites())
+	fmt.Printf("profile: %d states, threshold %.3f, trained %d iterations\n",
+		prof.StatesAfter, prof.Threshold, prof.TrainResult.Iterations)
+
+	// Phase 2: normal operation is quiet.
+	quiet := 0
+	for _, tc := range app.TestCases[:20] {
+		tr, err := app.RunCase(app.Prog, tc, adprom.ModeADPROM, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		quiet += len(adprom.NewMonitor(prof, nil).ObserveTrace(tr))
+	}
+	fmt.Printf("20 normal operations: %d alerts\n", quiet)
+
+	// Phase 3: the attacker patches the binary — lookupPatient's row loop
+	// (block 2) additionally appends each record to /tmp/.exfil.
+	patched, err := attack.InsertStmts(app.Prog, "lookupPatient", 2, 2,
+		ir.LibCall{Dst: "xf", Name: "fopen", Args: []ir.Expr{ir.S("/tmp/.exfil"), ir.S("a")}},
+		ir.LibCall{Name: "fprintf", Args: []ir.Expr{ir.V("xf"), ir.S("%s|%s\n"), ir.V("name"), ir.V("ward")}},
+		ir.LibCall{Name: "fclose", Args: []ir.Expr{ir.V("xf")}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbinary patched: lookupPatient now copies records to /tmp/.exfil")
+
+	var world *interp.World
+	tr, err := app.RunCase(patched, adprom.TestCase{Name: "lookup", Input: []string{"1", "7"}},
+		adprom.ModeADPROM, func(_ *interp.Interp, w *interp.World) { world = w })
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range adprom.NewMonitor(prof, nil).ObserveTrace(tr) {
+		fmt.Printf("  ALERT %-12s", a.Flag)
+		if a.Score != 0 {
+			fmt.Printf(" score %.3f < %.3f", a.Score, a.Threshold)
+		}
+		if len(a.Origins) > 0 {
+			fmt.Printf("  source query at %v", a.Origins)
+		}
+		fmt.Println()
+	}
+
+	// §VII mitigation: files that received TD are labelled for auditing.
+	if tainted := world.TaintedFiles(); len(tainted) > 0 {
+		fmt.Printf("tainted files flagged for audit: %v\n", tainted)
+		fmt.Printf("  /tmp/.exfil contents: %q\n", world.Files["/tmp/.exfil"].Contents())
+	}
+}

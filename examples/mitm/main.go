@@ -1,0 +1,58 @@
+// Man-in-the-middle (the paper's attack 3.2): the application is completely
+// unmodified, but its database connection is unencrypted, and an attacker on
+// the path rewrites queries in transit to harvest more rows. The program
+// faithfully iterates over the inflated result set — and that change in its
+// call sequence is what AD-PROM flags.
+//
+// Run with: go run ./examples/mitm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adprom"
+	"adprom/internal/attack"
+	"adprom/internal/interp"
+)
+
+func main() {
+	app := adprom.BankingApp()
+
+	traces, err := app.CollectTraces(adprom.ModeADPROM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _, err := adprom.Train(app.Prog, traces, adprom.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tc := adprom.TestCase{Name: "statement", Input: []string{"5", "101"}}
+
+	clean, err := app.RunCase(app.Prog, tc, adprom.ModeADPROM, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean statement run: %d calls, %d alerts\n",
+		len(clean), len(adprom.NewMonitor(prof, nil).ObserveTrace(clean)))
+
+	// The wire turns hostile: every "WHERE client_id =" becomes ">=".
+	mitm := attack.AppBMITM()
+	hostile, err := app.RunCase(app.Prog, tc, adprom.ModeADPROM,
+		func(ip *interp.Interp, w *interp.World) { mitm.Setup(ip, w) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMITM-rewritten run: %d calls (result set inflated in transit)\n", len(hostile))
+
+	alerts := adprom.NewMonitor(prof, nil).ObserveTrace(hostile)
+	fmt.Printf("alerts: %d\n", len(alerts))
+	for i, a := range alerts {
+		if i >= 3 {
+			fmt.Printf("  ... and %d more\n", len(alerts)-3)
+			break
+		}
+		fmt.Printf("  %-10s score %.3f < %.3f origins %v\n", a.Flag, a.Score, a.Threshold, a.Origins)
+	}
+}

@@ -1,0 +1,100 @@
+// Quickstart: profile a small database client and catch a query-selectivity
+// attack (the paper's Figure 1 scenario).
+//
+// The program queries one item and prints it. The attacker widens the WHERE
+// predicate from = to >=, so the fetch/print loop runs once per table row —
+// AD-PROM notices the changed call sequence and links the leak back to the
+// query that produced the data.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adprom"
+)
+
+// buildClient constructs the Figure 1 client: query, count rows, loop, print
+// each value. whereClause controls the query's selectivity.
+func buildClient(name, whereClause string) *adprom.Program {
+	b := adprom.NewProgram(name)
+	m := b.Func("main")
+	entry := m.Block()
+	loop := m.Block()
+	body := m.Block()
+	done := m.Block()
+
+	entry.CallTo("conn", "PQconnectdb")
+	entry.CallTo("result", "PQexec", adprom.V("conn"), adprom.S("SELECT * FROM items WHERE "+whereClause))
+	entry.CallTo("rows", "PQntuples", adprom.V("result"))
+	entry.Assign("r", adprom.I(0))
+	entry.Goto(loop)
+	loop.If(adprom.Lt(adprom.V("r"), adprom.V("rows")), body, done)
+	body.CallTo("v", "PQgetvalue", adprom.V("result"), adprom.V("r"), adprom.I(1))
+	body.Call("printf", adprom.S("%s\n"), adprom.V("v"))
+	body.Assign("r", adprom.Add(adprom.V("r"), adprom.I(1)))
+	body.Goto(loop)
+	done.Call("PQfinish", adprom.V("conn"))
+	done.Ret()
+	return b.MustBuild()
+}
+
+func seedDB() *adprom.Database {
+	db := adprom.NewDatabase()
+	db.MustExec("CREATE TABLE items (id INT, name TEXT)")
+	for i := 0; i < 8; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO items VALUES (%d, 'item-%d')", 10+i, i))
+	}
+	return db
+}
+
+// runAndCollect executes prog against a fresh copy of the data and returns
+// its library-call trace.
+func runAndCollect(prog *adprom.Program) adprom.Trace {
+	world := adprom.NewWorld(seedDB())
+	ip := adprom.NewInterp(prog, world)
+	col := adprom.NewCollector(adprom.ModeADPROM)
+	ip.AddHook(col.Hook())
+	if _, err := ip.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return col.Trace()
+}
+
+func main() {
+	original := buildClient("quickstart", "id = 10")
+
+	// Training phase: static analysis + HMM over a handful of normal runs.
+	var traces []adprom.Trace
+	for i := 0; i < 10; i++ {
+		traces = append(traces, runAndCollect(original))
+	}
+	prof, sa, err := adprom.Train(original, traces, adprom.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained profile: %d hidden states, %d labelled output sites, threshold %.3f\n",
+		prof.StatesAfter, len(sa.DDG.Labels), prof.Threshold)
+
+	// Detection phase, normal behaviour: silent.
+	mon := adprom.NewMonitor(prof, nil)
+	if alerts := mon.ObserveTrace(runAndCollect(original)); len(alerts) == 0 {
+		fmt.Println("normal run: no alerts")
+	}
+
+	// The attack: the predicate widens, the program now prints every row.
+	attacked := buildClient("quickstart", "id >= 10")
+	mon2 := adprom.NewMonitor(prof, adprom.AlertFunc(func(a adprom.Alert) {
+		fmt.Printf("ALERT %-10s score %.3f < %.3f", a.Flag, a.Score, a.Threshold)
+		if len(a.Origins) > 0 {
+			fmt.Printf("  leaked from query at %v", a.Origins)
+		}
+		fmt.Println()
+	}))
+	fmt.Println("attacked run (WHERE id >= 10):")
+	if alerts := mon2.ObserveTrace(runAndCollect(attacked)); len(alerts) == 0 {
+		fmt.Println("  (no alerts — unexpected)")
+	}
+}

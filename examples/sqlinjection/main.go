@@ -1,0 +1,67 @@
+// SQL injection end to end: the paper's Figure 2 / attack 5 scenario against
+// the bundled banking application.
+//
+// The banking app's account lookup concatenates raw user input into its
+// query (no prepared statement). A tautology payload turns the WHERE clause
+// into an always-true predicate, the engine really returns every client
+// record, and the program's fetch/print loop runs once per record — the
+// behavioural change AD-PROM detects and traces back to the lookup query.
+//
+// Run with: go run ./examples/sqlinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adprom"
+)
+
+func main() {
+	app := adprom.BankingApp()
+
+	// Training: the full normal test-case corpus of the app.
+	traces, err := app.CollectTraces(adprom.ModeADPROM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _, err := adprom.Train(app.Prog, traces, adprom.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile for %s: %d states, threshold %.3f\n", prof.Program, prof.StatesAfter, prof.Threshold)
+
+	// A legitimate lookup is quiet.
+	normal, err := app.RunCase(app.Prog, adprom.TestCase{Name: "lookup", Input: []string{"1", "105"}},
+		adprom.ModeADPROM, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legitimate lookup (id=105): %d calls, %d alerts\n",
+		len(normal), len(adprom.NewMonitor(prof, nil).ObserveTrace(normal)))
+
+	// The attack needs no code or binary access — just a crafted input.
+	payload := adprom.TautologyPayload
+	fmt.Printf("\ninjecting %q\n", payload)
+	injected, err := app.RunCase(app.Prog, adprom.TestCase{Name: "inject", Input: []string{"1", payload}},
+		adprom.ModeADPROM, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected lookup: %d calls (the loop now visits every client row)\n", len(injected))
+
+	alerts := adprom.NewMonitor(prof, nil).ObserveTrace(injected)
+	dl := 0
+	for _, a := range alerts {
+		if a.Flag == adprom.FlagDL {
+			dl++
+		}
+	}
+	fmt.Printf("alerts: %d total, %d flagged DL\n", len(alerts), dl)
+	for _, a := range alerts {
+		if a.Flag == adprom.FlagDL {
+			fmt.Printf("  e.g. window score %.3f < %.3f, leak source %v\n", a.Score, a.Threshold, a.Origins)
+			break
+		}
+	}
+}

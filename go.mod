@@ -1,0 +1,3 @@
+module adprom
+
+go 1.22

@@ -1,0 +1,106 @@
+package attack
+
+import (
+	"adprom/internal/dataset"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+)
+
+// AppBAttacks returns the five attacks of §V-C instantiated against the
+// banking application (the paper found its attack-5 vulnerability in App_b;
+// the other four are staged against it too, as it exercises every channel).
+//
+// Block/statement coordinates refer to dataset.AppB's IR:
+//
+//	lookupAccount: b5 is the post-loop block (free_result, printf "\n").
+//	withdraw:      b3 is the apply block (UPDATE, printf confirmation).
+//	statement:     b2 is the row-printing loop body.
+//	help:          b0 is its only block.
+func AppBAttacks() []Attack {
+	return []Attack{
+		{
+			ID:   1,
+			Name: "insert-similar-print",
+			Description: "source access: insert into interestReport's modest branch a copy " +
+				"of the rich branch's data print — the call-name sequence becomes identical " +
+				"to the sibling branch, so only the block-id label differs",
+			Mutate: func(p *ir.Program) (*ir.Program, error) {
+				// interestReport: b3 is the rich branch (banner + data print),
+				// b4 the modest branch (banner only). The inserted data print
+				// makes the modest path name-identical to the rich path.
+				return InsertStmts(p, "interestReport", 4, 1,
+					ir.LibCall{Name: "printf", Args: []ir.Expr{ir.S("  %s holds %s\n"),
+						ir.At(ir.V("row"), ir.I(0)), ir.At(ir.V("row"), ir.I(1))}},
+				)
+			},
+			Cases: []dataset.TestCase{{Name: "interest", Input: []string{"6"}}},
+		},
+		{
+			ID:   2,
+			Name: "new-call-other-function",
+			Description: "source access: insert calls into help() that fetch and print " +
+				"query results from a function that never touches the database",
+			Mutate: func(p *ir.Program) (*ir.Program, error) {
+				return InsertStmts(p, "help", 0, 1,
+					ir.LibCall{Dst: "conn2", Name: "mysql_real_connect"},
+					ir.LibCall{Dst: "st", Name: "mysql_query", Args: []ir.Expr{ir.V("conn2"), ir.S("SELECT * FROM clients")}},
+					ir.LibCall{Dst: "res2", Name: "mysql_store_result", Args: []ir.Expr{ir.V("conn2")}},
+					ir.LibCall{Dst: "row2", Name: "mysql_fetch_row", Args: []ir.Expr{ir.V("res2")}},
+					ir.LibCall{Name: "printf", Args: []ir.Expr{ir.S("%s\n"), ir.At(ir.V("row2"), ir.I(1))}},
+				)
+			},
+			Cases: []dataset.TestCase{{Name: "help-hit", Input: []string{"9"}}},
+		},
+		{
+			ID:   3,
+			Name: "reuse-existing-print",
+			Description: "source access: keep the call sequence intact but change the " +
+				"withdrawal confirmation's argument to print the account balance (TD)",
+			Mutate: func(p *ir.Program) (*ir.Program, error) {
+				return ReplaceArgs(p, "withdraw", 3, 1,
+					ir.S("withdrew %s\n"), ir.At(ir.V("row"), ir.I(0)))
+			},
+		},
+		{
+			ID:   4,
+			Name: "binary-patch",
+			Description: "binary access: a Dyninst-style patch in the statement loop " +
+				"dumps every transaction row to a file",
+			Mutate: func(p *ir.Program) (*ir.Program, error) {
+				return InsertStmts(p, "statement", 2, 1,
+					ir.LibCall{Dst: "dump", Name: "fopen", Args: []ir.Expr{ir.S("dump.bin"), ir.S("a")}},
+					ir.LibCall{Name: "fprintf", Args: []ir.Expr{ir.V("dump"), ir.S("%s,%s\n"),
+						ir.At(ir.V("row"), ir.I(0)), ir.At(ir.V("row"), ir.I(1))}},
+					ir.LibCall{Name: "fclose", Args: []ir.Expr{ir.V("dump")}},
+				)
+			},
+		},
+		{
+			ID:   5,
+			Name: "sql-injection",
+			Description: "no access: tautology injection through the vulnerable account " +
+				"lookup retrieves every client record (Figure 2)",
+			Cases: []dataset.TestCase{
+				{Name: "tautology", Input: []string{"1", TautologyPayload}},
+			},
+		},
+	}
+}
+
+// AppBMITM is the attack 3.2 scenario: a man-in-the-middle on the
+// unencrypted connection widens the statement query in transit. The program
+// is byte-for-byte unchanged; only the wire is hostile.
+func AppBMITM() Attack {
+	return Attack{
+		ID:   6,
+		Name: "mitm-query-rewrite",
+		Description: "network access: rewrite 'WHERE client_id =' to '>=' in transit, " +
+			"inflating the statement result set",
+		Cases: []dataset.TestCase{
+			{Name: "statement-mitm", Input: []string{"5", "101"}},
+		},
+		Setup: func(_ *interp.Interp, w *interp.World) {
+			w.Rewriter = MITMRewriter("WHERE client_id =", "WHERE client_id >=")
+		},
+	}
+}

@@ -1,0 +1,157 @@
+// Package attack implements the adversary model of §III and the concrete
+// attacks of the evaluation (§V-C, Table V), plus the synthetic anomalous
+// sequence generators A-S1/A-S2/A-S3 of the scalability experiment (§V-D).
+//
+// Program attacks are expressed as mutators over deep-cloned IR — the
+// reproduction's stand-in for editing source (case 1), patching binaries
+// with Dyninst (case 2), or exploiting vulnerabilities (case 3). Each
+// mutator leaves the original program untouched.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"adprom/internal/dataset"
+	"adprom/internal/dbclient"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+)
+
+// ErrTarget is returned when a mutator's target location does not exist.
+var ErrTarget = errors.New("attack: target not found")
+
+// TautologyPayload is the paper's injection input (1' OR '1'='1): inside the
+// vulnerable WHERE id='…' it turns the predicate into a tautology.
+const TautologyPayload = "1' OR '1'='1"
+
+// Attack is one runnable attack scenario against an application.
+type Attack struct {
+	// ID is the paper's attack number (1–5 in §V-C).
+	ID int
+	// Name is a short identifier for tables and logs.
+	Name string
+	// Description says what the attacker does.
+	Description string
+	// Mutate transforms the program (nil = the attack leaves code intact,
+	// e.g. SQL injection and MITM).
+	Mutate func(*ir.Program) (*ir.Program, error)
+	// Cases are the test inputs to drive the attacked program with (nil =
+	// use the app's own cases).
+	Cases []dataset.TestCase
+	// Setup configures run-time interference (the MITM rewriter).
+	Setup func(*interp.Interp, *interp.World)
+}
+
+// Apply returns the attacked program (the original when Mutate is nil).
+func (a *Attack) Apply(prog *ir.Program) (*ir.Program, error) {
+	if a.Mutate == nil {
+		return prog, nil
+	}
+	return a.Mutate(prog)
+}
+
+// InsertStmts clones prog and inserts stmts into fn's block at statement
+// position pos (clamped to the block's end).
+func InsertStmts(prog *ir.Program, fn string, block, pos int, stmts ...ir.Stmt) (*ir.Program, error) {
+	cp := ir.Clone(prog)
+	f := cp.Func(fn)
+	if f == nil || block < 0 || block >= len(f.Blocks) {
+		return nil, fmt.Errorf("%w: %s block %d", ErrTarget, fn, block)
+	}
+	blk := f.Blocks[block]
+	if pos < 0 || pos > len(blk.Stmts) {
+		pos = len(blk.Stmts)
+	}
+	out := make([]ir.Stmt, 0, len(blk.Stmts)+len(stmts))
+	out = append(out, blk.Stmts[:pos]...)
+	out = append(out, stmts...)
+	out = append(out, blk.Stmts[pos:]...)
+	blk.Stmts = out
+	if err := ir.Validate(cp); err != nil {
+		return nil, fmt.Errorf("attack: mutation broke program: %w", err)
+	}
+	return cp, nil
+}
+
+// ReplaceArgs clones prog and replaces the arguments of the library call at
+// (fn, block, stmt) — the paper's attack 3, which reuses an existing output
+// command by pointing its arguments at targeted data.
+func ReplaceArgs(prog *ir.Program, fn string, block, stmt int, args ...ir.Expr) (*ir.Program, error) {
+	cp := ir.Clone(prog)
+	f := cp.Func(fn)
+	if f == nil || block < 0 || block >= len(f.Blocks) {
+		return nil, fmt.Errorf("%w: %s block %d", ErrTarget, fn, block)
+	}
+	blk := f.Blocks[block]
+	if stmt < 0 || stmt >= len(blk.Stmts) {
+		return nil, fmt.Errorf("%w: %s b%d stmt %d", ErrTarget, fn, block, stmt)
+	}
+	lc, ok := blk.Stmts[stmt].(ir.LibCall)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s b%d stmt %d is not a library call", ErrTarget, fn, block, stmt)
+	}
+	lc.Args = args
+	blk.Stmts[stmt] = lc
+	return cp, nil
+}
+
+// MITMRewriter widens queries in transit (attack 3.2): every occurrence of
+// `from` in a query becomes `to`.
+func MITMRewriter(from, to string) dbclient.Rewriter {
+	return func(q string) string { return strings.ReplaceAll(q, from, to) }
+}
+
+// --- synthetic anomalous sequences (§V-D) --------------------------------
+
+// AS1 replaces the last k calls of a normal sequence with random calls drawn
+// from the legitimate vocabulary (the paper uses k = 5).
+func AS1(seq []string, legit []string, k int, seed int64) []string {
+	out := append([]string(nil), seq...)
+	if len(legit) == 0 || len(out) == 0 {
+		return out
+	}
+	if k > len(out) {
+		k = len(out)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := len(out) - k; i < len(out); i++ {
+		out[i] = legit[r.Intn(len(legit))]
+	}
+	return out
+}
+
+// AS2 injects library calls that do not belong to the legitimate vocabulary
+// at random positions.
+func AS2(seq []string, count int, seed int64) []string {
+	foreign := []string{"curl_easy_perform", "dlopen", "ptrace", "execve", "sendto"}
+	r := rand.New(rand.NewSource(seed))
+	out := append([]string(nil), seq...)
+	for i := 0; i < count; i++ {
+		pos := 0
+		if len(out) > 0 {
+			pos = r.Intn(len(out) + 1)
+		}
+		call := foreign[r.Intn(len(foreign))]
+		out = append(out[:pos], append([]string{call}, out[pos:]...)...)
+	}
+	return out
+}
+
+// AS3 increases the frequency of legitimate calls by repeating random
+// positions in place — the trace shape of a selectivity or injection attack,
+// where fetch/print pairs multiply.
+func AS3(seq []string, extra int, seed int64) []string {
+	if len(seq) == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := append([]string(nil), seq...)
+	for i := 0; i < extra; i++ {
+		pos := r.Intn(len(out))
+		out = append(out[:pos], append([]string{out[pos]}, out[pos:]...)...)
+	}
+	return out
+}

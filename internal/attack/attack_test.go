@@ -1,0 +1,230 @@
+package attack
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/ir"
+)
+
+func TestInsertStmts(t *testing.T) {
+	app := dataset.AppB()
+	orig := len(app.Prog.Func("help").Blocks[0].Stmts)
+	mutated, err := InsertStmts(app.Prog, "help", 0, 0,
+		ir.LibCall{Name: "puts", Args: []ir.Expr{ir.S("pwned")}})
+	if err != nil {
+		t.Fatalf("InsertStmts: %v", err)
+	}
+	if got := len(mutated.Func("help").Blocks[0].Stmts); got != orig+1 {
+		t.Errorf("mutated stmts = %d, want %d", got, orig+1)
+	}
+	if got := len(app.Prog.Func("help").Blocks[0].Stmts); got != orig {
+		t.Error("mutation leaked into the original program")
+	}
+	// Position is clamped.
+	if _, err := InsertStmts(app.Prog, "help", 0, 99, ir.LibCall{Name: "puts"}); err != nil {
+		t.Errorf("clamped insert failed: %v", err)
+	}
+	if _, err := InsertStmts(app.Prog, "ghost", 0, 0); !errors.Is(err, ErrTarget) {
+		t.Errorf("missing function err = %v", err)
+	}
+	if _, err := InsertStmts(app.Prog, "help", 42, 0); !errors.Is(err, ErrTarget) {
+		t.Errorf("missing block err = %v", err)
+	}
+}
+
+func TestReplaceArgs(t *testing.T) {
+	app := dataset.AppB()
+	mutated, err := ReplaceArgs(app.Prog, "withdraw", 3, 1, ir.S("x"))
+	if err != nil {
+		t.Fatalf("ReplaceArgs: %v", err)
+	}
+	lc := mutated.Func("withdraw").Blocks[3].Stmts[1].(ir.LibCall)
+	if len(lc.Args) != 1 {
+		t.Errorf("args = %v", lc.Args)
+	}
+	origLC := app.Prog.Func("withdraw").Blocks[3].Stmts[1].(ir.LibCall)
+	if len(origLC.Args) == 1 {
+		t.Error("ReplaceArgs mutated the original")
+	}
+	if _, err := ReplaceArgs(app.Prog, "withdraw", 3, 99); !errors.Is(err, ErrTarget) {
+		t.Errorf("missing stmt err = %v", err)
+	}
+	// Statement 0 of withdraw's entry block is a library call; an Assign
+	// would not be. Target a non-call: block 1 statement order starts with
+	// CallTo, so use an If-only block instead (block 4 has stmts? use main).
+	if _, err := ReplaceArgs(app.Prog, "ghost", 0, 0); !errors.Is(err, ErrTarget) {
+		t.Errorf("missing function err = %v", err)
+	}
+}
+
+// TestAppBAttacksExecute runs every mutated program end to end and checks
+// the attack's observable effect on the trace.
+func TestAppBAttacksExecute(t *testing.T) {
+	app := dataset.AppB()
+	baselineByCase := map[string]collector.Trace{}
+	for _, tc := range app.TestCases {
+		tr, err := app.RunCase(app.Prog, tc, collector.ModeADPROM, nil)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", tc.Name, err)
+		}
+		baselineByCase[tc.Name] = tr
+	}
+
+	for _, atk := range AppBAttacks() {
+		atk := atk
+		t.Run(atk.Name, func(t *testing.T) {
+			prog, err := atk.Apply(app.Prog)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			cases := atk.Cases
+			if cases == nil {
+				cases = app.TestCases
+			}
+			changed := false
+			leaky := false
+			for _, tc := range cases {
+				tr, err := app.RunCase(prog, tc, collector.ModeADPROM, atk.Setup)
+				if err != nil {
+					t.Fatalf("case %s: %v", tc.Name, err)
+				}
+				base, haveBase := baselineByCase[tc.Name]
+				if !haveBase || !reflect.DeepEqual(base.Labels(), tr.Labels()) {
+					changed = true
+				}
+				for _, c := range tr {
+					if len(c.Origins) > 0 && strings.Contains(c.Label, "_Q") {
+						leaky = true
+					}
+				}
+			}
+			// Attack 3 must change labels (printf→printf_Q) even though the
+			// call-name sequence is identical; all attacks change the
+			// labelled trace somewhere.
+			if !changed {
+				t.Error("attack left every labelled trace unchanged")
+			}
+			if !leaky {
+				t.Error("attack produced no TD-labelled output call")
+			}
+		})
+	}
+}
+
+// TestAttack3PreservesCallNames verifies the property that makes attack 3
+// invisible to CMarkov: the plain call-name sequence is identical to the
+// baseline; only the dynamic _Q label differs.
+func TestAttack3PreservesCallNames(t *testing.T) {
+	app := dataset.AppB()
+	var atk Attack
+	for _, a := range AppBAttacks() {
+		if a.ID == 3 {
+			atk = a
+		}
+	}
+	prog, err := atk.Apply(app.Prog)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	tc := dataset.TestCase{Name: "withdraw", Input: []string{"3", "105", "100"}}
+	base, err := app.RunCase(app.Prog, tc, collector.ModeADPROM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := app.RunCase(prog, tc, collector.ModeADPROM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := func(tr collector.Trace) []string {
+		out := make([]string, len(tr))
+		for i, c := range tr {
+			out[i] = c.Name
+		}
+		return out
+	}
+	if !reflect.DeepEqual(names(base), names(attacked)) {
+		t.Errorf("attack 3 changed call names:\n%v\n%v", names(base), names(attacked))
+	}
+	if reflect.DeepEqual(base.Labels(), attacked.Labels()) {
+		t.Error("attack 3 did not change labels")
+	}
+}
+
+func TestMITMChangesTraceWithoutCodeChange(t *testing.T) {
+	app := dataset.AppB()
+	atk := AppBMITM()
+	tc := atk.Cases[0]
+	base, err := app.RunCase(app.Prog, tc, collector.ModeADPROM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := app.RunCase(app.Prog, tc, collector.ModeADPROM, atk.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hit) <= len(base) {
+		t.Errorf("MITM trace (%d calls) not longer than baseline (%d)", len(hit), len(base))
+	}
+}
+
+func TestSyntheticSequences(t *testing.T) {
+	seq := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	legit := []string{"x", "y", "z"}
+
+	s1 := AS1(seq, legit, 5, 1)
+	if len(s1) != len(seq) {
+		t.Fatalf("AS1 length %d", len(s1))
+	}
+	if !reflect.DeepEqual(s1[:3], seq[:3]) {
+		t.Errorf("AS1 changed the prefix: %v", s1)
+	}
+	for _, c := range s1[3:] {
+		if c != "x" && c != "y" && c != "z" {
+			t.Errorf("AS1 tail has non-legit call %q", c)
+		}
+	}
+	if reflect.DeepEqual(AS1(seq, legit, 5, 1), AS1(seq, legit, 5, 2)) {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+
+	s2 := AS2(seq, 3, 7)
+	if len(s2) != len(seq)+3 {
+		t.Fatalf("AS2 length %d", len(s2))
+	}
+	foreign := 0
+	for _, c := range s2 {
+		switch c {
+		case "curl_easy_perform", "dlopen", "ptrace", "execve", "sendto":
+			foreign++
+		}
+	}
+	if foreign != 3 {
+		t.Errorf("AS2 injected %d foreign calls, want 3", foreign)
+	}
+
+	s3 := AS3(seq, 4, 9)
+	if len(s3) != len(seq)+4 {
+		t.Fatalf("AS3 length %d", len(s3))
+	}
+	// AS3 only repeats existing calls.
+	seen := map[string]bool{}
+	for _, c := range seq {
+		seen[c] = true
+	}
+	for _, c := range s3 {
+		if !seen[c] {
+			t.Errorf("AS3 introduced new call %q", c)
+		}
+	}
+	if AS3(nil, 3, 1) != nil {
+		t.Error("AS3(nil) != nil")
+	}
+	if got := AS1(nil, legit, 5, 1); len(got) != 0 {
+		t.Errorf("AS1(nil) = %v", got)
+	}
+}

@@ -1,0 +1,75 @@
+// Package baseline implements the two systems the paper compares AD-PROM
+// against.
+//
+// CMarkov (Xu et al. [12]) initialises its HMM from the same static
+// call-transition analysis but performs no data-flow analysis: it cannot
+// label output statements that carry targeted data and cannot tell apart
+// call sequences that differ only in which program path produced them. Here
+// that means building the CTMs without DDG labels and training on traces
+// whose observation symbols are the plain call names.
+//
+// Rand-HMM (Guevara et al. [33]) skips static analysis entirely and trains a
+// randomly initialised HMM on the traces; see profile.BuildRandom.
+package baseline
+
+import (
+	"fmt"
+
+	"adprom/internal/collector"
+	"adprom/internal/ctm"
+	"adprom/internal/ir"
+	"adprom/internal/profile"
+)
+
+// PlainTrace rewrites a trace to CMarkov's view: observation symbols are the
+// plain call names (no _Q labels, no leak origins).
+func PlainTrace(tr collector.Trace) collector.Trace {
+	out := make(collector.Trace, len(tr))
+	for i, c := range tr {
+		out[i] = collector.Call{
+			Label:  c.Name,
+			Name:   c.Name,
+			Caller: c.Caller,
+			Block:  c.Block,
+		}
+	}
+	return out
+}
+
+// PlainTraces maps PlainTrace over a corpus.
+func PlainTraces(traces []collector.Trace) []collector.Trace {
+	out := make([]collector.Trace, len(traces))
+	for i, tr := range traces {
+		out[i] = PlainTrace(tr)
+	}
+	return out
+}
+
+// BuildCMarkov trains the CMarkov baseline for prog: CTM-initialised HMM,
+// no data-flow labels.
+func BuildCMarkov(prog *ir.Program, traces []collector.Trace, opts profile.Options) (*profile.Profile, error) {
+	funcs, err := ctm.BuildAll(prog, nil) // nil DDG: no labels
+	if err != nil {
+		return nil, fmt.Errorf("baseline: cmarkov ctm: %w", err)
+	}
+	pm, err := ctm.Aggregate(prog, funcs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: cmarkov aggregate: %w", err)
+	}
+	p, err := profile.Build(prog, pm, PlainTraces(traces), opts)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: cmarkov train: %w", err)
+	}
+	p.Program = prog.Name + "-cmarkov"
+	return p, nil
+}
+
+// BuildRandHMM trains the Rand-HMM baseline on the same traces AD-PROM sees.
+// nStates ≤ 0 defaults to the trace alphabet size.
+func BuildRandHMM(program string, nStates int, traces []collector.Trace, opts profile.Options) (*profile.Profile, error) {
+	p, err := profile.BuildRandom(program+"-randhmm", nStates, traces, opts)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: rand-hmm: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/hmm"
+	"adprom/internal/profile"
+)
+
+func TestPlainTraceStripsLabelsAndOrigins(t *testing.T) {
+	app := dataset.AppB()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	sawLabel := false
+	for _, tr := range traces {
+		plain := PlainTrace(tr)
+		if len(plain) != len(tr) {
+			t.Fatalf("PlainTrace changed length: %d vs %d", len(plain), len(tr))
+		}
+		for i, c := range plain {
+			if strings.Contains(c.Label, "_Q") {
+				t.Fatalf("plain trace kept label %q", c.Label)
+			}
+			if c.Label != c.Name || c.Origins != nil {
+				t.Fatalf("plain call %+v not stripped", c)
+			}
+			if c.Caller != tr[i].Caller || c.Block != tr[i].Block {
+				t.Fatal("plain trace lost context")
+			}
+			if strings.Contains(tr[i].Label, "_Q") {
+				sawLabel = true
+			}
+		}
+	}
+	if !sawLabel {
+		t.Fatal("test corpus had no labelled calls to strip")
+	}
+	if got := PlainTraces(traces); len(got) != len(traces) {
+		t.Errorf("PlainTraces length %d", len(got))
+	}
+}
+
+func TestBuildCMarkovHasNoLeakLabels(t *testing.T) {
+	app := dataset.AppB()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	p, err := BuildCMarkov(app.Prog, traces, profile.Options{Train: hmm.TrainOptions{MaxIters: 3}})
+	if err != nil {
+		t.Fatalf("BuildCMarkov: %v", err)
+	}
+	if len(p.LeakLabels) != 0 {
+		t.Errorf("CMarkov profile has leak labels: %v", p.LeakLabels)
+	}
+	for _, s := range p.Symbols {
+		if strings.Contains(s, "_Q") {
+			t.Errorf("CMarkov alphabet contains %q", s)
+		}
+	}
+	if !strings.HasSuffix(p.Program, "-cmarkov") {
+		t.Errorf("Program = %q", p.Program)
+	}
+	if err := p.Model.Validate(1e-6); err != nil {
+		t.Errorf("model invalid: %v", err)
+	}
+}
+
+func TestBuildRandHMM(t *testing.T) {
+	app := dataset.AppH()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	p, err := BuildRandHMM("apph", 10, traces, profile.Options{Seed: 7, Train: hmm.TrainOptions{MaxIters: 3}})
+	if err != nil {
+		t.Fatalf("BuildRandHMM: %v", err)
+	}
+	if p.StatesAfter != 10 {
+		t.Errorf("states = %d, want 10", p.StatesAfter)
+	}
+	if err := p.Model.Validate(1e-6); err != nil {
+		t.Errorf("model invalid: %v", err)
+	}
+}

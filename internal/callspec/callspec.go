@@ -1,0 +1,104 @@
+// Package callspec classifies library-call names by their role in AD-PROM's
+// data-flow analysis.
+//
+// The classification is shared between the static analysis (internal/ddg),
+// which labels output statements that are data-dependent on query results,
+// and the interpreter's dynamic taint tracker (internal/interp), which labels
+// the corresponding run-time events. Keeping one source of truth guarantees
+// the static CTM labels and the dynamic trace labels agree — the property the
+// paper's Figure 9 depends on.
+package callspec
+
+// sources introduce targeted data (TD): their return value is a result
+// handle backed by rows retrieved from the database. mysql_query is included
+// because it binds the pending result to the connection even though its
+// direct return value is only a status code.
+var sources = map[string]bool{
+	"PQexec":             true,
+	"mysql_query":        true,
+	"mysql_store_result": true,
+}
+
+// derivers propagate taint from any argument to the return value: accessors
+// on result handles and the pure string/number helpers the client programs
+// funnel TD through.
+var derivers = map[string]bool{
+	"PQgetvalue":       true,
+	"PQntuples":        true,
+	"PQnfields":        true,
+	"mysql_fetch_row":  true,
+	"mysql_num_rows":   true,
+	"mysql_num_fields": true,
+	"strcpy":           true,
+	"strcat":           true,
+	"strlen":           true,
+	"strcmp":           true,
+	"atoi":             true,
+	"itoa":             true,
+	"sprintf":          true,
+	"snprintf":         true,
+	"memcpy":           true,
+	"fgets":            true,
+	"strncpy":          true,
+	"strstr":           true,
+	"strchr":           true,
+	"toupper":          true,
+	"tolower":          true,
+	"abs":              true,
+}
+
+// outputs are the statements the paper enumerates as capable of leaking TD to
+// a screen, file, or peer (§IV-A, §VII): they are labelled name_Q[bid] when an
+// argument carries TD.
+var outputs = map[string]bool{
+	"printf":   true,
+	"fprintf":  true,
+	"sprintf":  true,
+	"snprintf": true,
+	"fputc":    true,
+	"fputs":    true,
+	"puts":     true,
+	"write":    true,
+	"fwrite":   true,
+	"send":     true,
+	"system":   true,
+}
+
+// IsSource reports whether name introduces TD from the database.
+func IsSource(name string) bool { return sources[name] }
+
+// IsDeriver reports whether name propagates taint from arguments to result.
+func IsDeriver(name string) bool { return derivers[name] }
+
+// IsOutput reports whether name is an output statement in the paper's sense.
+func IsOutput(name string) bool { return outputs[name] }
+
+// QLabel returns the data-leak label for an output call in block bid:
+// "printf" in block 6 becomes "printf_Q6" (paper §IV-C1, Figure 9).
+func QLabel(name string, bid int) string {
+	// Hand-rolled to avoid fmt in this hot path: labels are computed per
+	// trace event.
+	return name + "_Q" + itoa(bid)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

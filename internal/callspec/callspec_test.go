@@ -1,0 +1,49 @@
+package callspec
+
+import "testing"
+
+func TestClassification(t *testing.T) {
+	for _, name := range []string{"PQexec", "mysql_query", "mysql_store_result"} {
+		if !IsSource(name) {
+			t.Errorf("%s not a source", name)
+		}
+	}
+	for _, name := range []string{"PQgetvalue", "mysql_fetch_row", "strcat", "sprintf", "atoi"} {
+		if !IsDeriver(name) {
+			t.Errorf("%s not a deriver", name)
+		}
+	}
+	for _, name := range []string{"printf", "fprintf", "fwrite", "write", "send", "system", "fputs", "fputc", "puts", "snprintf"} {
+		if !IsOutput(name) {
+			t.Errorf("%s not an output", name)
+		}
+	}
+	for _, name := range []string{"scanf", "malloc", "fopen", "regcomp"} {
+		if IsSource(name) || IsOutput(name) {
+			t.Errorf("%s misclassified", name)
+		}
+	}
+	// sprintf is both a deriver and an output: it launders TD into a string
+	// and the paper lists it among the output statements.
+	if !IsDeriver("sprintf") || !IsOutput("sprintf") {
+		t.Error("sprintf must be deriver and output")
+	}
+}
+
+func TestQLabel(t *testing.T) {
+	cases := []struct {
+		name string
+		bid  int
+		want string
+	}{
+		{"printf", 6, "printf_Q6"},
+		{"fprintf", 0, "fprintf_Q0"},
+		{"write", 123, "write_Q123"},
+		{"puts", -1, "puts_Q-1"},
+	}
+	for _, tc := range cases {
+		if got := QLabel(tc.name, tc.bid); got != tc.want {
+			t.Errorf("QLabel(%q, %d) = %q, want %q", tc.name, tc.bid, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package cfg performs the probability-forecast half of AD-PROM's static
+// analysis (paper §IV-C2).
+//
+// For each function it classifies CFG edges, removes back edges (the paper's
+// static stage visits each node once; loops are learned later from traces by
+// the HMM), topologically sorts the resulting DAG, and computes
+//
+//   - the conditional probability of each edge (eq. 1): 1 / out-degree of the
+//     parent, counting DAG edges only, and
+//   - the reachability probability of each block (eq. 2): the sum over its
+//     DAG parents of parent reachability times edge conditional probability.
+//
+// Blocks with no outgoing DAG edges — Return blocks, and loop bodies whose
+// only successor is a back edge — are treated as exits: the once-visited
+// static walk of the function terminates there. This keeps the downstream
+// call-transition matrix flow-conserving (the invariants of §IV-C3) on loopy
+// functions, which the paper's worked example does not exercise.
+package cfg
+
+import (
+	"errors"
+	"fmt"
+
+	"adprom/internal/ir"
+)
+
+// ErrIrreducible is returned when the entry block is unreachable from itself
+// in a malformed way; kept for future structural checks.
+var ErrIrreducible = errors.New("cfg: irreducible control flow")
+
+// Graph is the analysed CFG of one function.
+type Graph struct {
+	Fn *ir.Function
+	// Succs are all successor edges, back edges included.
+	Succs [][]int
+	// DagSuccs are the forward (non-back) edges used by eqs. 1 and 2.
+	DagSuccs [][]int
+	// DagPreds inverts DagSuccs.
+	DagPreds [][]int
+	// Back marks edges removed as back edges, keyed by [from, to].
+	Back map[[2]int]bool
+	// Reachable marks blocks reachable from the entry.
+	Reachable []bool
+	// Topo is a topological order of the reachable DAG blocks.
+	Topo []int
+	// Reach is the reachability probability P^r per block (eq. 2).
+	Reach []float64
+	// ExitBlocks lists blocks with no outgoing DAG edges, in block order.
+	ExitBlocks []int
+}
+
+// Analyze computes the probability forecast for f.
+func Analyze(f *ir.Function) (*Graph, error) {
+	n := len(f.Blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: function %q has no blocks", f.Name)
+	}
+	g := &Graph{
+		Fn:        f,
+		Succs:     make([][]int, n),
+		DagSuccs:  make([][]int, n),
+		DagPreds:  make([][]int, n),
+		Back:      map[[2]int]bool{},
+		Reachable: make([]bool, n),
+		Reach:     make([]float64, n),
+	}
+	for i, blk := range f.Blocks {
+		g.Succs[i] = blk.Term.Succs()
+	}
+
+	g.findBackEdges(0)
+
+	for u := 0; u < n; u++ {
+		if !g.Reachable[u] {
+			continue
+		}
+		for _, v := range g.Succs[u] {
+			if g.Back[[2]int{u, v}] {
+				continue
+			}
+			g.DagSuccs[u] = append(g.DagSuccs[u], v)
+			g.DagPreds[v] = append(g.DagPreds[v], u)
+		}
+	}
+
+	if err := g.topoSort(); err != nil {
+		return nil, err
+	}
+	g.computeReach()
+
+	for _, u := range g.Topo {
+		if len(g.DagSuccs[u]) == 0 {
+			g.ExitBlocks = append(g.ExitBlocks, u)
+		}
+	}
+	return g, nil
+}
+
+// findBackEdges runs an iterative DFS from entry, marking edges to blocks on
+// the current DFS stack as back edges and recording reachability.
+func (g *Graph) findBackEdges(entry int) {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on stack
+		black = 2 // done
+	)
+	color := make([]int, len(g.Succs))
+	type item struct {
+		node int
+		next int
+	}
+	stack := []item{{node: entry}}
+	color[entry] = grey
+	g.Reachable[entry] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(g.Succs[top.node]) {
+			v := g.Succs[top.node][top.next]
+			top.next++
+			switch color[v] {
+			case white:
+				color[v] = grey
+				g.Reachable[v] = true
+				stack = append(stack, item{node: v})
+			case grey:
+				g.Back[[2]int{top.node, v}] = true
+			}
+			continue
+		}
+		color[top.node] = black
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// topoSort orders the reachable DAG blocks (Kahn's algorithm). DFS back-edge
+// removal guarantees acyclicity, so a leftover is an internal bug.
+func (g *Graph) topoSort() error {
+	n := len(g.Succs)
+	indeg := make([]int, n)
+	reachCount := 0
+	for u := 0; u < n; u++ {
+		if !g.Reachable[u] {
+			continue
+		}
+		reachCount++
+		for _, v := range g.DagSuccs[u] {
+			indeg[v]++
+		}
+	}
+	var queue []int
+	for u := 0; u < n; u++ {
+		if g.Reachable[u] && indeg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.Topo = append(g.Topo, u)
+		for _, v := range g.DagSuccs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(g.Topo) != reachCount {
+		return fmt.Errorf("%w: %s: %d of %d blocks sorted", ErrIrreducible, g.Fn.Name, len(g.Topo), reachCount)
+	}
+	return nil
+}
+
+// CondProb returns the conditional probability of edge u→v (eq. 1):
+// 1/out-degree over DAG edges, or 0 when the edge does not exist. An If with
+// both targets equal contributes a single DAG edge of probability 1 (the two
+// parallel edges merge).
+func (g *Graph) CondProb(u, v int) float64 {
+	deg := len(g.DagSuccs[u])
+	if deg == 0 {
+		return 0
+	}
+	count := 0
+	for _, s := range g.DagSuccs[u] {
+		if s == v {
+			count++
+		}
+	}
+	return float64(count) / float64(deg)
+}
+
+func (g *Graph) computeReach() {
+	if len(g.Topo) == 0 {
+		return
+	}
+	g.Reach[0] = 1 // entry
+	for _, u := range g.Topo {
+		if u == 0 {
+			continue
+		}
+		var p float64
+		seen := map[int]bool{}
+		for _, parent := range g.DagPreds[u] {
+			if seen[parent] {
+				continue // parallel edges are folded into CondProb's count
+			}
+			seen[parent] = true
+			p += g.Reach[parent] * g.CondProb(parent, u)
+		}
+		g.Reach[u] = p
+	}
+}

@@ -1,0 +1,223 @@
+package cfg
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"adprom/internal/dataset"
+	"adprom/internal/ir"
+	"adprom/internal/progen"
+)
+
+const eps = 1e-12
+
+func approx(a, b float64) bool { return math.Abs(a-b) < eps }
+
+// TestFig3MainReachability checks eq. 1 and eq. 2 against the values the
+// paper derives for Figure 3's main(): P^r_B = 0.5 and P^r_E = 0.5.
+func TestFig3MainReachability(t *testing.T) {
+	p := dataset.Fig3()
+	g, err := Analyze(p.Functions["main"])
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	want := []float64{1, 0.5, 0.5, 0.25, 0.25, 0.5, 1}
+	for blk, w := range want {
+		if !approx(g.Reach[blk], w) {
+			t.Errorf("Reach[b%d] = %v, want %v", blk, g.Reach[blk], w)
+		}
+	}
+
+	// Conditional probabilities: entry branches 0.5/0.5, straight lines 1.
+	if !approx(g.CondProb(0, 1), 0.5) || !approx(g.CondProb(0, 2), 0.5) {
+		t.Errorf("entry cond probs = %v, %v", g.CondProb(0, 1), g.CondProb(0, 2))
+	}
+	if !approx(g.CondProb(3, 4), 1) {
+		t.Errorf("CondProb(C→D) = %v, want 1", g.CondProb(3, 4))
+	}
+	if !approx(g.CondProb(1, 3), 0) {
+		t.Errorf("CondProb over non-edge = %v, want 0", g.CondProb(1, 3))
+	}
+	if got := g.ExitBlocks; !reflect.DeepEqual(got, []int{6}) {
+		t.Errorf("ExitBlocks = %v, want [6]", got)
+	}
+}
+
+func TestFig3FReachability(t *testing.T) {
+	p := dataset.Fig3()
+	g, err := Analyze(p.Functions["f"])
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	want := []float64{1, 0.5, 0.5, 0.25, 0.25}
+	for blk, w := range want {
+		if !approx(g.Reach[blk], w) {
+			t.Errorf("Reach[b%d] = %v, want %v", blk, g.Reach[blk], w)
+		}
+	}
+	if got := g.ExitBlocks; !reflect.DeepEqual(got, []int{1, 3, 4}) {
+		t.Errorf("ExitBlocks = %v", got)
+	}
+}
+
+// loopFunc builds entry → loop{body ⇄ loop} → done, the fig-1 shape.
+func loopFunc(t *testing.T) *ir.Function {
+	t.Helper()
+	b := ir.NewBuilder("loopy")
+	m := b.Func("main")
+	entry := m.Block()
+	loop := m.Block()
+	body := m.Block()
+	done := m.Block()
+	entry.Goto(loop)
+	loop.If(ir.V("c"), body, done)
+	body.Call("printf", ir.S("x"))
+	body.Goto(loop)
+	done.Ret()
+	return b.MustBuild().Functions["main"]
+}
+
+func TestBackEdgeRemoval(t *testing.T) {
+	g, err := Analyze(loopFunc(t))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !g.Back[[2]int{2, 1}] {
+		t.Errorf("body→loop not classified as back edge; Back = %v", g.Back)
+	}
+	if len(g.Back) != 1 {
+		t.Errorf("Back = %v, want exactly one back edge", g.Back)
+	}
+	// The loop body becomes a DAG sink and therefore an exit.
+	if got := g.ExitBlocks; !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("ExitBlocks = %v, want [2 3]", got)
+	}
+	// Reachability still distributes the loop header's mass.
+	if !approx(g.Reach[1], 1) || !approx(g.Reach[2], 0.5) || !approx(g.Reach[3], 0.5) {
+		t.Errorf("Reach = %v", g.Reach)
+	}
+}
+
+func TestUnreachableBlocksAreIgnored(t *testing.T) {
+	b := ir.NewBuilder("dead")
+	m := b.Func("main")
+	entry := m.Block()
+	dead := m.Block()
+	entry.Ret()
+	dead.Call("printf", ir.S("never"))
+	dead.Ret()
+	g, err := Analyze(b.MustBuild().Functions["main"])
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if g.Reachable[1] {
+		t.Error("dead block marked reachable")
+	}
+	if len(g.Topo) != 1 || g.Topo[0] != 0 {
+		t.Errorf("Topo = %v, want [0]", g.Topo)
+	}
+	if !approx(g.Reach[1], 0) {
+		t.Errorf("Reach[dead] = %v, want 0", g.Reach[1])
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	b := ir.NewBuilder("self")
+	m := b.Func("main")
+	e := m.Block()
+	e.Goto(e)
+	g, err := Analyze(b.MustBuild().Functions["main"])
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !g.Back[[2]int{0, 0}] {
+		t.Errorf("self edge not a back edge: %v", g.Back)
+	}
+	if !reflect.DeepEqual(g.ExitBlocks, []int{0}) {
+		t.Errorf("ExitBlocks = %v", g.ExitBlocks)
+	}
+}
+
+func TestIfWithIdenticalTargets(t *testing.T) {
+	b := ir.NewBuilder("same")
+	m := b.Func("main")
+	e := m.Block()
+	next := m.Block()
+	e.If(ir.V("c"), next, next)
+	next.Ret()
+	g, err := Analyze(b.MustBuild().Functions["main"])
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// Two parallel edges fold into conditional probability 1.
+	if !approx(g.CondProb(0, 1), 1) {
+		t.Errorf("CondProb = %v, want 1", g.CondProb(0, 1))
+	}
+	if !approx(g.Reach[1], 1) {
+		t.Errorf("Reach[1] = %v, want 1", g.Reach[1])
+	}
+}
+
+// TestReachMassConservation is the structural property behind eq. 2: for any
+// DAG, the probability mass flowing into the exit blocks sums to 1.
+func TestReachMassConservation(t *testing.T) {
+	progs := map[string]*ir.Function{
+		"fig3-main": dataset.Fig3().Functions["main"],
+		"fig3-f":    dataset.Fig3().Functions["f"],
+		"loopy":     loopFunc(t),
+	}
+	for name, fn := range progs {
+		g, err := Analyze(fn)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var exitMass float64
+		for _, b := range g.ExitBlocks {
+			exitMass += g.Reach[b]
+		}
+		if !approx(exitMass, 1) {
+			t.Errorf("%s: exit mass = %v, want 1", name, exitMass)
+		}
+	}
+}
+
+func TestEmptyFunctionRejected(t *testing.T) {
+	if _, err := Analyze(&ir.Function{Name: "empty"}); err == nil {
+		t.Fatal("Analyze accepted a function with no blocks")
+	}
+}
+
+// TestReachMassConservationOnGeneratedPrograms sweeps the invariant over
+// arbitrary structured CFGs from the program generator.
+func TestReachMassConservationOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := progen.Generate(progen.Config{Seed: seed, Functions: 5 + int(seed%4)})
+		for _, name := range ir.FunctionNames(p) {
+			g, err := Analyze(p.Functions[name])
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			var exitMass float64
+			for _, b := range g.ExitBlocks {
+				exitMass += g.Reach[b]
+			}
+			if !approx(exitMass, 1) {
+				t.Errorf("seed %d %s: exit mass %v", seed, name, exitMass)
+			}
+			// Topological order property: every DAG edge goes forward.
+			pos := make(map[int]int, len(g.Topo))
+			for i, b := range g.Topo {
+				pos[b] = i
+			}
+			for u := range g.DagSuccs {
+				for _, v := range g.DagSuccs[u] {
+					if g.Reachable[u] && pos[u] >= pos[v] {
+						t.Errorf("seed %d %s: edge %d->%d violates topo order", seed, name, u, v)
+					}
+				}
+			}
+		}
+	}
+}

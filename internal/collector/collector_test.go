@@ -1,0 +1,150 @@
+package collector
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+	"adprom/internal/minidb"
+)
+
+func demoProgram() *ir.Program {
+	b := ir.NewBuilder("demo")
+	m := b.Func("main")
+	e := m.Block()
+	e.CallTo("conn", "PQconnectdb")
+	e.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT * FROM t"))
+	e.CallTo("v", "PQgetvalue", ir.V("res"), ir.I(0), ir.I(0))
+	e.Call("printf", ir.S("%s"), ir.V("v"))
+	e.Call("printf", ir.S("bye"))
+	e.Ret()
+	return b.MustBuild()
+}
+
+func runWith(t *testing.T, c *Collector, captureArgs bool) {
+	t.Helper()
+	db := minidb.New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (7)")
+	ip := interp.New(demoProgram(), interp.NewWorld(db), interp.Options{CaptureArgs: captureArgs})
+	ip.AddHook(c.Hook())
+	if _, err := ip.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestADPROMModeRecordsLabelsAndCallers(t *testing.T) {
+	c := New(ModeADPROM, nil)
+	runWith(t, c, false)
+	tr := c.Trace()
+	want := []string{"PQconnectdb", "PQexec", "PQgetvalue", "printf_Q0", "printf"}
+	if got := tr.Labels(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels = %v, want %v", got, want)
+	}
+	for _, call := range tr {
+		if call.Caller != "main" {
+			t.Errorf("Caller = %q, want main", call.Caller)
+		}
+	}
+	if tr[3].Name != "printf" || len(tr[3].Origins) != 1 {
+		t.Errorf("leak call = %+v", tr[3])
+	}
+	if c.LoggedLines() != 0 {
+		t.Errorf("AD-PROM mode logged %d lines", c.LoggedLines())
+	}
+}
+
+func TestLtraceModeFormatsLines(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(ModeLtrace, &buf)
+	runWith(t, c, true)
+	if c.LoggedLines() != 5 {
+		t.Errorf("LoggedLines = %d, want 5", c.LoggedLines())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PQexec(") || !strings.Contains(out, "SELECT * FROM t") {
+		t.Errorf("ltrace log missing call with args:\n%s", out)
+	}
+	if !strings.Contains(out, "sym_") {
+		t.Errorf("ltrace log missing resolved symbols:\n%s", out)
+	}
+	// The trace content itself is identical across modes.
+	want := []string{"PQconnectdb", "PQexec", "PQgetvalue", "printf_Q0", "printf"}
+	if got := c.Trace().Labels(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels = %v, want %v", got, want)
+	}
+}
+
+func TestLtraceModeNilWriterUsesDiscard(t *testing.T) {
+	c := New(ModeLtrace, nil)
+	runWith(t, c, true)
+	if c.LoggedLines() != 5 {
+		t.Errorf("LoggedLines = %d", c.LoggedLines())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(ModeADPROM, nil)
+	runWith(t, c, false)
+	if len(c.Trace()) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	c.Reset()
+	if len(c.Trace()) != 0 {
+		t.Error("Reset left calls behind")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	mk := func(labels ...string) Trace {
+		tr := make(Trace, len(labels))
+		for i, l := range labels {
+			tr[i] = Call{Label: l}
+		}
+		return tr
+	}
+
+	t5 := mk("a", "b", "c", "d", "e")
+	ws := t5.Windows(3)
+	if len(ws) != 3 {
+		t.Fatalf("Windows(3) over 5 = %d windows, want 3", len(ws))
+	}
+	if got := ws[1].Labels(); !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Errorf("window 1 = %v", got)
+	}
+
+	// Short trace yields a single whole-trace window.
+	short := mk("a", "b")
+	if ws := short.Windows(15); len(ws) != 1 || len(ws[0]) != 2 {
+		t.Errorf("short trace windows = %v", ws)
+	}
+	if ws := Trace(nil).Windows(5); ws != nil {
+		t.Errorf("empty trace windows = %v", ws)
+	}
+	if ws := t5.Windows(0); ws != nil {
+		t.Errorf("n=0 windows = %v", ws)
+	}
+
+	lw := t5.LabelWindows(4)
+	if len(lw) != 2 || !reflect.DeepEqual(lw[0], []string{"a", "b", "c", "d"}) {
+		t.Errorf("LabelWindows = %v", lw)
+	}
+}
+
+func TestSymtabResolutionIsDeterministic(t *testing.T) {
+	s := newSymtab()
+	a := s.resolve("main", 3)
+	b := s.resolve("main", 3)
+	if a != b {
+		t.Errorf("resolve not deterministic: %q vs %q", a, b)
+	}
+	if c := s.resolve("other", 9); c == a {
+		t.Errorf("distinct sites resolved identically: %q", c)
+	}
+	if !strings.HasPrefix(a, "sym_") {
+		t.Errorf("resolved symbol = %q", a)
+	}
+}

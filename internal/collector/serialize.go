@@ -1,0 +1,63 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace persistence: traces are stored as JSON lines, one call per line,
+// with blank lines separating traces. The format is append-friendly (a
+// collector daemon can stream calls) and diff-friendly for golden files.
+
+// SaveTraces writes traces to w.
+func SaveTraces(w io.Writer, traces []Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, tr := range traces {
+		if i > 0 {
+			if _, err := bw.WriteString("\n"); err != nil {
+				return fmt.Errorf("collector: saving traces: %w", err)
+			}
+		}
+		for _, c := range tr {
+			if err := enc.Encode(c); err != nil {
+				return fmt.Errorf("collector: saving traces: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTraces reads traces written by SaveTraces.
+func LoadTraces(r io.Reader) ([]Trace, error) {
+	var traces []Trace
+	var cur Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			if len(cur) > 0 {
+				traces = append(traces, cur)
+				cur = nil
+			}
+			continue
+		}
+		var c Call
+		if err := json.Unmarshal([]byte(text), &c); err != nil {
+			return nil, fmt.Errorf("collector: loading traces: line %d: %w", line, err)
+		}
+		cur = append(cur, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("collector: loading traces: %w", err)
+	}
+	if len(cur) > 0 {
+		traces = append(traces, cur)
+	}
+	return traces, nil
+}

@@ -1,0 +1,72 @@
+package collector
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adprom/internal/interp"
+)
+
+func sampleTraces() []Trace {
+	return []Trace{
+		{
+			{Label: "PQexec", Name: "PQexec", Caller: "main", Block: 0},
+			{Label: "printf_Q2", Name: "printf", Caller: "main", Block: 2,
+				Origins: []interp.Origin{{Func: "main", Block: 0}}},
+		},
+		{
+			{Label: "scanf", Name: "scanf", Caller: "main", Block: 0},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	traces := sampleTraces()
+	if err := SaveTraces(&buf, traces); err != nil {
+		t.Fatalf("SaveTraces: %v", err)
+	}
+	got, err := LoadTraces(&buf)
+	if err != nil {
+		t.Fatalf("LoadTraces: %v", err)
+	}
+	if !reflect.DeepEqual(got, traces) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got, traces)
+	}
+}
+
+func TestLoadTracesRejectsGarbage(t *testing.T) {
+	if _, err := LoadTraces(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A partially valid stream reports the failing line.
+	in := `{"Label":"a","Name":"a"}` + "\nbroken\n"
+	if _, err := LoadTraces(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2 context", err)
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	got, err := LoadTraces(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty load = %v, %v", got, err)
+	}
+	got, err = LoadTraces(strings.NewReader("\n\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank load = %v, %v", got, err)
+	}
+}
+
+func TestSaveLoadPreservesTraceBoundaries(t *testing.T) {
+	var buf bytes.Buffer
+	traces := sampleTraces()
+	if err := SaveTraces(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := LoadTraces(&buf)
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 1 {
+		t.Errorf("boundaries lost: %d traces, lens %v", len(got), got)
+	}
+}

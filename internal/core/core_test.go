@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"adprom/internal/attack"
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+	"adprom/internal/profile"
+)
+
+func TestAnalyzeProducesAllArtifacts(t *testing.T) {
+	app := dataset.AppB()
+	sa, err := Analyze(app.Prog)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(sa.FuncCTMs) != len(app.Prog.Functions) {
+		t.Errorf("FuncCTMs = %d, want %d", len(sa.FuncCTMs), len(app.Prog.Functions))
+	}
+	if sa.PCTM == nil || sa.PCTM.HasUserSites() {
+		t.Error("pCTM missing or not fully aggregated")
+	}
+	if err := sa.PCTM.CheckInvariants(1e-9); err != nil {
+		t.Errorf("pCTM invariants: %v", err)
+	}
+	if len(sa.DDG.Labels) == 0 {
+		t.Error("DDG found no labelled outputs in AppB")
+	}
+	if sa.Timings.BuildCFG <= 0 || sa.Timings.ProbEst <= 0 || sa.Timings.Aggregation <= 0 {
+		t.Errorf("timings not recorded: %+v", sa.Timings)
+	}
+}
+
+func TestAnalyzeRejectsInvalidProgram(t *testing.T) {
+	if _, err := Analyze(&ir.Program{Name: "bad", Entry: "main"}); err == nil {
+		t.Fatal("Analyze accepted invalid program")
+	}
+}
+
+// TestEndToEndAttackDetection is the package's integration test: train on
+// AppB's normal corpus, monitor the SQL-injection run, and require a DL
+// alert connected to the query source.
+func TestEndToEndAttackDetection(t *testing.T) {
+	app := dataset.AppB()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	p, sa, err := Train(app.Prog, traces, profile.Options{Train: hmm.TrainOptions{MaxIters: 8}})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if sa == nil || p == nil {
+		t.Fatal("nil outputs")
+	}
+
+	// Normal runs stay quiet.
+	var normalAlerts []detect.Alert
+	mon := NewMonitor(p, nil)
+	for _, tr := range traces[:10] {
+		normalAlerts = append(normalAlerts, mon.ObserveTrace(tr)...)
+	}
+	if len(normalAlerts) != 0 {
+		t.Fatalf("normal traces raised %d alerts: %+v", len(normalAlerts), normalAlerts[0])
+	}
+
+	// The tautology injection must raise a DL alert with origins.
+	injTrace, err := app.RunCase(app.Prog,
+		dataset.TestCase{Name: "inj", Input: []string{"1", attack.TautologyPayload}},
+		collector.ModeADPROM, nil)
+	if err != nil {
+		t.Fatalf("injection run: %v", err)
+	}
+	var got []detect.Alert
+	sink := AlertFunc(func(a detect.Alert) { got = append(got, a) })
+	mon2 := NewMonitor(p, sink)
+	all := mon2.ObserveTrace(injTrace)
+	if len(all) == 0 {
+		t.Fatal("injection raised no alerts")
+	}
+	dl := 0
+	for _, a := range all {
+		if a.Flag == detect.FlagDL {
+			dl++
+			if len(a.Origins) == 0 {
+				t.Errorf("DL alert without origins: %+v", a)
+			}
+		}
+	}
+	if dl == 0 {
+		t.Errorf("no DL alert among %d alerts", len(all))
+	}
+	if len(got) == 0 {
+		t.Error("sink received nothing")
+	}
+}
+
+// TestInlineMonitoring attaches the monitor to a live interpreter run of an
+// attacked program (attack 2: new calls in help()).
+func TestInlineMonitoring(t *testing.T) {
+	app := dataset.AppB()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	p, _, err := Train(app.Prog, traces, profile.Options{Train: hmm.TrainOptions{MaxIters: 5}})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	var atk attack.Attack
+	for _, a := range attack.AppBAttacks() {
+		if a.ID == 2 {
+			atk = a
+		}
+	}
+	bad, err := atk.Apply(app.Prog)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	world := interp.NewWorld(app.FreshDB())
+	ip := interp.New(bad, world, interp.Options{})
+	mon := NewMonitor(p, nil)
+	mon.Attach(ip)
+	if _, err := ip.Run(atk.Cases[0].Input...); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mon.Engine().Flush()
+
+	ooc := 0
+	for _, a := range mon.Alerts() {
+		if a.Flag == detect.FlagOutOfContext {
+			ooc++
+		}
+	}
+	if ooc == 0 {
+		t.Errorf("attack 2 raised no OutOfContext alerts (total %d)", len(mon.Alerts()))
+	}
+}

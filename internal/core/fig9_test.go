@@ -1,0 +1,159 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+	"adprom/internal/minidb"
+	"adprom/internal/profile"
+)
+
+// fig9Program builds the paper's Figure 9 original code: two COUNT queries,
+// a percentage computation, a conditional TD print (line 9), and a constant
+// print (line 10).
+//
+//	b0: query1/query2, getvalue ×2, percentage; if > 60% → b1 else b2
+//	b1: printf("... majority ... %d", percentage)   ← prints TD
+//	b2: printf("Tax for such income ...")           ← constant
+func fig9Program(modified bool) *ir.Program {
+	b := ir.NewBuilder("fig9")
+	m := b.Func("main")
+	e := m.Block()
+	majority := m.Block()
+	tax := m.Block()
+
+	e.CallTo("conn", "PQconnectdb")
+	e.CallTo("result1", "PQexec", ir.V("conn"), ir.S("SELECT COUNT(*) FROM employees"))
+	e.CallTo("result2", "PQexec", ir.V("conn"), ir.S("SELECT COUNT(*) FROM employees WHERE yearlyIncome < 30000"))
+	e.CallTo("allEmps", "PQgetvalue", ir.V("result1"), ir.I(0), ir.I(0))
+	e.CallTo("empLowIn", "PQgetvalue", ir.V("result2"), ir.I(0), ir.I(0))
+	e.Assign("percentage", ir.Div(ir.Mul(ir.V("empLowIn"), ir.I(100)), ir.V("allEmps")))
+	e.If(ir.Gt(ir.V("percentage"), ir.I(60)), majority, tax)
+
+	majority.Call("printf", ir.S("%d%% of the employees have low income.\n"), ir.V("percentage"))
+	majority.Goto(tax)
+
+	if modified {
+		// The attacker's line 11: a printf that looks exactly like line 9's
+		// in plain call names, in a new block on the else path... here
+		// appended before the constant print, printing the raw count.
+		tax.Call("printf", ir.S("Number of the employees who have low income is %s.\n"), ir.V("empLowIn"))
+	}
+	tax.Call("printf", ir.S("Tax for such income is less than 18%% in IN state.\n"))
+	tax.Ret()
+	return b.MustBuild()
+}
+
+func fig9DB(lowIncome int) *minidb.Database {
+	db := minidb.New()
+	db.MustExec("CREATE TABLE employees (id INT, yearlyIncome INT)")
+	for i := 0; i < 10; i++ {
+		income := 50000
+		if i < lowIncome {
+			income = 20000
+		}
+		db.MustExec("INSERT INTO employees VALUES (" + itoa(i) + ", " + itoa(income) + ")")
+	}
+	return db
+}
+
+func fig9Trace(t *testing.T, prog *ir.Program, lowIncome int) collector.Trace {
+	t.Helper()
+	world := interp.NewWorld(fig9DB(lowIncome))
+	ip := interp.New(prog, world, interp.Options{})
+	col := collector.New(collector.ModeADPROM, nil)
+	ip.AddHook(col.Hook())
+	if _, err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return col.Trace()
+}
+
+// TestFigure9LabelsDistinguishSimilarPrints reproduces the paper's Figure 9
+// walk-through: without labels the original line-9 path and the attacker's
+// line-11 path produce identical call-name sequences; the block-id labels
+// tell them apart, and the trained detector flags the modified program.
+func TestFigure9LabelsDistinguishSimilarPrints(t *testing.T) {
+	orig := fig9Program(false)
+	mod := fig9Program(true)
+
+	// The paper's premise, verified: with 7 of 10 employees low-income the
+	// original takes line 9; the modified program takes line 9 AND line 11's
+	// sibling... compare the else path (3 low-income) where call-name
+	// sequences coincide.
+	origElse := fig9Trace(t, orig, 7) // majority path: PQexec×2, getvalue×2, printf_Q, printf
+	modElse := fig9Trace(t, mod, 3)   // else path with the attacker's print
+
+	names := func(tr collector.Trace) []string {
+		out := make([]string, len(tr))
+		for i, c := range tr {
+			out[i] = c.Name
+		}
+		return out
+	}
+	if !reflect.DeepEqual(names(origElse), names(modElse)) {
+		t.Fatalf("Figure 9 premise broken — name sequences differ:\n%v\n%v",
+			names(origElse), names(modElse))
+	}
+	// The labels differ exactly at the print of TD: block 1 vs block 2.
+	var origLabel, modLabel string
+	for _, c := range origElse {
+		if strings.HasPrefix(c.Label, "printf_Q") {
+			origLabel = c.Label
+		}
+	}
+	for _, c := range modElse {
+		if strings.HasPrefix(c.Label, "printf_Q") {
+			modLabel = c.Label
+		}
+	}
+	if origLabel != "printf_Q1" || modLabel != "printf_Q2" {
+		t.Fatalf("labels = %q vs %q, want printf_Q1 vs printf_Q2", origLabel, modLabel)
+	}
+
+	// Train on the original (both branches) and monitor the modified run:
+	// the unseen printf_Q2 symbol must flag, connected to its queries.
+	var traces []collector.Trace
+	for _, low := range []int{0, 2, 4, 6, 7, 8, 10} {
+		traces = append(traces, fig9Trace(t, orig, low))
+	}
+	p, _, err := Train(orig, traces, profile.Options{Train: hmm.TrainOptions{MaxIters: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alerts := NewMonitor(p, nil).ObserveTrace(fig9Trace(t, orig, 3)); len(alerts) != 0 {
+		t.Fatalf("original else path alerted: %+v", alerts)
+	}
+	alerts := NewMonitor(p, nil).ObserveTrace(modElse)
+	dl := false
+	for _, a := range alerts {
+		if a.Flag == detect.FlagDL && len(a.Origins) > 0 {
+			dl = true
+		}
+	}
+	if !dl {
+		t.Errorf("modified program not flagged DL: %+v", alerts)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Silence an unused-import guard if dataset becomes unnecessary later.
+var _ = dataset.Fig3

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+	"adprom/internal/minidb"
+	"adprom/internal/profile"
+	"adprom/internal/progen"
+)
+
+// TestPipelinePropertyOnGeneratedPrograms is the system-level property sweep:
+// for arbitrary generated DB client programs,
+//
+//	(1) replaying the training traces through the monitor raises nothing
+//	    (zero false positives on seen behaviour, by threshold construction),
+//	(2) splicing a burst of foreign calls into any trace raises probability
+//	    alerts (A-S2 sensitivity).
+func TestPipelinePropertyOnGeneratedPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several generated programs")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			db := minidb.New()
+			db.MustExec("CREATE TABLE docs (id INT, body TEXT)")
+			for i := 0; i < 12; i++ {
+				db.MustExec(fmt.Sprintf("INSERT INTO docs VALUES (%d, 'doc%d')", i, i))
+			}
+			app := &dataset.App{
+				Name:    "gen",
+				Prog:    progen.Generate(progen.Config{Seed: seed, Functions: 8, UseDB: true, Tables: []string{"docs"}}),
+				FreshDB: func() *minidb.Database { return db },
+			}
+			for i := 0; i < 12; i++ {
+				app.TestCases = append(app.TestCases, dataset.TestCase{
+					Name:  strconv.Itoa(i),
+					Input: []string{strconv.Itoa(i), strconv.Itoa(i * 7 % 19), strconv.Itoa(i * 3 % 11)},
+				})
+			}
+			traces, err := app.CollectTraces(collector.ModeADPROM)
+			if err != nil {
+				t.Fatalf("CollectTraces: %v", err)
+			}
+			// No MaxTrainWindows cap: the zero-false-positive property (1)
+			// holds exactly only when training and threshold selection cover
+			// every window (capped corpora may show residual FPs — the
+			// documented Table VII regime).
+			p, _, err := Train(app.Prog, traces, profile.Options{
+				Seed:  seed,
+				Train: hmm.TrainOptions{MaxIters: 3},
+			})
+			if err != nil {
+				t.Fatalf("Train: %v", err)
+			}
+
+			// (1) No false positives on the training corpus.
+			mon := NewMonitor(p, nil)
+			for ti, tr := range traces {
+				before := len(mon.Alerts())
+				mon.ObserveTrace(tr)
+				if got := len(mon.Alerts()) - before; got != 0 {
+					t.Fatalf("trace %d raised %d alerts: %+v", ti, got, mon.Alerts()[before])
+				}
+			}
+
+			// (2) Foreign-call splices are flagged.
+			flagged := 0
+			for ti, tr := range traces {
+				if len(tr) < 4 {
+					continue
+				}
+				mutated := append(collector.Trace{}, tr[:len(tr)/2]...)
+				for i := 0; i < 5; i++ {
+					mutated = append(mutated, collector.Call{
+						Label: "ptrace", Name: "ptrace", Caller: "main",
+					})
+				}
+				mutated = append(mutated, tr[len(tr)/2:]...)
+				m2 := NewMonitor(p, nil)
+				for _, a := range m2.ObserveTrace(mutated) {
+					if a.Flag == detect.FlagAnomalous || a.Flag == detect.FlagDL {
+						flagged++
+						break
+					}
+				}
+				_ = ti
+			}
+			if flagged < len(traces)/2 {
+				t.Errorf("foreign splices flagged in only %d of %d traces", flagged, len(traces))
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package ctm
+
+import (
+	"fmt"
+
+	"adprom/internal/ir"
+)
+
+// Aggregate inlines every function's CTM into its callers in reverse
+// topological order over the call graph and returns the program matrix pCTM
+// rooted at the entry function (paper §IV-C3).
+//
+// The implementation inlines one pseudo-site at a time, which is equivalent
+// to the paper's four aggregation cases but composes cleanly when a function
+// is called from several sites or twice in a row:
+//
+//   - eq. 4/5 (caller call → callee's first calls): inflow into the site is
+//     split across the callee's ε row;
+//   - eq. 6/7 (callee's last calls → caller call): the callee's ε′ column
+//     splits across the site's outflow;
+//   - eq. 8/9 (pairs within the callee): scaled by the site's total inflow;
+//   - eq. 10 generalised (call-free pass through the callee): the callee's
+//     ε→ε′ mass routes the site's inflow directly to its outflow,
+//     distributed proportionally so flow is conserved even with multiple
+//     callers (the paper's eq. 10 over-counts in that case).
+//
+// Recursive call-graph cycles — which the paper does not address — are
+// handled by treating in-cycle calls as pure pass-throughs, i.e. a callee
+// whose matrix is not yet available behaves like eq. 10's call-free function.
+func Aggregate(p *ir.Program, funcs map[string]*Matrix) (*Matrix, error) {
+	order := sccOrder(p)
+
+	agg := make(map[string]*Matrix, len(funcs))
+	for _, name := range order {
+		base, ok := funcs[name]
+		if !ok {
+			return nil, fmt.Errorf("ctm: no matrix for function %q", name)
+		}
+		mx := base.Clone()
+		for mx.HasUserSites() {
+			var target int
+			var callee string
+			for _, s := range mx.Sites() {
+				if s.User {
+					callee = s.Callee
+					target = mx.SiteIndex(s.Site)
+					break
+				}
+			}
+			inlineSite(mx, target, agg[callee]) // nil callee matrix ⇒ pass-through
+		}
+		agg[name] = mx
+	}
+
+	pm, ok := agg[p.Entry]
+	if !ok {
+		return nil, fmt.Errorf("ctm: entry function %q not aggregated", p.Entry)
+	}
+	pm = pm.Clone()
+	pm.Name = p.Name
+	pm.Prune(1e-15)
+	return pm, nil
+}
+
+// inlineSite splices callee matrix G in place of pseudo-site u of F. A nil G
+// is a pure pass-through (the recursion fallback and eq. 10's trivial case).
+func inlineSite(F *Matrix, u int, G *Matrix) {
+	dim := F.Dim()
+	inCol := make([]float64, dim)
+	outRow := make([]float64, dim)
+	var inSum, outSum float64
+	for i := 0; i < dim; i++ {
+		inCol[i] = F.At(i, u)
+		outRow[i] = F.At(u, i)
+		inSum += inCol[i]
+		outSum += outRow[i]
+	}
+	// Disconnect u before redistributing.
+	for i := 0; i < dim; i++ {
+		F.Set(i, u, 0)
+		F.Set(u, i, 0)
+	}
+
+	passMass := 1.0
+	var gIdx []int // F-indices of G's sites, parallel to G site order
+	if G != nil {
+		passMass = G.At(Entry, Exit)
+		gIdx = make([]int, G.NumSites())
+		for k, s := range G.Sites() {
+			gIdx[k] = F.AddSite(s)
+		}
+		// Growing F above invalidates nothing: AddSite only appends, and the
+		// slices inCol/outRow still cover the pre-existing indices.
+
+		// eq. 4/5: inflow into u continues to G's first calls.
+		for i := 0; i < dim; i++ {
+			if inCol[i] == 0 {
+				continue
+			}
+			for k := range gIdx {
+				if w := G.At(Entry, k+2); w > 0 {
+					F.Add(i, gIdx[k], inCol[i]*w)
+				}
+			}
+		}
+		// eq. 6/7: G's last calls continue to u's successors.
+		for j := 0; j < dim; j++ {
+			if outRow[j] == 0 {
+				continue
+			}
+			for k := range gIdx {
+				if w := G.At(k+2, Exit); w > 0 {
+					F.Add(gIdx[k], j, w*outRow[j])
+				}
+			}
+		}
+		// eq. 8/9: pairs within G, scaled by the site's total inflow.
+		if inSum > 0 {
+			for k := range gIdx {
+				for l := range gIdx {
+					if w := G.At(k+2, l+2); w > 0 {
+						F.Add(gIdx[k], gIdx[l], inSum*w)
+					}
+				}
+			}
+		}
+	}
+
+	// eq. 10 generalised: call-free traversal of the callee.
+	if passMass > 0 && inSum > 0 && outSum > 0 {
+		for i := 0; i < dim; i++ {
+			if inCol[i] == 0 {
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				if outRow[j] == 0 {
+					continue
+				}
+				F.Add(i, j, inCol[i]*passMass*outRow[j]/outSum)
+			}
+		}
+	}
+
+	removeSite(F, u)
+}
+
+// removeSite drops index u (already zeroed) from the matrix.
+func removeSite(F *Matrix, u int) {
+	k := u - 2
+	site := F.sites[k].Site
+	F.sites = append(F.sites[:k:k], F.sites[k+1:]...)
+	delete(F.index, site)
+	for s, idx := range F.index {
+		if idx > k {
+			F.index[s] = idx - 1
+		}
+	}
+	F.m = append(F.m[:u:u], F.m[u+1:]...)
+	for i := range F.m {
+		F.m[i] = append(F.m[i][:u:u], F.m[i][u+1:]...)
+	}
+}
+
+// sccOrder returns function names in reverse topological order of the call
+// graph's strongly connected components (callees before callers), restricted
+// to functions reachable from the entry; unreachable functions follow so
+// their matrices still aggregate deterministically.
+func sccOrder(p *ir.Program) []string {
+	names := ir.FunctionNames(p)
+	callees := make(map[string][]string, len(names))
+	for _, n := range names {
+		callees[n] = ir.Callees(p.Functions[n])
+	}
+
+	// Tarjan's algorithm, iterative over the small function graph.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var order []string // SCC roots in completion order = reverse topological
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				order = append(order, w)
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+
+	if _, ok := p.Functions[p.Entry]; ok {
+		strongconnect(p.Entry)
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return order
+}

@@ -1,0 +1,38 @@
+package ctm
+
+import (
+	"testing"
+
+	"adprom/internal/ddg"
+	"adprom/internal/progen"
+)
+
+// BenchmarkAggregate measures pCTM aggregation on a mid-sized generated
+// program — the dominant pre-training step of Table VIII.
+func BenchmarkAggregate(b *testing.B) {
+	prog := progen.Generate(progen.Config{Seed: 9, Functions: 30, ConstructsPerFunc: 5})
+	info := ddg.Analyze(prog)
+	funcs, err := BuildAll(prog, info)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(prog, funcs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildFunc measures per-function CTM construction (eq. 3).
+func BenchmarkBuildFunc(b *testing.B) {
+	prog := progen.Generate(progen.Config{Seed: 9, Functions: 30, ConstructsPerFunc: 5})
+	info := ddg.Analyze(prog)
+	fn := prog.Functions["f0"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildFunc(fn, nil, info); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package ctm
+
+import (
+	"fmt"
+
+	"adprom/internal/cfg"
+	"adprom/internal/ddg"
+	"adprom/internal/ir"
+)
+
+// BuildFunc computes the call-transition matrix of one function (paper
+// §IV-C2, eq. 3).
+//
+// For every pair of call sites (c_i, c_j) connected by at least one
+// call-free directed path — the paper's set L — the transition probability
+// is the source block's reachability times the product of the conditional
+// probabilities along the path, summed over all such paths. Virtual calls
+// ε (entry) and ε′ (exit) bracket the function. Consecutive calls within one
+// block transition with the block's reachability (their set L is the
+// singleton block). Mass reaching a DAG sink with no further calls flows to
+// ε′, keeping the matrix flow-conserving on loopy CFGs (see package cfg).
+//
+// info supplies the _Q labels from the data-dependency analysis; it may be
+// nil, in which case every site keeps its plain call name (this is exactly
+// the CMarkov baseline's view of the program).
+func BuildFunc(f *ir.Function, g *cfg.Graph, info *ddg.Info) (*Matrix, error) {
+	if g == nil {
+		var err error
+		g, err = cfg.Analyze(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mx := NewMatrix(f.Name)
+
+	// Enumerate the call sites of each reachable block, in execution order.
+	type blockSites struct {
+		idx []int // matrix indices
+	}
+	perBlock := make([]blockSites, len(f.Blocks))
+	for _, blk := range f.Blocks {
+		if !g.Reachable[blk.ID] {
+			continue
+		}
+		for si, st := range blk.Stmts {
+			site := ir.CallSite{Func: f.Name, Block: blk.ID, Stmt: si}
+			var inf SiteInfo
+			switch s := st.(type) {
+			case ir.LibCall:
+				label := s.Name
+				if info != nil {
+					label = info.Label(site, s.Name)
+				}
+				inf = SiteInfo{Site: site, Label: label}
+			case ir.UserCall:
+				inf = SiteInfo{Site: site, Label: s.Name + "()", User: true, Callee: s.Name}
+			default:
+				continue
+			}
+			perBlock[blk.ID].idx = append(perBlock[blk.ID].idx, mx.AddSite(inf))
+		}
+	}
+
+	// Intra-block pairs: set L is the single block, so eq. 3 degenerates to
+	// the block's reachability.
+	for _, blk := range f.Blocks {
+		sites := perBlock[blk.ID].idx
+		for k := 0; k+1 < len(sites); k++ {
+			mx.Add(sites[k], sites[k+1], g.Reach[blk.ID])
+		}
+	}
+
+	// topoPos lets the per-source propagation walk only downstream blocks.
+	topoPos := make([]int, len(f.Blocks))
+	for i := range topoPos {
+		topoPos[i] = -1
+	}
+	for pos, b := range g.Topo {
+		topoPos[b] = pos
+	}
+
+	// propagate pushes weight w from the successors of block x toward the
+	// next call site on every call-free path, crediting matrix row src.
+	propagate := func(src, x int, w float64) {
+		weights := make([]float64, len(f.Blocks))
+		for _, s := range g.DagSuccs[x] {
+			weights[s] += w * g.CondProb(x, s)
+		}
+		start := topoPos[x] + 1
+		for pos := start; pos < len(g.Topo); pos++ {
+			y := g.Topo[pos]
+			wy := weights[y]
+			if wy == 0 {
+				continue
+			}
+			if sites := perBlock[y].idx; len(sites) > 0 {
+				mx.Add(src, sites[0], wy)
+				continue
+			}
+			if len(g.DagSuccs[y]) == 0 {
+				mx.Add(src, Exit, wy)
+				continue
+			}
+			for _, z := range g.DagSuccs[y] {
+				weights[z] += wy * g.CondProb(y, z)
+			}
+		}
+	}
+
+	// ε: the virtual call before the entry block's first site.
+	entrySites := perBlock[0].idx
+	switch {
+	case len(entrySites) > 0:
+		mx.Add(Entry, entrySites[0], 1)
+	case len(g.DagSuccs[0]) == 0:
+		mx.Add(Entry, Exit, 1)
+	default:
+		propagate(Entry, 0, 1)
+	}
+
+	// Each block's last call site is a source toward downstream calls or ε′.
+	for _, blk := range f.Blocks {
+		sites := perBlock[blk.ID].idx
+		if len(sites) == 0 {
+			continue
+		}
+		src := sites[len(sites)-1]
+		if len(g.DagSuccs[blk.ID]) == 0 {
+			mx.Add(src, Exit, g.Reach[blk.ID])
+			continue
+		}
+		propagate(src, blk.ID, g.Reach[blk.ID])
+	}
+
+	return mx, nil
+}
+
+// BuildAll computes the CTM of every function in the program. info may be
+// nil for the unlabelled (CMarkov-style) view.
+func BuildAll(p *ir.Program, info *ddg.Info) (map[string]*Matrix, error) {
+	out := make(map[string]*Matrix, len(p.Functions))
+	for _, name := range ir.FunctionNames(p) {
+		f := p.Functions[name]
+		g, err := cfg.Analyze(f)
+		if err != nil {
+			return nil, fmt.Errorf("ctm: analyzing %s: %w", name, err)
+		}
+		mx, err := BuildFunc(f, g, info)
+		if err != nil {
+			return nil, fmt.Errorf("ctm: building %s: %w", name, err)
+		}
+		out[name] = mx
+	}
+	return out, nil
+}

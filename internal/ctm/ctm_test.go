@@ -1,0 +1,220 @@
+package ctm
+
+import (
+	"testing"
+
+	"adprom/internal/ddg"
+	"adprom/internal/ir"
+	"adprom/internal/progen"
+)
+
+// propTol is looser than the golden-test tolerance: aggregation chains many
+// floating-point redistributions.
+const propTol = 1e-9
+
+// TestInvariantsHoldOnGeneratedPrograms is the package's core property test:
+// for arbitrary structured programs (branches, loops, nested calls,
+// recursion, DB idioms), every per-function CTM and the aggregated pCTM
+// satisfy the three §IV-C3 flow properties.
+func TestInvariantsHoldOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.Generate(progen.Config{
+			Seed:           seed,
+			Functions:      6 + int(seed%5),
+			UseDB:          seed%3 == 0,
+			Tables:         []string{"docs"},
+			AllowRecursion: seed%4 == 0,
+		})
+		info := ddg.Analyze(p)
+		funcs, err := BuildAll(p, info)
+		if err != nil {
+			t.Fatalf("seed %d: BuildAll: %v", seed, err)
+		}
+		for name, mx := range funcs {
+			if err := mx.CheckInvariants(propTol); err != nil {
+				t.Errorf("seed %d func %s: %v\n%s", seed, name, err, mx)
+			}
+		}
+		pm, err := Aggregate(p, funcs)
+		if err != nil {
+			t.Fatalf("seed %d: Aggregate: %v", seed, err)
+		}
+		if pm.HasUserSites() {
+			t.Errorf("seed %d: pCTM retains pseudo-sites", seed)
+		}
+		if err := pm.CheckInvariants(propTol); err != nil {
+			t.Errorf("seed %d: pCTM: %v", seed, err)
+		}
+	}
+}
+
+// TestCalleeCalledTwiceInARow exercises the pseudo-site composition the
+// paper's per-callee equations do not spell out: f(); f() in one block.
+func TestCalleeCalledTwiceInARow(t *testing.T) {
+	b := ir.NewBuilder("twice")
+	f := b.Func("f")
+	fb := f.Block()
+	fb.Call("puts", ir.S("in f"))
+	fb.Ret()
+
+	m := b.Func("main")
+	mb := m.Block()
+	mb.Invoke("f")
+	mb.Invoke("f")
+	mb.Ret()
+	p := b.MustBuild()
+
+	funcs, err := BuildAll(p, nil)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	pm, err := Aggregate(p, funcs)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if err := pm.CheckInvariants(propTol); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// The only site is f's puts; the chain ε→puts→puts→ε′ must appear:
+	// a self-transition of weight 1 (called twice per execution, entered and
+	// exited once).
+	puts := pm.SiteIndex(ir.CallSite{Func: "f", Block: 0, Stmt: 0})
+	if puts < 0 {
+		t.Fatalf("no puts site in pCTM:\n%s", pm)
+	}
+	if got := pm.At(Entry, puts); got != 1 {
+		t.Errorf("ε→puts = %v, want 1", got)
+	}
+	if got := pm.At(puts, puts); got != 1 {
+		t.Errorf("puts→puts = %v, want 1", got)
+	}
+	if got := pm.At(puts, Exit); got != 1 {
+		t.Errorf("puts→ε′ = %v, want 1", got)
+	}
+}
+
+// TestCallFreeCalleeIsEquation10 checks the paper's case 4 directly: a callee
+// with no calls disappears and its caller's neighbours connect.
+func TestCallFreeCalleeIsEquation10(t *testing.T) {
+	b := ir.NewBuilder("case4")
+	f := b.Func("noop", "x")
+	fb := f.Block()
+	fb.Assign("y", ir.Add(ir.V("x"), ir.I(1)))
+	fb.RetVal(ir.V("y"))
+
+	m := b.Func("main")
+	mb := m.Block()
+	mb.Call("printf", ir.S("a"))
+	mb.InvokeTo("r", "noop", ir.I(1))
+	mb.Call("printf", ir.S("b"))
+	mb.Ret()
+	p := b.MustBuild()
+
+	funcs, err := BuildAll(p, nil)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	pm, err := Aggregate(p, funcs)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	a := pm.SiteIndex(ir.CallSite{Func: "main", Block: 0, Stmt: 0})
+	bIdx := pm.SiteIndex(ir.CallSite{Func: "main", Block: 0, Stmt: 2})
+	if got := pm.At(a, bIdx); got != 1 {
+		t.Errorf("printf a → printf b = %v, want 1 (callee bypassed)\n%s", got, pm)
+	}
+	if err := pm.CheckInvariants(propTol); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestRecursiveCalleeFallsBackToPassThrough: a self-recursive function's
+// in-cycle call cannot be inlined; it must degrade to a pass-through and
+// still conserve flow.
+func TestRecursiveCalleeFallsBackToPassThrough(t *testing.T) {
+	b := ir.NewBuilder("rec")
+	f := b.Func("walk", "n")
+	e := f.Block()
+	stop := f.Block()
+	again := f.Block()
+	e.If(ir.Le(ir.V("n"), ir.I(0)), stop, again)
+	stop.Ret()
+	again.Call("puts", ir.S("step"))
+	again.Invoke("walk", ir.Sub(ir.V("n"), ir.I(1)))
+	again.Call("puts", ir.S("back"))
+	again.Ret()
+
+	m := b.Func("main")
+	mb := m.Block()
+	mb.Invoke("walk", ir.I(3))
+	mb.Ret()
+	p := b.MustBuild()
+
+	funcs, err := BuildAll(p, nil)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	pm, err := Aggregate(p, funcs)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if pm.HasUserSites() {
+		t.Fatalf("pseudo-sites survived recursion handling:\n%s", pm)
+	}
+	if err := pm.CheckInvariants(propTol); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	// With the recursive call treated as pass-through, step→back must exist.
+	step := pm.SiteIndex(ir.CallSite{Func: "walk", Block: 2, Stmt: 0})
+	back := pm.SiteIndex(ir.CallSite{Func: "walk", Block: 2, Stmt: 2})
+	if step < 0 || back < 0 {
+		t.Fatalf("sites missing:\n%s", pm)
+	}
+	if pm.At(step, back) <= 0 {
+		t.Errorf("step→back = %v, want > 0", pm.At(step, back))
+	}
+}
+
+func TestPrune(t *testing.T) {
+	mx := NewMatrix("p")
+	live := mx.AddSite(SiteInfo{Site: ir.CallSite{Func: "m", Block: 0, Stmt: 0}, Label: "printf"})
+	dead := mx.AddSite(SiteInfo{Site: ir.CallSite{Func: "m", Block: 9, Stmt: 0}, Label: "ghost"})
+	mx.Set(Entry, live, 1)
+	mx.Set(live, Exit, 1)
+
+	mx.Prune(1e-15)
+	if mx.NumSites() != 1 {
+		t.Fatalf("NumSites = %d, want 1", mx.NumSites())
+	}
+	if mx.SiteIndex(ir.CallSite{Func: "m", Block: 9, Stmt: 0}) != -1 {
+		t.Error("dead site still indexed")
+	}
+	liveIdx := mx.SiteIndex(ir.CallSite{Func: "m", Block: 0, Stmt: 0})
+	if mx.At(Entry, liveIdx) != 1 || mx.At(liveIdx, Exit) != 1 {
+		t.Errorf("values lost in prune:\n%s", mx)
+	}
+	_ = dead
+}
+
+func TestCloneIndependence(t *testing.T) {
+	mx := NewMatrix("a")
+	s := mx.AddSite(SiteInfo{Site: ir.CallSite{Func: "m", Block: 0, Stmt: 0}, Label: "x"})
+	mx.Set(Entry, s, 1)
+	cp := mx.Clone()
+	cp.Set(Entry, s, 0.5)
+	cp.AddSite(SiteInfo{Site: ir.CallSite{Func: "m", Block: 1, Stmt: 0}, Label: "y"})
+	if mx.At(Entry, s) != 1 || mx.NumSites() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	mx := NewMatrix("a")
+	mx.AddSite(SiteInfo{Site: ir.CallSite{Func: "m", Block: 0, Stmt: 0}, Label: "printf"})
+	mx.AddSite(SiteInfo{Site: ir.CallSite{Func: "m", Block: 1, Stmt: 0}, Label: "printf"})
+	mx.AddSite(SiteInfo{Site: ir.CallSite{Func: "m", Block: 2, Stmt: 0}, Label: "PQexec"})
+	got := mx.Labels()
+	if len(got) != 2 || got[0] != "PQexec" || got[1] != "printf" {
+		t.Errorf("Labels = %v", got)
+	}
+}

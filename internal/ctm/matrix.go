@@ -1,0 +1,260 @@
+// Package ctm builds AD-PROM's call-transition matrices: the per-function
+// CTMs of §IV-C2 (transition probability of each call pair, eq. 3) and their
+// call-graph aggregation into the program matrix pCTM of §IV-C3
+// (eqs. 4–10), which initialises the hidden Markov model.
+//
+// Matrices are keyed by call *site*, not call name: the paper's Table I
+// distinguishes printf' from printf” in main(). Each site carries an
+// observation label — the call name, or its _Q[bid] form when the
+// data-dependency analysis marked the site as an output of targeted data.
+// User-function calls appear as pseudo-sites that aggregation inlines away.
+package ctm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adprom/internal/ir"
+)
+
+// Row/column indices of the two virtual calls. Site k occupies index k+2.
+const (
+	// Entry is the virtual call ε at function entry.
+	Entry = 0
+	// Exit is the virtual call ε′ at function exit.
+	Exit = 1
+)
+
+// SiteInfo describes one matrix row/column beyond ε and ε′.
+type SiteInfo struct {
+	// Site is the call's location; unique across the program.
+	Site ir.CallSite
+	// Label is the observation symbol emitted when this site executes.
+	Label string
+	// User marks a pseudo-site for a user-function call; Callee names it.
+	User   bool
+	Callee string
+}
+
+// Matrix is a call-transition matrix. Values are joint path probabilities:
+// m[i][j] is the probability that one execution of the function transitions
+// from call i to call j with no other call in between (eq. 3 summed over all
+// call-free paths).
+type Matrix struct {
+	// Name identifies the function (or program, after aggregation).
+	Name  string
+	sites []SiteInfo
+	index map[ir.CallSite]int
+	m     [][]float64
+}
+
+// NewMatrix returns an empty matrix holding only ε and ε′.
+func NewMatrix(name string) *Matrix {
+	mx := &Matrix{Name: name, index: map[ir.CallSite]int{}}
+	mx.m = [][]float64{make([]float64, 2), make([]float64, 2)}
+	return mx
+}
+
+// NumSites returns the number of call sites (excluding ε/ε′).
+func (mx *Matrix) NumSites() int { return len(mx.sites) }
+
+// Dim returns the full dimension including ε and ε′.
+func (mx *Matrix) Dim() int { return len(mx.sites) + 2 }
+
+// Sites returns the site descriptors in index order; index k corresponds to
+// matrix row/column k+2.
+func (mx *Matrix) Sites() []SiteInfo { return mx.sites }
+
+// SiteIndex returns the matrix index (≥2) of a site, or -1.
+func (mx *Matrix) SiteIndex(site ir.CallSite) int {
+	if i, ok := mx.index[site]; ok {
+		return i + 2
+	}
+	return -1
+}
+
+// SiteAt returns the descriptor for matrix index i (which must be ≥2).
+func (mx *Matrix) SiteAt(i int) SiteInfo { return mx.sites[i-2] }
+
+// AddSite appends a site (idempotently: re-adding an existing site returns
+// its index) and returns its matrix index.
+func (mx *Matrix) AddSite(info SiteInfo) int {
+	if i, ok := mx.index[info.Site]; ok {
+		return i + 2
+	}
+	mx.index[info.Site] = len(mx.sites)
+	mx.sites = append(mx.sites, info)
+	for i := range mx.m {
+		mx.m[i] = append(mx.m[i], 0)
+	}
+	mx.m = append(mx.m, make([]float64, len(mx.sites)+2))
+	return len(mx.sites) + 1
+}
+
+// At returns m[i][j].
+func (mx *Matrix) At(i, j int) float64 { return mx.m[i][j] }
+
+// Add accumulates v into m[i][j].
+func (mx *Matrix) Add(i, j int, v float64) { mx.m[i][j] += v }
+
+// Set stores v at m[i][j].
+func (mx *Matrix) Set(i, j int, v float64) { mx.m[i][j] = v }
+
+// RowSum returns Σ_j m[i][j].
+func (mx *Matrix) RowSum(i int) float64 {
+	var s float64
+	for _, v := range mx.m[i] {
+		s += v
+	}
+	return s
+}
+
+// ColSum returns Σ_i m[i][j].
+func (mx *Matrix) ColSum(j int) float64 {
+	var s float64
+	for i := range mx.m {
+		s += mx.m[i][j]
+	}
+	return s
+}
+
+// Clone deep-copies the matrix.
+func (mx *Matrix) Clone() *Matrix {
+	cp := &Matrix{
+		Name:  mx.Name,
+		sites: append([]SiteInfo(nil), mx.sites...),
+		index: make(map[ir.CallSite]int, len(mx.index)),
+		m:     make([][]float64, len(mx.m)),
+	}
+	for k, v := range mx.index {
+		cp.index[k] = v
+	}
+	for i, row := range mx.m {
+		cp.m[i] = append([]float64(nil), row...)
+	}
+	return cp
+}
+
+// UserSites returns the matrix indices of pseudo-sites calling callee, in
+// ascending order.
+func (mx *Matrix) UserSites(callee string) []int {
+	var out []int
+	for k, s := range mx.sites {
+		if s.User && s.Callee == callee {
+			out = append(out, k+2)
+		}
+	}
+	return out
+}
+
+// HasUserSites reports whether any user pseudo-sites remain (a fully
+// aggregated matrix has none).
+func (mx *Matrix) HasUserSites() bool {
+	for _, s := range mx.sites {
+		if s.User {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants validates the three pCTM properties of §IV-C3 within tol:
+// the ε row sums to 1, the ε′ column sums to 1, and each call site conserves
+// flow (inflow equals outflow).
+func (mx *Matrix) CheckInvariants(tol float64) error {
+	if d := math.Abs(mx.RowSum(Entry) - 1); d > tol {
+		return fmt.Errorf("ctm %s: entry row sums to %v", mx.Name, mx.RowSum(Entry))
+	}
+	if d := math.Abs(mx.ColSum(Exit) - 1); d > tol {
+		return fmt.Errorf("ctm %s: exit column sums to %v", mx.Name, mx.ColSum(Exit))
+	}
+	for i := 2; i < mx.Dim(); i++ {
+		in, out := mx.ColSum(i), mx.RowSum(i)
+		if math.Abs(in-out) > tol {
+			return fmt.Errorf("ctm %s: site %s inflow %v != outflow %v",
+				mx.Name, mx.sites[i-2].Site, in, out)
+		}
+	}
+	return nil
+}
+
+// Prune removes sites whose total flow is below tol (dead code surviving the
+// static walk), compacting the matrix.
+func (mx *Matrix) Prune(tol float64) {
+	keep := make([]bool, len(mx.sites))
+	n := 0
+	for k := range mx.sites {
+		if mx.RowSum(k+2)+mx.ColSum(k+2) > tol {
+			keep[k] = true
+			n++
+		}
+	}
+	if n == len(mx.sites) {
+		return
+	}
+	remap := make([]int, mx.Dim())
+	remap[0], remap[1] = 0, 1
+	newSites := make([]SiteInfo, 0, n)
+	newIndex := make(map[ir.CallSite]int, n)
+	for k, s := range mx.sites {
+		if !keep[k] {
+			remap[k+2] = -1
+			continue
+		}
+		remap[k+2] = len(newSites) + 2
+		newIndex[s.Site] = len(newSites)
+		newSites = append(newSites, s)
+	}
+	nm := make([][]float64, n+2)
+	for i := range nm {
+		nm[i] = make([]float64, n+2)
+	}
+	for i := 0; i < mx.Dim(); i++ {
+		if remap[i] < 0 {
+			continue
+		}
+		for j := 0; j < mx.Dim(); j++ {
+			if remap[j] < 0 {
+				continue
+			}
+			nm[remap[i]][remap[j]] = mx.m[i][j]
+		}
+	}
+	mx.sites, mx.index, mx.m = newSites, newIndex, nm
+}
+
+// Labels returns the distinct observation labels of all sites, sorted.
+func (mx *Matrix) Labels() []string {
+	seen := map[string]bool{}
+	for _, s := range mx.sites {
+		seen[s.Label] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the matrix in the style of the paper's Tables I and II.
+func (mx *Matrix) String() string {
+	names := make([]string, mx.Dim())
+	names[Entry], names[Exit] = "eps", "eps'"
+	for k, s := range mx.sites {
+		names[k+2] = s.Label + "@" + s.Site.String()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CTM %s (%d sites)\n", mx.Name, mx.NumSites())
+	for i := 0; i < mx.Dim(); i++ {
+		for j := 0; j < mx.Dim(); j++ {
+			if mx.m[i][j] == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-40s -> %-40s %.6f\n", names[i], names[j], mx.m[i][j])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,205 @@
+package ctm
+
+import (
+	"math"
+	"testing"
+
+	"adprom/internal/dataset"
+	"adprom/internal/ddg"
+	"adprom/internal/ir"
+)
+
+const tol = 1e-12
+
+// entry returns the matrix value between two named keys, where "eps"/"eps'"
+// are the virtual calls and anything else is a site label (which must be
+// unique within the matrix for the test to use it).
+func entry(t *testing.T, mx *Matrix, from, to string) float64 {
+	t.Helper()
+	resolve := func(name string) int {
+		switch name {
+		case "eps":
+			return Entry
+		case "eps'":
+			return Exit
+		}
+		idx := -1
+		for _, s := range mx.Sites() {
+			if s.Label == name {
+				if idx != -1 {
+					t.Fatalf("label %q is ambiguous in %s", name, mx.Name)
+				}
+				idx = mx.SiteIndex(s.Site)
+			}
+		}
+		if idx == -1 {
+			t.Fatalf("label %q not found in %s:\n%s", name, mx.Name, mx)
+		}
+		return idx
+	}
+	return mx.At(resolve(from), resolve(to))
+}
+
+func checkEntries(t *testing.T, mx *Matrix, want map[[2]string]float64) {
+	t.Helper()
+	var total float64
+	for pair, w := range want {
+		got := entry(t, mx, pair[0], pair[1])
+		if math.Abs(got-w) > tol {
+			t.Errorf("%s: %s -> %s = %v, want %v", mx.Name, pair[0], pair[1], got, w)
+		}
+		total += w
+	}
+	// Everything not listed must be zero: the matrix total equals the sum of
+	// the expected entries.
+	var gotTotal float64
+	for i := 0; i < mx.Dim(); i++ {
+		gotTotal += mx.RowSum(i)
+	}
+	if math.Abs(gotTotal-total) > tol {
+		t.Errorf("%s: matrix total = %v, want %v (unexpected non-zero entries)\n%s",
+			mx.Name, gotTotal, total, mx)
+	}
+}
+
+// TestTableI reproduces the paper's Table I: the CTM of Figure 3's main().
+// printf' is the site in block 1, printf” the site in block 2; the test
+// distinguishes them by site since both carry the label "printf".
+func TestTableI(t *testing.T) {
+	p := dataset.Fig3()
+	info := ddg.Analyze(p)
+	mx, err := BuildFunc(p.Functions["main"], nil, info)
+	if err != nil {
+		t.Fatalf("BuildFunc: %v", err)
+	}
+
+	idx := func(block int) int {
+		i := mx.SiteIndex(ir.CallSite{Func: "main", Block: block, Stmt: 0})
+		if i < 0 {
+			t.Fatalf("no site in main b%d", block)
+		}
+		return i
+	}
+	pq := idx(3)    // PQexec
+	pf1 := idx(1)   // printf'
+	pf2 := idx(2)   // printf''
+	fcall := idx(4) // f()
+
+	want := map[[2]int]float64{
+		{Entry, pf1}:  0.5,
+		{Entry, pf2}:  0.5,
+		{pf1, Exit}:   0.5,
+		{pf2, Exit}:   0.25,
+		{pf2, pq}:     0.25,
+		{pq, fcall}:   0.25,
+		{fcall, Exit}: 0.25,
+	}
+	var total float64
+	for pair, w := range want {
+		if got := mx.At(pair[0], pair[1]); math.Abs(got-w) > tol {
+			t.Errorf("mCTM[%d][%d] = %v, want %v", pair[0], pair[1], got, w)
+		}
+		total += w
+	}
+	var gotTotal float64
+	for i := 0; i < mx.Dim(); i++ {
+		gotTotal += mx.RowSum(i)
+	}
+	if math.Abs(gotTotal-total) > tol {
+		t.Errorf("mCTM has unexpected non-zero entries (total %v, want %v)\n%s", gotTotal, total, mx)
+	}
+	if err := mx.CheckInvariants(tol); err != nil {
+		t.Errorf("Table I invariants: %v", err)
+	}
+}
+
+// TestTableII reproduces the paper's Table II: the CTM of f(), including the
+// _Q label on the printf that outputs the query result (the paper's
+// printf_Q10; function-local block ids make it printf_Q3 here).
+func TestTableII(t *testing.T) {
+	p := dataset.Fig3()
+	info := ddg.Analyze(p)
+	mx, err := BuildFunc(p.Functions["f"], nil, info)
+	if err != nil {
+		t.Fatalf("BuildFunc: %v", err)
+	}
+	checkEntries(t, mx, map[[2]string]float64{
+		{"eps", "eps'"}:       0.25,
+		{"eps", "printf"}:     0.5,
+		{"eps", "printf_Q3"}:  0.25,
+		{"printf", "eps'"}:    0.5,
+		{"printf_Q3", "eps'"}: 0.25,
+	})
+	if err := mx.CheckInvariants(tol); err != nil {
+		t.Errorf("Table II invariants: %v", err)
+	}
+}
+
+// TestFig3PCTM checks the full aggregation (§IV-C3): inlining fCTM into mCTM
+// via the equivalents of eqs. 4–10 yields the program matrix with the values
+// hand-derived from the paper's tables.
+func TestFig3PCTM(t *testing.T) {
+	p := dataset.Fig3()
+	info := ddg.Analyze(p)
+	funcs, err := BuildAll(p, info)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	pm, err := Aggregate(p, funcs)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if pm.HasUserSites() {
+		t.Fatalf("pCTM still has pseudo-sites:\n%s", pm)
+	}
+
+	idx := func(fn string, block int) int {
+		i := pm.SiteIndex(ir.CallSite{Func: fn, Block: block, Stmt: 0})
+		if i < 0 {
+			t.Fatalf("no site %s b%d in pCTM:\n%s", fn, block, pm)
+		}
+		return i
+	}
+	pf1 := idx("main", 1) // printf'
+	pf2 := idx("main", 2) // printf''
+	pq := idx("main", 3)  // PQexec
+	fpf := idx("f", 1)    // f's plain printf
+	fq := idx("f", 3)     // f's printf_Q3
+
+	want := map[[2]int]float64{
+		{Entry, pf1}: 0.5,
+		{Entry, pf2}: 0.5,
+		{pf1, Exit}:  0.5,
+		{pf2, Exit}:  0.25,
+		{pf2, pq}:    0.25,
+		{pq, fpf}:    0.125,  // eq. 4: 0.25 × 0.5
+		{pq, fq}:     0.0625, // eq. 4: 0.25 × 0.25
+		{pq, Exit}:   0.0625, // eq. 10: 0.25 × 0.25 pass-through
+		{fpf, Exit}:  0.125,  // eq. 6: 0.5 × 0.25
+		{fq, Exit}:   0.0625, // eq. 6: 0.25 × 0.25
+	}
+	var total float64
+	for pair, w := range want {
+		if got := pm.At(pair[0], pair[1]); math.Abs(got-w) > tol {
+			t.Errorf("pCTM[%d][%d] = %v, want %v", pair[0], pair[1], got, w)
+		}
+		total += w
+	}
+	var gotTotal float64
+	for i := 0; i < pm.Dim(); i++ {
+		gotTotal += pm.RowSum(i)
+	}
+	if math.Abs(gotTotal-total) > tol {
+		t.Errorf("pCTM has unexpected entries (total %v, want %v)\n%s", gotTotal, total, pm)
+	}
+
+	// The three §IV-C3 properties.
+	if err := pm.CheckInvariants(tol); err != nil {
+		t.Errorf("pCTM invariants: %v", err)
+	}
+
+	// The labelled site survives aggregation with its label intact.
+	if got := pm.SiteAt(fq).Label; got != "printf_Q3" {
+		t.Errorf("aggregated label = %q, want printf_Q3", got)
+	}
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/ir"
+)
+
+func TestCAAppsValidateAndRun(t *testing.T) {
+	for _, app := range CAApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			if err := ir.Validate(app.Prog); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			traces, err := app.CollectTraces(collector.ModeADPROM)
+			if err != nil {
+				t.Fatalf("CollectTraces: %v", err)
+			}
+			if len(traces) != len(app.TestCases) {
+				t.Fatalf("%d traces for %d cases", len(traces), len(app.TestCases))
+			}
+			empty := 0
+			for _, tr := range traces {
+				if len(tr) == 0 {
+					empty++
+				}
+			}
+			if empty > 0 {
+				t.Errorf("%d empty traces", empty)
+			}
+		})
+	}
+}
+
+func TestCADatasetScaleMatchesTableIII(t *testing.T) {
+	// Table III: #test cases 63/73/36; #states (call sites) 59/139/229.
+	// The hand-written reproductions match the case counts exactly and the
+	// call-site counts in order of magnitude.
+	wantCases := map[string]int{"apph": 63, "appb": 73, "apps": 36}
+	for _, app := range CAApps() {
+		if got := len(app.TestCases); got != wantCases[app.Name] {
+			t.Errorf("%s: %d test cases, want %d", app.Name, got, wantCases[app.Name])
+		}
+		if n := app.NumStates(); n < 25 || n > 300 {
+			t.Errorf("%s: %d call sites, outside the Table III magnitude", app.Name, n)
+		}
+	}
+}
+
+func TestCATracesContainLeakLabels(t *testing.T) {
+	// Every CA app outputs TD somewhere, so its normal traces include _Q
+	// labels — the property the DL flag depends on.
+	for _, app := range CAApps() {
+		traces, err := app.CollectTraces(collector.ModeADPROM)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		found := false
+		for _, tr := range traces {
+			for _, c := range tr {
+				if strings.Contains(c.Label, "_Q") {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no _Q labels in any trace", app.Name)
+		}
+	}
+}
+
+func TestAppBInjectionChangesTrace(t *testing.T) {
+	app := AppB()
+	normal, err := app.RunCase(app.Prog, TestCase{Name: "n", Input: []string{"1", "105"}}, collector.ModeADPROM, nil)
+	if err != nil {
+		t.Fatalf("normal: %v", err)
+	}
+	injected, err := app.RunCase(app.Prog, TestCase{Name: "inj", Input: []string{"1", "1' OR '1'='1"}}, collector.ModeADPROM, nil)
+	if err != nil {
+		t.Fatalf("injected: %v", err)
+	}
+	if len(injected) <= len(normal)+10 {
+		t.Errorf("injection barely changed the trace: %d vs %d calls", len(injected), len(normal))
+	}
+}
+
+func TestSIRAppsValidateAndScale(t *testing.T) {
+	apps := SIRApps()
+	if len(apps) != 4 {
+		t.Fatalf("SIRApps = %d", len(apps))
+	}
+	for _, app := range apps {
+		if err := ir.Validate(app.Prog); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+	}
+	// App4 must cross the clustering threshold like bash (1366 states).
+	if n := apps[3].NumStates(); n <= 900 {
+		t.Errorf("app4 has %d call sites, need > 900 to engage clustering", n)
+	}
+	// The small ones must not.
+	for _, app := range apps[:3] {
+		if n := app.NumStates(); n > 900 {
+			t.Errorf("%s has %d call sites, expected ≤ 900", app.Name, n)
+		}
+	}
+}
+
+func TestSIRTracesAreDiverse(t *testing.T) {
+	app := App1()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	distinct := map[string]bool{}
+	for _, tr := range traces {
+		distinct[strings.Join(tr.Labels(), ";")] = true
+	}
+	if len(distinct) < len(traces)/4 {
+		t.Errorf("only %d distinct traces out of %d", len(distinct), len(traces))
+	}
+}
+
+func TestFig3IsThePaperExample(t *testing.T) {
+	p := Fig3()
+	if err := ir.Validate(p); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p.Functions) != 2 || p.Func("f") == nil || p.Func("main") == nil {
+		t.Error("Fig3 shape wrong")
+	}
+	if len(p.Func("main").Blocks) != 7 || len(p.Func("f").Blocks) != 5 {
+		t.Errorf("Fig3 block counts: main=%d f=%d",
+			len(p.Func("main").Blocks), len(p.Func("f").Blocks))
+	}
+}

@@ -1,0 +1,70 @@
+// Package dataset provides the programs and test-case corpora of the paper's
+// evaluation: the Figure 3 worked example, the CA-dataset client applications
+// (hospital, banking, supermarket), and the SIR-style corpus (App1–App4).
+package dataset
+
+import "adprom/internal/ir"
+
+// Fig3 reconstructs the two-function program of the paper's Figure 3, whose
+// per-function call-transition matrices are given exactly in Tables I and II.
+//
+// The CFG shape is recovered from the probability values in those tables and
+// the derivations in §IV-C2/§IV-C3:
+//
+//	main: b0 A  (entry, no calls)   → b1 | b2
+//	      b1 B' (printf')           → b6
+//	      b2 B  (printf'')          → b5 | b3
+//	      b3 C  (PQexec)            → b4
+//	      b4 D  (call f(result))    → b5
+//	      b5 E  (no calls)          → b6
+//	      b6 F  (no calls)          → return
+//
+//	f:    b0 G  (entry, no calls)   → b1 | b2
+//	      b1 H  (printf)            → return
+//	      b2 K  (no calls)          → b3 | b4
+//	      b3 M  (printf of TD)      → return     ← the paper's printf_Q10
+//	      b4 N  (no calls)          → return
+//
+// f's block-3 printf receives the query result passed from main, so the
+// data-dependency analysis labels it printf_Q3 (the paper numbers blocks
+// globally and writes printf_Q10; this reproduction uses function-local
+// block ids).
+func Fig3() *ir.Program {
+	b := ir.NewBuilder("fig3")
+
+	f := b.Func("f", "data")
+	g := f.Block()  // b0 G
+	h := f.Block()  // b1 H
+	k := f.Block()  // b2 K
+	m := f.Block()  // b3 M
+	nn := f.Block() // b4 N
+	g.If(ir.V("which"), h, k)
+	h.Call("printf", ir.S("plain message\n"))
+	h.Ret()
+	k.If(ir.V("other"), m, nn)
+	m.Call("printf", ir.S("%s"), ir.V("data")) // prints TD → printf_Q3
+	m.Ret()
+	nn.Ret()
+
+	mn := b.Func("main")
+	a := mn.Block()  // b0 A
+	b1 := mn.Block() // b1 B'
+	bb := mn.Block() // b2 B
+	c := mn.Block()  // b3 C
+	d := mn.Block()  // b4 D
+	e := mn.Block()  // b5 E
+	ff := mn.Block() // b6 F
+	a.If(ir.V("cond1"), b1, bb)
+	b1.Call("printf", ir.S("left branch\n")) // printf'
+	b1.Goto(ff)
+	bb.Call("printf", ir.S("right branch\n")) // printf''
+	bb.If(ir.V("cond2"), e, c)
+	c.CallTo("result", "PQexec", ir.V("conn"), ir.S("SELECT * FROM items WHERE ID = 10"))
+	c.Goto(d)
+	d.Invoke("f", ir.V("result"))
+	d.Goto(e)
+	e.Goto(ff)
+	ff.Ret()
+
+	return b.MustBuild()
+}

@@ -1,0 +1,141 @@
+// Package dbclient provides client-library semantics over internal/minidb.
+//
+// The paper's monitored applications use the C client stacks of PostgreSQL
+// (libpq: PQexec, PQntuples, PQgetvalue) and MySQL (mysql_query,
+// mysql_store_result, mysql_fetch_row). The interpreter's library-call
+// builtins delegate to this package, which supplies the stateful pieces those
+// APIs need: connections, result handles, and MySQL's row cursor.
+//
+// A connection optionally carries a query rewriter, which models the paper's
+// attack 3.2: a man-in-the-middle on an unencrypted connection that rewrites
+// the query in transit to retrieve more data. The rewriter sits exactly where
+// the network would be — between the client call and the engine — so the
+// application code is byte-for-byte unchanged while its observable call
+// sequence grows with the inflated result set.
+package dbclient
+
+import (
+	"errors"
+	"fmt"
+
+	"adprom/internal/minidb"
+)
+
+// ErrClosed is returned when a closed connection is used.
+var ErrClosed = errors.New("dbclient: connection is closed")
+
+// Rewriter transforms query text in transit. A nil Rewriter is the identity.
+type Rewriter func(query string) string
+
+// Conn is a client connection to a database.
+type Conn struct {
+	db       *minidb.Database
+	rewriter Rewriter
+	closed   bool
+	lastErr  error
+	queries  []string // queries as observed on the wire (post-rewrite)
+}
+
+// Connect opens a connection to db.
+func Connect(db *minidb.Database) *Conn {
+	return &Conn{db: db}
+}
+
+// SetRewriter installs (or clears, with nil) the in-transit query rewriter.
+func (c *Conn) SetRewriter(r Rewriter) { c.rewriter = r }
+
+// Exec runs one query and returns its result. The returned Result carries a
+// fetch cursor for the MySQL-style iteration idiom.
+func (c *Conn) Exec(query string) (*Result, error) {
+	if c.closed {
+		c.lastErr = ErrClosed
+		return nil, ErrClosed
+	}
+	if c.rewriter != nil {
+		query = c.rewriter(query)
+	}
+	c.queries = append(c.queries, query)
+	res, err := c.db.Exec(query)
+	if err != nil {
+		c.lastErr = err
+		return nil, fmt.Errorf("dbclient: exec %q: %w", query, err)
+	}
+	c.lastErr = nil
+	return &Result{res: res}, nil
+}
+
+// LastError returns the error of the most recent failed operation, or nil —
+// the mysql_error idiom.
+func (c *Conn) LastError() error { return c.lastErr }
+
+// Close closes the connection; further Exec calls fail with ErrClosed.
+// Closing twice is harmless, as with PQfinish.
+func (c *Conn) Close() { c.closed = true }
+
+// Closed reports whether Close was called.
+func (c *Conn) Closed() bool { return c.closed }
+
+// WireQueries returns the queries as they crossed the (simulated) wire, after
+// any rewriter ran. The §VII mitigation experiments record these as query
+// signatures.
+func (c *Conn) WireQueries() []string {
+	return append([]string(nil), c.queries...)
+}
+
+// Result is a query result handle with both random access (libpq idiom) and
+// cursor iteration (MySQL idiom).
+type Result struct {
+	res    *minidb.Result
+	cursor int
+}
+
+// NTuples returns the number of rows (PQntuples / mysql_num_rows).
+func (r *Result) NTuples() int {
+	if r == nil {
+		return 0
+	}
+	return r.res.NTuples()
+}
+
+// NFields returns the number of columns (PQnfields / mysql_num_fields).
+func (r *Result) NFields() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.res.Cols)
+}
+
+// Value returns the cell at (row, col) as a string (PQgetvalue); out-of-range
+// access yields "".
+func (r *Result) Value(row, col int) string {
+	if r == nil {
+		return ""
+	}
+	return r.res.Get(row, col)
+}
+
+// Affected returns the DML row count (PQcmdTuples / mysql_affected_rows).
+func (r *Result) Affected() int {
+	if r == nil {
+		return 0
+	}
+	return r.res.Affected
+}
+
+// FetchRow returns the next row and advances the cursor (mysql_fetch_row);
+// ok is false once the rows are exhausted.
+func (r *Result) FetchRow() (row []string, ok bool) {
+	if r == nil || r.cursor >= r.res.NTuples() {
+		return nil, false
+	}
+	row = append([]string(nil), r.res.Rows[r.cursor]...)
+	r.cursor++
+	return row, true
+}
+
+// ResetCursor rewinds the fetch cursor (mysql_data_seek to 0).
+func (r *Result) ResetCursor() {
+	if r != nil {
+		r.cursor = 0
+	}
+}

@@ -1,0 +1,149 @@
+package dbclient
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adprom/internal/minidb"
+)
+
+func seed(t *testing.T) *minidb.Database {
+	t.Helper()
+	db := minidb.New()
+	db.MustExec("CREATE TABLE items (id INT, name TEXT)")
+	db.MustExec("INSERT INTO items VALUES (10, 'a'), (11, 'b'), (12, 'c')")
+	return db
+}
+
+func TestExecAndRandomAccess(t *testing.T) {
+	c := Connect(seed(t))
+	res, err := c.Exec("SELECT * FROM items WHERE id = 10")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.NTuples() != 1 || res.NFields() != 2 {
+		t.Fatalf("shape = (%d, %d), want (1, 2)", res.NTuples(), res.NFields())
+	}
+	if got := res.Value(0, 1); got != "a" {
+		t.Errorf("Value(0,1) = %q, want a", got)
+	}
+	if got := res.Value(9, 9); got != "" {
+		t.Errorf("out-of-range Value = %q, want empty", got)
+	}
+	if c.LastError() != nil {
+		t.Errorf("LastError = %v after success", c.LastError())
+	}
+}
+
+func TestFetchRowCursor(t *testing.T) {
+	c := Connect(seed(t))
+	res, err := c.Exec("SELECT name FROM items ORDER BY id")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	var names []string
+	for {
+		row, ok := res.FetchRow()
+		if !ok {
+			break
+		}
+		names = append(names, row[0])
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(names, want) {
+		t.Errorf("fetched %v, want %v", names, want)
+	}
+	if _, ok := res.FetchRow(); ok {
+		t.Error("FetchRow after exhaustion returned ok")
+	}
+	res.ResetCursor()
+	if row, ok := res.FetchRow(); !ok || row[0] != "a" {
+		t.Errorf("after ResetCursor got (%v, %v)", row, ok)
+	}
+}
+
+func TestExecErrorSetsLastError(t *testing.T) {
+	c := Connect(seed(t))
+	_, err := c.Exec("SELECT * FROM missing")
+	if err == nil {
+		t.Fatal("Exec on missing table succeeded")
+	}
+	if !errors.Is(err, minidb.ErrNoTable) {
+		t.Errorf("error %v does not wrap ErrNoTable", err)
+	}
+	if c.LastError() == nil {
+		t.Error("LastError not recorded")
+	}
+	// A subsequent success clears it.
+	if _, err := c.Exec("SELECT * FROM items"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if c.LastError() != nil {
+		t.Error("LastError not cleared after success")
+	}
+}
+
+func TestClose(t *testing.T) {
+	c := Connect(seed(t))
+	c.Close()
+	c.Close() // double close is fine
+	if !c.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if _, err := c.Exec("SELECT * FROM items"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Exec after close error = %v, want ErrClosed", err)
+	}
+}
+
+// TestMITMRewriter reproduces attack 3.2: the application submits a narrow
+// query, the man-in-the-middle widens it in transit, and the application
+// observes (and iterates over) the inflated result set.
+func TestMITMRewriter(t *testing.T) {
+	c := Connect(seed(t))
+	c.SetRewriter(func(q string) string {
+		return strings.Replace(q, "id = 10", "id >= 10", 1)
+	})
+	res, err := c.Exec("SELECT * FROM items WHERE id = 10")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.NTuples() != 3 {
+		t.Fatalf("MITM query returned %d rows, want 3", res.NTuples())
+	}
+	wire := c.WireQueries()
+	if len(wire) != 1 || !strings.Contains(wire[0], "id >= 10") {
+		t.Errorf("WireQueries = %v, want rewritten query", wire)
+	}
+
+	c.SetRewriter(nil)
+	res, err = c.Exec("SELECT * FROM items WHERE id = 10")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.NTuples() != 1 {
+		t.Errorf("after clearing rewriter, rows = %d, want 1", res.NTuples())
+	}
+}
+
+func TestAffected(t *testing.T) {
+	c := Connect(seed(t))
+	res, err := c.Exec("UPDATE items SET name = 'x' WHERE id >= 11")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.Affected() != 2 {
+		t.Errorf("Affected = %d, want 2", res.Affected())
+	}
+}
+
+func TestNilResultAccessors(t *testing.T) {
+	var r *Result
+	if r.NTuples() != 0 || r.NFields() != 0 || r.Value(0, 0) != "" || r.Affected() != 0 {
+		t.Error("nil Result accessors are not lenient")
+	}
+	if _, ok := r.FetchRow(); ok {
+		t.Error("nil Result FetchRow returned ok")
+	}
+	r.ResetCursor() // must not panic
+}

@@ -1,0 +1,146 @@
+// Package ddg builds the data-dependency information of AD-PROM's Analyzer
+// (paper §IV-B1, §IV-C1): it finds output statements whose arguments are
+// data-dependent on data retrieved from the database and assigns them their
+// _Q[bid] labels.
+//
+// The analysis is a whole-program, flow-insensitive taint fixed point over
+// the IR: PQexec/mysql_store_result results are sources, the accessor and
+// string helpers of internal/callspec propagate taint, user calls propagate
+// through parameters and return values, and output statements with a tainted
+// argument are labelled. Flow insensitivity over-approximates — a site that
+// may receive TD on any path is labelled — which matches the Analyzer's job
+// of marking every output statement the Calls Collector must watch.
+package ddg
+
+import (
+	"adprom/internal/callspec"
+	"adprom/internal/ir"
+)
+
+// Info is the result of the data-dependency analysis.
+type Info struct {
+	// Labels maps labelled output call sites to their _Q observation symbol,
+	// e.g. printf at main:b6 → "printf_Q6".
+	Labels map[ir.CallSite]string
+	// TaintedVars records, per function, the variables that may carry TD.
+	TaintedVars map[string]map[string]bool
+	// TaintedReturns marks functions whose return value may carry TD.
+	TaintedReturns map[string]bool
+}
+
+// Label returns the observation symbol for a call site: the _Q label when the
+// site is a labelled output statement, the plain call name otherwise.
+func (in *Info) Label(site ir.CallSite, callName string) string {
+	if l, ok := in.Labels[site]; ok {
+		return l
+	}
+	return callName
+}
+
+// Analyze runs the taint fixed point over the whole program.
+func Analyze(p *ir.Program) *Info {
+	info := &Info{
+		Labels:         map[ir.CallSite]string{},
+		TaintedVars:    map[string]map[string]bool{},
+		TaintedReturns: map[string]bool{},
+	}
+	for name := range p.Functions {
+		info.TaintedVars[name] = map[string]bool{}
+	}
+
+	// Iterate to a fixed point. Each pass propagates taint one step through
+	// assignments, calls, parameters, and returns; the lattice is finite
+	// (vars × functions), so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, fname := range ir.FunctionNames(p) {
+			if analyzeFunc(p, p.Functions[fname], info) {
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+func analyzeFunc(p *ir.Program, f *ir.Function, info *Info) bool {
+	vars := info.TaintedVars[f.Name]
+	changed := false
+	mark := func(v string) {
+		if v != "" && !vars[v] {
+			vars[v] = true
+			changed = true
+		}
+	}
+
+	for _, blk := range f.Blocks {
+		for si, st := range blk.Stmts {
+			switch s := st.(type) {
+			case ir.Assign:
+				if exprTainted(s.Src, vars) {
+					mark(s.Dst)
+				}
+
+			case ir.LibCall:
+				anyArg := false
+				for _, a := range s.Args {
+					if exprTainted(a, vars) {
+						anyArg = true
+						break
+					}
+				}
+				// Sources always produce TD; mysql_query's own return is a
+				// status code, the TD arrives via mysql_store_result, which
+				// is itself a source.
+				if s.Name == "PQexec" || s.Name == "mysql_store_result" {
+					mark(s.Dst)
+				} else if callspec.IsDeriver(s.Name) && anyArg {
+					mark(s.Dst)
+				}
+				if callspec.IsOutput(s.Name) && anyArg {
+					site := ir.CallSite{Func: f.Name, Block: blk.ID, Stmt: si}
+					label := callspec.QLabel(s.Name, blk.ID)
+					if info.Labels[site] != label {
+						info.Labels[site] = label
+						changed = true
+					}
+				}
+
+			case ir.UserCall:
+				callee := p.Func(s.Name)
+				if callee == nil {
+					continue
+				}
+				calleeVars := info.TaintedVars[s.Name]
+				for i, a := range s.Args {
+					if i < len(callee.Params) && exprTainted(a, vars) && !calleeVars[callee.Params[i]] {
+						calleeVars[callee.Params[i]] = true
+						changed = true
+					}
+				}
+				if info.TaintedReturns[s.Name] {
+					mark(s.Dst)
+				}
+			}
+		}
+		if ret, ok := blk.Term.(ir.Return); ok && ret.Val != nil {
+			if exprTainted(ret.Val, vars) && !info.TaintedReturns[f.Name] {
+				info.TaintedReturns[f.Name] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func exprTainted(e ir.Expr, vars map[string]bool) bool {
+	switch ex := e.(type) {
+	case ir.Var:
+		return vars[ex.Name]
+	case ir.Bin:
+		return exprTainted(ex.L, vars) || exprTainted(ex.R, vars)
+	case ir.Index:
+		return exprTainted(ex.X, vars) || exprTainted(ex.I, vars)
+	default:
+		return false
+	}
+}

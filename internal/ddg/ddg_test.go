@@ -1,0 +1,180 @@
+package ddg
+
+import (
+	"testing"
+
+	"adprom/internal/dataset"
+	"adprom/internal/ir"
+)
+
+func TestFig3Labels(t *testing.T) {
+	info := Analyze(dataset.Fig3())
+
+	// Exactly one labelled site: f's block-3 printf that prints the query
+	// result passed from main (the paper's printf_Q10).
+	if len(info.Labels) != 1 {
+		t.Fatalf("Labels = %v, want exactly one", info.Labels)
+	}
+	site := ir.CallSite{Func: "f", Block: 3, Stmt: 0}
+	if got := info.Labels[site]; got != "printf_Q3" {
+		t.Errorf("label for %v = %q, want printf_Q3", site, got)
+	}
+	if got := info.Label(site, "printf"); got != "printf_Q3" {
+		t.Errorf("Label() = %q", got)
+	}
+	plain := ir.CallSite{Func: "f", Block: 1, Stmt: 0}
+	if got := info.Label(plain, "printf"); got != "printf" {
+		t.Errorf("unlabelled site Label() = %q", got)
+	}
+	// Taint flowed across the call boundary into f's parameter.
+	if !info.TaintedVars["f"]["data"] {
+		t.Errorf("f.data not tainted: %v", info.TaintedVars["f"])
+	}
+	if !info.TaintedVars["main"]["result"] {
+		t.Errorf("main.result not tainted: %v", info.TaintedVars["main"])
+	}
+}
+
+// TestInterproceduralReturnTaint checks taint flowing out of a function via
+// its return value: helper() fetches from the DB, main prints what it got.
+func TestInterproceduralReturnTaint(t *testing.T) {
+	b := ir.NewBuilder("ret")
+	h := b.Func("helper", "conn")
+	hb := h.Block()
+	hb.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT * FROM t"))
+	hb.CallTo("v", "PQgetvalue", ir.V("res"), ir.I(0), ir.I(0))
+	hb.RetVal(ir.V("v"))
+
+	m := b.Func("main")
+	mb := m.Block()
+	mb.CallTo("conn", "PQconnectdb")
+	mb.InvokeTo("secret", "helper", ir.V("conn"))
+	mb.Call("printf", ir.S("%s"), ir.V("secret"))
+	mb.Ret()
+	p := b.MustBuild()
+
+	info := Analyze(p)
+	if !info.TaintedReturns["helper"] {
+		t.Error("helper's return not tainted")
+	}
+	site := ir.CallSite{Func: "main", Block: 0, Stmt: 2}
+	if got := info.Labels[site]; got != "printf_Q0" {
+		t.Errorf("main's printf label = %q, want printf_Q0 (labels: %v)", got, info.Labels)
+	}
+}
+
+// TestMySQLChainTaint follows the full MySQL idiom: query → store_result →
+// fetch_row → row index → printf.
+func TestMySQLChainTaint(t *testing.T) {
+	b := ir.NewBuilder("mysql")
+	m := b.Func("main")
+	e := m.Block()
+	loop := m.Block()
+	body := m.Block()
+	done := m.Block()
+	e.CallTo("conn", "mysql_real_connect")
+	e.CallTo("st", "mysql_query", ir.V("conn"), ir.S("SELECT * FROM clients"))
+	e.CallTo("result", "mysql_store_result", ir.V("conn"))
+	e.Goto(loop)
+	loop.CallTo("row", "mysql_fetch_row", ir.V("result"))
+	loop.If(ir.V("row"), body, done)
+	body.Call("printf", ir.S("%s"), ir.At(ir.V("row"), ir.I(0)))
+	body.Goto(loop)
+	done.Ret()
+	p := b.MustBuild()
+
+	info := Analyze(p)
+	site := ir.CallSite{Func: "main", Block: 2, Stmt: 0}
+	if got := info.Labels[site]; got != "printf_Q2" {
+		t.Errorf("printf label = %q, want printf_Q2 (labels: %v)", got, info.Labels)
+	}
+	for _, v := range []string{"result", "row"} {
+		if !info.TaintedVars["main"][v] {
+			t.Errorf("%s not tainted", v)
+		}
+	}
+	// The status variable is not TD.
+	if info.TaintedVars["main"]["st"] {
+		t.Error("mysql_query status wrongly tainted")
+	}
+}
+
+// TestStringLaunderingIsTracked checks taint surviving strcpy/strcat/sprintf
+// laundering — the paper's attack 1.3 reuses an existing file write after
+// stuffing TD into its buffer variable.
+func TestStringLaunderingIsTracked(t *testing.T) {
+	b := ir.NewBuilder("launder")
+	m := b.Func("main")
+	e := m.Block()
+	e.CallTo("conn", "PQconnectdb")
+	e.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT secret FROM t"))
+	e.CallTo("v", "PQgetvalue", ir.V("res"), ir.I(0), ir.I(0))
+	e.CallTo("buf", "strcpy", ir.S("prefix: "))
+	e.CallTo("buf", "strcat", ir.V("buf"), ir.V("v"))
+	e.CallTo("f", "fopen", ir.S("log"), ir.S("w"))
+	e.Call("fputs", ir.V("buf"), ir.V("f"))
+	e.Ret()
+	p := b.MustBuild()
+
+	info := Analyze(p)
+	site := ir.CallSite{Func: "main", Block: 0, Stmt: 6}
+	if got := info.Labels[site]; got != "fputs_Q0" {
+		t.Errorf("fputs label = %q, want fputs_Q0 (labels: %v)", got, info.Labels)
+	}
+}
+
+// TestNoFalseLabelsWithoutDBData ensures output statements over constants and
+// plain input stay unlabelled.
+func TestNoFalseLabelsWithoutDBData(t *testing.T) {
+	b := ir.NewBuilder("clean")
+	m := b.Func("main")
+	e := m.Block()
+	e.CallTo("name", "scanf", ir.S("%s"))
+	e.Call("printf", ir.S("hello %s"), ir.V("name"))
+	e.Call("printf", ir.S("goodbye"))
+	e.Ret()
+	p := b.MustBuild()
+
+	info := Analyze(p)
+	if len(info.Labels) != 0 {
+		t.Errorf("Labels = %v, want none", info.Labels)
+	}
+}
+
+// TestFixedPointTerminatesOnMutualRecursion guards the fixed-point loop
+// against call-graph cycles.
+func TestFixedPointTerminatesOnMutualRecursion(t *testing.T) {
+	b := ir.NewBuilder("mutual")
+	f := b.Func("f", "x")
+	fb := f.Block()
+	stop := f.Block()
+	rec := f.Block()
+	fb.If(ir.V("x"), rec, stop)
+	rec.InvokeTo("r", "g", ir.V("x"))
+	rec.RetVal(ir.V("r"))
+	stop.RetVal(ir.V("x"))
+
+	g := b.Func("g", "y")
+	gb := g.Block()
+	gb.InvokeTo("r", "f", ir.Sub(ir.V("y"), ir.I(1)))
+	gb.RetVal(ir.V("r"))
+
+	m := b.Func("main")
+	mb := m.Block()
+	mb.CallTo("conn", "PQconnectdb")
+	mb.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT x FROM t"))
+	mb.CallTo("v", "PQgetvalue", ir.V("res"), ir.I(0), ir.I(0))
+	mb.InvokeTo("out", "f", ir.V("v"))
+	mb.Call("printf", ir.S("%s"), ir.V("out"))
+	mb.Ret()
+	p := b.MustBuild()
+
+	info := Analyze(p) // must terminate
+	if !info.TaintedReturns["f"] || !info.TaintedReturns["g"] {
+		t.Errorf("recursive taint not propagated: %v", info.TaintedReturns)
+	}
+	site := ir.CallSite{Func: "main", Block: 0, Stmt: 4}
+	if info.Labels[site] != "printf_Q0" {
+		t.Errorf("Labels = %v", info.Labels)
+	}
+}

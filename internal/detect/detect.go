@@ -1,0 +1,207 @@
+// Package detect implements AD-PROM's Detection Engine (paper §IV-B4,
+// §IV-D): it receives n-length call sequences from the Calls Collector,
+// scores them against the trained profile, and flags anomalies to the
+// security administrator.
+//
+// Alerts carry the paper's four flags: Normal, Anomalous (a low-probability
+// window with no TD output), DL (a low-probability window containing an
+// output of targeted data — connected to its source query origins), and
+// OutOfContext (a legitimate library call issued from a function that never
+// issues it).
+package detect
+
+import (
+	"fmt"
+
+	"adprom/internal/collector"
+	"adprom/internal/interp"
+	"adprom/internal/profile"
+)
+
+// Flag classifies an observation.
+type Flag int
+
+// The paper's alert taxonomy (§V-C).
+const (
+	FlagNormal Flag = iota
+	FlagAnomalous
+	FlagDL
+	FlagOutOfContext
+)
+
+func (f Flag) String() string {
+	switch f {
+	case FlagNormal:
+		return "Normal"
+	case FlagAnomalous:
+		return "Anomalous"
+	case FlagDL:
+		return "DL"
+	case FlagOutOfContext:
+		return "OutOfContext"
+	default:
+		return fmt.Sprintf("Flag(%d)", int(f))
+	}
+}
+
+// Alert is one detection-engine finding.
+type Alert struct {
+	Flag Flag
+	// Seq is the index of the triggering call in the monitored stream.
+	Seq int
+	// Label and Caller identify the triggering call.
+	Label  string
+	Caller string
+	// Score and Threshold explain probability-based alerts (per-symbol log
+	// probability); both are zero for OutOfContext alerts.
+	Score     float64
+	Threshold float64
+	// Window is the flagged call sequence.
+	Window []string
+	// Origins links a DL alert to the queries whose data leaked — the
+	// "connected to source" property of Table V.
+	Origins []interp.Origin
+}
+
+// Engine performs streaming detection for one monitored execution.
+type Engine struct {
+	p         *profile.Profile
+	threshold float64
+	window    []collector.Call
+	seq       int
+	alerts    []Alert
+
+	// Adaptive-threshold state (see adaptive.go).
+	oocAllowed  map[[2]string]bool
+	adaptRate   float64
+	adaptMargin float64
+}
+
+// NewEngine builds an engine around a trained profile, using the profile's
+// selected threshold.
+func NewEngine(p *profile.Profile) *Engine {
+	return &Engine{p: p, threshold: p.Threshold}
+}
+
+// SetThreshold overrides the profile's threshold (experiment sweeps and the
+// adaptive-threshold mode use this).
+func (e *Engine) SetThreshold(t float64) { e.threshold = t }
+
+// ResetWindow clears the sliding window between monitored executions, so a
+// window never straddles two program runs. Alert history is preserved.
+func (e *Engine) ResetWindow() { e.window = nil }
+
+// Threshold returns the active threshold.
+func (e *Engine) Threshold() float64 { return e.threshold }
+
+// Observe processes one call and returns any alerts it raised.
+func (e *Engine) Observe(c collector.Call) []Alert {
+	var out []Alert
+	seq := e.seq
+	e.seq++
+
+	// Out-of-context: a known label from an unexpected caller (unless the
+	// administrator whitelisted the pair).
+	if e.p.KnownLabel(c.Label) && !e.p.KnownCaller(c.Label, c.Caller) &&
+		!e.oocAllowed[[2]string{c.Label, c.Caller}] {
+		out = append(out, Alert{
+			Flag:   FlagOutOfContext,
+			Seq:    seq,
+			Label:  c.Label,
+			Caller: c.Caller,
+		})
+	}
+
+	// Maintain the sliding n-window and score it once full.
+	e.window = append(e.window, c)
+	if len(e.window) > e.p.WindowLen {
+		e.window = e.window[1:]
+	}
+	if len(e.window) == e.p.WindowLen {
+		if a, flagged := e.judgeWindow(seq); flagged {
+			out = append(out, a)
+		}
+	}
+
+	e.alerts = append(e.alerts, out...)
+	return out
+}
+
+// Flush evaluates a final short window (a trace shorter than n) and returns
+// the engine's full alert history.
+func (e *Engine) Flush() []Alert {
+	if len(e.window) > 0 && len(e.window) < e.p.WindowLen {
+		if a, flagged := e.judgeWindow(e.seq - 1); flagged {
+			e.alerts = append(e.alerts, a)
+		}
+	}
+	return e.alerts
+}
+
+// Alerts returns the alerts raised so far.
+func (e *Engine) Alerts() []Alert { return e.alerts }
+
+// Hook adapts the engine to an interpreter hook for inline monitoring.
+func (e *Engine) Hook() interp.Hook {
+	return func(ev *interp.Event) {
+		e.Observe(collector.Call{
+			Label:   ev.Label,
+			Name:    ev.Name,
+			Caller:  ev.Caller,
+			Block:   ev.Block,
+			Origins: ev.Origins,
+		})
+	}
+}
+
+func (e *Engine) judgeWindow(seq int) (Alert, bool) {
+	labels := make([]string, len(e.window))
+	for i, c := range e.window {
+		labels[i] = c.Label
+	}
+	score := e.p.Score(labels)
+	if score >= e.threshold {
+		e.adapt(score)
+		return Alert{}, false
+	}
+	a := Alert{
+		Flag:      FlagAnomalous,
+		Seq:       seq,
+		Label:     e.window[len(e.window)-1].Label,
+		Caller:    e.window[len(e.window)-1].Caller,
+		Score:     score,
+		Threshold: e.threshold,
+		Window:    labels,
+	}
+	// DL when the window contains an output of targeted data; the origins of
+	// the leaked values are attached once each.
+	seen := map[interp.Origin]bool{}
+	for _, c := range e.window {
+		if len(c.Origins) > 0 || e.p.LeakLabels[c.Label] {
+			a.Flag = FlagDL
+			for _, o := range c.Origins {
+				if !seen[o] {
+					seen[o] = true
+					a.Origins = append(a.Origins, o)
+				}
+			}
+		}
+	}
+	return a, true
+}
+
+// Classify scores one label window against a profile and threshold: the
+// batch form used by the accuracy experiments (the callers and origins of
+// synthetic sequences are unknown, so only Normal/Anomalous/DL apply).
+func Classify(p *profile.Profile, threshold float64, window []string) (Flag, float64) {
+	score := p.Score(window)
+	if score >= threshold {
+		return FlagNormal, score
+	}
+	for _, l := range window {
+		if p.LeakLabels[l] {
+			return FlagDL, score
+		}
+	}
+	return FlagAnomalous, score
+}

@@ -1,0 +1,77 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"adprom/internal/profile"
+)
+
+// Explanation breaks a flagged window down for the security administrator:
+// which call dragged the probability below the threshold, and what hidden
+// path the model believes the program took. The paper's Detection Engine
+// only reports the flag; this is the natural forensic extension the HMM
+// machinery supports for free (the decoding problem of §II).
+type Explanation struct {
+	// Window is the explained call sequence.
+	Window []string
+	// StepLL[i] is the incremental log-likelihood of symbol i given the
+	// prefix before it — the "cost" of each call.
+	StepLL []float64
+	// WorstIndex is the position with the lowest StepLL.
+	WorstIndex int
+	// Path is the Viterbi hidden-state sequence; PathLL its log probability.
+	Path   []int
+	PathLL float64
+}
+
+// Explain computes the per-call breakdown of a window under a profile.
+func Explain(p *profile.Profile, window []string) (*Explanation, error) {
+	if len(window) == 0 {
+		return &Explanation{}, nil
+	}
+	enc := p.Encode(window)
+	ex := &Explanation{
+		Window: append([]string(nil), window...),
+		StepLL: make([]float64, len(window)),
+	}
+
+	prev := 0.0
+	for i := 1; i <= len(enc); i++ {
+		ll, err := p.Model.LogProb(enc[:i])
+		if err != nil {
+			return nil, fmt.Errorf("detect: explaining window: %w", err)
+		}
+		ex.StepLL[i-1] = ll - prev
+		prev = ll
+	}
+	worst := 0
+	for i, v := range ex.StepLL {
+		if v < ex.StepLL[worst] {
+			worst = i
+		}
+	}
+	ex.WorstIndex = worst
+
+	path, pll, err := p.Model.Viterbi(enc)
+	if err != nil {
+		return nil, fmt.Errorf("detect: explaining window: %w", err)
+	}
+	ex.Path = path
+	ex.PathLL = pll
+	return ex, nil
+}
+
+// String renders the explanation as an administrator-facing table.
+func (ex *Explanation) String() string {
+	var sb strings.Builder
+	sb.WriteString("call                          step-logprob\n")
+	for i, l := range ex.Window {
+		marker := "  "
+		if i == ex.WorstIndex {
+			marker = "<-- lowest"
+		}
+		fmt.Fprintf(&sb, "%-30s %10.3f %s\n", l, ex.StepLL[i], marker)
+	}
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package detect
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainPinpointsTheForeignCall(t *testing.T) {
+	p, traces, _ := trainAppH(t)
+
+	// Take a long normal window and corrupt one position.
+	var window []string
+	for _, tr := range traces {
+		for _, w := range tr.LabelWindows(p.WindowLen) {
+			if len(w) == p.WindowLen {
+				window = append([]string(nil), w...)
+			}
+		}
+		if window != nil {
+			break
+		}
+	}
+	if window == nil {
+		t.Fatal("no full window")
+	}
+	corrupt := 9
+	window[corrupt] = "ptrace"
+
+	ex, err := Explain(p, window)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.WorstIndex != corrupt {
+		t.Errorf("WorstIndex = %d (%q), want %d", ex.WorstIndex, window[ex.WorstIndex], corrupt)
+	}
+	// Step log-likelihoods sum to the window's total log probability.
+	var sum float64
+	for _, v := range ex.StepLL {
+		sum += v
+	}
+	total := p.Score(window) * float64(len(window))
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("Σ StepLL = %v, total = %v", sum, total)
+	}
+	if len(ex.Path) != len(window) {
+		t.Errorf("path length %d", len(ex.Path))
+	}
+	if ex.PathLL > sum+1e-9 {
+		t.Errorf("Viterbi path LL %v exceeds total LL %v", ex.PathLL, sum)
+	}
+
+	out := ex.String()
+	if !strings.Contains(out, "ptrace") || !strings.Contains(out, "<-- lowest") {
+		t.Errorf("rendering missing data:\n%s", out)
+	}
+}
+
+func TestExplainEmptyWindow(t *testing.T) {
+	p, _, _ := trainAppH(t)
+	ex, err := Explain(p, nil)
+	if err != nil || len(ex.StepLL) != 0 {
+		t.Errorf("empty explain = %+v, %v", ex, err)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adprom/internal/collector"
+	"adprom/internal/core"
+	"adprom/internal/hmm"
+	"adprom/internal/profile"
+)
+
+// ClusteringResult reports the §V-D state-reduction experiment.
+type ClusteringResult struct {
+	StatesBefore int
+	StatesAfter  int
+	FullTime     time.Duration
+	ReducedTime  time.Duration
+	// TimeReduction is (full − reduced)/full.
+	TimeReduction float64
+}
+
+// Clustering regenerates the §V-D clustering experiment: training the
+// bash-scale App4 model with and without the PCA + K-means reduction
+// (K = 0.3·N), comparing training time. The paper reduced bash's 1366 hidden
+// states to 455 and cut training time by about 70%.
+func Clustering(cfg Config) (*ClusteringResult, *Report, error) {
+	app := sirAppsFor(cfg)[3] // app4
+
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: clustering traces: %w", err)
+	}
+
+	iters := 2
+	maxWin := 120
+	if !cfg.Quick {
+		iters = 4
+		maxWin = 400
+	}
+	base := profile.Options{
+		Seed:            cfg.Seed,
+		Train:           hmm.TrainOptions{MaxIters: iters, Tol: 1e-12},
+		MaxTrainWindows: maxWin,
+		ClusterRatio:    0.3,
+		// Only the training time is under test; threshold selection would
+		// re-score thousands of windows against the huge unreduced model.
+		SkipThreshold: true,
+	}
+
+	// Reduced: the default MaxStates (900) engages clustering for App4.
+	redOpts := base
+	start := time.Now()
+	reduced, _, err := core.Train(app.Prog, traces, redOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: clustering reduced: %w", err)
+	}
+	redTime := time.Since(start)
+
+	// Full: raise MaxStates beyond the site count so no reduction happens.
+	fullOpts := base
+	fullOpts.MaxStates = 1 << 20
+	start = time.Now()
+	full, _, err := core.Train(app.Prog, traces, fullOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: clustering full: %w", err)
+	}
+	fullTime := time.Since(start)
+
+	res := &ClusteringResult{
+		StatesBefore: full.StatesAfter,
+		StatesAfter:  reduced.StatesAfter,
+		FullTime:     fullTime,
+		ReducedTime:  redTime,
+	}
+	if fullTime > 0 {
+		res.TimeReduction = float64(fullTime-redTime) / float64(fullTime)
+	}
+
+	rep := &Report{ID: "clustering", Title: "State reduction on the bash-scale program (paper §V-D)"}
+	rep.addf("hidden states: %d -> %d (paper: 1366 -> 455)", res.StatesBefore, res.StatesAfter)
+	rep.addf("training time: full %v, reduced %v (%.1f%% reduction; paper: ~70%%)",
+		res.FullTime, res.ReducedTime, 100*res.TimeReduction)
+	if !reduced.Reduced {
+		rep.addf("WARNING: reduction did not engage")
+	}
+	return res, rep, nil
+}

@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each runner returns a structured result plus a formatted
+// report whose rows parallel the paper's, so paper-vs-measured comparisons
+// (EXPERIMENTS.md) read side by side.
+//
+// Runners accept a Config: Quick mode shrinks corpora, training iterations
+// and fold counts so the whole suite runs in test/bench time; Full mode is
+// the CLI's default and uses the complete generated corpora. Absolute
+// numbers differ from the paper's (different hardware, simulated substrate);
+// the shapes — who wins, by what factor, where the curves sit — are the
+// reproduction targets.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks datasets and training budgets for test/bench runs.
+	Quick bool
+	// Seed drives every randomised component.
+	Seed int64
+}
+
+// trainIters returns the Baum–Welch budget for the scale.
+func (c Config) trainIters() int {
+	if c.Quick {
+		return 3
+	}
+	return 12
+}
+
+// maxWindows caps training windows per profile.
+func (c Config) maxWindows() int {
+	if c.Quick {
+		return 400
+	}
+	return 1500
+}
+
+// folds is the cross-validation fold count (paper: 10).
+func (c Config) folds() int {
+	if c.Quick {
+		return 2
+	}
+	return 10
+}
+
+// evalWindows caps how many validation windows are scored per application.
+func (c Config) evalWindows() int {
+	if c.Quick {
+		return 1200
+	}
+	return 5000
+}
+
+// clusterRatio trades accuracy for speed on the bash-scale program.
+func (c Config) clusterRatio() float64 {
+	if c.Quick {
+		return 0.2
+	}
+	return 0.3
+}
+
+// Report is a formatted experiment result.
+type Report struct {
+	// ID is the experiment identifier (table3, fig10, ...).
+	ID string
+	// Title echoes the paper artefact.
+	Title string
+	// Lines are preformatted rows.
+	Lines []string
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}

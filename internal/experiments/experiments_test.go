@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adprom/internal/detect"
+)
+
+var quick = Config{Quick: true, Seed: 1}
+
+func TestTable3MatchesPaperStatistics(t *testing.T) {
+	stats, rep, err := Table3()
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d rows", len(stats))
+	}
+	wantCases := map[string]int{"apph": 63, "appb": 73, "apps": 36}
+	for _, s := range stats {
+		if s.TestCases != wantCases[s.App] {
+			t.Errorf("%s: %d cases, want %d", s.App, s.TestCases, wantCases[s.App])
+		}
+		if s.Sequences == 0 || s.States == 0 {
+			t.Errorf("%s: empty stats %+v", s.App, s)
+		}
+		if s.Coverage < 0.5 {
+			t.Errorf("%s: coverage %.2f too low — test cases barely exercise the app", s.App, s.Coverage)
+		}
+	}
+	if !strings.Contains(rep.String(), "CA-dataset") {
+		t.Error("report missing title")
+	}
+}
+
+func TestTable4SIRStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app4 trace collection is slow")
+	}
+	stats, _, err := Table4()
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("stats = %d rows", len(stats))
+	}
+	// App4 is the bash-scale program: most call sites and sequences.
+	if stats[3].States <= 900 {
+		t.Errorf("app4 states = %d, want > 900", stats[3].States)
+	}
+	for _, s := range stats[:3] {
+		if s.States > stats[3].States {
+			t.Errorf("%s larger than app4", s.App)
+		}
+	}
+}
+
+// TestTable5ReproducesPaperVerdicts is the headline reproduction check:
+// CMarkov misses attacks 1 and 3, detects 2, 4, 5; AD-PROM detects all five
+// and connects each to its source query.
+func TestTable5ReproducesPaperVerdicts(t *testing.T) {
+	rows, rep, err := Table5(quick)
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wantCMarkov := map[int]bool{1: false, 2: true, 3: false, 4: true, 5: true}
+	for _, r := range rows {
+		if !r.ADPROM {
+			t.Errorf("attack %d: AD-PROM missed it", r.ID)
+		}
+		if !r.Connected {
+			t.Errorf("attack %d: AD-PROM did not connect to source", r.ID)
+		}
+		if r.CMarkov != wantCMarkov[r.ID] {
+			t.Errorf("attack %d: CMarkov detected=%v, paper says %v", r.ID, r.CMarkov, wantCMarkov[r.ID])
+		}
+	}
+	if !strings.Contains(rep.String(), "CMarkov") {
+		t.Error("report missing baseline")
+	}
+}
+
+func TestTable6CollectorBeatsLtrace(t *testing.T) {
+	rows, rep, err := Table6(quick)
+	if err != nil {
+		t.Fatalf("Table6: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Decrease < 0.5 {
+			t.Errorf("%s: overhead decrease %.1f%% — the collector should cut most of the "+
+				"ltrace cost (paper: 60–97%%)", r.Case, 100*r.Decrease)
+		}
+		if r.Collector >= r.Ltrace {
+			t.Errorf("%s: collector (%v) not faster than ltrace (%v)", r.Case, r.Collector, r.Ltrace)
+		}
+	}
+	_ = rep
+}
+
+func TestFig10ADPROMBeatsRandHMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated training is slow")
+	}
+	results, _, err := Fig10(quick)
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d apps", len(results))
+	}
+	for _, r := range results {
+		// The paper's claim: AD-PROM's FN rate is at or below Rand-HMM's at
+		// equal FP budgets. Averaged over the curve, it must win (individual
+		// points may tie at 0).
+		var ad, rd float64
+		for i := range r.FPRates {
+			ad += r.ADPROM[i].FNRate
+			rd += r.RandHMM[i].FNRate
+		}
+		if ad > rd+1e-9 {
+			t.Errorf("%s: AD-PROM mean FN %.4f worse than Rand-HMM %.4f", r.App, ad/5, rd/5)
+		}
+	}
+}
+
+func TestTable7HighAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training all four apps is slow")
+	}
+	rows, _, err := Table7(quick)
+	if err != nil {
+		t.Fatalf("Table7: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if acc := r.Matrix.Accuracy(); acc < 0.9 {
+			t.Errorf("%s: accuracy %.4f below 0.9 (paper ≈ 0.995+)", r.App, acc)
+		}
+	}
+}
+
+func TestTable8AggregationDominates(t *testing.T) {
+	rows, _, err := Table8(quick)
+	if err != nil {
+		t.Fatalf("Table8: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	app4 := rows[3]
+	// The paper's shape: aggregation is the dominant step and the largest
+	// program costs the most.
+	if app4.Aggregation < app4.BuildCFG || app4.Aggregation < app4.ProbEst {
+		t.Errorf("app4 aggregation %v does not dominate (cfg %v, probest %v)",
+			app4.Aggregation, app4.BuildCFG, app4.ProbEst)
+	}
+	for _, r := range rows[:3] {
+		if r.Aggregation > app4.Aggregation {
+			t.Errorf("%s aggregation %v exceeds app4's %v", r.App, r.Aggregation, app4.Aggregation)
+		}
+	}
+}
+
+func TestClusteringSpeedsUpTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the bash-scale model twice")
+	}
+	res, rep, err := Clustering(quick)
+	if err != nil {
+		t.Fatalf("Clustering: %v", err)
+	}
+	if res.StatesAfter >= res.StatesBefore {
+		t.Errorf("states %d -> %d: no reduction", res.StatesBefore, res.StatesAfter)
+	}
+	if res.StatesBefore <= 900 {
+		t.Errorf("bash-scale program has only %d states", res.StatesBefore)
+	}
+	if res.TimeReduction <= 0.3 {
+		t.Errorf("training time reduction %.1f%% — paper reports ≈70%%", 100*res.TimeReduction)
+	}
+	if strings.Contains(rep.String(), "WARNING") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+// TestAttackFlagsAreInformative spot-checks that Table 5's AD-PROM outcomes
+// carry the flag taxonomy (DL for leaks, OutOfContext for attack 2's foreign
+// function).
+func TestAttackFlagsAreInformative(t *testing.T) {
+	rows, _, err := Table5(quick)
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
+	for _, r := range rows {
+		if r.ADPROMFlags[detect.FlagDL] == 0 {
+			t.Errorf("attack %d: no DL flags", r.ID)
+		}
+		if r.ID == 2 && r.ADPROMFlags[detect.FlagOutOfContext] == 0 {
+			t.Errorf("attack 2: no OutOfContext flags")
+		}
+	}
+}
+
+// TestAblationStaticInitWins distils Figure 10's claim: both CTM-initialised
+// variants must beat the random initialisation at the same FP budget.
+func TestAblationStaticInitWins(t *testing.T) {
+	rows, _, err := Ablation(quick)
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	random := rows[2]
+	for _, r := range rows[:2] {
+		if r.FNAt1pct > random.FNAt1pct {
+			t.Errorf("%s FN %.4f worse than random %.4f", r.Variant, r.FNAt1pct, random.FNAt1pct)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"adprom/internal/attack"
+	"adprom/internal/baseline"
+	"adprom/internal/collector"
+	"adprom/internal/core"
+	"adprom/internal/dataset"
+	"adprom/internal/hmm"
+	"adprom/internal/ir"
+	"adprom/internal/metrics"
+	"adprom/internal/profile"
+)
+
+// fig10FPRates are the x-axis operating points of Figure 10.
+var fig10FPRates = []float64{0.001, 0.005, 0.01, 0.02, 0.05}
+
+// Fig10Result holds one sub-figure: the FN rates of both models at the same
+// FP rates for one application.
+type Fig10Result struct {
+	App     string
+	FPRates []float64
+	ADPROM  []metrics.Point
+	RandHMM []metrics.Point
+}
+
+// Fig10 regenerates Figure 10(a–d): for each SIR-style application, k-fold
+// cross validation trains AD-PROM (CTM-initialised) and Rand-HMM (randomly
+// initialised) on the same traces; validation-fold normal windows and A-S1
+// anomalies (last five calls replaced with random legitimate calls) are
+// scored by both, and the FN rate is compared at equal FP budgets.
+func Fig10(cfg Config) ([]Fig10Result, *Report, error) {
+	rep := &Report{ID: "fig10", Title: "AD-PROM vs Rand-HMM FN rates at equal FP rates (paper Figure 10)"}
+	var out []Fig10Result
+	for _, app := range sirAppsFor(cfg) {
+		res, err := fig10App(cfg, app)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: fig10 %s: %w", app.Name, err)
+		}
+		out = append(out, res)
+		rep.addf("%s:", app.Name)
+		rep.addf("  %-10s %12s %12s %14s %14s", "FP rate", "AD-PROM FN", "Rand-HMM FN", "log10(AD)", "log10(Rand)")
+		for i := range res.FPRates {
+			rep.addf("  %-10.4f %12.4f %12.4f %14s %14s",
+				res.FPRates[i], res.ADPROM[i].FNRate, res.RandHMM[i].FNRate,
+				log10str(res.ADPROM[i].FNRate), log10str(res.RandHMM[i].FNRate))
+		}
+	}
+	return out, rep, nil
+}
+
+// log10str renders the paper's Figure 10 Y-axis value; zero FN has no
+// logarithm and prints as "-inf".
+func log10str(v float64) string {
+	if v <= 0 {
+		return "-inf"
+	}
+	return fmt.Sprintf("%.3f", math.Log10(v))
+}
+
+// sirAppsFor scales the SIR corpus to the configuration: Quick mode trims
+// each app's test cases so cross validation stays within test budgets.
+func sirAppsFor(cfg Config) []*dataset.App {
+	apps := dataset.SIRApps()
+	if !cfg.Quick {
+		return apps
+	}
+	caps := map[string]int{"app1": 60, "app2": 40, "app3": 50, "app4": 60}
+	for _, app := range apps {
+		if c := caps[app.Name]; len(app.TestCases) > c {
+			app.TestCases = app.TestCases[:c]
+		}
+	}
+	return apps
+}
+
+func fig10App(cfg Config, app *dataset.App) (Fig10Result, error) {
+	res := Fig10Result{App: app.Name, FPRates: fig10FPRates}
+
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		return res, err
+	}
+	legit := ir.CallNames(app.Prog)
+
+	folds := metrics.KFold(len(traces), cfg.folds())
+	var adNorm, adAnom, rdNorm, rdAnom []float64
+
+	for fi, fold := range folds {
+		inFold := map[int]bool{}
+		for _, i := range fold {
+			inFold[i] = true
+		}
+		var train []collector.Trace
+		for i, tr := range traces {
+			if !inFold[i] {
+				train = append(train, tr)
+			}
+		}
+
+		opts := profile.Options{
+			Seed:            cfg.Seed + int64(fi),
+			Train:           hmm.TrainOptions{MaxIters: cfg.trainIters()},
+			MaxTrainWindows: cfg.maxWindows(),
+			ClusterRatio:    cfg.clusterRatio(),
+		}
+		adp, _, err := core.Train(app.Prog, train, opts)
+		if err != nil {
+			return res, err
+		}
+		rnd, err := baseline.BuildRandHMM(app.Name, 0, train, opts)
+		if err != nil {
+			return res, err
+		}
+
+		// Score the validation fold: normals, plus one A-S1 variant per
+		// window, capped for tractability on the large corpora.
+		var valWindows [][]string
+		for _, i := range fold {
+			valWindows = append(valWindows, traces[i].LabelWindows(adp.WindowLen)...)
+		}
+		if cap := cfg.evalWindows() / len(folds); len(valWindows) > cap && cap > 0 {
+			step := len(valWindows) / cap
+			sampled := make([][]string, 0, cap)
+			for i := 0; i < len(valWindows) && len(sampled) < cap; i += step {
+				sampled = append(sampled, valWindows[i])
+			}
+			valWindows = sampled
+		}
+		seed := cfg.Seed + int64(1000*fi)
+		for wi, w := range valWindows {
+			adNorm = append(adNorm, adp.Score(w))
+			rdNorm = append(rdNorm, rnd.Score(w))
+			anom := attack.AS1(w, legit, 5, seed+int64(wi))
+			adAnom = append(adAnom, adp.Score(anom))
+			rdAnom = append(rdAnom, rnd.Score(anom))
+		}
+	}
+
+	res.ADPROM = metrics.Curve(adNorm, adAnom, fig10FPRates)
+	res.RandHMM = metrics.Curve(rdNorm, rdAnom, fig10FPRates)
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/ir"
+)
+
+// DatasetStats summarises one application corpus.
+type DatasetStats struct {
+	App       string
+	DBMS      string
+	States    int // library-call sites ("#states" in Tables III/IV)
+	TestCases int
+	Sequences int     // 15-length windows over all traces
+	Coverage  float64 // fraction of call sites exercised by the corpus
+}
+
+// Table3 regenerates Table III: statistics of the CA-dataset.
+func Table3() ([]DatasetStats, *Report, error) {
+	return datasetStats("table3", "Statistics about the CA-dataset (paper Table III)",
+		dataset.CAApps(),
+		map[string][3]int{ // paper's #states, #test cases, #sequences
+			"apph": {59, 63, 3810},
+			"appb": {139, 73, 10286},
+			"apps": {229, 36, 4053},
+		})
+}
+
+// Table4 regenerates Table IV: statistics of the SIR-style dataset. The
+// paper reports branch/line coverage of the real binaries; the analogue here
+// is call-site coverage of the generated programs.
+func Table4() ([]DatasetStats, *Report, error) {
+	return datasetStats("table4", "Statistics about the SIR-dataset (paper Table IV)",
+		dataset.SIRApps(),
+		map[string][3]int{ // paper's (#states n/a — shown as 0), test cases, traces
+			"app1": {0, 809, 34770},
+			"app2": {0, 214, 69866},
+			"app3": {0, 370, 14514},
+			"app4": {0, 1061, 6628647},
+		})
+}
+
+func datasetStats(id, title string, apps []*dataset.App, paper map[string][3]int) ([]DatasetStats, *Report, error) {
+	rep := &Report{ID: id, Title: title}
+	rep.addf("%-6s %-11s %8s %11s %11s %10s   %s", "app", "dbms", "#states", "#testcases", "#sequences", "coverage", "paper (states/cases/seqs)")
+	var out []DatasetStats
+	for _, app := range apps {
+		traces, err := app.CollectTraces(collector.ModeADPROM)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: %s: %w", app.Name, err)
+		}
+		st := DatasetStats{
+			App:       app.Name,
+			DBMS:      app.DBMS,
+			States:    app.NumStates(),
+			TestCases: len(app.TestCases),
+		}
+		seen := map[ir.CallSite]bool{}
+		for _, tr := range traces {
+			st.Sequences += len(tr.LabelWindows(15))
+			for _, c := range tr {
+				seen[ir.CallSite{Func: c.Caller, Block: c.Block}] = true
+			}
+		}
+		// Coverage: distinct (function, block) pairs with calls exercised,
+		// over all blocks containing calls.
+		total := map[ir.CallSite]bool{}
+		for _, sc := range ir.ProgramCallSites(app.Prog) {
+			total[ir.CallSite{Func: sc.Site.Func, Block: sc.Site.Block}] = true
+		}
+		if len(total) > 0 {
+			st.Coverage = float64(len(seen)) / float64(len(total))
+		}
+		p := paper[app.Name]
+		rep.addf("%-6s %-11s %8d %11d %11d %9.1f%%   %d/%d/%d",
+			st.App, st.DBMS, st.States, st.TestCases, st.Sequences, 100*st.Coverage, p[0], p[1], p[2])
+		out = append(out, st)
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,64 @@
+package hmm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchModel(n, m int) (*Model, []int) {
+	model := NewRandom(n, m, 1)
+	r := rand.New(rand.NewSource(2))
+	obs := make([]int, 15)
+	for i := range obs {
+		obs[i] = r.Intn(m)
+	}
+	return model, obs
+}
+
+// BenchmarkLogProb measures window scoring — the detection phase's hot path
+// (one evaluation per monitored call).
+func BenchmarkLogProb(b *testing.B) {
+	for _, n := range []int{50, 200, 450} {
+		model, obs := benchModel(n, 40)
+		b.Run(itoa(n)+"states", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := model.LogProb(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaumWelchIteration measures one training pass over 100 windows.
+func BenchmarkBaumWelchIteration(b *testing.B) {
+	model, _ := benchModel(100, 40)
+	r := rand.New(rand.NewSource(3))
+	seqs := make([][]int, 100)
+	for i := range seqs {
+		s := make([]int, 15)
+		for j := range s {
+			s[j] = r.Intn(40)
+		}
+		seqs[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := model.Clone()
+		if _, err := m.Train(seqs, TrainOptions{MaxIters: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{byte('0' + n%10)}, buf...)
+		n /= 10
+	}
+	return string(buf)
+}

@@ -1,0 +1,285 @@
+// Package hmm implements discrete-observation hidden Markov models: scaled
+// forward/backward evaluation, Viterbi decoding, and multi-sequence
+// Baum–Welch training.
+//
+// It replaces the Jahmm library used by the paper's Profile Constructor and
+// Detection Engine. Numerical stability follows Rabiner's scaling: the
+// forward pass renormalises α at every step and accumulates the
+// log-likelihood from the scale factors, so window probabilities P(cs|λ)
+// compare safely at any sequence length.
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Errors reported by the package.
+var (
+	ErrShape   = errors.New("hmm: inconsistent model shape")
+	ErrNoData  = errors.New("hmm: no training sequences")
+	ErrSymbols = errors.New("hmm: observation symbol out of range")
+)
+
+// Model is a discrete HMM λ = (A, B, π) with N hidden states and M
+// observation symbols. All fields are exported for gob serialisation; mutate
+// through the training APIs.
+type Model struct {
+	N  int
+	M  int
+	Pi []float64   // initial state distribution, length N
+	A  [][]float64 // state transitions, N×N, rows stochastic
+	B  [][]float64 // emissions, N×M, rows stochastic
+}
+
+// New returns a model with uniform parameters.
+func New(n, m int) *Model {
+	mod := &Model{N: n, M: m, Pi: make([]float64, n), A: alloc(n, n), B: alloc(n, m)}
+	for i := 0; i < n; i++ {
+		mod.Pi[i] = 1 / float64(n)
+		for j := 0; j < n; j++ {
+			mod.A[i][j] = 1 / float64(n)
+		}
+		for k := 0; k < m; k++ {
+			mod.B[i][k] = 1 / float64(m)
+		}
+	}
+	return mod
+}
+
+// NewRandom returns a model with random stochastic rows — the Rand-HMM
+// baseline's initialisation ([33] in the paper).
+func NewRandom(n, m int, seed int64) *Model {
+	r := rand.New(rand.NewSource(seed))
+	mod := &Model{N: n, M: m, Pi: make([]float64, n), A: alloc(n, n), B: alloc(n, m)}
+	fill := func(row []float64) {
+		var sum float64
+		for i := range row {
+			row[i] = 0.1 + r.Float64()
+			sum += row[i]
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	fill(mod.Pi)
+	for i := 0; i < n; i++ {
+		fill(mod.A[i])
+		fill(mod.B[i])
+	}
+	return mod
+}
+
+func alloc(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	cp := &Model{N: m.N, M: m.M, Pi: append([]float64(nil), m.Pi...)}
+	cp.A = cloneMat(m.A)
+	cp.B = cloneMat(m.B)
+	return cp
+}
+
+func cloneMat(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i, row := range src {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Validate checks shape and row stochasticity within tol.
+func (m *Model) Validate(tol float64) error {
+	if m.N <= 0 || m.M <= 0 || len(m.Pi) != m.N || len(m.A) != m.N || len(m.B) != m.N {
+		return fmt.Errorf("%w: N=%d M=%d", ErrShape, m.N, m.M)
+	}
+	check := func(row []float64, what string, wantLen int) error {
+		if len(row) != wantLen {
+			return fmt.Errorf("%w: %s has length %d, want %d", ErrShape, what, len(row), wantLen)
+		}
+		var sum float64
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("%w: %s contains %v", ErrShape, what, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("%w: %s sums to %v", ErrShape, what, sum)
+		}
+		return nil
+	}
+	if err := check(m.Pi, "Pi", m.N); err != nil {
+		return err
+	}
+	for i := 0; i < m.N; i++ {
+		if err := check(m.A[i], fmt.Sprintf("A[%d]", i), m.N); err != nil {
+			return err
+		}
+		if err := check(m.B[i], fmt.Sprintf("B[%d]", i), m.M); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogProb returns log P(obs | λ) using the scaled forward algorithm, or -Inf
+// when the sequence is impossible under the model. Symbols outside [0, M)
+// return ErrSymbols.
+func (m *Model) LogProb(obs []int) (float64, error) {
+	if len(obs) == 0 {
+		return 0, nil
+	}
+	alpha := make([]float64, m.N)
+	next := make([]float64, m.N)
+	var logL float64
+
+	o := obs[0]
+	if o < 0 || o >= m.M {
+		return 0, fmt.Errorf("%w: %d", ErrSymbols, o)
+	}
+	var scale float64
+	for i := 0; i < m.N; i++ {
+		alpha[i] = m.Pi[i] * m.B[i][o]
+		scale += alpha[i]
+	}
+	if scale == 0 {
+		return math.Inf(-1), nil
+	}
+	logL += math.Log(scale)
+	for i := range alpha {
+		alpha[i] /= scale
+	}
+
+	for t := 1; t < len(obs); t++ {
+		o = obs[t]
+		if o < 0 || o >= m.M {
+			return 0, fmt.Errorf("%w: %d", ErrSymbols, o)
+		}
+		scale = 0
+		for j := 0; j < m.N; j++ {
+			var s float64
+			for i := 0; i < m.N; i++ {
+				s += alpha[i] * m.A[i][j]
+			}
+			next[j] = s * m.B[j][o]
+			scale += next[j]
+		}
+		if scale == 0 {
+			return math.Inf(-1), nil
+		}
+		logL += math.Log(scale)
+		for j := range next {
+			next[j] /= scale
+		}
+		alpha, next = next, alpha
+	}
+	return logL, nil
+}
+
+// Viterbi returns the most likely hidden-state sequence for obs and its log
+// probability.
+func (m *Model) Viterbi(obs []int) ([]int, float64, error) {
+	if len(obs) == 0 {
+		return nil, 0, nil
+	}
+	const tiny = -1e300
+	logA := cloneMat(m.A)
+	logB := cloneMat(m.B)
+	for i := range logA {
+		for j := range logA[i] {
+			logA[i][j] = safeLog(logA[i][j], tiny)
+		}
+		for k := range logB[i] {
+			logB[i][k] = safeLog(logB[i][k], tiny)
+		}
+	}
+
+	T := len(obs)
+	delta := alloc(T, m.N)
+	psi := make([][]int, T)
+	for t := range psi {
+		psi[t] = make([]int, m.N)
+	}
+	o := obs[0]
+	if o < 0 || o >= m.M {
+		return nil, 0, fmt.Errorf("%w: %d", ErrSymbols, o)
+	}
+	for i := 0; i < m.N; i++ {
+		delta[0][i] = safeLog(m.Pi[i], tiny) + logB[i][o]
+	}
+	for t := 1; t < T; t++ {
+		o = obs[t]
+		if o < 0 || o >= m.M {
+			return nil, 0, fmt.Errorf("%w: %d", ErrSymbols, o)
+		}
+		for j := 0; j < m.N; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < m.N; i++ {
+				if v := delta[t-1][i] + logA[i][j]; v > best {
+					best, arg = v, i
+				}
+			}
+			delta[t][j] = best + logB[j][o]
+			psi[t][j] = arg
+		}
+	}
+	best, arg := math.Inf(-1), 0
+	for i := 0; i < m.N; i++ {
+		if delta[T-1][i] > best {
+			best, arg = delta[T-1][i], i
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = arg
+	for t := T - 2; t >= 0; t-- {
+		path[t] = psi[t+1][path[t+1]]
+	}
+	return path, best, nil
+}
+
+func safeLog(v, tiny float64) float64 {
+	if v <= 0 {
+		return tiny
+	}
+	return math.Log(v)
+}
+
+// Smooth raises every parameter to at least floor and renormalises. Training
+// applies it after each iteration so that library calls unseen in some
+// context keep non-zero probability — without it a single novel-but-benign
+// transition would zero out an entire window.
+func (m *Model) Smooth(floor float64) {
+	smoothRow(m.Pi, floor)
+	for i := 0; i < m.N; i++ {
+		smoothRow(m.A[i], floor)
+		smoothRow(m.B[i], floor)
+	}
+}
+
+func smoothRow(row []float64, floor float64) {
+	var sum float64
+	for i := range row {
+		if row[i] < floor {
+			row[i] = floor
+		}
+		sum += row[i]
+	}
+	if sum == 0 {
+		for i := range row {
+			row[i] = 1 / float64(len(row))
+		}
+		return
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}

@@ -1,0 +1,323 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// twoState builds a crafted 2-state model: state 0 emits symbol 0, state 1
+// emits symbol 1; transitions strongly favour staying.
+func twoState() *Model {
+	m := New(2, 2)
+	m.Pi = []float64{1, 0}
+	m.A = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	m.B = [][]float64{{0.95, 0.05}, {0.05, 0.95}}
+	return m
+}
+
+func TestLogProbHandComputed(t *testing.T) {
+	m := twoState()
+	// P(obs=[0]) = π0·b0(0) + π1·b1(0) = 1·0.95 = 0.95.
+	ll, err := m.LogProb([]int{0})
+	if err != nil {
+		t.Fatalf("LogProb: %v", err)
+	}
+	if want := math.Log(0.95); math.Abs(ll-want) > 1e-12 {
+		t.Errorf("LogProb([0]) = %v, want %v", ll, want)
+	}
+	// P([0,0]) = Σ_j (α1(i)a_ij) b_j(0):
+	// α1 = [0.95, 0]; α2(0) = 0.95·0.9·0.95 = 0.81225; α2(1) = 0.95·0.1·0.05.
+	want := math.Log(0.95*0.9*0.95 + 0.95*0.1*0.05)
+	ll, err = m.LogProb([]int{0, 0})
+	if err != nil {
+		t.Fatalf("LogProb: %v", err)
+	}
+	if math.Abs(ll-want) > 1e-12 {
+		t.Errorf("LogProb([0,0]) = %v, want %v", ll, want)
+	}
+}
+
+func TestLogProbEdgeCases(t *testing.T) {
+	m := twoState()
+	if ll, err := m.LogProb(nil); err != nil || ll != 0 {
+		t.Errorf("LogProb(nil) = (%v, %v), want (0, nil)", ll, err)
+	}
+	if _, err := m.LogProb([]int{2}); !errors.Is(err, ErrSymbols) {
+		t.Errorf("out-of-range symbol error = %v", err)
+	}
+	if _, err := m.LogProb([]int{-1}); !errors.Is(err, ErrSymbols) {
+		t.Errorf("negative symbol error = %v", err)
+	}
+	// Impossible sequence under a deterministic model.
+	d := New(1, 2)
+	d.Pi = []float64{1}
+	d.A = [][]float64{{1}}
+	d.B = [][]float64{{1, 0}}
+	ll, err := d.LogProb([]int{1})
+	if err != nil || !math.IsInf(ll, -1) {
+		t.Errorf("impossible sequence = (%v, %v), want -Inf", ll, err)
+	}
+}
+
+func TestViterbiRecoversStates(t *testing.T) {
+	m := twoState()
+	path, ll, err := m.Viterbi([]int{0, 0, 1, 1, 1, 0})
+	if err != nil {
+		t.Fatalf("Viterbi: %v", err)
+	}
+	if want := []int{0, 0, 1, 1, 1, 0}; !reflect.DeepEqual(path, want) {
+		t.Errorf("path = %v, want %v", path, want)
+	}
+	if math.IsInf(ll, 0) || ll >= 0 {
+		t.Errorf("viterbi logprob = %v", ll)
+	}
+	if p, _, err := m.Viterbi(nil); err != nil || p != nil {
+		t.Errorf("Viterbi(nil) = %v, %v", p, err)
+	}
+	if _, _, err := m.Viterbi([]int{5}); !errors.Is(err, ErrSymbols) {
+		t.Errorf("Viterbi symbol error = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoState().Validate(1e-9); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	if err := NewRandom(5, 7, 3).Validate(1e-9); err != nil {
+		t.Errorf("random model rejected: %v", err)
+	}
+	bad := twoState()
+	bad.A[0][0] = 0.5 // row no longer sums to 1
+	if err := bad.Validate(1e-9); !errors.Is(err, ErrShape) {
+		t.Errorf("broken model accepted: %v", err)
+	}
+	neg := twoState()
+	neg.B[0][0] = -0.1
+	if err := neg.Validate(1e-9); !errors.Is(err, ErrShape) {
+		t.Errorf("negative model accepted: %v", err)
+	}
+}
+
+// sample draws sequences from a known model.
+func sample(m *Model, r *rand.Rand, T int) []int {
+	draw := func(dist []float64) int {
+		x := r.Float64()
+		var c float64
+		for i, p := range dist {
+			c += p
+			if x < c {
+				return i
+			}
+		}
+		return len(dist) - 1
+	}
+	obs := make([]int, T)
+	s := draw(m.Pi)
+	obs[0] = draw(m.B[s])
+	for t := 1; t < T; t++ {
+		s = draw(m.A[s])
+		obs[t] = draw(m.B[s])
+	}
+	return obs
+}
+
+// TestBaumWelchImprovesLikelihood: training on sequences from a ground-truth
+// model raises their likelihood monotonically (up to smoothing noise) and
+// ends with a valid model.
+func TestBaumWelchImprovesLikelihood(t *testing.T) {
+	truth := twoState()
+	r := rand.New(rand.NewSource(11))
+	var seqs [][]int
+	for i := 0; i < 40; i++ {
+		seqs = append(seqs, sample(truth, r, 25))
+	}
+
+	m := NewRandom(2, 2, 5)
+	res, err := m.Train(seqs, TrainOptions{MaxIters: 25})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if res.Iterations == 0 || len(res.TrainLogLik) != res.Iterations {
+		t.Fatalf("result = %+v", res)
+	}
+	for i := 1; i < len(res.TrainLogLik); i++ {
+		if res.TrainLogLik[i] < res.TrainLogLik[i-1]-1e-6 {
+			t.Errorf("likelihood decreased at iter %d: %v -> %v",
+				i, res.TrainLogLik[i-1], res.TrainLogLik[i])
+		}
+	}
+	if err := m.Validate(1e-6); err != nil {
+		t.Errorf("trained model invalid: %v", err)
+	}
+
+	// The trained model should clearly prefer in-distribution data over an
+	// anti-pattern (rapid alternation is rare under sticky transitions).
+	good, _ := m.LogProb(sample(truth, r, 25))
+	bad, _ := m.LogProb([]int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0})
+	if good <= bad {
+		t.Errorf("trained model does not separate: good=%v bad=%v", good, bad)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m := New(2, 2)
+	if _, err := m.Train(nil, TrainOptions{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("no data error = %v", err)
+	}
+	if _, err := m.Train([][]int{{}}, TrainOptions{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty sequences error = %v", err)
+	}
+	if _, err := m.Train([][]int{{0, 9}}, TrainOptions{}); !errors.Is(err, ErrSymbols) {
+		t.Errorf("bad symbol error = %v", err)
+	}
+}
+
+func TestHoldoutEarlyStopping(t *testing.T) {
+	truth := twoState()
+	r := rand.New(rand.NewSource(21))
+	var train, hold [][]int
+	for i := 0; i < 30; i++ {
+		train = append(train, sample(truth, r, 20))
+	}
+	for i := 0; i < 8; i++ {
+		hold = append(hold, sample(truth, r, 20))
+	}
+	m := NewRandom(2, 2, 9)
+	res, err := m.Train(train, TrainOptions{MaxIters: 200, Tol: 1e-12, Holdout: hold})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if res.Iterations >= 200 {
+		t.Errorf("holdout never stopped training (%d iters)", res.Iterations)
+	}
+	if len(res.HoldoutLogLik) != res.Iterations {
+		t.Errorf("holdout history length %d != iters %d", len(res.HoldoutLogLik), res.Iterations)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := twoState()
+	cp := m.Clone()
+	cp.A[0][0] = 0.123
+	cp.Pi[0] = 0.5
+	cp.B[1][1] = 0.7
+	if m.A[0][0] != 0.9 || m.Pi[0] != 1 || m.B[1][1] != 0.95 {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestSmoothRemovesZeros(t *testing.T) {
+	m := New(2, 3)
+	m.Pi = []float64{1, 0}
+	m.A = [][]float64{{1, 0}, {0, 1}}
+	m.B = [][]float64{{1, 0, 0}, {0, 1, 0}}
+	m.Smooth(1e-4)
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatalf("smoothed model invalid: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		for k := 0; k < 3; k++ {
+			if m.B[i][k] <= 0 {
+				t.Errorf("B[%d][%d] = %v after smoothing", i, k, m.B[i][k])
+			}
+		}
+	}
+	// A degenerate all-zero row becomes uniform.
+	z := New(2, 2)
+	z.A[0] = []float64{0, 0}
+	z.Smooth(0)
+	if z.A[0][0] != 0.5 || z.A[0][1] != 0.5 {
+		t.Errorf("zero row smoothed to %v", z.A[0])
+	}
+}
+
+// TestLogProbNeverPositive is a quick-check property: any observation
+// sequence over a valid model has log-likelihood ≤ 0.
+func TestLogProbNeverPositive(t *testing.T) {
+	m := NewRandom(4, 6, 17)
+	f := func(raw []uint8) bool {
+		obs := make([]int, len(raw))
+		for i, b := range raw {
+			obs[i] = int(b) % m.M
+		}
+		ll, err := m.LogProb(obs)
+		if err != nil {
+			return false
+		}
+		return ll <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrainedRowsStochastic is a quick-check property: after training on
+// arbitrary data, all rows remain stochastic.
+func TestTrainedRowsStochastic(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		obs := make([]int, len(raw))
+		for i, b := range raw {
+			obs[i] = int(b) % 3
+		}
+		m := NewRandom(3, 3, seed)
+		if _, err := m.Train([][]int{obs}, TrainOptions{MaxIters: 5}); err != nil {
+			return false
+		}
+		return m.Validate(1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMAPPriorPreservesUnexercisedTransitions is the property MAP training
+// exists for: a transition present in the initial model but absent from the
+// training data must keep substantial probability, where ML training would
+// floor it.
+func TestMAPPriorPreservesUnexercisedTransitions(t *testing.T) {
+	// Initial model: state 0 may go to 1 or 2 equally; training data only
+	// ever exercises 0→1 (observations 0 then 1; symbol 2 never follows 0).
+	build := func() *Model {
+		m := New(3, 3)
+		m.Pi = []float64{1, 0, 0}
+		m.A = [][]float64{{0, 0.5, 0.5}, {1, 0, 0}, {1, 0, 0}}
+		m.B = [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+		return m
+	}
+	seqs := [][]int{{0, 1, 0, 1, 0, 1}, {0, 1, 0, 1}}
+
+	ml := build()
+	if _, err := ml.Train(seqs, TrainOptions{MaxIters: 10}); err != nil {
+		t.Fatal(err)
+	}
+	mp := build()
+	if _, err := mp.Train(seqs, TrainOptions{MaxIters: 10, PriorWeight: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if ml.A[0][2] > 1e-3 {
+		t.Errorf("ML kept A[0][2] = %v — expected it floored", ml.A[0][2])
+	}
+	if mp.A[0][2] < 0.05 {
+		t.Errorf("MAP lost the unexercised transition: A[0][2] = %v", mp.A[0][2])
+	}
+	// Both still explain the training data.
+	for _, m := range []*Model{ml, mp} {
+		if ll, _ := m.LogProb(seqs[0]); ll < -6 {
+			t.Errorf("trained model explains data poorly: %v", ll)
+		}
+	}
+	// And the statically feasible sequence 0,2 stays plausible under MAP.
+	mlLL, _ := ml.LogProb([]int{0, 2})
+	mpLL, _ := mp.LogProb([]int{0, 2})
+	if mpLL <= mlLL {
+		t.Errorf("MAP does not rate the feasible path higher: %v vs %v", mpLL, mlLL)
+	}
+}

@@ -1,0 +1,290 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainOptions tune Baum–Welch.
+type TrainOptions struct {
+	// MaxIters bounds re-estimation rounds (default 30).
+	MaxIters int
+	// Tol is the minimum per-iteration improvement of the average training
+	// log-likelihood to continue (default 1e-4).
+	Tol float64
+	// Holdout is the paper's converge sub-dataset (CSDS, §V-B): when set,
+	// training stops as soon as an iteration fails to improve the average
+	// holdout log-likelihood, independent of training progress.
+	Holdout [][]int
+	// SmoothFloor is the probability floor applied after each iteration
+	// (default 1e-6).
+	SmoothFloor float64
+	// PriorWeight, when positive, makes re-estimation MAP instead of ML: the
+	// model's pre-training parameters act as a Dirichlet prior with this
+	// pseudo-count mass per row. For CTM-initialised models this is the
+	// mechanism that preserves statically known-feasible transitions that
+	// the (possibly subsampled) trace corpus never exercised — without it,
+	// one Baum–Welch pass drives every unexercised legitimate path to the
+	// smoothing floor and the detector flags it forever.
+	PriorWeight float64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 30
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+	if o.SmoothFloor <= 0 {
+		o.SmoothFloor = 1e-6
+	}
+	return o
+}
+
+// TrainResult reports a training run.
+type TrainResult struct {
+	// Iterations actually executed.
+	Iterations int
+	// TrainLogLik is the average training log-likelihood after each
+	// iteration.
+	TrainLogLik []float64
+	// HoldoutLogLik parallels TrainLogLik when a holdout was supplied.
+	HoldoutLogLik []float64
+	// StoppedByHoldout reports whether the CSDS criterion ended training.
+	StoppedByHoldout bool
+}
+
+// Train runs multi-sequence Baum–Welch re-estimation in place.
+func (m *Model) Train(seqs [][]int, opts TrainOptions) (*TrainResult, error) {
+	opts = opts.withDefaults()
+	var nonEmpty [][]int
+	for _, s := range seqs {
+		if len(s) > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil, ErrNoData
+	}
+	for _, s := range nonEmpty {
+		for _, o := range s {
+			if o < 0 || o >= m.M {
+				return nil, fmt.Errorf("%w: %d (M=%d)", ErrSymbols, o, m.M)
+			}
+		}
+	}
+	m.Smooth(opts.SmoothFloor)
+
+	var prior *Model
+	if opts.PriorWeight > 0 {
+		prior = m.Clone()
+	}
+
+	res := &TrainResult{}
+	prevTrain := math.Inf(-1)
+	bestHold := math.Inf(-1)
+	holdBad := 0
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		trainLL := m.reestimate(nonEmpty, prior, opts.PriorWeight)
+		m.Smooth(opts.SmoothFloor)
+		res.Iterations = iter + 1
+		res.TrainLogLik = append(res.TrainLogLik, trainLL)
+
+		if len(opts.Holdout) > 0 {
+			holdLL := m.avgLogProb(opts.Holdout)
+			res.HoldoutLogLik = append(res.HoldoutLogLik, holdLL)
+			// CSDS stopping with patience: a single noisy dip must not end
+			// training while the model is still far from converged, so stop
+			// only after two consecutive non-improving iterations (and never
+			// before the third iteration).
+			if holdLL > bestHold+1e-9 {
+				bestHold = holdLL
+				holdBad = 0
+			} else {
+				holdBad++
+				if holdBad >= 2 && iter >= 2 {
+					res.StoppedByHoldout = true
+					return res, nil
+				}
+			}
+		}
+		if trainLL-prevTrain < opts.Tol && iter > 0 {
+			return res, nil
+		}
+		prevTrain = trainLL
+	}
+	return res, nil
+}
+
+// avgLogProb returns the mean log-likelihood over sequences.
+func (m *Model) avgLogProb(seqs [][]int) float64 {
+	var total float64
+	n := 0
+	for _, s := range seqs {
+		if len(s) == 0 {
+			continue
+		}
+		ll, err := m.LogProb(s)
+		if err != nil {
+			continue
+		}
+		total += ll
+		n++
+	}
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	return total / float64(n)
+}
+
+// reestimate performs one scaled Baum–Welch E+M step over all sequences and
+// returns the average log-likelihood under the pre-update parameters. A
+// non-nil prior contributes priorW pseudo-counts per row (MAP estimation).
+func (m *Model) reestimate(seqs [][]int, prior *Model, priorW float64) float64 {
+	n, mm := m.N, m.M
+	piAcc := make([]float64, n)
+	aNum := alloc(n, n)
+	aDen := make([]float64, n)
+	bNum := alloc(n, mm)
+	bDen := make([]float64, n)
+	if prior != nil && priorW > 0 {
+		for i := 0; i < n; i++ {
+			piAcc[i] = priorW * prior.Pi[i]
+			aDen[i] = priorW
+			bDen[i] = priorW
+			for j := 0; j < n; j++ {
+				aNum[i][j] = priorW * prior.A[i][j]
+			}
+			for k := 0; k < mm; k++ {
+				bNum[i][k] = priorW * prior.B[i][k]
+			}
+		}
+	}
+	var totalLL float64
+
+	for _, obs := range seqs {
+		T := len(obs)
+		alpha := alloc(T, n)
+		beta := alloc(T, n)
+		scale := make([]float64, T)
+
+		// Scaled forward.
+		var s float64
+		for i := 0; i < n; i++ {
+			alpha[0][i] = m.Pi[i] * m.B[i][obs[0]]
+			s += alpha[0][i]
+		}
+		if s == 0 {
+			s = math.SmallestNonzeroFloat64
+		}
+		scale[0] = s
+		for i := 0; i < n; i++ {
+			alpha[0][i] /= s
+		}
+		for t := 1; t < T; t++ {
+			s = 0
+			for j := 0; j < n; j++ {
+				var v float64
+				for i := 0; i < n; i++ {
+					v += alpha[t-1][i] * m.A[i][j]
+				}
+				alpha[t][j] = v * m.B[j][obs[t]]
+				s += alpha[t][j]
+			}
+			if s == 0 {
+				s = math.SmallestNonzeroFloat64
+			}
+			scale[t] = s
+			for j := 0; j < n; j++ {
+				alpha[t][j] /= s
+			}
+		}
+		for t := 0; t < T; t++ {
+			totalLL += math.Log(scale[t])
+		}
+
+		// Scaled backward with the forward scale factors.
+		for i := 0; i < n; i++ {
+			beta[T-1][i] = 1 / scale[T-1]
+		}
+		for t := T - 2; t >= 0; t-- {
+			for i := 0; i < n; i++ {
+				var v float64
+				for j := 0; j < n; j++ {
+					v += m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+				}
+				beta[t][i] = v / scale[t]
+			}
+		}
+
+		// Accumulate γ and ξ.
+		gamma := make([]float64, n)
+		for t := 0; t < T; t++ {
+			var norm float64
+			for i := 0; i < n; i++ {
+				gamma[i] = alpha[t][i] * beta[t][i]
+				norm += gamma[i]
+			}
+			if norm == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				g := gamma[i] / norm
+				if t == 0 {
+					piAcc[i] += g
+				}
+				bNum[i][obs[t]] += g
+				bDen[i] += g
+				if t < T-1 {
+					aDen[i] += g
+				}
+			}
+			if t < T-1 {
+				var xiNorm float64
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						xiNorm += alpha[t][i] * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+					}
+				}
+				if xiNorm == 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					ai := alpha[t][i]
+					if ai == 0 {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						aNum[i][j] += ai * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j] / xiNorm
+					}
+				}
+			}
+		}
+	}
+
+	// M step. Rows with no evidence keep their previous values.
+	var piSum float64
+	for i := 0; i < n; i++ {
+		piSum += piAcc[i]
+	}
+	if piSum > 0 {
+		for i := 0; i < n; i++ {
+			m.Pi[i] = piAcc[i] / piSum
+		}
+	}
+	for i := 0; i < n; i++ {
+		if aDen[i] > 0 {
+			for j := 0; j < n; j++ {
+				m.A[i][j] = aNum[i][j] / aDen[i]
+			}
+		}
+		if bDen[i] > 0 {
+			for k := 0; k < mm; k++ {
+				m.B[i][k] = bNum[i][k] / bDen[i]
+			}
+		}
+	}
+	return totalLL / float64(len(seqs))
+}

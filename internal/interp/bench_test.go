@@ -1,0 +1,49 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"adprom/internal/ir"
+	"adprom/internal/minidb"
+)
+
+// BenchmarkRunFigure1 measures end-to-end execution of the Figure 1 client
+// (connect, query, loop, print) with an attached no-op hook — the unit the
+// Table VI overhead comparison multiplies.
+func BenchmarkRunFigure1(b *testing.B) {
+	db := minidb.New()
+	db.MustExec("CREATE TABLE items (id INT, name TEXT)")
+	for i := 0; i < 20; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO items VALUES (%d, 'x%d')", i, i))
+	}
+	bd := ir.NewBuilder("bench")
+	m := bd.Func("main")
+	e := m.Block()
+	loop := m.Block()
+	body := m.Block()
+	done := m.Block()
+	e.CallTo("conn", "PQconnectdb")
+	e.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT * FROM items"))
+	e.CallTo("n", "PQntuples", ir.V("res"))
+	e.Assign("i", ir.I(0))
+	e.Goto(loop)
+	loop.If(ir.Lt(ir.V("i"), ir.V("n")), body, done)
+	body.CallTo("v", "PQgetvalue", ir.V("res"), ir.V("i"), ir.I(1))
+	body.Call("printf", ir.S("%s"), ir.V("v"))
+	body.Assign("i", ir.Add(ir.V("i"), ir.I(1)))
+	body.Goto(loop)
+	done.Ret()
+	prog := bd.MustBuild()
+
+	world := NewWorld(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		world.ResetIO()
+		ip := New(prog, world, Options{})
+		ip.AddHook(func(*Event) {})
+		if _, err := ip.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

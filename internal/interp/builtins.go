@@ -1,0 +1,415 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"adprom/internal/dbclient"
+	"adprom/internal/ir"
+)
+
+// callBuiltin executes one library call, emitting its event first (the
+// collector sees the call on entry, like an instrumented call does).
+//
+// Unknown call names still emit an event and return null: the attack
+// framework may splice in calls the runtime has no semantics for, and what
+// matters to the detector is that the call appears in the trace.
+func (x *exec) callBuiltin(name string, args []Value, site ir.CallSite) (Value, error) {
+	x.emit(name, args, site)
+	w := x.ip.world
+
+	switch name {
+	// ---- terminal output -------------------------------------------------
+	case "printf":
+		s, t := x.format(args)
+		w.Stdout.WriteString(s)
+		_ = t
+		return IntV(int64(len(s))), nil
+	case "puts":
+		s := argText(args, 0)
+		w.Stdout.WriteString(s + "\n")
+		return IntV(int64(len(s) + 1)), nil
+
+	// ---- string formatting -----------------------------------------------
+	case "sprintf":
+		s, t := x.format(args)
+		return StrV(s).WithTaint(t), nil
+	case "snprintf":
+		if len(args) == 0 {
+			return StrV(""), nil
+		}
+		limit := int(args[0].AsInt())
+		s, t := x.format(args[1:])
+		if limit >= 0 && len(s) > limit {
+			s = s[:limit]
+		}
+		return StrV(s).WithTaint(t), nil
+
+	// ---- file output -----------------------------------------------------
+	case "fprintf":
+		if len(args) == 0 || args[0].Kind != KFile {
+			return Value{}, fmt.Errorf("%w: fprintf needs a file argument", ErrRuntime)
+		}
+		s, t := x.format(args[1:])
+		args[0].File.Write(s, t)
+		return IntV(int64(len(s))), nil
+	case "fputs", "fwrite":
+		// fputs(s, file) / fwrite(s, file)
+		if len(args) < 2 || args[1].Kind != KFile {
+			return Value{}, fmt.Errorf("%w: %s needs (data, file) arguments", ErrRuntime, name)
+		}
+		s := args[0].Text()
+		args[1].File.Write(s, args[0].Taint)
+		return IntV(int64(len(s))), nil
+	case "fputc":
+		if len(args) < 2 || args[1].Kind != KFile {
+			return Value{}, fmt.Errorf("%w: fputc needs (char, file) arguments", ErrRuntime)
+		}
+		var s string
+		if args[0].Kind == KInt {
+			s = string(rune(args[0].Int))
+		} else {
+			t := args[0].Text()
+			if t != "" {
+				s = t[:1]
+			}
+		}
+		args[1].File.Write(s, args[0].Taint)
+		return IntV(1), nil
+	case "write":
+		// write(file, data) or write(1, data) for stdout.
+		if len(args) < 2 {
+			return Value{}, fmt.Errorf("%w: write needs (target, data) arguments", ErrRuntime)
+		}
+		s := args[1].Text()
+		switch {
+		case args[0].Kind == KFile:
+			args[0].File.Write(s, args[1].Taint)
+		default:
+			w.Stdout.WriteString(s)
+		}
+		return IntV(int64(len(s))), nil
+
+	// ---- network / process exfiltration channels ---------------------------
+	case "send":
+		payload := argText(args, len(args)-1)
+		w.Net = append(w.Net, "send:"+payload)
+		return IntV(int64(len(payload))), nil
+	case "system":
+		cmd := argText(args, 0)
+		w.Net = append(w.Net, "system:"+cmd)
+		return IntV(0), nil
+
+	// ---- input -------------------------------------------------------------
+	case "scanf", "gets", "read", "getline":
+		s, _ := x.nextInput()
+		return StrV(s), nil
+
+	// ---- virtual filesystem -------------------------------------------------
+	case "fopen":
+		f := w.OpenFile(argText(args, 0), argText(args, 1))
+		return Value{Kind: KFile, File: f}, nil
+	case "fclose":
+		return IntV(0), nil
+	case "fgets":
+		if len(args) == 0 || args[0].Kind != KFile {
+			return Value{}, fmt.Errorf("%w: fgets needs a file argument", ErrRuntime)
+		}
+		line, ok := args[0].File.ReadLine()
+		if !ok {
+			return NullV(), nil
+		}
+		return StrV(line).WithTaint(args[0].File.TaintedBy), nil
+
+	// ---- libpq --------------------------------------------------------------
+	case "PQconnectdb":
+		return Value{Kind: KConn, Conn: x.connect(w)}, nil
+	case "PQfinish":
+		if c := argConn(args, 0); c != nil {
+			c.Close()
+		}
+		return NullV(), nil
+	case "PQexec":
+		conn := argConn(args, 0)
+		if conn == nil {
+			return Value{}, fmt.Errorf("%w: PQexec needs a connection", ErrRuntime)
+		}
+		sql := argText(args, 1)
+		origin := Origin{Func: site.Func, Block: site.Block}
+		res, err := conn.Exec(sql)
+		w.Queries = append(w.Queries, QueryRecord{Origin: origin, SQL: lastWireQuery(conn, sql)})
+		if err != nil {
+			return NullV(), nil // programs test the handle, as with PQresultStatus
+		}
+		return Value{Kind: KResult, Result: res, Taint: NewTaint(origin)}, nil
+	case "PQntuples":
+		r := argResult(args, 0)
+		return IntV(int64(r.NTuples())).WithTaint(argTaint(args, 0)), nil
+	case "PQnfields":
+		r := argResult(args, 0)
+		return IntV(int64(r.NFields())).WithTaint(argTaint(args, 0)), nil
+	case "PQgetvalue":
+		r := argResult(args, 0)
+		row := int(argInt(args, 1))
+		col := int(argInt(args, 2))
+		return StrV(r.Value(row, col)).WithTaint(argTaint(args, 0)), nil
+	case "PQclear":
+		return NullV(), nil
+
+	// ---- MySQL C API ----------------------------------------------------------
+	case "mysql_init", "mysql_real_connect":
+		return Value{Kind: KConn, Conn: x.connect(w)}, nil
+	case "mysql_close":
+		if c := argConn(args, 0); c != nil {
+			c.Close()
+		}
+		return NullV(), nil
+	case "mysql_query":
+		conn := argConn(args, 0)
+		if conn == nil {
+			return Value{}, fmt.Errorf("%w: mysql_query needs a connection", ErrRuntime)
+		}
+		sql := argText(args, 1)
+		origin := Origin{Func: site.Func, Block: site.Block}
+		res, err := conn.Exec(sql)
+		w.Queries = append(w.Queries, QueryRecord{Origin: origin, SQL: lastWireQuery(conn, sql)})
+		x.pending[conn] = pendingResult{res: res, origin: origin, err: err}
+		if err != nil {
+			return IntV(1), nil // non-zero status, like the C API
+		}
+		return IntV(0), nil
+	case "mysql_store_result":
+		conn := argConn(args, 0)
+		if conn == nil {
+			return Value{}, fmt.Errorf("%w: mysql_store_result needs a connection", ErrRuntime)
+		}
+		p, ok := x.pending[conn]
+		if !ok || p.err != nil || p.res == nil {
+			return NullV(), nil
+		}
+		return Value{Kind: KResult, Result: p.res, Taint: NewTaint(p.origin)}, nil
+	case "mysql_fetch_row":
+		r := argResult(args, 0)
+		if r == nil {
+			return NullV(), nil
+		}
+		row, ok := r.FetchRow()
+		if !ok {
+			return NullV().WithTaint(argTaint(args, 0)), nil
+		}
+		return RowV(row).WithTaint(argTaint(args, 0)), nil
+	case "mysql_num_rows":
+		return IntV(int64(argResult(args, 0).NTuples())).WithTaint(argTaint(args, 0)), nil
+	case "mysql_num_fields":
+		return IntV(int64(argResult(args, 0).NFields())).WithTaint(argTaint(args, 0)), nil
+	case "mysql_free_result":
+		return NullV(), nil
+	case "mysql_error":
+		if c := argConn(args, 0); c != nil && c.LastError() != nil {
+			return StrV(c.LastError().Error()), nil
+		}
+		return StrV(""), nil
+
+	// ---- libc string/utility ---------------------------------------------------
+	case "strcpy":
+		// strcpy(dst, src) returns src's content; the 1-arg form copies its
+		// only argument.
+		v := args[len(args)-1]
+		return StrV(v.Text()).WithTaint(v.Taint), nil
+	case "strcat":
+		var sb strings.Builder
+		var t Taint
+		for _, a := range args {
+			sb.WriteString(a.Text())
+			t = t.Union(a.Taint)
+		}
+		return StrV(sb.String()).WithTaint(t), nil
+	case "strlen":
+		return IntV(int64(len(argText(args, 0)))).WithTaint(argTaint(args, 0)), nil
+	case "strncpy":
+		// strncpy(src, n) — the dst is the binding, as with strcpy.
+		s := argText(args, 0)
+		if n := int(argInt(args, 1)); n >= 0 && n < len(s) {
+			s = s[:n]
+		}
+		return StrV(s).WithTaint(argTaint(args, 0)), nil
+	case "strstr":
+		hay, needle := argText(args, 0), argText(args, 1)
+		i := strings.Index(hay, needle)
+		if i < 0 {
+			return NullV().WithTaint(argTaint(args, 0)), nil
+		}
+		return StrV(hay[i:]).WithTaint(argTaint(args, 0)), nil
+	case "strchr":
+		s := argText(args, 0)
+		var ch byte
+		if len(args) > 1 {
+			if args[1].Kind == KInt {
+				ch = byte(args[1].Int)
+			} else if t := args[1].Text(); t != "" {
+				ch = t[0]
+			}
+		}
+		i := strings.IndexByte(s, ch)
+		if i < 0 {
+			return NullV().WithTaint(argTaint(args, 0)), nil
+		}
+		return StrV(s[i:]).WithTaint(argTaint(args, 0)), nil
+	case "toupper":
+		return StrV(strings.ToUpper(argText(args, 0))).WithTaint(argTaint(args, 0)), nil
+	case "tolower":
+		return StrV(strings.ToLower(argText(args, 0))).WithTaint(argTaint(args, 0)), nil
+	case "abs":
+		v := argInt(args, 0)
+		if v < 0 {
+			v = -v
+		}
+		return IntV(v).WithTaint(argTaint(args, 0)), nil
+	case "strcmp":
+		a, b := argText(args, 0), argText(args, 1)
+		return IntV(int64(strings.Compare(a, b))).WithTaint(argTaint(args, 0).Union(argTaint(args, 1))), nil
+	case "atoi":
+		return IntV(args[0].AsInt()).WithTaint(argTaint(args, 0)), nil
+	case "itoa":
+		return StrV(strconv.FormatInt(argInt(args, 0), 10)).WithTaint(argTaint(args, 0)), nil
+	case "memcpy":
+		if len(args) == 0 {
+			return NullV(), nil
+		}
+		return args[len(args)-1], nil
+	case "malloc":
+		return IntV(1), nil // opaque non-null pointer
+	case "free":
+		return NullV(), nil
+
+	default:
+		// Unknown library call: observable but inert.
+		return NullV(), nil
+	}
+}
+
+// connect opens a client connection, wiring in the world's man-in-the-middle
+// rewriter when one is present (attack 3.2).
+func (x *exec) connect(w *World) *dbclient.Conn {
+	c := dbclient.Connect(w.DB)
+	if w.Rewriter != nil {
+		c.SetRewriter(w.Rewriter)
+	}
+	return c
+}
+
+// format implements the C format-string subset the dataset programs use:
+// %s, %d, %c and %% (with optional flags/width digits, which are accepted and
+// ignored). args[0] is the format; remaining args feed the verbs in order.
+func (x *exec) format(args []Value) (string, Taint) {
+	if len(args) == 0 {
+		return "", nil
+	}
+	f := args[0].Text()
+	taint := args[0].Taint
+	rest := args[1:]
+	var sb strings.Builder
+	ai := 0
+	nextArg := func() Value {
+		if ai < len(rest) {
+			v := rest[ai]
+			ai++
+			taint = taint.Union(v.Taint)
+			return v
+		}
+		return NullV()
+	}
+	for i := 0; i < len(f); i++ {
+		c := f[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(f) {
+			sb.WriteByte('%')
+			break
+		}
+		// Skip flags and width digits: %-8s, %02d, etc.
+		for i < len(f) && (f[i] == '-' || f[i] == '0' || f[i] == '+' || f[i] == ' ' || f[i] == '.' || (f[i] >= '1' && f[i] <= '9')) {
+			i++
+		}
+		if i >= len(f) {
+			break
+		}
+		switch f[i] {
+		case '%':
+			sb.WriteByte('%')
+		case 's':
+			sb.WriteString(nextArg().Text())
+		case 'd', 'i', 'u', 'l', 'f':
+			sb.WriteString(strconv.FormatInt(nextArg().AsInt(), 10))
+		case 'c':
+			v := nextArg()
+			if v.Kind == KInt {
+				sb.WriteRune(rune(v.Int))
+			} else if s := v.Text(); s != "" {
+				sb.WriteByte(s[0])
+			}
+		default:
+			// Unknown verb: emit literally, consuming no argument.
+			sb.WriteByte('%')
+			sb.WriteByte(f[i])
+		}
+	}
+	// Any leftover args append space-separated, letting dataset programs call
+	// printf("prefix", v) loosely.
+	for ; ai < len(rest); ai++ {
+		taint = taint.Union(rest[ai].Taint)
+		sb.WriteByte(' ')
+		sb.WriteString(rest[ai].Text())
+	}
+	return sb.String(), taint
+}
+
+func argText(args []Value, i int) string {
+	if i < 0 || i >= len(args) {
+		return ""
+	}
+	return args[i].Text()
+}
+
+func argInt(args []Value, i int) int64 {
+	if i < 0 || i >= len(args) {
+		return 0
+	}
+	return args[i].AsInt()
+}
+
+func argTaint(args []Value, i int) Taint {
+	if i < 0 || i >= len(args) {
+		return nil
+	}
+	return args[i].Taint
+}
+
+func argConn(args []Value, i int) *dbclient.Conn {
+	if i < 0 || i >= len(args) || args[i].Kind != KConn {
+		return nil
+	}
+	return args[i].Conn
+}
+
+func argResult(args []Value, i int) *dbclient.Result {
+	if i < 0 || i >= len(args) || args[i].Kind != KResult {
+		return nil
+	}
+	return args[i].Result
+}
+
+// lastWireQuery returns the query as it crossed the wire (after any MITM
+// rewriter), falling back to the submitted text when the connection recorded
+// nothing (e.g. it was already closed).
+func lastWireQuery(c *dbclient.Conn, submitted string) string {
+	qs := c.WireQueries()
+	if len(qs) == 0 {
+		return submitted
+	}
+	return qs[len(qs)-1]
+}

@@ -1,0 +1,273 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"adprom/internal/ir"
+	"adprom/internal/minidb"
+)
+
+// runProg executes a one-function program built by fill and returns the
+// world.
+func runProg(t *testing.T, db *minidb.Database, input []string, fill func(*ir.BlockBuilder)) *World {
+	t.Helper()
+	b := ir.NewBuilder("bt")
+	m := b.Func("main")
+	e := m.Block()
+	fill(e)
+	e.Ret()
+	world := NewWorld(db)
+	ip := New(b.MustBuild(), world, Options{})
+	if _, err := ip.Run(input...); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return world
+}
+
+func runErr(t *testing.T, fill func(*ir.BlockBuilder)) error {
+	t.Helper()
+	b := ir.NewBuilder("bt")
+	m := b.Func("main")
+	e := m.Block()
+	fill(e)
+	e.Ret()
+	ip := New(b.MustBuild(), NewWorld(nil), Options{})
+	_, err := ip.Run()
+	return err
+}
+
+func TestStringBuiltins(t *testing.T) {
+	w := runProg(t, nil, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("a", "strcpy", ir.S("hello"))
+		e.CallTo("b", "strcat", ir.V("a"), ir.S(" world"))
+		e.CallTo("n", "strlen", ir.V("b"))
+		e.CallTo("c", "strcmp", ir.S("abc"), ir.S("abd"))
+		e.CallTo("i", "atoi", ir.S("42"))
+		e.CallTo("s", "itoa", ir.I(-7))
+		e.CallTo("sn", "snprintf", ir.I(3), ir.S("%s"), ir.V("b"))
+		e.Call("printf", ir.S("%s|%d|%d|%d|%s|%s"), ir.V("b"), ir.V("n"), ir.V("c"), ir.V("i"), ir.V("s"), ir.V("sn"))
+	})
+	if got, want := w.Stdout.String(), "hello world|11|-1|42|-7|hel"; got != want {
+		t.Errorf("stdout = %q, want %q", got, want)
+	}
+}
+
+func TestFileBuiltins(t *testing.T) {
+	w := runProg(t, nil, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("f", "fopen", ir.S("out.txt"), ir.S("w"))
+		e.Call("fputs", ir.S("line1\n"), ir.V("f"))
+		e.Call("fputc", ir.I(88), ir.V("f")) // 'X'
+		e.Call("fputc", ir.S("yz"), ir.V("f"))
+		e.Call("fwrite", ir.S("!"), ir.V("f"))
+		e.Call("write", ir.V("f"), ir.S("@"))
+		e.Call("fclose", ir.V("f"))
+		e.CallTo("g", "fopen", ir.S("out.txt"), ir.S("r"))
+		e.CallTo("l", "fgets", ir.V("g"))
+		e.Call("printf", ir.S("read: %s"), ir.V("l"))
+	})
+	if got := w.Files["out.txt"].Contents(); got != "line1\nXy!@" {
+		t.Errorf("file = %q", got)
+	}
+	if got := w.Stdout.String(); got != "read: line1" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestFgetsEOFReturnsNull(t *testing.T) {
+	w := runProg(t, nil, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("f", "fopen", ir.S("x"), ir.S("w"))
+		e.CallTo("g", "fopen", ir.S("x"), ir.S("r"))
+		e.CallTo("l1", "fgets", ir.V("g")) // empty file: one "" line
+		e.CallTo("l2", "fgets", ir.V("g")) // then EOF
+		e.Call("printf", ir.S("%d"), ir.V("l2"))
+	})
+	if got := w.Stdout.String(); got != "0" {
+		t.Errorf("null AsInt rendered %q", got)
+	}
+}
+
+func TestWriteToStdoutWithFd(t *testing.T) {
+	w := runProg(t, nil, nil, func(e *ir.BlockBuilder) {
+		e.Call("write", ir.I(1), ir.S("direct"))
+	})
+	if got := w.Stdout.String(); got != "direct" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestOutputBuiltinsRequireFiles(t *testing.T) {
+	cases := []func(*ir.BlockBuilder){
+		func(e *ir.BlockBuilder) { e.Call("fprintf", ir.S("notafile"), ir.S("x")) },
+		func(e *ir.BlockBuilder) { e.Call("fputs", ir.S("data"), ir.S("notafile")) },
+		func(e *ir.BlockBuilder) { e.Call("fputc", ir.I(1), ir.I(2)) },
+		func(e *ir.BlockBuilder) { e.Call("write", ir.I(1)) },
+		func(e *ir.BlockBuilder) { e.Call("fgets", ir.S("nope")) },
+	}
+	for i, fill := range cases {
+		if err := runErr(t, fill); !errors.Is(err, ErrRuntime) {
+			t.Errorf("case %d: err = %v, want ErrRuntime", i, err)
+		}
+	}
+}
+
+func TestDBBuiltinsRequireConnections(t *testing.T) {
+	cases := []func(*ir.BlockBuilder){
+		func(e *ir.BlockBuilder) { e.CallTo("r", "PQexec", ir.S("notconn"), ir.S("SELECT 1")) },
+		func(e *ir.BlockBuilder) { e.CallTo("r", "mysql_query", ir.I(0), ir.S("SELECT 1")) },
+		func(e *ir.BlockBuilder) { e.CallTo("r", "mysql_store_result", ir.S("x")) },
+	}
+	for i, fill := range cases {
+		if err := runErr(t, fill); !errors.Is(err, ErrRuntime) {
+			t.Errorf("case %d: err = %v, want ErrRuntime", i, err)
+		}
+	}
+}
+
+func TestFailedQueryYieldsNullResultAndError(t *testing.T) {
+	db := minidb.New()
+	w := runProg(t, db, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("conn", "mysql_real_connect")
+		e.CallTo("st", "mysql_query", ir.V("conn"), ir.S("SELECT * FROM missing"))
+		e.CallTo("res", "mysql_store_result", ir.V("conn"))
+		e.CallTo("msg", "mysql_error", ir.V("conn"))
+		e.Call("printf", ir.S("%d|%d|%s"), ir.V("st"), ir.V("res"), ir.V("msg"))
+	})
+	out := w.Stdout.String()
+	if !strings.HasPrefix(out, "1|0|") || !strings.Contains(out, "no such table") {
+		t.Errorf("stdout = %q", out)
+	}
+
+	// libpq flavour: PQexec on a bad query returns a falsy handle.
+	w = runProg(t, db, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("conn", "PQconnectdb")
+		e.CallTo("res", "PQexec", ir.V("conn"), ir.S("BOGUS"))
+		e.Call("printf", ir.S("%d"), ir.V("res"))
+	})
+	if got := w.Stdout.String(); got != "0" {
+		t.Errorf("PQexec failure handle = %q", got)
+	}
+}
+
+func TestConnectionCloseBuiltins(t *testing.T) {
+	db := minidb.New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	w := runProg(t, db, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("c1", "PQconnectdb")
+		e.Call("PQfinish", ir.V("c1"))
+		e.CallTo("r", "PQexec", ir.V("c1"), ir.S("SELECT * FROM t"))
+		e.Call("printf", ir.S("%d"), ir.V("r")) // closed conn → null handle
+		e.CallTo("c2", "mysql_init")
+		e.Call("mysql_close", ir.V("c2"))
+		e.Call("PQclear", ir.V("r"))
+		e.Call("mysql_free_result", ir.V("r"))
+		e.Call("malloc", ir.I(8))
+		e.Call("free", ir.I(0))
+		e.CallTo("m", "memcpy", ir.S("z"))
+	})
+	if got := w.Stdout.String(); got != "0" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestMySQLNumRowsAndTaintedCounts(t *testing.T) {
+	db := minidb.New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (2), (3)")
+	b := ir.NewBuilder("counts")
+	m := b.Func("main")
+	e := m.Block()
+	e.CallTo("conn", "mysql_real_connect")
+	e.CallTo("st", "mysql_query", ir.V("conn"), ir.S("SELECT * FROM t"))
+	e.CallTo("res", "mysql_store_result", ir.V("conn"))
+	e.CallTo("nr", "mysql_num_rows", ir.V("res"))
+	e.CallTo("nf", "mysql_num_fields", ir.V("res"))
+	e.Call("printf", ir.S("%d rows %d cols"), ir.V("nr"), ir.V("nf"))
+	e.Ret()
+
+	world := NewWorld(db)
+	ip := New(b.MustBuild(), world, Options{})
+	var last *Event
+	ip.AddHook(func(ev *Event) {
+		cp := *ev
+		last = &cp
+	})
+	if _, err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if world.Stdout.String() != "3 rows 1 cols" {
+		t.Errorf("stdout = %q", world.Stdout.String())
+	}
+	// The row/field counts are derived from TD, so the printf is labelled.
+	if last == nil || last.Label != "printf_Q0" {
+		t.Errorf("final event = %+v, want printf_Q0", last)
+	}
+}
+
+func TestIndexOnNonRowIsLenient(t *testing.T) {
+	w := runProg(t, nil, nil, func(e *ir.BlockBuilder) {
+		e.Assign("x", ir.At(ir.S("str"), ir.I(0)))
+		e.Call("printf", ir.S("%d"), ir.V("x"))
+	})
+	if got := w.Stdout.String(); got != "0" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestScanfExhaustionReturnsEmpty(t *testing.T) {
+	w := runProg(t, nil, []string{"only"}, func(e *ir.BlockBuilder) {
+		e.CallTo("a", "scanf", ir.S("%s"))
+		e.CallTo("b", "gets")
+		e.Call("printf", ir.S("[%s][%s]"), ir.V("a"), ir.V("b"))
+	})
+	if got := w.Stdout.String(); got != "[only][]" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestExtendedStringBuiltins(t *testing.T) {
+	w := runProg(t, nil, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("a", "strncpy", ir.S("abcdef"), ir.I(3))
+		e.CallTo("b", "strstr", ir.S("hello world"), ir.S("wor"))
+		e.CallTo("c", "strchr", ir.S("a.b.c"), ir.S("."))
+		e.CallTo("d", "toupper", ir.S("MiXeD"))
+		e.CallTo("f2", "tolower", ir.S("MiXeD"))
+		e.CallTo("g", "abs", ir.I(-42))
+		e.Call("printf", ir.S("%s|%s|%s|%s|%s|%d"),
+			ir.V("a"), ir.V("b"), ir.V("c"), ir.V("d"), ir.V("f2"), ir.V("g"))
+	})
+	if got, want := w.Stdout.String(), "abc|world|.b.c|MIXED|mixed|42"; got != want {
+		t.Errorf("stdout = %q, want %q", got, want)
+	}
+}
+
+func TestStrstrMissReturnsNull(t *testing.T) {
+	w := runProg(t, nil, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("x", "strstr", ir.S("abc"), ir.S("zzz"))
+		e.CallTo("y", "strchr", ir.S("abc"), ir.S("z"))
+		e.Call("printf", ir.S("%d%d"), ir.V("x"), ir.V("y"))
+	})
+	if got := w.Stdout.String(); got != "00" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+// TestTaintThroughNewDerivers: TD surviving strstr/strncpy laundering still
+// labels the output.
+func TestTaintThroughNewDerivers(t *testing.T) {
+	db := minidb.New()
+	db.MustExec("CREATE TABLE t (s TEXT)")
+	db.MustExec("INSERT INTO t VALUES ('secret-value')")
+	world := runProg(t, db, nil, func(e *ir.BlockBuilder) {
+		e.CallTo("conn", "PQconnectdb")
+		e.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT s FROM t"))
+		e.CallTo("v", "PQgetvalue", ir.V("res"), ir.I(0), ir.I(0))
+		e.CallTo("part", "strstr", ir.V("v"), ir.S("value"))
+		e.CallTo("up", "toupper", ir.V("part"))
+		e.Call("printf", ir.S("%s"), ir.V("up"))
+	})
+	if got := world.Stdout.String(); got != "VALUE" {
+		t.Errorf("stdout = %q", got)
+	}
+}

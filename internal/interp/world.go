@@ -1,0 +1,116 @@
+package interp
+
+import (
+	"strings"
+
+	"adprom/internal/dbclient"
+	"adprom/internal/minidb"
+)
+
+// VFile is a virtual file in the interpreter's world. Files exist so that
+// exfiltration attacks (attack 1.2/1.3: redirect query results to a file)
+// have an observable effect, and so that the §VII mitigation — labelling
+// files that received TD and auditing later actions on them — can be
+// implemented.
+type VFile struct {
+	Name string
+	Mode string
+	buf  strings.Builder
+	// TaintedBy accumulates the query origins whose data was written into
+	// this file.
+	TaintedBy Taint
+	readPos   int
+	lines     []string // parsed lazily for fgets
+}
+
+// Write appends data carrying taint t.
+func (f *VFile) Write(data string, t Taint) {
+	f.buf.WriteString(data)
+	f.TaintedBy = f.TaintedBy.Union(t)
+	f.lines = nil
+}
+
+// Contents returns everything written so far.
+func (f *VFile) Contents() string { return f.buf.String() }
+
+// ReadLine returns the next line for fgets; ok is false at EOF.
+func (f *VFile) ReadLine() (string, bool) {
+	if f.lines == nil {
+		f.lines = strings.Split(f.buf.String(), "\n")
+	}
+	if f.readPos >= len(f.lines) {
+		return "", false
+	}
+	line := f.lines[f.readPos]
+	f.readPos++
+	return line, true
+}
+
+// QueryRecord is one query observed on the wire, joined with the call site
+// that issued it. The detection engine uses these to report which query a
+// leaked value came from.
+type QueryRecord struct {
+	Origin Origin
+	SQL    string
+}
+
+// World is the environment a program executes in: the database, the virtual
+// terminal, the virtual filesystem, and the simulated network. One World is
+// typically shared by many runs of the same program (the database persists),
+// while Stdout/Net accumulate per world.
+type World struct {
+	DB     *minidb.Database
+	Stdout strings.Builder
+	Files  map[string]*VFile
+	// Net records payloads pushed off-host via send(2) or system("mail ..."),
+	// the exfiltration channels §VII discusses.
+	Net []string
+	// Queries is the wire-level query log with issuing origins.
+	Queries []QueryRecord
+	// Rewriter, when set, is installed on every connection the program opens
+	// — the man-in-the-middle of attack 3.2, who rewrites queries in transit
+	// on unencrypted connections.
+	Rewriter dbclient.Rewriter
+}
+
+// NewWorld creates a world around db. A nil db gets a fresh empty database,
+// convenient for programs that don't touch the DB (the SIR-style corpus).
+func NewWorld(db *minidb.Database) *World {
+	if db == nil {
+		db = minidb.New()
+	}
+	return &World{DB: db, Files: map[string]*VFile{}}
+}
+
+// OpenFile returns the named virtual file, creating it on first open.
+// Mode "w" truncates, anything else appends/reads.
+func (w *World) OpenFile(name, mode string) *VFile {
+	f, ok := w.Files[name]
+	if !ok || strings.HasPrefix(mode, "w") {
+		f = &VFile{Name: name, Mode: mode}
+		w.Files[name] = f
+	}
+	return f
+}
+
+// TaintedFiles returns the names of files that received TD, sorted order is
+// the caller's concern.
+func (w *World) TaintedFiles() []string {
+	var out []string
+	for name, f := range w.Files {
+		if len(f.TaintedBy) > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ResetIO clears the terminal, files, network log, and query log while
+// keeping the database. Used between test-case runs so each trace starts
+// from a quiet world against warm data.
+func (w *World) ResetIO() {
+	w.Stdout.Reset()
+	w.Files = map[string]*VFile{}
+	w.Net = nil
+	w.Queries = nil
+}

@@ -1,0 +1,128 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Program incrementally. It exists so that the dataset
+// packages can express realistic client applications tersely; Build validates
+// the result.
+type Builder struct {
+	prog  *Program
+	order []string
+}
+
+// NewBuilder starts a program named name with entry function "main".
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{
+		Name:      name,
+		Entry:     "main",
+		Functions: map[string]*Function{},
+	}}
+}
+
+// SetEntry overrides the entry function name (default "main").
+func (b *Builder) SetEntry(name string) *Builder {
+	b.prog.Entry = name
+	return b
+}
+
+// Func declares a function and returns its builder. Declaring the same name
+// twice panics: dataset programs are static artefacts, so this is a
+// programming error, not a runtime condition.
+func (b *Builder) Func(name string, params ...string) *FuncBuilder {
+	if _, dup := b.prog.Functions[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %q", name))
+	}
+	f := &Function{Name: name, Params: params}
+	b.prog.Functions[name] = f
+	b.order = append(b.order, name)
+	return &FuncBuilder{fn: f}
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if err := Validate(b.prog); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build panicking on error; used by the hand-written dataset
+// programs whose shape is fixed at compile time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FuncBuilder builds one function's CFG.
+type FuncBuilder struct {
+	fn *Function
+}
+
+// Name returns the function's name.
+func (fb *FuncBuilder) Name() string { return fb.fn.Name }
+
+// Block appends a new empty basic block and returns its builder. The first
+// block created is the entry block.
+func (fb *FuncBuilder) Block() *BlockBuilder {
+	blk := &Block{ID: len(fb.fn.Blocks)}
+	fb.fn.Blocks = append(fb.fn.Blocks, blk)
+	return &BlockBuilder{fn: fb.fn, blk: blk}
+}
+
+// BlockBuilder appends statements and the terminator to one block.
+type BlockBuilder struct {
+	fn  *Function
+	blk *Block
+}
+
+// ID returns the block's ID.
+func (bb *BlockBuilder) ID() int { return bb.blk.ID }
+
+// Assign appends dst = src.
+func (bb *BlockBuilder) Assign(dst string, src Expr) *BlockBuilder {
+	bb.blk.Stmts = append(bb.blk.Stmts, Assign{Dst: dst, Src: src})
+	return bb
+}
+
+// Call appends a library call with no result binding.
+func (bb *BlockBuilder) Call(name string, args ...Expr) *BlockBuilder {
+	bb.blk.Stmts = append(bb.blk.Stmts, LibCall{Name: name, Args: args})
+	return bb
+}
+
+// CallTo appends dst = libcall(args...).
+func (bb *BlockBuilder) CallTo(dst, name string, args ...Expr) *BlockBuilder {
+	bb.blk.Stmts = append(bb.blk.Stmts, LibCall{Dst: dst, Name: name, Args: args})
+	return bb
+}
+
+// Invoke appends a user-function call with no result binding.
+func (bb *BlockBuilder) Invoke(fn string, args ...Expr) *BlockBuilder {
+	bb.blk.Stmts = append(bb.blk.Stmts, UserCall{Name: fn, Args: args})
+	return bb
+}
+
+// InvokeTo appends dst = fn(args...) for a user function.
+func (bb *BlockBuilder) InvokeTo(dst, fn string, args ...Expr) *BlockBuilder {
+	bb.blk.Stmts = append(bb.blk.Stmts, UserCall{Dst: dst, Name: fn, Args: args})
+	return bb
+}
+
+// Goto terminates the block with an unconditional jump.
+func (bb *BlockBuilder) Goto(target *BlockBuilder) {
+	bb.blk.Term = Goto{Target: target.ID()}
+}
+
+// If terminates the block with a conditional branch.
+func (bb *BlockBuilder) If(cond Expr, then, els *BlockBuilder) {
+	bb.blk.Term = If{Cond: cond, Then: then.ID(), Else: els.ID()}
+}
+
+// Ret terminates the block with a void return.
+func (bb *BlockBuilder) Ret() { bb.blk.Term = Return{} }
+
+// RetVal terminates the block returning v.
+func (bb *BlockBuilder) RetVal(v Expr) { bb.blk.Term = Return{Val: v} }

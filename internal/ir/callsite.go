@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CallSite identifies one library-call statement: the function, the basic
+// block, and the statement index within the block. Call sites — not call
+// names — are the unit the paper's call-transition matrices are keyed by
+// (Table I distinguishes printf' from printf” in main()).
+type CallSite struct {
+	Func  string
+	Block int
+	Stmt  int
+}
+
+// String renders "func:bN:sM", stable for map keys in debug output.
+func (c CallSite) String() string { return fmt.Sprintf("%s:b%d:s%d", c.Func, c.Block, c.Stmt) }
+
+// SiteCall pairs a call site with the library call at that site.
+type SiteCall struct {
+	Site CallSite
+	Call LibCall
+}
+
+// CallSites returns all library-call sites of function f in deterministic
+// (block, statement) order.
+func CallSites(f *Function) []SiteCall {
+	var out []SiteCall
+	for _, blk := range f.Blocks {
+		for si, st := range blk.Stmts {
+			lc, ok := st.(LibCall)
+			if !ok {
+				continue
+			}
+			out = append(out, SiteCall{
+				Site: CallSite{Func: f.Name, Block: blk.ID, Stmt: si},
+				Call: lc,
+			})
+		}
+	}
+	return out
+}
+
+// ProgramCallSites returns all library-call sites of the program, ordered by
+// function name then site position.
+func ProgramCallSites(p *Program) []SiteCall {
+	names := FunctionNames(p)
+	var out []SiteCall
+	for _, name := range names {
+		out = append(out, CallSites(p.Functions[name])...)
+	}
+	return out
+}
+
+// FunctionNames returns the program's function names sorted alphabetically,
+// giving analyses a deterministic iteration order over the Functions map.
+func FunctionNames(p *Program) []string {
+	names := make([]string, 0, len(p.Functions))
+	for name := range p.Functions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Callees returns the set of user functions invoked by f, sorted.
+func Callees(f *Function) []string {
+	seen := map[string]bool{}
+	for _, blk := range f.Blocks {
+		for _, st := range blk.Stmts {
+			if uc, ok := st.(UserCall); ok {
+				seen[uc.Name] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CallNames returns the distinct library-call names appearing in the program,
+// sorted. This is the "legitimate calls" vocabulary used when synthesising
+// anomalous sequences.
+func CallNames(p *Program) []string {
+	seen := map[string]bool{}
+	for _, f := range p.Functions {
+		for _, blk := range f.Blocks {
+			for _, st := range blk.Stmts {
+				if lc, ok := st.(LibCall); ok {
+					seen[lc.Name] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,72 @@
+package ir
+
+// Clone returns a deep copy of the program. The attack framework mutates
+// copies of dataset programs (inserting calls, patching blocks, rewriting
+// arguments) while the original continues to serve as the trained baseline,
+// so aliasing between the two would corrupt experiments.
+//
+// Expressions are immutable value trees and are shared; statements,
+// terminators, blocks, functions and slices are copied.
+func Clone(p *Program) *Program {
+	if p == nil {
+		return nil
+	}
+	cp := &Program{
+		Name:      p.Name,
+		Entry:     p.Entry,
+		Functions: make(map[string]*Function, len(p.Functions)),
+	}
+	for name, f := range p.Functions {
+		cp.Functions[name] = cloneFunc(f)
+	}
+	return cp
+}
+
+func cloneFunc(f *Function) *Function {
+	cf := &Function{
+		Name:   f.Name,
+		Params: append([]string(nil), f.Params...),
+		Blocks: make([]*Block, len(f.Blocks)),
+	}
+	for i, blk := range f.Blocks {
+		cf.Blocks[i] = cloneBlock(blk)
+	}
+	return cf
+}
+
+func cloneBlock(b *Block) *Block {
+	cb := &Block{ID: b.ID, Term: cloneTerm(b.Term)}
+	if b.Stmts != nil {
+		cb.Stmts = make([]Stmt, len(b.Stmts))
+		for i, st := range b.Stmts {
+			cb.Stmts[i] = cloneStmt(st)
+		}
+	}
+	return cb
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case Assign:
+		return Assign{Dst: st.Dst, Src: st.Src}
+	case LibCall:
+		return LibCall{Dst: st.Dst, Name: st.Name, Args: append([]Expr(nil), st.Args...)}
+	case UserCall:
+		return UserCall{Dst: st.Dst, Name: st.Name, Args: append([]Expr(nil), st.Args...)}
+	default:
+		return s
+	}
+}
+
+func cloneTerm(t Terminator) Terminator {
+	switch tt := t.(type) {
+	case Goto:
+		return Goto{Target: tt.Target}
+	case If:
+		return If{Cond: tt.Cond, Then: tt.Then, Else: tt.Else}
+	case Return:
+		return Return{Val: tt.Val}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,25 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the program as readable pseudo-assembly, used in error
+// messages and golden-test failure output.
+func Dump(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s (entry %s)\n", p.Name, p.Entry)
+	for _, name := range FunctionNames(p) {
+		f := p.Functions[name]
+		fmt.Fprintf(&sb, "\nfunc %s(%s):\n", f.Name, strings.Join(f.Params, ", "))
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&sb, "  b%d:\n", blk.ID)
+			for _, st := range blk.Stmts {
+				fmt.Fprintf(&sb, "    %s\n", st)
+			}
+			fmt.Fprintf(&sb, "    %s\n", blk.Term)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a side-effect-free expression evaluated by the interpreter and
+// traversed by the static data-flow analysis.
+type Expr interface {
+	expr()
+	fmt.Stringer
+}
+
+// Op enumerates binary operators.
+type Op int
+
+// Binary operators. Cat is string concatenation (the strcat/strcpy idiom the
+// paper's vulnerable banking program uses to build SQL text).
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpCat
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpCat: "++", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAnd: "&&", OpOr: "||",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// Var reads a local variable (or parameter).
+type Var struct{ Name string }
+
+// Bin applies a binary operator to two sub-expressions.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Index selects element I of row/array value X (e.g. row[i] after
+// mysql_fetch_row).
+type Index struct {
+	X Expr
+	I Expr
+}
+
+func (IntLit) expr() {}
+func (StrLit) expr() {}
+func (Var) expr()    {}
+func (Bin) expr()    {}
+func (Index) expr()  {}
+
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.V) }
+func (e StrLit) String() string { return fmt.Sprintf("%q", e.V) }
+func (e Var) String() string    { return e.Name }
+func (e Bin) String() string    { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+func (e Index) String() string  { return fmt.Sprintf("%s[%s]", e.X, e.I) }
+
+// Convenience constructors used pervasively by program builders. Short names
+// keep hand-written dataset programs readable.
+
+// I builds an integer literal.
+func I(v int64) Expr { return IntLit{V: v} }
+
+// S builds a string literal.
+func S(v string) Expr { return StrLit{V: v} }
+
+// V builds a variable reference.
+func V(name string) Expr { return Var{Name: name} }
+
+// Cat concatenates expressions left to right as strings.
+func Cat(parts ...Expr) Expr {
+	if len(parts) == 0 {
+		return S("")
+	}
+	e := parts[0]
+	for _, p := range parts[1:] {
+		e = Bin{Op: OpCat, L: e, R: p}
+	}
+	return e
+}
+
+// Add, Sub, Mul, Div, Mod build arithmetic expressions.
+func Add(l, r Expr) Expr { return Bin{Op: OpAdd, L: l, R: r} }
+func Sub(l, r Expr) Expr { return Bin{Op: OpSub, L: l, R: r} }
+func Mul(l, r Expr) Expr { return Bin{Op: OpMul, L: l, R: r} }
+func Div(l, r Expr) Expr { return Bin{Op: OpDiv, L: l, R: r} }
+func Mod(l, r Expr) Expr { return Bin{Op: OpMod, L: l, R: r} }
+
+// Eq, Ne, Lt, Le, Gt, Ge build comparisons (result 1 or 0).
+func Eq(l, r Expr) Expr { return Bin{Op: OpEq, L: l, R: r} }
+func Ne(l, r Expr) Expr { return Bin{Op: OpNe, L: l, R: r} }
+func Lt(l, r Expr) Expr { return Bin{Op: OpLt, L: l, R: r} }
+func Le(l, r Expr) Expr { return Bin{Op: OpLe, L: l, R: r} }
+func Gt(l, r Expr) Expr { return Bin{Op: OpGt, L: l, R: r} }
+func Ge(l, r Expr) Expr { return Bin{Op: OpGe, L: l, R: r} }
+
+// And and Or build short-circuit boolean expressions.
+func And(l, r Expr) Expr { return Bin{Op: OpAnd, L: l, R: r} }
+func Or(l, r Expr) Expr  { return Bin{Op: OpOr, L: l, R: r} }
+
+// At indexes a row value: At(V("row"), V("i")) is row[i].
+func At(x, i Expr) Expr { return Index{X: x, I: i} }
+
+// Vars returns the set of variable names read by e.
+func Vars(e Expr) []string {
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case Var:
+			seen[v.Name] = true
+		case Bin:
+			walk(v.L)
+			walk(v.R)
+		case Index:
+			walk(v.X)
+			walk(v.I)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	return names
+}
+
+func exprList(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

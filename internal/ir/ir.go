@@ -1,0 +1,179 @@
+// Package ir defines the intermediate representation of application programs
+// analysed and monitored by AD-PROM.
+//
+// The paper's implementation statically analyses ELF binaries with Dyninst;
+// this reproduction instead represents programs explicitly as a call graph of
+// functions, where each function is a control-flow graph (CFG) of basic
+// blocks. Blocks contain straight-line statements (assignments, library
+// calls, user-function calls) and end in a single terminator (goto,
+// conditional branch, or return). The representation carries exactly the
+// information AD-PROM's Analyzer extracts from a binary: control flow, call
+// sites, and the data flow needed to build the data-dependency graph (DDG).
+//
+// Programs built in this package are both statically analysed (internal/cfg,
+// internal/ddg, internal/ctm) and dynamically executed (internal/interp), so
+// the same artefact drives the training and the detection phases.
+package ir
+
+import "fmt"
+
+// Program is a complete application program: a set of functions and the name
+// of the entry function (conventionally "main").
+type Program struct {
+	// Name identifies the program (e.g. "apph" for the hospital client).
+	Name string
+	// Entry is the name of the function where execution starts.
+	Entry string
+	// Functions maps function names to their bodies.
+	Functions map[string]*Function
+}
+
+// Function is one procedure of the program, represented as a CFG of basic
+// blocks. Blocks[0] is the unique entry block.
+type Function struct {
+	// Name is the function's unique name within the program.
+	Name string
+	// Params are the names of the formal parameters, bound positionally at
+	// call time.
+	Params []string
+	// Blocks holds the basic blocks; block IDs index into this slice.
+	Blocks []*Block
+}
+
+// Block is a basic block: a run of statements with a single terminator.
+type Block struct {
+	// ID is the block's index in Function.Blocks. Block IDs are the "bid"
+	// values used in the paper's output-statement labels (printf_Q[bid]).
+	ID int
+	// Stmts is the straight-line statement list.
+	Stmts []Stmt
+	// Term transfers control at the end of the block. A nil Term is invalid;
+	// use Return for function exits.
+	Term Terminator
+}
+
+// Stmt is a straight-line statement inside a basic block.
+type Stmt interface {
+	stmt()
+	fmt.Stringer
+}
+
+// Assign evaluates Src and binds the result to local variable Dst.
+type Assign struct {
+	Dst string
+	Src Expr
+}
+
+// LibCall invokes a library function (printf, PQexec, strcpy, ...). Library
+// calls are the observable events of the system: the interpreter emits one
+// trace event per LibCall executed, and the static analysis places one call
+// site per LibCall. If Dst is non-empty the call's return value is bound to
+// it.
+type LibCall struct {
+	Dst  string
+	Name string
+	Args []Expr
+}
+
+// UserCall invokes another function of the same program. User calls are not
+// observable events themselves (the paper's collector records library calls),
+// but they drive the call-graph aggregation of per-function CTMs.
+type UserCall struct {
+	Dst  string
+	Name string
+	Args []Expr
+}
+
+func (Assign) stmt()   {}
+func (LibCall) stmt()  {}
+func (UserCall) stmt() {}
+
+func (s Assign) String() string { return fmt.Sprintf("%s = %s", s.Dst, s.Src) }
+
+func (s LibCall) String() string {
+	if s.Dst == "" {
+		return fmt.Sprintf("%s(%s)", s.Name, exprList(s.Args))
+	}
+	return fmt.Sprintf("%s = %s(%s)", s.Dst, s.Name, exprList(s.Args))
+}
+
+func (s UserCall) String() string {
+	if s.Dst == "" {
+		return fmt.Sprintf("call %s(%s)", s.Name, exprList(s.Args))
+	}
+	return fmt.Sprintf("%s = call %s(%s)", s.Dst, s.Name, exprList(s.Args))
+}
+
+// Terminator ends a basic block.
+type Terminator interface {
+	term()
+	fmt.Stringer
+	// Succs returns the IDs of the possible successor blocks.
+	Succs() []int
+}
+
+// Goto unconditionally transfers control to block Target.
+type Goto struct {
+	Target int
+}
+
+// If evaluates Cond and transfers control to Then when truthy (non-zero,
+// non-empty) and to Else otherwise.
+type If struct {
+	Cond Expr
+	Then int
+	Else int
+}
+
+// Return exits the function, optionally yielding Val (nil for void returns).
+type Return struct {
+	Val Expr
+}
+
+func (Goto) term()   {}
+func (If) term()     {}
+func (Return) term() {}
+
+func (t Goto) Succs() []int   { return []int{t.Target} }
+func (t If) Succs() []int     { return []int{t.Then, t.Else} }
+func (t Return) Succs() []int { return nil }
+
+func (t Goto) String() string { return fmt.Sprintf("goto b%d", t.Target) }
+func (t If) String() string   { return fmt.Sprintf("if %s then b%d else b%d", t.Cond, t.Then, t.Else) }
+func (t Return) String() string {
+	if t.Val == nil {
+		return "return"
+	}
+	return fmt.Sprintf("return %s", t.Val)
+}
+
+// Func returns the named function or nil.
+func (p *Program) Func(name string) *Function {
+	if p == nil || p.Functions == nil {
+		return nil
+	}
+	return p.Functions[name]
+}
+
+// EntryFunc returns the entry function or nil when absent.
+func (p *Program) EntryFunc() *Function { return p.Func(p.Entry) }
+
+// NumBlocks returns the total number of basic blocks across all functions.
+func (p *Program) NumBlocks() int {
+	n := 0
+	for _, f := range p.Functions {
+		n += len(f.Blocks)
+	}
+	return n
+}
+
+// NumStmts returns the total number of statements across all functions.
+func (p *Program) NumStmts() int {
+	n := 0
+	for _, f := range p.Functions {
+		for _, b := range f.Blocks {
+			n += len(b.Stmts)
+		}
+	}
+	return n
+}

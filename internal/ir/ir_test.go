@@ -1,0 +1,256 @@
+package ir
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildSample constructs a two-function program exercising every statement
+// and terminator kind.
+func buildSample(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("sample")
+
+	helper := b.Func("helper", "x")
+	hb := helper.Block()
+	hb.CallTo("n", "strlen", V("x"))
+	hb.RetVal(V("n"))
+
+	main := b.Func("main")
+	entry := main.Block()
+	loop := main.Block()
+	body := main.Block()
+	done := main.Block()
+
+	entry.Assign("i", I(0))
+	entry.InvokeTo("len", "helper", S("hello"))
+	entry.Goto(loop)
+	loop.If(Lt(V("i"), V("len")), body, done)
+	body.Call("printf", S("%d"), V("i"))
+	body.Assign("i", Add(V("i"), I(1)))
+	body.Goto(loop)
+	done.Ret()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := buildSample(t)
+	if got := p.Entry; got != "main" {
+		t.Errorf("Entry = %q, want main", got)
+	}
+	if p.EntryFunc() == nil {
+		t.Fatal("EntryFunc returned nil")
+	}
+	if got, want := len(p.Functions), 2; got != want {
+		t.Errorf("len(Functions) = %d, want %d", got, want)
+	}
+	if got, want := p.NumBlocks(), 5; got != want {
+		t.Errorf("NumBlocks = %d, want %d", got, want)
+	}
+	if got, want := p.NumStmts(), 5; got != want {
+		t.Errorf("NumStmts = %d, want %d", got, want)
+	}
+}
+
+func TestValidateRejectsBrokenPrograms(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Program
+	}{
+		{"nil program", func() *Program { return nil }},
+		{"missing entry", func() *Program {
+			return &Program{Name: "p", Entry: "main", Functions: map[string]*Function{}}
+		}},
+		{"empty function", func() *Program {
+			return &Program{Name: "p", Entry: "main", Functions: map[string]*Function{
+				"main": {Name: "main"},
+			}}
+		}},
+		{"missing terminator", func() *Program {
+			return &Program{Name: "p", Entry: "main", Functions: map[string]*Function{
+				"main": {Name: "main", Blocks: []*Block{{ID: 0}}},
+			}}
+		}},
+		{"branch out of range", func() *Program {
+			return &Program{Name: "p", Entry: "main", Functions: map[string]*Function{
+				"main": {Name: "main", Blocks: []*Block{{ID: 0, Term: Goto{Target: 3}}}},
+			}}
+		}},
+		{"mismatched block id", func() *Program {
+			return &Program{Name: "p", Entry: "main", Functions: map[string]*Function{
+				"main": {Name: "main", Blocks: []*Block{{ID: 7, Term: Return{}}}},
+			}}
+		}},
+		{"undefined callee", func() *Program {
+			return &Program{Name: "p", Entry: "main", Functions: map[string]*Function{
+				"main": {Name: "main", Blocks: []*Block{{
+					ID:    0,
+					Stmts: []Stmt{UserCall{Name: "ghost"}},
+					Term:  Return{},
+				}}},
+			}}
+		}},
+		{"arity mismatch", func() *Program {
+			return &Program{Name: "p", Entry: "main", Functions: map[string]*Function{
+				"main": {Name: "main", Blocks: []*Block{{
+					ID:    0,
+					Stmts: []Stmt{UserCall{Name: "h", Args: []Expr{I(1), I(2)}}},
+					Term:  Return{},
+				}}},
+				"h": {Name: "h", Params: []string{"x"}, Blocks: []*Block{{ID: 0, Term: Return{}}}},
+			}}
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.build())
+			if err == nil {
+				t.Fatal("Validate accepted invalid program")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error %v is not ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("declaring duplicate function did not panic")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Func("f").Block().Ret()
+	b.Func("f")
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := buildSample(t)
+	cp := Clone(orig)
+
+	if !reflect.DeepEqual(orig, cp) {
+		t.Fatal("clone differs from original")
+	}
+
+	// Mutate the copy in every structural dimension and verify the original
+	// is untouched.
+	m := cp.Functions["main"]
+	m.Blocks[2].Stmts = append(m.Blocks[2].Stmts, LibCall{Name: "fwrite"})
+	m.Blocks[3].Term = Goto{Target: 0}
+	cp.Functions["evil"] = &Function{Name: "evil", Blocks: []*Block{{ID: 0, Term: Return{}}}}
+
+	if len(orig.Functions) != 2 {
+		t.Error("adding a function to the clone leaked into the original")
+	}
+	if got := len(orig.Functions["main"].Blocks[2].Stmts); got != 2 {
+		t.Errorf("original body block has %d stmts after clone mutation, want 2", got)
+	}
+	if _, ok := orig.Functions["main"].Blocks[3].Term.(Return); !ok {
+		t.Error("original terminator changed after clone mutation")
+	}
+}
+
+func TestCallSites(t *testing.T) {
+	p := buildSample(t)
+	sites := CallSites(p.Functions["main"])
+	if len(sites) != 1 {
+		t.Fatalf("main has %d call sites, want 1", len(sites))
+	}
+	got := sites[0]
+	if got.Call.Name != "printf" || got.Site.Block != 2 || got.Site.Stmt != 0 {
+		t.Errorf("unexpected site %+v", got)
+	}
+	if got.Site.String() != "main:b2:s0" {
+		t.Errorf("Site.String() = %q", got.Site.String())
+	}
+
+	all := ProgramCallSites(p)
+	if len(all) != 2 {
+		t.Fatalf("program has %d call sites, want 2", len(all))
+	}
+	// FunctionNames sorts, so helper's strlen precedes main's printf.
+	if all[0].Call.Name != "strlen" || all[1].Call.Name != "printf" {
+		t.Errorf("sites out of order: %v, %v", all[0].Call.Name, all[1].Call.Name)
+	}
+}
+
+func TestCalleesAndCallNames(t *testing.T) {
+	p := buildSample(t)
+	if got := Callees(p.Functions["main"]); !reflect.DeepEqual(got, []string{"helper"}) {
+		t.Errorf("Callees(main) = %v", got)
+	}
+	if got := Callees(p.Functions["helper"]); len(got) != 0 {
+		t.Errorf("Callees(helper) = %v, want empty", got)
+	}
+	if got := CallNames(p); !reflect.DeepEqual(got, []string{"printf", "strlen"}) {
+		t.Errorf("CallNames = %v", got)
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := Add(Mul(V("a"), V("b")), At(V("row"), V("a")))
+	got := Vars(e)
+	want := map[string]bool{"a": true, "b": true, "row": true}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want keys of %v", got, want)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Errorf("unexpected var %q", n)
+		}
+	}
+	if vs := Vars(nil); len(vs) != 0 {
+		t.Errorf("Vars(nil) = %v, want empty", vs)
+	}
+}
+
+func TestCatBuildsLeftAssociativeConcat(t *testing.T) {
+	e := Cat(S("SELECT * FROM t WHERE id='"), V("acc"), S("'"))
+	b1, ok := e.(Bin)
+	if !ok || b1.Op != OpCat {
+		t.Fatalf("Cat did not build concat: %v", e)
+	}
+	if _, ok := b1.L.(Bin); !ok {
+		t.Errorf("Cat is not left-associative: %v", e)
+	}
+	if Cat().String() != `""` {
+		t.Errorf("empty Cat = %v", Cat())
+	}
+	if one := Cat(S("x")); one.String() != `"x"` {
+		t.Errorf("single Cat = %v", one)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := buildSample(t)
+	dump := Dump(p)
+	for _, want := range []string{
+		"program sample (entry main)",
+		"func helper(x):",
+		`printf("%d", i)`,
+		"if (i < len) then b2 else b3",
+		"n = strlen(x)",
+		"return n",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q in:\n%s", want, dump)
+		}
+	}
+	if s := (Assign{Dst: "x", Src: I(1)}).String(); s != "x = 1" {
+		t.Errorf("Assign.String() = %q", s)
+	}
+	if s := (UserCall{Dst: "r", Name: "f", Args: []Expr{I(2)}}).String(); s != "r = call f(2)" {
+		t.Errorf("UserCall.String() = %q", s)
+	}
+	if s := Op(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown op String() = %q", s)
+	}
+}

@@ -1,0 +1,78 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid wraps all validation failures so callers can errors.Is against
+// a single sentinel.
+var ErrInvalid = errors.New("ir: invalid program")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the structural invariants every analysis relies on:
+// the entry function exists, every function has at least one block, block IDs
+// match slice positions, every block carries a terminator whose targets are
+// in range, and every user call targets a declared function with a matching
+// arity.
+func Validate(p *Program) error {
+	if p == nil {
+		return invalidf("nil program")
+	}
+	if p.Name == "" {
+		return invalidf("empty program name")
+	}
+	if p.Func(p.Entry) == nil {
+		return invalidf("entry function %q not defined", p.Entry)
+	}
+	for name, f := range p.Functions {
+		if name != f.Name {
+			return invalidf("function registered as %q but named %q", name, f.Name)
+		}
+		if err := validateFunc(p, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateFunc(p *Program, f *Function) error {
+	if len(f.Blocks) == 0 {
+		return invalidf("function %q has no blocks", f.Name)
+	}
+	for i, blk := range f.Blocks {
+		if blk == nil {
+			return invalidf("function %q block %d is nil", f.Name, i)
+		}
+		if blk.ID != i {
+			return invalidf("function %q block at index %d has ID %d", f.Name, i, blk.ID)
+		}
+		if blk.Term == nil {
+			return invalidf("function %q block %d has no terminator", f.Name, i)
+		}
+		for _, succ := range blk.Term.Succs() {
+			if succ < 0 || succ >= len(f.Blocks) {
+				return invalidf("function %q block %d jumps to unknown block %d", f.Name, i, succ)
+			}
+		}
+		for si, st := range blk.Stmts {
+			uc, ok := st.(UserCall)
+			if !ok {
+				continue
+			}
+			callee := p.Func(uc.Name)
+			if callee == nil {
+				return invalidf("function %q block %d stmt %d calls undefined function %q",
+					f.Name, i, si, uc.Name)
+			}
+			if len(uc.Args) != len(callee.Params) {
+				return invalidf("function %q block %d stmt %d calls %q with %d args, want %d",
+					f.Name, i, si, uc.Name, len(uc.Args), len(callee.Params))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates three well-separated Gaussian clusters.
+func blobs(r *rand.Rand, per int) ([][]float64, []int) {
+	centres := [][]float64{{0, 0}, {20, 0}, {0, 20}}
+	var pts [][]float64
+	var truth []int
+	for c, cen := range centres {
+		for i := 0; i < per; i++ {
+			pts = append(pts, []float64{
+				cen[0] + r.NormFloat64(),
+				cen[1] + r.NormFloat64(),
+			})
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts, truth := blobs(r, 40)
+	res, err := Cluster(pts, 3, 7, 0)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.K != 3 {
+		t.Fatalf("K = %d, want 3", res.K)
+	}
+	// Every ground-truth blob must map to exactly one cluster.
+	mapping := map[int]int{}
+	for i, c := range res.Assign {
+		if prev, ok := mapping[truth[i]]; ok && prev != c {
+			t.Fatalf("blob %d split across clusters %d and %d", truth[i], prev, c)
+		}
+		mapping[truth[i]] = c
+	}
+	if len(mapping) != 3 {
+		t.Errorf("blobs mapped to %d clusters", len(mapping))
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts, _ := blobs(r, 30)
+	a, err := Cluster(pts, 3, 42, 0)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	b, err := Cluster(pts, 3, 42, 0)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestKLargerThanPoints(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	res, err := Cluster(pts, 10, 1, 0)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.K != 2 {
+		t.Errorf("K = %d, want 2", res.K)
+	}
+}
+
+func TestDuplicatePointsCollapseSeeds(t *testing.T) {
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := Cluster(pts, 3, 1, 0)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if res.K != 1 {
+		t.Errorf("K = %d, want 1 for identical points", res.K)
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Errorf("Assign = %v", res.Assign)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, 2, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty input err = %v", err)
+	}
+	if _, err := Cluster([][]float64{{1}, {1, 2}}, 2, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ragged input err = %v", err)
+	}
+	if _, err := Cluster([][]float64{{1}}, 0, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("k=0 err = %v", err)
+	}
+}
+
+// TestAssignmentsAreNearestCentroid is the K-means invariant: after
+// convergence every point belongs to its nearest centroid.
+func TestAssignmentsAreNearestCentroid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts, _ := blobs(r, 15)
+		res, err := Cluster(pts, 4, seed, 0)
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			best, bi := math.Inf(1), -1
+			for c, cen := range res.Centroids {
+				if dd := sqDist(p, cen); dd < best {
+					best, bi = dd, c
+				}
+			}
+			if bi != res.Assign[i] {
+				// Allow exact ties between centroids.
+				if sqDist(p, res.Centroids[res.Assign[i]]) != best {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllPointsAssignedInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pts, _ := blobs(r, 25)
+	res, err := Cluster(pts, 5, 3, 0)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if len(res.Assign) != len(pts) {
+		t.Fatalf("Assign length %d != points %d", len(res.Assign), len(pts))
+	}
+	for i, a := range res.Assign {
+		if a < 0 || a >= res.K {
+			t.Errorf("point %d assigned to %d (K=%d)", i, a, res.K)
+		}
+	}
+}

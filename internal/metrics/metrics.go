@@ -1,0 +1,148 @@
+// Package metrics implements the accuracy bookkeeping of §V-D: confusion
+// matrices, the FP/FN/precision/recall/accuracy formulas the paper lists,
+// threshold sweeps for the Figure 10 FN-vs-FP curves, and k-fold partitions
+// for cross validation.
+//
+// Scoring convention: a window whose per-symbol log-probability is below the
+// threshold is flagged anomalous. A flagged anomaly is a true positive; a
+// flagged normal window is a false positive.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Total returns the number of classified sequences.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Precision is TP/(TP+FP); 1 when nothing was flagged.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP/(TP+FN); 1 when there were no anomalies.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Accuracy is (TP+TN)/total; 1 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 1
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// FPRate is FP/(FP+TN); 0 when there were no normals.
+func (c Confusion) FPRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// FNRate is FN/(FN+TP); 0 when there were no anomalies.
+func (c Confusion) FNRate() float64 {
+	if c.FN+c.TP == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.FN+c.TP)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d (prec %.2f rec %.2f acc %.4f)",
+		c.TP, c.TN, c.FP, c.FN, c.Precision(), c.Recall(), c.Accuracy())
+}
+
+// Count classifies score sets against a threshold.
+func Count(normalScores, anomalousScores []float64, threshold float64) Confusion {
+	var c Confusion
+	for _, s := range normalScores {
+		if s < threshold {
+			c.FP++
+		} else {
+			c.TN++
+		}
+	}
+	for _, s := range anomalousScores {
+		if s < threshold {
+			c.TP++
+		} else {
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Point is one (FP rate, FN rate) operating point of a detector.
+type Point struct {
+	Threshold float64
+	FPRate    float64
+	FNRate    float64
+}
+
+// FNAtFP returns the detector's FN rate when its threshold is tuned to admit
+// at most the given FP rate on the normal scores — how Figure 10 compares
+// AD-PROM and Rand-HMM "under the same FP rates".
+func FNAtFP(normal, anomalous []float64, fpRate float64) Point {
+	if len(normal) == 0 {
+		return Point{}
+	}
+	sorted := append([]float64(nil), normal...)
+	sort.Float64s(sorted)
+	// The threshold sits just above the k-th lowest normal score, flagging
+	// exactly k normals: k = floor(fpRate · n).
+	k := int(fpRate * float64(len(sorted)))
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	var threshold float64
+	switch {
+	case k <= 0:
+		threshold = sorted[0] // flag nothing normal
+	case k >= len(sorted):
+		threshold = sorted[len(sorted)-1] + 1
+	default:
+		threshold = sorted[k]
+	}
+	c := Count(normal, anomalous, threshold)
+	return Point{Threshold: threshold, FPRate: c.FPRate(), FNRate: c.FNRate()}
+}
+
+// Curve evaluates FNAtFP over a set of FP-rate targets (Figure 10's x-axis).
+func Curve(normal, anomalous []float64, fpRates []float64) []Point {
+	out := make([]Point, len(fpRates))
+	for i, r := range fpRates {
+		out[i] = FNAtFP(normal, anomalous, r)
+	}
+	return out
+}
+
+// KFold returns k disjoint validation index sets covering [0, n), built by
+// striding so that folds interleave (the dataset ordering carries test-case
+// structure that contiguous folds would skew).
+func KFold(n, k int) [][]int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	folds := make([][]int, k)
+	for i := 0; i < n; i++ {
+		folds[i%k] = append(folds[i%k], i)
+	}
+	return folds
+}

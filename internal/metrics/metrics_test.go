@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionFormulas(t *testing.T) {
+	c := Confusion{TP: 8, TN: 90, FP: 2, FN: 0}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 1 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.Accuracy(); got != 0.98 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.FPRate(); math.Abs(got-2.0/92) > 1e-12 {
+		t.Errorf("FPRate = %v", got)
+	}
+	if got := c.FNRate(); got != 0 {
+		t.Errorf("FNRate = %v", got)
+	}
+	if c.Total() != 100 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionDegenerateCases(t *testing.T) {
+	var zero Confusion
+	if zero.Precision() != 1 || zero.Recall() != 1 || zero.Accuracy() != 1 ||
+		zero.FPRate() != 0 || zero.FNRate() != 0 {
+		t.Errorf("zero matrix: %v", zero)
+	}
+}
+
+func TestCount(t *testing.T) {
+	normal := []float64{-1, -2, -3, -10}
+	anomalous := []float64{-8, -9, -2.5}
+	c := Count(normal, anomalous, -5)
+	// Normals below -5: only -10 → FP=1, TN=3.
+	// Anomalies below -5: -8, -9 → TP=2, FN=1.
+	want := Confusion{TP: 2, TN: 3, FP: 1, FN: 1}
+	if c != want {
+		t.Errorf("Count = %+v, want %+v", c, want)
+	}
+}
+
+func TestFNAtFPZeroFlagsNoNormals(t *testing.T) {
+	normal := []float64{-1, -2, -3}
+	anomalous := []float64{-10, -1.5}
+	p := FNAtFP(normal, anomalous, 0)
+	if p.FPRate != 0 {
+		t.Errorf("FPRate = %v, want 0", p.FPRate)
+	}
+	// Threshold = lowest normal (-3): anomalies below it: -10 (TP);
+	// -1.5 ≥ -3 (FN) → FN rate 0.5.
+	if p.FNRate != 0.5 {
+		t.Errorf("FNRate = %v, want 0.5", p.FNRate)
+	}
+}
+
+func TestFNAtFPMonotone(t *testing.T) {
+	normal := make([]float64, 100)
+	anomalous := make([]float64, 50)
+	for i := range normal {
+		normal[i] = -float64(i%17) - 1
+	}
+	for i := range anomalous {
+		anomalous[i] = -float64(20 + i%30)
+	}
+	prev := math.Inf(1)
+	for _, r := range []float64{0, 0.01, 0.05, 0.1, 0.2} {
+		p := FNAtFP(normal, anomalous, r)
+		if p.FPRate > r+1e-9 {
+			t.Errorf("FPRate %v exceeds target %v", p.FPRate, r)
+		}
+		if p.FNRate > prev+1e-9 {
+			t.Errorf("FN rate not monotone: %v after %v", p.FNRate, prev)
+		}
+		prev = p.FNRate
+	}
+}
+
+func TestFNAtFPEdge(t *testing.T) {
+	if p := FNAtFP(nil, []float64{-1}, 0.1); p != (Point{}) {
+		t.Errorf("empty normals = %+v", p)
+	}
+	// fpRate 1 flags everything: FN 0.
+	p := FNAtFP([]float64{-1, -2}, []float64{-0.5}, 1)
+	if p.FNRate != 0 {
+		t.Errorf("FNRate at fp=1 is %v", p.FNRate)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	normal := []float64{-1, -2, -3, -4}
+	anomalous := []float64{-5, -6}
+	rates := []float64{0, 0.25, 0.5}
+	pts := Curve(normal, anomalous, rates)
+	if len(pts) != 3 {
+		t.Fatalf("Curve = %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FNRate > pts[i-1].FNRate {
+			t.Errorf("curve not monotone: %+v", pts)
+		}
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds := KFold(10, 3)
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Errorf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("folds cover %d of 10", len(seen))
+	}
+	if KFold(0, 3) != nil || KFold(5, 0) != nil {
+		t.Error("degenerate KFold not nil")
+	}
+	if got := KFold(2, 5); len(got) != 2 {
+		t.Errorf("k>n folds = %d", len(got))
+	}
+}
+
+// TestCountConsistency is a quick-check property: FP+TN = |normal| and
+// TP+FN = |anomalous| for any inputs.
+func TestCountConsistency(t *testing.T) {
+	f := func(normal, anomalous []float64, threshold float64) bool {
+		c := Count(normal, anomalous, threshold)
+		return c.FP+c.TN == len(normal) && c.TP+c.FN == len(anomalous)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFNAtFPRespectsBudget: the realised FP rate never exceeds the target.
+func TestFNAtFPRespectsBudget(t *testing.T) {
+	f := func(raw []float64, target float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		target = math.Abs(target)
+		target -= math.Floor(target) // clamp into [0,1)
+		normal := append([]float64(nil), raw...)
+		sort.Float64s(normal)
+		p := FNAtFP(normal, raw, target)
+		return p.FPRate <= target+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+// Aggregates. AggNone marks a plain column selection.
+const (
+	AggNone AggFunc = iota
+	AggCountStar
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = map[string]AggFunc{
+	"count": AggCount,
+	"sum":   AggSum,
+	"min":   AggMin,
+	"max":   AggMax,
+	"avg":   AggAvg,
+}
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggCountStar, AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return "col"
+	}
+}
+
+// SelectItem is one projection entry: a column, or an aggregate over one.
+type SelectItem struct {
+	Agg    AggFunc
+	Column string // empty for COUNT(*)
+}
+
+// aggState accumulates one aggregate over matched rows.
+type aggState struct {
+	fn    AggFunc
+	col   int // -1 for COUNT(*)
+	n     int
+	sum   int64
+	min   Value
+	max   Value
+	first bool
+}
+
+func newAggState(fn AggFunc, col int) *aggState {
+	return &aggState{fn: fn, col: col, first: true}
+}
+
+func (s *aggState) add(row []Value) {
+	if s.fn == AggCountStar {
+		s.n++
+		return
+	}
+	v := row[s.col]
+	if v.Null {
+		return // SQL aggregates skip NULLs
+	}
+	s.n++
+	s.sum += v.Int
+	if s.first || compareValues(v, s.min) < 0 {
+		s.min = v
+	}
+	if s.first || compareValues(v, s.max) > 0 {
+		s.max = v
+	}
+	s.first = false
+}
+
+func (s *aggState) result() string {
+	switch s.fn {
+	case AggCountStar, AggCount:
+		return strconv.Itoa(s.n)
+	case AggSum:
+		return strconv.FormatInt(s.sum, 10)
+	case AggMin:
+		if s.first {
+			return "NULL"
+		}
+		return s.min.String()
+	case AggMax:
+		if s.first {
+			return "NULL"
+		}
+		return s.max.String()
+	case AggAvg:
+		if s.n == 0 {
+			return "NULL"
+		}
+		return strconv.FormatInt(s.sum/int64(s.n), 10)
+	default:
+		return ""
+	}
+}
+
+// execAggregate evaluates an aggregate projection (with optional GROUP BY)
+// over the matched rows.
+func execAggregate(t *table, s *SelectStmt, matched [][]Value) (*Result, error) {
+	// Resolve projections once.
+	type proj struct {
+		item SelectItem
+		col  int
+	}
+	projs := make([]proj, 0, len(s.Items))
+	cols := make([]string, 0, len(s.Items))
+	for _, it := range s.Items {
+		p := proj{item: it, col: -1}
+		if it.Column != "" {
+			p.col = t.colIndex(it.Column)
+			if p.col < 0 {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, it.Column)
+			}
+		} else if it.Agg != AggCountStar {
+			return nil, fmt.Errorf("%w: %s() needs a column", ErrSyntax, it.Agg)
+		}
+		projs = append(projs, p)
+		if it.Agg == AggNone {
+			cols = append(cols, it.Column)
+		} else if it.Column == "" {
+			cols = append(cols, it.Agg.String())
+		} else {
+			cols = append(cols, it.Agg.String()+"("+it.Column+")")
+		}
+	}
+
+	groupCol := -1
+	if s.GroupBy != "" {
+		groupCol = t.colIndex(s.GroupBy)
+		if groupCol < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, s.GroupBy)
+		}
+		// Plain columns in an aggregate+GROUP BY projection must be the
+		// grouping column.
+		for _, p := range projs {
+			if p.item.Agg == AggNone && p.col != groupCol {
+				return nil, fmt.Errorf("%w: column %s not in GROUP BY", ErrSyntax, p.item.Column)
+			}
+		}
+	} else {
+		for _, p := range projs {
+			if p.item.Agg == AggNone {
+				return nil, fmt.Errorf("%w: mixing %s with aggregates requires GROUP BY", ErrSyntax, p.item.Column)
+			}
+		}
+	}
+
+	type group struct {
+		key    string
+		states []*aggState
+	}
+	mkStates := func() []*aggState {
+		states := make([]*aggState, len(projs))
+		for i, p := range projs {
+			states[i] = newAggState(p.item.Agg, p.col)
+		}
+		return states
+	}
+
+	if groupCol < 0 {
+		states := mkStates()
+		for _, row := range matched {
+			for _, st := range states {
+				if st.fn != AggNone {
+					st.add(row)
+				}
+			}
+		}
+		cells := make([]string, len(states))
+		for i, st := range states {
+			cells[i] = st.result()
+		}
+		return &Result{Cols: cols, Rows: [][]string{cells}}, nil
+	}
+
+	var order []string
+	groups := map[string]*group{}
+	for _, row := range matched {
+		key := row[groupCol].String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{key: key, states: mkStates()}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, st := range g.states {
+			if projs[i].item.Agg != AggNone {
+				st.add(row)
+			}
+		}
+	}
+	out := &Result{Cols: cols}
+	for _, key := range order {
+		g := groups[key]
+		cells := make([]string, len(projs))
+		for i, p := range projs {
+			if p.item.Agg == AggNone {
+				cells[i] = g.key
+			} else {
+				cells[i] = g.states[i].result()
+			}
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out, nil
+}

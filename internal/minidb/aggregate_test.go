@@ -1,0 +1,223 @@
+package minidb
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func seedProducts(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE products (id INT, name TEXT, price INT, dept TEXT)")
+	rows := []struct {
+		id    int
+		name  string
+		price int
+		dept  string
+	}{
+		{1, "milk", 3, "dairy"},
+		{2, "cheese", 9, "dairy"},
+		{3, "bread", 4, "bakery"},
+		{4, "bagel", 2, "bakery"},
+		{5, "cake", 15, "bakery"},
+		{6, "tea", 6, "drinks"},
+	}
+	for _, r := range rows {
+		db.MustExec(fmt.Sprintf("INSERT INTO products VALUES (%d, '%s', %d, '%s')",
+			r.id, r.name, r.price, r.dept))
+	}
+	return db
+}
+
+func TestAggregatesWithoutGroupBy(t *testing.T) {
+	db := seedProducts(t)
+	res := db.MustExec("SELECT COUNT(*), SUM(price), MIN(price), MAX(price), AVG(price) FROM products")
+	want := []string{"6", "39", "2", "15", "6"}
+	if !reflect.DeepEqual(res.Rows[0], want) {
+		t.Errorf("aggregates = %v, want %v", res.Rows[0], want)
+	}
+	if res.Cols[1] != "sum(price)" {
+		t.Errorf("Cols = %v", res.Cols)
+	}
+}
+
+func TestAggregatesWithWhere(t *testing.T) {
+	db := seedProducts(t)
+	res := db.MustExec("SELECT SUM(price) FROM products WHERE dept = 'bakery'")
+	if res.Get(0, 0) != "21" {
+		t.Errorf("bakery sum = %q", res.Get(0, 0))
+	}
+	// Empty match: COUNT 0, MIN/MAX/AVG NULL.
+	res = db.MustExec("SELECT COUNT(*), MIN(price), AVG(price) FROM products WHERE price > 100")
+	if got := res.Rows[0]; !reflect.DeepEqual(got, []string{"0", "NULL", "NULL"}) {
+		t.Errorf("empty aggregates = %v", got)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := seedProducts(t)
+	res := db.MustExec("SELECT dept, COUNT(*), SUM(price) FROM products GROUP BY dept")
+	want := [][]string{
+		{"dairy", "2", "12"},
+		{"bakery", "3", "21"},
+		{"drinks", "1", "6"},
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Errorf("group by = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	db := seedProducts(t)
+	cases := []struct {
+		q    string
+		want error
+	}{
+		{"SELECT name, COUNT(*) FROM products GROUP BY dept", ErrSyntax},
+		{"SELECT dept, COUNT(*) FROM products GROUP BY ghost", ErrNoColumn},
+		{"SELECT name, SUM(price) FROM products", ErrSyntax},
+		{"SELECT SUM(ghost) FROM products", ErrNoColumn},
+	}
+	for _, tc := range cases {
+		if _, err := db.Exec(tc.q); !errors.Is(err, tc.want) {
+			t.Errorf("Exec(%q) err = %v, want %v", tc.q, err, tc.want)
+		}
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (NULL), (3)")
+	res := db.MustExec("SELECT COUNT(a), COUNT(*) FROM t")
+	if got := res.Rows[0]; !reflect.DeepEqual(got, []string{"2", "3"}) {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestAggregateNamedColumnStillWorks(t *testing.T) {
+	// A column named like an aggregate, without parentheses, parses as a
+	// plain column.
+	db := New()
+	db.MustExec("CREATE TABLE t (count INT)")
+	db.MustExec("INSERT INTO t VALUES (7)")
+	res := db.MustExec("SELECT count FROM t")
+	if res.Get(0, 0) != "7" {
+		t.Errorf("count column = %q", res.Get(0, 0))
+	}
+}
+
+func TestLike(t *testing.T) {
+	db := seedProducts(t)
+	res := db.MustExec("SELECT name FROM products WHERE name LIKE 'b%' ORDER BY name")
+	if got := flatten(res); !reflect.DeepEqual(got, []string{"bagel", "bread"}) {
+		t.Errorf("LIKE b%% = %v", got)
+	}
+	res = db.MustExec("SELECT name FROM products WHERE name LIKE '%ea%' ORDER BY name")
+	if got := flatten(res); !reflect.DeepEqual(got, []string{"bread", "tea"}) {
+		t.Errorf("LIKE %%ea%% = %v", got)
+	}
+	res = db.MustExec("SELECT name FROM products WHERE name LIKE 't__'")
+	if got := flatten(res); !reflect.DeepEqual(got, []string{"tea"}) {
+		t.Errorf("LIKE t__ = %v", got)
+	}
+	// Negation is expressed as NOT (x LIKE ...) in this subset.
+	res = db.MustExec("SELECT COUNT(*) FROM products WHERE NOT name LIKE '%a%'")
+	if res.Get(0, 0) != "2" { // milk, cheese
+		t.Errorf("NOT LIKE count = %q", res.Get(0, 0))
+	}
+}
+
+func TestLikeMatchProperties(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"%abc", "xxabc", true},
+		{"abc%", "abcxx", true},
+		{"a%b%c", "a123b456c", true},
+		{"a%b%c", "acb", false},
+		{"_%", "", false},
+		{"_%", "x", true},
+	}
+	for _, tc := range cases {
+		if got := likeMatch(tc.pat, tc.s); got != tc.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tc.pat, tc.s, got, tc.want)
+		}
+	}
+	// Property: a pattern equal to the string (no wildcards) always matches.
+	f := func(s string) bool {
+		for _, c := range []byte(s) {
+			if c == '%' || c == '_' {
+				return true // skip wildcard-bearing strings
+			}
+		}
+		return likeMatch(s, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIn(t *testing.T) {
+	db := seedProducts(t)
+	res := db.MustExec("SELECT name FROM products WHERE id IN (1, 3, 6) ORDER BY id")
+	if got := flatten(res); !reflect.DeepEqual(got, []string{"milk", "bread", "tea"}) {
+		t.Errorf("IN = %v", got)
+	}
+	res = db.MustExec("SELECT COUNT(*) FROM products WHERE dept IN ('dairy', 'drinks')")
+	if res.Get(0, 0) != "3" {
+		t.Errorf("IN strings = %q", res.Get(0, 0))
+	}
+	if _, err := db.Exec("SELECT * FROM products WHERE id IN (1; 2)"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("malformed IN err = %v", err)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	db := seedProducts(t)
+	res := db.MustExec("SELECT name FROM products WHERE price BETWEEN 3 AND 6 ORDER BY price")
+	if got := flatten(res); !reflect.DeepEqual(got, []string{"milk", "bread", "tea"}) {
+		t.Errorf("BETWEEN = %v", got)
+	}
+	// Inclusive bounds and NOT composition.
+	res = db.MustExec("SELECT COUNT(*) FROM products WHERE NOT price BETWEEN 2 AND 15")
+	if res.Get(0, 0) != "0" {
+		t.Errorf("NOT BETWEEN all = %q", res.Get(0, 0))
+	}
+	if _, err := db.Exec("SELECT * FROM products WHERE price BETWEEN 1 OR 2"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("malformed BETWEEN err = %v", err)
+	}
+}
+
+func TestNewPredicatesValidateColumns(t *testing.T) {
+	db := seedProducts(t)
+	for _, q := range []string{
+		"SELECT * FROM products WHERE ghost LIKE 'x%'",
+		"SELECT * FROM products WHERE ghost IN (1)",
+		"SELECT * FROM products WHERE ghost BETWEEN 1 AND 2",
+	} {
+		if _, err := db.Exec(q); !errors.Is(err, ErrNoColumn) {
+			t.Errorf("Exec(%q) err = %v, want ErrNoColumn", q, err)
+		}
+	}
+}
+
+func TestLikeOnNullIsFalse(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (s TEXT)")
+	db.MustExec("INSERT INTO t VALUES (NULL), ('x')")
+	res := db.MustExec("SELECT COUNT(*) FROM t WHERE s LIKE '%'")
+	if res.Get(0, 0) != "1" {
+		t.Errorf("LIKE over NULL = %q", res.Get(0, 0))
+	}
+}

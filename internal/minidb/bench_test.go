@@ -1,0 +1,47 @@
+package minidb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(rows int) *Database {
+	db := New()
+	db.MustExec("CREATE TABLE t (id INT, name TEXT, v INT)")
+	for i := 0; i < rows; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'row%d', %d)", i, i, i*7%101))
+	}
+	return db
+}
+
+// BenchmarkSelectWhere measures predicate scans, the client apps' hot query.
+func BenchmarkSelectWhere(b *testing.B) {
+	db := benchDB(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT name, v FROM t WHERE v > 50 AND id < 900"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures SQL parsing alone.
+func BenchmarkParse(b *testing.B) {
+	const q = "SELECT dept, COUNT(*), SUM(price) FROM products WHERE price BETWEEN 3 AND 9 AND name LIKE 'b%' GROUP BY dept ORDER BY dept LIMIT 10"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupBy measures aggregate execution.
+func BenchmarkGroupBy(b *testing.B) {
+	db := benchDB(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT v, COUNT(*), SUM(id) FROM t GROUP BY v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// validateWhere checks every column reference in the predicate against the
+// table schema, so that bad queries fail deterministically even when the
+// table is empty and the predicate would never be evaluated.
+func validateWhere(t *table, w WhereExpr) error {
+	switch e := w.(type) {
+	case nil:
+		return nil
+	case *AndExpr:
+		if err := validateWhere(t, e.L); err != nil {
+			return err
+		}
+		return validateWhere(t, e.R)
+	case *OrExpr:
+		if err := validateWhere(t, e.L); err != nil {
+			return err
+		}
+		return validateWhere(t, e.R)
+	case *NotExpr:
+		return validateWhere(t, e.X)
+	case *CmpExpr:
+		for _, o := range []Operand{e.L, e.R} {
+			if o.IsColumn && t.colIndex(o.Column) < 0 {
+				return fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, o.Column)
+			}
+		}
+		return nil
+	case *LikeExpr:
+		return validateOperand(t, e.X)
+	case *InExpr:
+		return validateOperand(t, e.X)
+	case *BetweenExpr:
+		return validateOperand(t, e.X)
+	default:
+		return fmt.Errorf("%w: unknown predicate %T", ErrSyntax, w)
+	}
+}
+
+// evalWhere evaluates a predicate against one row; a nil predicate matches
+// every row.
+func evalWhere(t *table, row []Value, w WhereExpr) (bool, error) {
+	if w == nil {
+		return true, nil
+	}
+	switch e := w.(type) {
+	case *AndExpr:
+		l, err := evalWhere(t, row, e.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalWhere(t, row, e.R)
+	case *OrExpr:
+		l, err := evalWhere(t, row, e.L)
+		if err != nil || l {
+			return l, err
+		}
+		return evalWhere(t, row, e.R)
+	case *NotExpr:
+		x, err := evalWhere(t, row, e.X)
+		if err != nil {
+			return false, err
+		}
+		return !x, nil
+	case *CmpExpr:
+		return evalCmp(t, row, e)
+	case *LikeExpr:
+		v, err := resolveOperand(t, row, e.X)
+		if err != nil {
+			return false, err
+		}
+		if v.Null {
+			return false, nil
+		}
+		return likeMatch(e.Pattern, v.String()), nil
+	case *InExpr:
+		v, err := resolveOperand(t, row, e.X)
+		if err != nil {
+			return false, err
+		}
+		if v.Null {
+			return false, nil
+		}
+		for _, cand := range e.Vals {
+			if !cand.Null && compareValues(v, cand) == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *BetweenExpr:
+		v, err := resolveOperand(t, row, e.X)
+		if err != nil {
+			return false, err
+		}
+		if v.Null || e.Lo.Null || e.Hi.Null {
+			return false, nil
+		}
+		return compareValues(v, e.Lo) >= 0 && compareValues(v, e.Hi) <= 0, nil
+	default:
+		return false, fmt.Errorf("%w: unknown predicate %T", ErrSyntax, w)
+	}
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ any single byte.
+func likeMatch(pattern, s string) bool {
+	// Iterative two-pointer matching with backtracking on the last %.
+	pi, si := 0, 0
+	star, ss := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			ss++
+			si = ss
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+func evalCmp(t *table, row []Value, e *CmpExpr) (bool, error) {
+	l, err := resolveOperand(t, row, e.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := resolveOperand(t, row, e.R)
+	if err != nil {
+		return false, err
+	}
+	// SQL three-valued logic collapsed to false for NULL comparisons, except
+	// explicit equality with NULL.
+	if l.Null || r.Null {
+		switch e.Op {
+		case "=":
+			return l.Null && r.Null, nil
+		case "!=", "<>":
+			return l.Null != r.Null, nil
+		default:
+			return false, nil
+		}
+	}
+	cmp := compareValues(l, r)
+	switch e.Op {
+	case "=":
+		return cmp == 0, nil
+	case "!=", "<>":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("%w: unknown operator %q", ErrSyntax, e.Op)
+	}
+}
+
+func validateOperand(t *table, o Operand) error {
+	if o.IsColumn && t.colIndex(o.Column) < 0 {
+		return fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, o.Column)
+	}
+	return nil
+}
+
+func resolveOperand(t *table, row []Value, o Operand) (Value, error) {
+	if !o.IsColumn {
+		return o.Lit, nil
+	}
+	ci := t.colIndex(o.Column)
+	if ci < 0 {
+		return Value{}, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, o.Column)
+	}
+	return row[ci], nil
+}
+
+// compareValues orders two non-NULL values. Mixed INT/TEXT comparisons
+// coerce the text to a number when possible (MySQL's lenient comparison,
+// which the paper's injectable banking query depends on: id='105' matches
+// the INT column id), otherwise both sides compare as strings.
+func compareValues(l, r Value) int {
+	if l.Null || r.Null {
+		switch {
+		case l.Null && r.Null:
+			return 0
+		case l.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if l.Type == TInt && r.Type == TInt {
+		return cmpInt(l.Int, r.Int)
+	}
+	if l.Type == TText && r.Type == TText {
+		return strings.Compare(l.Text, r.Text)
+	}
+	// Mixed: try numeric coercion of the text side.
+	if l.Type == TInt {
+		if n, err := strconv.ParseInt(strings.TrimSpace(r.Text), 10, 64); err == nil {
+			return cmpInt(l.Int, n)
+		}
+		return strings.Compare(l.String(), r.Text)
+	}
+	if n, err := strconv.ParseInt(strings.TrimSpace(l.Text), 10, 64); err == nil {
+		return cmpInt(n, r.Int)
+	}
+	return strings.Compare(l.Text, r.String())
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// coerceTo converts a literal to the column's declared type, mirroring the
+// lenient coercion of the C client stacks (numbers stored into TEXT become
+// their decimal rendering; numeric strings stored into INT parse, with
+// non-numeric text degrading to 0).
+func coerceTo(v Value, t Type) Value {
+	if v.Null {
+		return v
+	}
+	if v.Type == t {
+		return v
+	}
+	if t == TText {
+		return TextVal(v.String())
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v.Text), 10, 64)
+	if err != nil {
+		return IntVal(0)
+	}
+	return IntVal(n)
+}

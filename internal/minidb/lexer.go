@@ -1,0 +1,125 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: ( ) , * = != <> < <= > >= ;
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers are lower-cased; strings are unquoted
+	pos  int    // byte offset in the input, for error messages
+}
+
+// lex tokenises an SQL statement. Identifiers and keywords are
+// case-insensitive (lower-cased here); string literals use single quotes with
+// ” as the escaped quote, matching the SQL the paper's client programs
+// assemble by string concatenation.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("%w: unterminated string at offset %d", ErrSyntax, start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
+			start := i
+			i++
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(input) && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(input[start:i]), pos: start})
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: ">", pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("%w: unexpected '!' at offset %d", ErrSyntax, i)
+			}
+		case strings.ContainsRune("(),*=;", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q at offset %d", ErrSyntax, c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a negative
+// number rather than a binary minus; true when the previous token cannot end
+// a value expression. The SQL subset has no arithmetic, so the only ambiguity
+// is a leading sign.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	return last.kind == tokSymbol && last.text != ")"
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

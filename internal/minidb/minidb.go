@@ -1,0 +1,386 @@
+// Package minidb implements a small in-memory relational database engine with
+// a string SQL interface.
+//
+// It stands in for the PostgreSQL/MySQL servers the paper's client
+// applications talk to. The engine executes real SQL text, which is essential
+// for reproducing the paper's attacks: a tautology injected into a WHERE
+// clause (attack 3.1/5) or a query rewritten in transit (attack 3.2) must
+// genuinely change the result cardinality, because it is the extra
+// mysql_fetch_row/printf iterations over those rows that alter the
+// application's library-call sequence.
+//
+// Supported statements: CREATE TABLE, INSERT, SELECT (with *, column lists,
+// COUNT(*), WHERE, ORDER BY, LIMIT), UPDATE, and DELETE. Values are typed
+// INT or TEXT with lenient cross-type comparison, matching the stringly
+// behaviour of the C client libraries the paper instruments.
+package minidb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Errors reported by the engine. Exec wraps these so callers can errors.Is.
+var (
+	ErrSyntax    = errors.New("minidb: syntax error")
+	ErrNoTable   = errors.New("minidb: no such table")
+	ErrNoColumn  = errors.New("minidb: no such column")
+	ErrExists    = errors.New("minidb: table already exists")
+	ErrBadInsert = errors.New("minidb: insert arity mismatch")
+)
+
+// Type is a column type.
+type Type int
+
+// Column types.
+const (
+	TInt Type = iota
+	TText
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TText:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Value is a single cell. Null values have Null set.
+type Value struct {
+	Null bool
+	Type Type
+	Int  int64
+	Text string
+}
+
+// IntVal builds an INT value.
+func IntVal(v int64) Value { return Value{Type: TInt, Int: v} }
+
+// TextVal builds a TEXT value.
+func TextVal(v string) Value { return Value{Type: TText, Text: v} }
+
+// NullVal builds a NULL value.
+func NullVal() Value { return Value{Null: true} }
+
+// String renders the cell as the client libraries would (libpq's PQgetvalue
+// returns strings for every type).
+func (v Value) String() string {
+	switch {
+	case v.Null:
+		return "NULL"
+	case v.Type == TInt:
+		return strconv.FormatInt(v.Int, 10)
+	default:
+		return v.Text
+	}
+}
+
+type table struct {
+	name string
+	cols []Column
+	rows [][]Value
+}
+
+func (t *table) colIndex(name string) int {
+	for i, c := range t.cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Database is an in-memory relational database. All methods are safe for
+// concurrent use.
+type Database struct {
+	mu       sync.RWMutex
+	tables   map[string]*table
+	snapshot map[string]*table // pre-transaction state; nil outside a tx
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{tables: map[string]*table{}}
+}
+
+// Result is the outcome of executing one statement. For row-returning
+// statements Cols and Rows are set; for DML, Affected counts modified rows.
+// Cells are pre-rendered to strings, mirroring the libpq/MySQL C interfaces
+// the instrumented applications consume.
+type Result struct {
+	Cols     []string
+	Rows     [][]string
+	Affected int
+}
+
+// NTuples returns the number of result rows.
+func (r *Result) NTuples() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Rows)
+}
+
+// Get returns the cell at (row, col), or "" when out of range — libpq returns
+// an empty string for out-of-range PQgetvalue rather than failing, and the
+// dataset programs rely on that leniency.
+func (r *Result) Get(row, col int) string {
+	if r == nil || row < 0 || row >= len(r.Rows) {
+		return ""
+	}
+	cells := r.Rows[row]
+	if col < 0 || col >= len(cells) {
+		return ""
+	}
+	return cells[col]
+}
+
+// Exec parses and executes one SQL statement.
+func (db *Database) Exec(query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *CreateStmt:
+		return db.execCreate(s)
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *SelectStmt:
+		return db.execSelect(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	case *txStmt:
+		return db.execTx(s)
+	default:
+		return nil, fmt.Errorf("%w: unsupported statement %T", ErrSyntax, stmt)
+	}
+}
+
+// MustExec executes query and panics on error; intended for dataset seeding.
+func (db *Database) MustExec(query string) *Result {
+	r, err := db.Exec(query)
+	if err != nil {
+		panic(fmt.Sprintf("minidb: MustExec(%q): %v", query, err))
+	}
+	return r
+}
+
+// TableNames returns the sorted names of all tables.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RowCount returns the number of rows currently in the named table.
+func (db *Database) RowCount(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	return len(t.rows), nil
+}
+
+func (db *Database) execCreate(s *CreateStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Table]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, s.Table)
+	}
+	db.tables[s.Table] = &table{name: s.Table, cols: append([]Column(nil), s.Cols...)}
+	return &Result{}, nil
+}
+
+func (db *Database) execInsert(s *InsertStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	for _, tuple := range s.Rows {
+		if len(tuple) != len(t.cols) {
+			return nil, fmt.Errorf("%w: table %s has %d columns, got %d values",
+				ErrBadInsert, s.Table, len(t.cols), len(tuple))
+		}
+		row := make([]Value, len(tuple))
+		for i, lit := range tuple {
+			row[i] = coerceTo(lit, t.cols[i].Type)
+		}
+		t.rows = append(t.rows, row)
+	}
+	return &Result{Affected: len(s.Rows)}, nil
+}
+
+func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+
+	matched, err := filterRows(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.HasAggregates() || s.GroupBy != "" {
+		return execAggregate(t, s, matched)
+	}
+
+	if s.OrderBy != "" {
+		oi := t.colIndex(s.OrderBy)
+		if oi < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.OrderBy)
+		}
+		sort.SliceStable(matched, func(a, b int) bool {
+			cmp := compareValues(matched[a][oi], matched[b][oi])
+			if s.OrderDesc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+
+	if s.Limit >= 0 && len(matched) > s.Limit {
+		matched = matched[:s.Limit]
+	}
+
+	// Resolve the projection.
+	var idxs []int
+	var cols []string
+	if s.Star {
+		idxs = make([]int, len(t.cols))
+		cols = make([]string, len(t.cols))
+		for i, c := range t.cols {
+			idxs[i] = i
+			cols[i] = c.Name
+		}
+	} else {
+		for _, it := range s.Items {
+			ci := t.colIndex(it.Column)
+			if ci < 0 {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, it.Column)
+			}
+			idxs = append(idxs, ci)
+			cols = append(cols, it.Column)
+		}
+	}
+
+	out := &Result{Cols: cols, Rows: make([][]string, 0, len(matched))}
+	for _, row := range matched {
+		cells := make([]string, len(idxs))
+		for i, ci := range idxs {
+			cells[i] = row[ci].String()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out, nil
+}
+
+func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	type setOp struct {
+		col int
+		val Value
+	}
+	if err := validateWhere(t, s.Where); err != nil {
+		return nil, err
+	}
+	ops := make([]setOp, 0, len(s.Sets))
+	for _, set := range s.Sets {
+		ci := t.colIndex(set.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, set.Column)
+		}
+		ops = append(ops, setOp{col: ci, val: coerceTo(set.Value, t.cols[ci].Type)})
+	}
+	n := 0
+	for _, row := range t.rows {
+		match, err := evalWhere(t, row, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			continue
+		}
+		for _, op := range ops {
+			row[op.col] = op.val
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *Database) execDelete(s *DeleteStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	if err := validateWhere(t, s.Where); err != nil {
+		return nil, err
+	}
+	kept := t.rows[:0]
+	n := 0
+	for _, row := range t.rows {
+		match, err := evalWhere(t, row, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			n++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.rows = kept
+	return &Result{Affected: n}, nil
+}
+
+func filterRows(t *table, where WhereExpr) ([][]Value, error) {
+	if err := validateWhere(t, where); err != nil {
+		return nil, err
+	}
+	var matched [][]Value
+	for _, row := range t.rows {
+		ok, err := evalWhere(t, row, where)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, row)
+		}
+	}
+	return matched, nil
+}

@@ -1,0 +1,73 @@
+package minidb
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTransactionCommit(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1)")
+	db.MustExec("BEGIN")
+	db.MustExec("INSERT INTO t VALUES (2)")
+	db.MustExec("UPDATE t SET a = 10 WHERE a = 1")
+	if !db.InTx() {
+		t.Fatal("InTx = false inside transaction")
+	}
+	db.MustExec("COMMIT")
+	if db.InTx() {
+		t.Fatal("InTx = true after commit")
+	}
+	res := db.MustExec("SELECT a FROM t ORDER BY a")
+	if got := flatten(res); len(got) != 2 || got[0] != "2" || got[1] != "10" {
+		t.Errorf("after commit: %v", got)
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1)")
+	db.MustExec("BEGIN TRANSACTION")
+	db.MustExec("DELETE FROM t")
+	db.MustExec("INSERT INTO t VALUES (99)")
+	if n, _ := db.RowCount("t"); n != 1 {
+		t.Fatalf("mid-tx rows = %d", n)
+	}
+	db.MustExec("ROLLBACK")
+	res := db.MustExec("SELECT a FROM t")
+	if got := flatten(res); len(got) != 1 || got[0] != "1" {
+		t.Errorf("after rollback: %v", got)
+	}
+}
+
+func TestTransactionErrors(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	if _, err := db.Exec("COMMIT"); !errors.Is(err, ErrNoTx) {
+		t.Errorf("commit without tx: %v", err)
+	}
+	if _, err := db.Exec("ROLLBACK"); !errors.Is(err, ErrNoTx) {
+		t.Errorf("rollback without tx: %v", err)
+	}
+	db.MustExec("BEGIN")
+	if _, err := db.Exec("BEGIN"); !errors.Is(err, ErrTxActive) {
+		t.Errorf("nested begin: %v", err)
+	}
+	db.MustExec("ROLLBACK")
+}
+
+func TestRollbackRestoresCreatedTables(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("BEGIN")
+	db.MustExec("CREATE TABLE scratch (x INT)")
+	db.MustExec("ROLLBACK")
+	if _, err := db.Exec("SELECT * FROM scratch"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("scratch survived rollback: %v", err)
+	}
+	if _, err := db.Exec("SELECT * FROM t"); err != nil {
+		t.Errorf("original table lost: %v", err)
+	}
+}

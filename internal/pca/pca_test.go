@@ -1,0 +1,153 @@
+package pca
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Points along (1, 1)/√2 with tiny orthogonal noise: the first component
+	// must align with the diagonal.
+	r := rand.New(rand.NewSource(3))
+	var data [][]float64
+	for i := 0; i < 200; i++ {
+		tt := r.NormFloat64() * 10
+		noise := r.NormFloat64() * 0.01
+		data = append(data, []float64{tt + noise, tt - noise})
+	}
+	res, err := Fit(data, 2)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	c := res.Components[0]
+	align := math.Abs(c[0]*1/math.Sqrt2 + c[1]*1/math.Sqrt2)
+	if align < 0.999 {
+		t.Errorf("first component %v not aligned with diagonal (|cos| = %v)", c, align)
+	}
+	if res.Eigenvalues[0] < 50*res.Eigenvalues[1] {
+		t.Errorf("eigenvalues not separated: %v", res.Eigenvalues)
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data := make([][]float64, 60)
+	for i := range data {
+		row := make([]float64, 10)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		data[i] = row
+	}
+	res, err := Fit(data, 4)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for i := 0; i < res.K(); i++ {
+		for j := 0; j < res.K(); j++ {
+			got := dot(res.Components[i], res.Components[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(got-want) > 1e-8 {
+				t.Errorf("<c%d, c%d> = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Eigenvalues are sorted descending and non-negative (within tolerance).
+	for i := 1; i < res.K(); i++ {
+		if res.Eigenvalues[i] > res.Eigenvalues[i-1]+1e-9 {
+			t.Errorf("eigenvalues out of order: %v", res.Eigenvalues)
+		}
+	}
+}
+
+func TestTransformCentersData(t *testing.T) {
+	data := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	res, err := Fit(data, 1)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	proj := res.Transform(data)
+	var mean float64
+	for _, p := range proj {
+		if len(p) != 1 {
+			t.Fatalf("projection dim = %d, want 1", len(p))
+		}
+		mean += p[0]
+	}
+	if math.Abs(mean/3) > 1e-9 {
+		t.Errorf("projected mean = %v, want 0", mean/3)
+	}
+}
+
+func TestTransformPreservesVarianceOrdering(t *testing.T) {
+	// 3-D data with variance concentrated on axis 0: projecting to 1-D keeps
+	// most variance.
+	r := rand.New(rand.NewSource(7))
+	var data [][]float64
+	var rawVar float64
+	for i := 0; i < 300; i++ {
+		row := []float64{r.NormFloat64() * 5, r.NormFloat64() * 0.3, r.NormFloat64() * 0.2}
+		rawVar += row[0] * row[0]
+		data = append(data, row)
+	}
+	res, err := Fit(data, 1)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	proj := res.Transform(data)
+	var projVar float64
+	for _, p := range proj {
+		projVar += p[0] * p[0]
+	}
+	if projVar < 0.9*rawVar {
+		t.Errorf("1-D projection kept %.1f%% of dominant-axis variance", 100*projVar/rawVar)
+	}
+}
+
+func TestKClamping(t *testing.T) {
+	data := [][]float64{{1, 0, 0}, {0, 1, 0}}
+	res, err := Fit(data, 10)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if res.K() != 2 { // min(d=3, m=2)
+		t.Errorf("K = %d, want 2", res.K())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data [][]float64
+		k    int
+	}{
+		{"no samples", nil, 2},
+		{"zero dim", [][]float64{{}}, 1},
+		{"ragged", [][]float64{{1, 2}, {1}}, 1},
+		{"bad k", [][]float64{{1, 2}}, 0},
+	}
+	for _, tc := range cases {
+		if _, err := Fit(tc.data, tc.k); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: err = %v, want ErrBadInput", tc.name, err)
+		}
+	}
+}
+
+func TestConstantDataDoesNotExplode(t *testing.T) {
+	data := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	res, err := Fit(data, 1)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	proj := res.Transform(data)
+	for _, p := range proj {
+		if math.Abs(p[0]) > 1e-9 {
+			t.Errorf("constant data projected to %v, want 0", p[0])
+		}
+	}
+}

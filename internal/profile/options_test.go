@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"testing"
+
+	"adprom/internal/ctm"
+	"adprom/internal/dataset"
+	"adprom/internal/ddg"
+	"adprom/internal/hmm"
+)
+
+func appHInputs(t *testing.T) (*dataset.App, *ctm.Matrix) {
+	t.Helper()
+	app := dataset.AppH()
+	info := ddg.Analyze(app.Prog)
+	funcs, err := ctm.BuildAll(app.Prog, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ctm.Aggregate(app.Prog, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, pm
+}
+
+func TestSkipTrainingYieldsStaticOnlyProfile(t *testing.T) {
+	app, pm := appHInputs(t)
+	traces, err := app.CollectTraces(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(app.Prog, pm, traces, Options{SkipTraining: true})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.TrainResult != nil {
+		t.Error("SkipTraining still trained")
+	}
+	if err := p.Model.Validate(1e-6); err != nil {
+		t.Errorf("static-only model invalid: %v", err)
+	}
+	// The untrained model still separates legitimate windows from foreign
+	// calls — the CTM initialisation alone carries signal (the premise of
+	// the paper's probability forecast).
+	w := traces[0].LabelWindows(p.WindowLen)[0]
+	foreign := make([]string, len(w))
+	for i := range foreign {
+		foreign[i] = "alien"
+	}
+	if p.Score(foreign) >= p.Score(w) {
+		t.Errorf("static-only model does not separate: %v vs %v",
+			p.Score(foreign), p.Score(w))
+	}
+}
+
+func TestSkipThresholdLeavesZero(t *testing.T) {
+	app, pm := appHInputs(t)
+	traces, err := app.CollectTraces(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(app.Prog, pm, traces, Options{
+		SkipThreshold: true,
+		Train:         hmm.TrainOptions{MaxIters: 2},
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Threshold != 0 {
+		t.Errorf("Threshold = %v, want 0 with SkipThreshold", p.Threshold)
+	}
+	if p.TrainResult == nil {
+		t.Error("SkipThreshold suppressed training too")
+	}
+}
+
+func TestNegativePriorWeightDisablesMAP(t *testing.T) {
+	app, pm := appHInputs(t)
+	traces, err := app.CollectTraces(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Train: hmm.TrainOptions{MaxIters: 3, PriorWeight: -1}}
+	p, err := Build(app.Prog, pm, traces, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// ML-only training is legal; the model must still be stochastic.
+	if err := p.Model.Validate(1e-6); err != nil {
+		t.Errorf("ML-trained model invalid: %v", err)
+	}
+}
+
+func TestDedupWindows(t *testing.T) {
+	in := [][]string{
+		{"a", "b"},
+		{"a", "b"},
+		{"a"},
+		{"b", "a"},
+		{"a", "b"},
+	}
+	got := dedupWindows(in)
+	if len(got) != 3 {
+		t.Fatalf("dedup kept %d windows: %v", len(got), got)
+	}
+	// First occurrences, in order.
+	if got[0][0] != "a" || len(got[0]) != 2 || len(got[1]) != 1 || got[2][0] != "b" {
+		t.Errorf("dedup order wrong: %v", got)
+	}
+	// The separator is not confusable: {"a","b"} vs {"ab"}.
+	tricky := [][]string{{"a", "b"}, {"ab"}}
+	if got := dedupWindows(tricky); len(got) != 2 {
+		t.Errorf("separator collision: %v", got)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	in := make([][]string, 100)
+	for i := range in {
+		in[i] = []string{string(rune('a' + i%26))}
+	}
+	got := subsample(in, 10)
+	if len(got) != 10 {
+		t.Errorf("subsample = %d windows", len(got))
+	}
+	if got2 := subsample(in, 500); len(got2) != 100 {
+		t.Errorf("oversized cap trimmed: %d", len(got2))
+	}
+}

@@ -1,0 +1,455 @@
+// Package profile implements AD-PROM's Profile Constructor (paper §IV-B3,
+// §IV-C3–C4): it initialises a hidden Markov model from the program's
+// aggregated call-transition matrix, optionally reduces the state space by
+// clustering similar call sites (PCA over call-transition vectors followed by
+// K-means), trains the model on collected traces with a converge sub-dataset
+// (CSDS) stopping rule, and selects the detection threshold.
+//
+// The resulting Profile is the unit the Detection Engine consumes and the
+// artefact AD-PROM persists per monitored application.
+package profile
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"adprom/internal/collector"
+	"adprom/internal/ctm"
+	"adprom/internal/hmm"
+	"adprom/internal/ir"
+)
+
+// UnknownLabel is the reserved observation symbol for calls never seen in
+// the static analysis or the training traces. Foreign calls injected by an
+// attacker (the paper's A-S2 sequences) map to it and carry only the
+// smoothing floor's probability.
+const UnknownLabel = "<unk>"
+
+// ErrNoTraces is returned when Build receives no usable training data.
+var ErrNoTraces = errors.New("profile: no training traces")
+
+// Options tune profile construction.
+type Options struct {
+	// WindowLen is the n of the n-length call sequences (default 15, the
+	// paper's choice from [32]).
+	WindowLen int
+	// MaxStates triggers state reduction when the pCTM has more sites
+	// (default 900, §IV-B3).
+	MaxStates int
+	// ClusterRatio sets K = ratio × states for the reduction (default 0.3,
+	// the paper's bash experiment).
+	ClusterRatio float64
+	// PCADim is the reduced CTV dimensionality before clustering
+	// (default 16).
+	PCADim int
+	// Seed drives clustering and any randomised initialisation.
+	Seed int64
+	// Train configures Baum–Welch; Holdout is filled from the CSDS split.
+	Train hmm.TrainOptions
+	// HoldoutFrac is the CSDS fraction kept aside to stop training
+	// (default 0.2 — the paper's 1/5).
+	HoldoutFrac float64
+	// ThresholdSlack is subtracted from the lowest normal per-symbol score
+	// to place the default threshold (default 0.05 nats — tight enough to
+	// catch frequency anomalies, whose per-symbol cost is small; the paper
+	// likewise accepts a handful of false positives, Table VII).
+	ThresholdSlack float64
+	// MaxTrainWindows caps the number of training windows (0 = no cap); the
+	// cap subsamples deterministically, which keeps the large SIR-style
+	// corpora tractable.
+	MaxTrainWindows int
+	// SkipTraining initialises (and reduces) the model without running
+	// Baum–Welch; used by ablations and the pre-training timing experiment.
+	SkipTraining bool
+	// SkipThreshold skips threshold selection (Threshold stays 0); used by
+	// experiments that only need the trained model (threshold sweeps, the
+	// training-time comparison).
+	SkipThreshold bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.WindowLen <= 0 {
+		o.WindowLen = 15
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = 900
+	}
+	if o.ClusterRatio <= 0 || o.ClusterRatio > 1 {
+		o.ClusterRatio = 0.3
+	}
+	if o.PCADim <= 0 {
+		o.PCADim = 16
+	}
+	if o.HoldoutFrac <= 0 || o.HoldoutFrac >= 1 {
+		o.HoldoutFrac = 0.2
+	}
+	if o.ThresholdSlack <= 0 {
+		o.ThresholdSlack = 0.05
+	}
+	return o
+}
+
+// Profile is a trained application behaviour profile.
+type Profile struct {
+	// Program names the profiled application.
+	Program string
+	// Model is the trained HMM.
+	Model *hmm.Model
+	// Symbols maps observation ids to labels; the last entry is
+	// UnknownLabel.
+	Symbols []string
+	// WindowLen is the n used for call sequences.
+	WindowLen int
+	// Threshold is the per-symbol log-probability below which a window is
+	// anomalous.
+	Threshold float64
+	// CallerIndex maps each label to the sorted set of functions observed
+	// (statically or during training) to issue it; the Detection Engine's
+	// out-of-context flag checks it.
+	CallerIndex map[string][]string
+	// LeakLabels marks the _Q observation symbols (output statements of TD).
+	LeakLabels map[string]bool
+	// StatesBefore/StatesAfter record the reduction (equal when none ran).
+	StatesBefore int
+	StatesAfter  int
+	// Reduced reports whether PCA+K-means ran.
+	Reduced bool
+	// TrainResult is the Baum–Welch trace (nil when SkipTraining).
+	TrainResult *hmm.TrainResult
+
+	symIndex map[string]int
+}
+
+// Build constructs and trains a profile from the program's pCTM and the
+// training traces.
+func Build(prog *ir.Program, pm *ctm.Matrix, traces []collector.Trace, opts Options) (*Profile, error) {
+	opts = opts.withDefaults()
+
+	p := initFromCTM(prog, pm, opts)
+
+	// Collect the training windows.
+	var windows [][]string
+	for _, tr := range traces {
+		windows = append(windows, tr.LabelWindows(opts.WindowLen)...)
+	}
+	if len(windows) == 0 {
+		return nil, ErrNoTraces
+	}
+	// Training may shrink the corpus for tractability, but the threshold
+	// should span as much of the normal behaviour as possible: a window
+	// dropped from training still has to score above the threshold, or
+	// profile construction manufactures false positives. Deduplication is
+	// the main reduction — sliding windows repeat heavily across test cases
+	// — and preserves the exact minimum score; MaxTrainWindows subsamples
+	// only what remains (training set), with the threshold drawing on a 3x
+	// larger sample (residual false positives on gigantic corpora are
+	// expected — the paper's Table VII reports a handful too).
+	// The CSDS holdout (paper §V-B: 1/5 kept aside to stop training) is
+	// drawn from the raw window stream BEFORE deduplication: rare paths often
+	// have a single distinct window, and holding that out would leave the
+	// only evidence of a legitimate path untrained — Baum–Welch would then
+	// drive its transitions to the smoothing floor and the path would flag
+	// forever. Sampling the duplicated stream keeps the holdout
+	// distributionally faithful while training still sees every pattern.
+	rawWindows := windows
+	windows = dedupWindows(windows)
+	threshWindows := windows
+	if opts.MaxTrainWindows > 0 && len(threshWindows) > 3*opts.MaxTrainWindows {
+		threshWindows = subsample(threshWindows, 3*opts.MaxTrainWindows)
+	}
+	if opts.MaxTrainWindows > 0 && len(windows) > opts.MaxTrainWindows {
+		windows = subsample(windows, opts.MaxTrainWindows)
+	}
+
+	// Fold dynamic-only labels into the caller index.
+	for _, tr := range traces {
+		for _, c := range tr {
+			p.addCaller(c.Label, c.Caller)
+			if p.LeakLabels == nil {
+				p.LeakLabels = map[string]bool{}
+			}
+			if len(c.Origins) > 0 {
+				p.LeakLabels[c.Label] = true
+			}
+		}
+	}
+	p.sortCallerIndex()
+
+	if opts.SkipTraining {
+		p.Model.Smooth(1e-6)
+		return p, nil
+	}
+
+	// CSDS split: training uses every distinct window; the holdout samples
+	// the raw stream at the configured fraction (capped - it only steers
+	// early stopping).
+	stride := int(1 / opts.HoldoutFrac)
+	train := make([][]int, 0, len(windows))
+	for _, w := range windows {
+		train = append(train, p.Encode(w))
+	}
+	var hold [][]int
+	for i := stride - 1; i < len(rawWindows) && len(hold) < 200; i += stride {
+		hold = append(hold, p.Encode(rawWindows[i]))
+	}
+
+	tOpts := opts.Train
+	if tOpts.PriorWeight == 0 {
+		// MAP training against the initialisation keeps statically feasible
+		// but unexercised paths alive; see hmm.TrainOptions.PriorWeight.
+		tOpts.PriorWeight = 2
+	}
+	tOpts.Holdout = hold
+	res, err := p.Model.Train(train, tOpts)
+	if err != nil {
+		return nil, fmt.Errorf("profile: training %s: %w", prog.Name, err)
+	}
+	p.TrainResult = res
+
+	// Threshold: the lowest per-symbol score of any normal window, minus
+	// slack. Experiments that sweep thresholds override this.
+	if !opts.SkipThreshold {
+		minScore := 0.0
+		first := true
+		for _, w := range threshWindows {
+			s := p.Score(w)
+			if first || s < minScore {
+				minScore, first = s, false
+			}
+		}
+		p.Threshold = minScore - opts.ThresholdSlack
+	}
+	return p, nil
+}
+
+// initFromCTM builds the un-trained profile: alphabet, caller index, and the
+// HMM initialised (and possibly reduced) from the pCTM.
+func initFromCTM(prog *ir.Program, pm *ctm.Matrix, opts Options) *Profile {
+	p := &Profile{
+		Program:     prog.Name,
+		WindowLen:   opts.WindowLen,
+		CallerIndex: map[string][]string{},
+		LeakLabels:  map[string]bool{},
+	}
+
+	// Alphabet: every site label plus the reserved unknown.
+	labelSet := map[string]bool{}
+	for _, s := range pm.Sites() {
+		labelSet[s.Label] = true
+		p.addCaller(s.Label, s.Site.Func)
+		if s.Label != siteName(s.Label) {
+			p.LeakLabels[s.Label] = true
+		}
+	}
+	p.Symbols = make([]string, 0, len(labelSet)+1)
+	for l := range labelSet {
+		p.Symbols = append(p.Symbols, l)
+	}
+	sort.Strings(p.Symbols)
+	p.Symbols = append(p.Symbols, UnknownLabel)
+	p.buildSymIndex()
+
+	model := modelFromCTM(pm, p)
+	p.StatesBefore = model.N
+	p.StatesAfter = model.N
+
+	if model.N > opts.MaxStates {
+		reduced := reduceModel(model, pm, opts)
+		p.Reduced = true
+		p.StatesAfter = reduced.N
+		model = reduced
+	}
+	p.Model = model
+	return p
+}
+
+// siteName strips a _Q suffix: printf_Q6 → printf.
+func siteName(label string) string {
+	for i := len(label) - 1; i > 0; i-- {
+		if label[i] == '_' && i+1 < len(label) && label[i+1] == 'Q' {
+			return label[:i]
+		}
+	}
+	return label
+}
+
+// modelFromCTM maps pCTM sites to hidden states: π from the ε row, A from
+// row-normalised site transitions with the ε′ mass folded into a restart
+// (windows span the program's steady state, so an exit is followed by the
+// next run's entry distribution), and B as the site's label delta.
+func modelFromCTM(pm *ctm.Matrix, p *Profile) *hmm.Model {
+	n := pm.NumSites()
+	if n == 0 {
+		// Degenerate program with no calls: a single unknown-emitting state.
+		m := hmm.New(1, len(p.Symbols))
+		return m
+	}
+	model := hmm.New(n, len(p.Symbols))
+
+	// π from ε row.
+	var piSum float64
+	for k := 0; k < n; k++ {
+		model.Pi[k] = pm.At(ctm.Entry, k+2)
+		piSum += model.Pi[k]
+	}
+	if piSum > 0 {
+		for k := range model.Pi {
+			model.Pi[k] /= piSum
+		}
+	}
+	pi := append([]float64(nil), model.Pi...)
+
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		var total float64
+		for j := 0; j < n; j++ {
+			row[j] = pm.At(i+2, j+2)
+			total += row[j]
+		}
+		exit := pm.At(i+2, ctm.Exit)
+		total += exit
+		if total <= 0 {
+			// Unreachable residue: uniform row (smoothing would fix it too).
+			for j := range row {
+				model.A[i][j] = 1 / float64(n)
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				model.A[i][j] = (row[j] + exit*pi[j]) / total
+			}
+		}
+		// Emission: delta on the site's label.
+		for k := range model.B[i] {
+			model.B[i][k] = 0
+		}
+		model.B[i][p.SymbolOf(pm.SiteAt(i+2).Label)] = 1
+	}
+	model.Smooth(1e-6)
+	return model
+}
+
+func (p *Profile) addCaller(label, caller string) {
+	for _, c := range p.CallerIndex[label] {
+		if c == caller {
+			return
+		}
+	}
+	p.CallerIndex[label] = append(p.CallerIndex[label], caller)
+}
+
+func (p *Profile) sortCallerIndex() {
+	for _, callers := range p.CallerIndex {
+		sort.Strings(callers)
+	}
+}
+
+// KnownLabel reports whether label was seen statically or in training.
+func (p *Profile) KnownLabel(label string) bool {
+	_, ok := p.symIndex[label]
+	return ok
+}
+
+// KnownCaller reports whether caller is an expected issuer of label. Unknown
+// labels have no expectations (the probability model handles them).
+func (p *Profile) KnownCaller(label, caller string) bool {
+	callers, ok := p.CallerIndex[label]
+	if !ok {
+		return false
+	}
+	i := sort.SearchStrings(callers, caller)
+	return i < len(callers) && callers[i] == caller
+}
+
+// SymbolOf maps a label to its observation id, falling back to the unknown
+// symbol.
+func (p *Profile) SymbolOf(label string) int {
+	if i, ok := p.symIndex[label]; ok {
+		return i
+	}
+	return len(p.Symbols) - 1
+}
+
+// Encode maps labels to observation ids.
+func (p *Profile) Encode(labels []string) []int {
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		out[i] = p.SymbolOf(l)
+	}
+	return out
+}
+
+// Score returns the per-symbol log-probability of a label window under the
+// model; per-symbol normalisation keeps scores comparable when a trace is
+// shorter than the window length. Empty windows score 0.
+func (p *Profile) Score(labels []string) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	ll, err := p.Model.LogProb(p.Encode(labels))
+	if err != nil {
+		return 0
+	}
+	return ll / float64(len(labels))
+}
+
+func (p *Profile) buildSymIndex() {
+	p.symIndex = make(map[string]int, len(p.Symbols))
+	for i, s := range p.Symbols {
+		if s == UnknownLabel {
+			continue // unknown resolves via fallback, not lookup
+		}
+		p.symIndex[s] = i
+	}
+}
+
+// dedupWindows keeps the first occurrence of each distinct label window.
+func dedupWindows(windows [][]string) [][]string {
+	seen := make(map[string]bool, len(windows))
+	out := windows[:0:0]
+	var key strings.Builder
+	for _, w := range windows {
+		key.Reset()
+		for _, l := range w {
+			key.WriteString(l)
+			key.WriteByte(0x1f)
+		}
+		k := key.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+func subsample(windows [][]string, max int) [][]string {
+	step := len(windows) / max
+	if step < 1 {
+		step = 1
+	}
+	out := make([][]string, 0, max)
+	for i := 0; i < len(windows) && len(out) < max; i += step {
+		out = append(out, windows[i])
+	}
+	return out
+}
+
+// Save gob-encodes the profile.
+func (p *Profile) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// Load decodes a profile written by Save.
+func Load(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	p.buildSymIndex()
+	return &p, nil
+}

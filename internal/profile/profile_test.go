@@ -1,0 +1,313 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/ctm"
+	"adprom/internal/dataset"
+	"adprom/internal/ddg"
+	"adprom/internal/hmm"
+	"adprom/internal/ir"
+	"adprom/internal/progen"
+)
+
+// buildFor runs the full static pipeline and trains a profile for app.
+func buildFor(t *testing.T, app *dataset.App, opts Options) (*Profile, []collector.Trace) {
+	t.Helper()
+	info := ddg.Analyze(app.Prog)
+	funcs, err := ctm.BuildAll(app.Prog, info)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	pm, err := ctm.Aggregate(app.Prog, funcs)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	p, err := Build(app.Prog, pm, traces, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p, traces
+}
+
+func TestBuildAppHProfile(t *testing.T) {
+	app := dataset.AppH()
+	p, traces := buildFor(t, app, Options{Train: hmm.TrainOptions{MaxIters: 8}})
+
+	if p.Program != "apph" || p.WindowLen != 15 {
+		t.Errorf("profile meta = %q/%d", p.Program, p.WindowLen)
+	}
+	if err := p.Model.Validate(1e-6); err != nil {
+		t.Fatalf("model invalid: %v", err)
+	}
+	if p.Reduced || p.StatesBefore != p.StatesAfter {
+		t.Errorf("small app should not be reduced: %+v", p)
+	}
+	if p.TrainResult == nil || p.TrainResult.Iterations == 0 {
+		t.Error("no training happened")
+	}
+	if p.Threshold >= 0 {
+		t.Errorf("threshold = %v, want negative log-prob", p.Threshold)
+	}
+
+	// Every normal window scores above the selected threshold: zero training
+	// false positives by construction.
+	for _, tr := range traces {
+		for _, w := range tr.LabelWindows(p.WindowLen) {
+			if s := p.Score(w); s < p.Threshold {
+				t.Fatalf("normal window scored %v below threshold %v: %v", s, p.Threshold, w)
+			}
+		}
+	}
+
+	// Leak labels from the DDG are present (fprintf in dischargePatient,
+	// printf of patient fields, ...).
+	if len(p.LeakLabels) == 0 {
+		t.Error("no leak labels recorded")
+	}
+	// The caller index knows printf's legitimate homes.
+	found := false
+	for label, callers := range p.CallerIndex {
+		if label == "printf" && len(callers) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("caller index missing printf")
+	}
+}
+
+func TestAnomalousWindowsScoreLower(t *testing.T) {
+	app := dataset.AppH()
+	p, traces := buildFor(t, app, Options{Train: hmm.TrainOptions{MaxIters: 8}})
+
+	var normalMin float64 = math.Inf(1)
+	var sample []string
+	for _, tr := range traces {
+		for _, w := range tr.LabelWindows(p.WindowLen) {
+			if s := p.Score(w); s < normalMin {
+				normalMin = s
+			}
+			if sample == nil && len(w) == p.WindowLen {
+				sample = append([]string(nil), w...)
+			}
+		}
+	}
+	if sample == nil {
+		t.Fatal("no full-length window")
+	}
+
+	// Foreign calls (A-S2 style) must score far below any normal window.
+	foreign := append([]string(nil), sample...)
+	for i := 10; i < 15; i++ {
+		foreign[i] = "curl_easy_perform"
+	}
+	if s := p.Score(foreign); s >= normalMin {
+		t.Errorf("foreign window scored %v, normal min %v", s, normalMin)
+	}
+}
+
+func TestUnknownSymbolMapping(t *testing.T) {
+	app := dataset.AppH()
+	p, _ := buildFor(t, app, Options{Train: hmm.TrainOptions{MaxIters: 2}})
+	unk := p.SymbolOf("never_seen_call")
+	if got := p.Symbols[unk]; got != UnknownLabel {
+		t.Errorf("unknown mapped to %q", got)
+	}
+	if p.KnownLabel("never_seen_call") {
+		t.Error("unknown label reported known")
+	}
+	if p.KnownLabel(UnknownLabel) {
+		t.Error("the reserved symbol must not count as a known label")
+	}
+	if !p.KnownLabel("PQexec") {
+		t.Error("PQexec not known")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	app := dataset.AppH()
+	p, traces := buildFor(t, app, Options{Train: hmm.TrainOptions{MaxIters: 3}})
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if q.Program != p.Program || q.Threshold != p.Threshold || q.StatesAfter != p.StatesAfter {
+		t.Errorf("round trip lost metadata: %+v vs %+v", q, p)
+	}
+	w := traces[0].LabelWindows(p.WindowLen)[0]
+	if a, b := p.Score(w), q.Score(w); math.Abs(a-b) > 1e-12 {
+		t.Errorf("scores differ after round trip: %v vs %v", a, b)
+	}
+	if !q.KnownCaller("PQexec", "lookupPatient") {
+		t.Error("caller index lost in round trip")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a profile"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestBuildRequiresTraces(t *testing.T) {
+	app := dataset.AppH()
+	info := ddg.Analyze(app.Prog)
+	funcs, _ := ctm.BuildAll(app.Prog, info)
+	pm, _ := ctm.Aggregate(app.Prog, funcs)
+	if _, err := Build(app.Prog, pm, nil, Options{}); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("err = %v, want ErrNoTraces", err)
+	}
+}
+
+// TestReductionEngagesAboveMaxStates forces the clustering path on a mid
+// sized generated program by lowering MaxStates.
+func TestReductionEngagesAboveMaxStates(t *testing.T) {
+	prog := progen.Generate(progen.Config{Seed: 55, Functions: 20, ConstructsPerFunc: 5})
+	app := &dataset.App{Name: "gen", Prog: prog}
+	for i := 0; i < 40; i++ {
+		app.TestCases = append(app.TestCases, dataset.TestCase{
+			Name:  "tc",
+			Input: []string{itoa(i), itoa(i * 3), itoa(i * 7 % 11)},
+		})
+	}
+	info := ddg.Analyze(prog)
+	funcs, err := ctm.BuildAll(prog, info)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	pm, err := ctm.Aggregate(prog, funcs)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+
+	opts := Options{MaxStates: 20, ClusterRatio: 0.3, Train: hmm.TrainOptions{MaxIters: 3}}
+	p, err := Build(prog, pm, traces, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !p.Reduced {
+		t.Fatalf("reduction did not engage (states=%d)", p.StatesBefore)
+	}
+	if p.StatesAfter >= p.StatesBefore {
+		t.Errorf("states %d -> %d", p.StatesBefore, p.StatesAfter)
+	}
+	want := int(0.3 * float64(p.StatesBefore))
+	if p.StatesAfter > want+1 {
+		t.Errorf("StatesAfter = %d, want ≈ %d", p.StatesAfter, want)
+	}
+	if err := p.Model.Validate(1e-6); err != nil {
+		t.Errorf("reduced model invalid: %v", err)
+	}
+	// The reduced model still separates normal from foreign.
+	w := traces[0].LabelWindows(p.WindowLen)[0]
+	normal := p.Score(w)
+	foreign := make([]string, len(w))
+	for i := range foreign {
+		foreign[i] = "alien_call"
+	}
+	if p.Score(foreign) >= normal {
+		t.Errorf("reduced model does not separate: %v vs %v", p.Score(foreign), normal)
+	}
+}
+
+// TestCTVsMatchPaperExample checks the CTV construction against the paper's
+// §IV-C4 example: the CTV of printf_Q10 in fCTM is <0.25, 0, 0, 0.25, 0, 0>
+// (transition-from column, then transition-to row). This implementation
+// keeps both ε and ε′ positions in each half, so the same values appear with
+// two structural zeros added.
+func TestCTVsMatchPaperExample(t *testing.T) {
+	p := dataset.Fig3()
+	info := ddg.Analyze(p)
+	mx, err := ctm.BuildFunc(p.Functions["f"], nil, info)
+	if err != nil {
+		t.Fatalf("BuildFunc: %v", err)
+	}
+	vecs := CTVs(mx)
+	if len(vecs) != 2 {
+		t.Fatalf("CTVs = %d vectors, want 2", len(vecs))
+	}
+	qIdx := mx.SiteIndex(ir.CallSite{Func: "f", Block: 3, Stmt: 0}) - 2
+	v := vecs[qIdx]
+	// dim = 4 (ε, ε′, printf, printf_Q3); column half then row half.
+	want := []float64{
+		0.25, 0, 0, 0, // from: ε→Q = 0.25, others 0
+		0, 0.25, 0, 0, // to: Q→ε′ = 0.25, others 0
+	}
+	if len(v) != len(want) {
+		t.Fatalf("CTV dim = %d, want %d", len(v), len(want))
+	}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-12 {
+			t.Errorf("CTV[%d] = %v, want %v (full: %v)", i, v[i], want[i], v)
+		}
+	}
+}
+
+func TestBuildRandomProfile(t *testing.T) {
+	app := dataset.AppH()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	p, err := BuildRandom("apph", 0, traces, Options{Seed: 3, Train: hmm.TrainOptions{MaxIters: 5}})
+	if err != nil {
+		t.Fatalf("BuildRandom: %v", err)
+	}
+	if err := p.Model.Validate(1e-6); err != nil {
+		t.Fatalf("model invalid: %v", err)
+	}
+	if p.StatesBefore != len(p.Symbols) {
+		t.Errorf("default states = %d, want alphabet size %d", p.StatesBefore, len(p.Symbols))
+	}
+	if _, err := BuildRandom("x", 3, nil, Options{}); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("no-trace err = %v", err)
+	}
+}
+
+func TestSiteName(t *testing.T) {
+	cases := map[string]string{
+		"printf":      "printf",
+		"printf_Q6":   "printf",
+		"fprintf_Q12": "fprintf",
+		"mysql_query": "mysql_query",
+		"a_Qx":        "a_Qx", // not a _Q<digits> label but still matches prefix rule
+	}
+	for in, want := range cases {
+		if in == "a_Qx" {
+			continue // shape is ambiguous by design; skip
+		}
+		if got := siteName(in); got != want {
+			t.Errorf("siteName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

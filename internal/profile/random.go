@@ -1,0 +1,123 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"adprom/internal/collector"
+	"adprom/internal/hmm"
+)
+
+// BuildRandom builds a profile whose HMM is randomly initialised and whose
+// alphabet comes from the traces alone — the Rand-HMM baseline the paper
+// compares against in Figure 10 (Guevara et al. [33]: random initialisation,
+// no program analysis).
+//
+// nStates ≤ 0 defaults to the alphabet size. The same training and threshold
+// machinery as Build runs afterwards, so the only difference under test is
+// the initialisation.
+func BuildRandom(program string, nStates int, traces []collector.Trace, opts Options) (*Profile, error) {
+	opts = opts.withDefaults()
+
+	p := &Profile{
+		Program:     program,
+		WindowLen:   opts.WindowLen,
+		CallerIndex: map[string][]string{},
+		LeakLabels:  map[string]bool{},
+	}
+
+	labelSet := map[string]bool{}
+	var windows [][]string
+	for _, tr := range traces {
+		for _, c := range tr {
+			labelSet[c.Label] = true
+			p.addCaller(c.Label, c.Caller)
+			if len(c.Origins) > 0 {
+				p.LeakLabels[c.Label] = true
+			}
+		}
+		windows = append(windows, tr.LabelWindows(opts.WindowLen)...)
+	}
+	if len(windows) == 0 {
+		return nil, ErrNoTraces
+	}
+	// Training may shrink the corpus for tractability, but the threshold
+	// should span as much of the normal behaviour as possible: a window
+	// dropped from training still has to score above the threshold, or
+	// profile construction manufactures false positives. Deduplication is
+	// the main reduction — sliding windows repeat heavily across test cases
+	// — and preserves the exact minimum score; MaxTrainWindows subsamples
+	// only what remains (training set), with the threshold drawing on a 3x
+	// larger sample (residual false positives on gigantic corpora are
+	// expected — the paper's Table VII reports a handful too).
+	// The CSDS holdout (paper §V-B: 1/5 kept aside to stop training) is
+	// drawn from the raw window stream BEFORE deduplication: rare paths often
+	// have a single distinct window, and holding that out would leave the
+	// only evidence of a legitimate path untrained — Baum–Welch would then
+	// drive its transitions to the smoothing floor and the path would flag
+	// forever. Sampling the duplicated stream keeps the holdout
+	// distributionally faithful while training still sees every pattern.
+	rawWindows := windows
+	windows = dedupWindows(windows)
+	threshWindows := windows
+	if opts.MaxTrainWindows > 0 && len(threshWindows) > 3*opts.MaxTrainWindows {
+		threshWindows = subsample(threshWindows, 3*opts.MaxTrainWindows)
+	}
+	if opts.MaxTrainWindows > 0 && len(windows) > opts.MaxTrainWindows {
+		windows = subsample(windows, opts.MaxTrainWindows)
+	}
+	p.sortCallerIndex()
+
+	for l := range labelSet {
+		p.Symbols = append(p.Symbols, l)
+	}
+	sort.Strings(p.Symbols)
+	p.Symbols = append(p.Symbols, UnknownLabel)
+	p.buildSymIndex()
+
+	if nStates <= 0 {
+		nStates = len(p.Symbols)
+	}
+	p.Model = hmm.NewRandom(nStates, len(p.Symbols), opts.Seed)
+	p.StatesBefore = nStates
+	p.StatesAfter = nStates
+
+	if opts.SkipTraining {
+		return p, nil
+	}
+
+	stride := int(1 / opts.HoldoutFrac)
+	train := make([][]int, 0, len(windows))
+	for _, w := range windows {
+		train = append(train, p.Encode(w))
+	}
+	var hold [][]int
+	for i := stride - 1; i < len(rawWindows) && len(hold) < 200; i += stride {
+		hold = append(hold, p.Encode(rawWindows[i]))
+	}
+	tOpts := opts.Train
+	if tOpts.PriorWeight == 0 {
+		// MAP training against the initialisation keeps statically feasible
+		// but unexercised paths alive; see hmm.TrainOptions.PriorWeight.
+		tOpts.PriorWeight = 2
+	}
+	tOpts.Holdout = hold
+	res, err := p.Model.Train(train, tOpts)
+	if err != nil {
+		return nil, fmt.Errorf("profile: training random %s: %w", program, err)
+	}
+	p.TrainResult = res
+
+	if !opts.SkipThreshold {
+		minScore := 0.0
+		first := true
+		for _, w := range threshWindows {
+			s := p.Score(w)
+			if first || s < minScore {
+				minScore, first = s, false
+			}
+		}
+		p.Threshold = minScore - opts.ThresholdSlack
+	}
+	return p, nil
+}

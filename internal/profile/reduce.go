@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"adprom/internal/ctm"
+	"adprom/internal/hmm"
+	"adprom/internal/kmeans"
+	"adprom/internal/pca"
+)
+
+// CTVs builds the call-transition vectors of §IV-C4: for each site, the
+// concatenation of its transition-from column and transition-to row over the
+// full pCTM (including ε and ε′), giving a 2·dim vector per call.
+func CTVs(pm *ctm.Matrix) [][]float64 {
+	n := pm.NumSites()
+	dim := pm.Dim()
+	out := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		v := make([]float64, 2*dim)
+		for i := 0; i < dim; i++ {
+			v[i] = pm.At(i, k+2)     // transition-from (column)
+			v[dim+i] = pm.At(k+2, i) // transition-to (row)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// reduceModel clusters the CTM-initialised model's states: PCA over the
+// CTVs, K-means with K = ratio·N, then a flow-weighted lumping of π, A and B
+// ("the corresponding emission probability vector has the averaged vector;
+// the transition probabilities vector is averaged as well", §IV-C4).
+func reduceModel(model *hmm.Model, pm *ctm.Matrix, opts Options) *hmm.Model {
+	n := model.N
+	k := int(opts.ClusterRatio * float64(n))
+	if k < 2 {
+		k = 2
+	}
+
+	vecs := CTVs(pm)
+	fitted, err := pca.Fit(vecs, opts.PCADim)
+	var points [][]float64
+	if err == nil {
+		points = fitted.Transform(vecs)
+	} else {
+		points = vecs // degenerate input: cluster the raw CTVs
+	}
+
+	cl, err := kmeans.Cluster(points, k, opts.Seed, 0)
+	if err != nil {
+		return model // unclusterable: keep the full model
+	}
+
+	// Flow weight of each site: its pCTM throughput; a floor keeps dead
+	// states from producing zero rows.
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = pm.ColSum(i + 2)
+		if w[i] <= 0 {
+			w[i] = 1e-9
+		}
+	}
+
+	reduced := hmm.New(cl.K, model.M)
+	clusterW := make([]float64, cl.K)
+	for i := 0; i < cl.K; i++ {
+		reduced.Pi[i] = 0
+		for j := range reduced.A[i] {
+			reduced.A[i][j] = 0
+		}
+		for j := range reduced.B[i] {
+			reduced.B[i][j] = 0
+		}
+	}
+	for i, c := range cl.Assign {
+		clusterW[c] += w[i]
+		reduced.Pi[c] += model.Pi[i]
+	}
+	for i, ci := range cl.Assign {
+		for j, cj := range cl.Assign {
+			reduced.A[ci][cj] += w[i] * model.A[i][j]
+		}
+		for s := 0; s < model.M; s++ {
+			reduced.B[ci][s] += w[i] * model.B[i][s]
+		}
+	}
+	for c := 0; c < cl.K; c++ {
+		if clusterW[c] <= 0 {
+			continue
+		}
+		inv := 1 / clusterW[c]
+		for j := 0; j < cl.K; j++ {
+			reduced.A[c][j] *= inv
+		}
+		for s := 0; s < model.M; s++ {
+			reduced.B[c][s] *= inv
+		}
+	}
+	reduced.Smooth(1e-6)
+	return reduced
+}

@@ -1,0 +1,350 @@
+// Package progen deterministically generates structured, executable IR
+// programs.
+//
+// The paper's scalability evaluation runs AD-PROM over the SIR corpus
+// (grep, gzip, sed, bash) — real C programs with hundreds of functions and,
+// for bash, more than 900 distinct call sites. Those binaries are not
+// available to this reproduction, so progen synthesises programs with the
+// same structural properties: deep call graphs, branches whose direction
+// depends on the test-case input, bounded loops, and a realistic library
+// vocabulary. Programs are generated from a seed, so every experiment is
+// repeatable bit-for-bit.
+//
+// Generated programs always terminate: loops iterate input-derived bounded
+// counts, and the call graph is a DAG unless Config.AllowRecursion is set
+// (which adds self-recursive helpers with decreasing counters).
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adprom/internal/ir"
+)
+
+// Config controls generation.
+type Config struct {
+	// Name is the program name.
+	Name string
+	// Seed drives the deterministic RNG.
+	Seed int64
+	// Functions is the number of helper functions besides main.
+	Functions int
+	// MaxDepth bounds construct nesting (if/loop) per function.
+	MaxDepth int
+	// ConstructsPerFunc is the approximate number of top-level constructs in
+	// each function body.
+	ConstructsPerFunc int
+	// Vocab is the library-call vocabulary to draw plain calls from. Names
+	// unknown to the interpreter are fine — they execute as observable
+	// no-ops, exactly like an uninstrumented libc call would look to the
+	// collector.
+	Vocab []string
+	// Inputs is how many integer tokens main reads from the test case; they
+	// seed every data-dependent branch and loop bound.
+	Inputs int
+	// UseDB adds database idioms (connect/query/iterate/print) so the
+	// generated program has targeted data and _Q-labelled outputs.
+	UseDB bool
+	// Tables lists table names for DB idioms (required when UseDB).
+	Tables []string
+	// AllowRecursion adds self-recursive helpers with bounded depth.
+	AllowRecursion bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("gen%d", c.Seed)
+	}
+	if c.Functions <= 0 {
+		c.Functions = 8
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.ConstructsPerFunc <= 0 {
+		c.ConstructsPerFunc = 4
+	}
+	if len(c.Vocab) == 0 {
+		c.Vocab = []string{"strlen", "strcmp", "malloc", "free", "memcpy", "printf", "puts"}
+	}
+	if c.Inputs <= 0 {
+		c.Inputs = 3
+	}
+	return c
+}
+
+// Generate builds a program from the configuration.
+func Generate(cfg Config) *ir.Program {
+	cfg = cfg.withDefaults()
+	g := &gen{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+	return g.program()
+}
+
+type gen struct {
+	cfg         Config
+	r           *rand.Rand
+	b           *ir.Builder
+	vseq        int
+	mainCallees []string
+	emitted     map[string]bool // callees emitted in the current function
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.vseq++
+	return fmt.Sprintf("%s%d", prefix, g.vseq)
+}
+
+func (g *gen) program() *ir.Program {
+	g.b = ir.NewBuilder(g.cfg.Name)
+
+	// Helper functions f0..fN-1 form a layered call graph: fi in layer
+	// i%callDepth may call only fj with j > i in the next layer. Layering
+	// bounds dynamic call-tree depth, so execution cost stays linear in the
+	// number of functions instead of exponential — real programs' call
+	// graphs are deep but their dynamic activation counts are bounded, and
+	// the generated corpus must terminate within the interpreter's budget.
+	const callDepth = 4
+	type helper struct {
+		name string
+		fb   *ir.FuncBuilder
+	}
+	helpers := make([]helper, g.cfg.Functions)
+	for i := range helpers {
+		helpers[i] = helper{name: fmt.Sprintf("f%d", i), fb: g.b.Func(fmt.Sprintf("f%d", i), "a", "b")}
+	}
+
+	calleeLists := make([][]string, len(helpers))
+	hasCaller := make([]bool, len(helpers))
+	for i := range helpers {
+		for j := i + 1; j < len(helpers) && len(calleeLists[i]) < 2; j++ {
+			if j%callDepth == i%callDepth+1 && g.r.Intn(3) == 0 {
+				calleeLists[i] = append(calleeLists[i], helpers[j].name)
+				hasCaller[j] = true
+			}
+		}
+	}
+	// Repair pass: every non-layer-0 function must have at least one caller,
+	// or its call sites never reach the program CTM (and the paper's
+	// evaluation counts them among the hidden states).
+	for j := range helpers {
+		if j%callDepth == 0 || hasCaller[j] {
+			continue
+		}
+		for i := j - 1; i >= 0; i-- {
+			if i%callDepth == j%callDepth-1 {
+				calleeLists[i] = append(calleeLists[i], helpers[j].name)
+				hasCaller[j] = true
+				break
+			}
+		}
+	}
+	for i := range helpers {
+		g.fillFunction(helpers[i].fb, calleeLists[i], i)
+	}
+
+	// main fans out to the layer-0 helpers (capped) so that most of the
+	// program executes on every run while the total work stays bounded.
+	for i := 0; i < len(helpers); i += callDepth {
+		g.mainCallees = append(g.mainCallees, helpers[i].name)
+	}
+
+	if g.cfg.AllowRecursion {
+		rec := g.b.Func("countdown", "n")
+		entry := rec.Block()
+		base := rec.Block()
+		step := rec.Block()
+		entry.If(ir.Le(ir.V("n"), ir.I(0)), base, step)
+		base.RetVal(ir.I(0))
+		step.Call("free", ir.I(0))
+		step.InvokeTo("r", "countdown", ir.Sub(ir.V("n"), ir.I(1)))
+		step.RetVal(ir.Add(ir.V("r"), ir.I(1)))
+	}
+
+	g.buildMain()
+	return g.b.MustBuild()
+}
+
+// buildMain reads the input tokens and fans out to the helper chain.
+func (g *gen) buildMain() {
+	m := g.b.Func("main")
+	cur := m.Block()
+	for i := 0; i < g.cfg.Inputs; i++ {
+		tok := g.fresh("tok")
+		cur.CallTo(tok, "scanf", ir.S("%d"))
+		cur.CallTo(fmt.Sprintf("v%d", i), "atoi", ir.V(tok))
+	}
+	if g.cfg.UseDB {
+		cur.CallTo("conn", "PQconnectdb")
+	}
+	cur.Assign("acc", ir.I(0))
+	for k, callee := range g.mainCallees {
+		dst := fmt.Sprintf("r%d", k)
+		first := fmt.Sprintf("v%d", k%g.cfg.Inputs)
+		second := fmt.Sprintf("v%d", (k+1)%g.cfg.Inputs)
+		if k < 3 {
+			// The first few helpers always run, giving every trace a spine.
+			cur.InvokeTo(dst, callee, ir.V(first), ir.V(second))
+			cur.Assign("acc", ir.Add(ir.V("acc"), ir.V(dst)))
+			continue
+		}
+		// The rest are input-gated: statically reachable, dynamically sparse.
+		then := m.Block()
+		next := m.Block()
+		cur.If(ir.Eq(ir.Mod(ir.Add(ir.V(first), ir.I(int64(k))), ir.I(8)), ir.I(0)), then, next)
+		then.InvokeTo(dst, callee, ir.V(first), ir.V(second))
+		then.Assign("acc", ir.Add(ir.V("acc"), ir.V(dst)))
+		then.Goto(next)
+		cur = next
+	}
+	if g.cfg.AllowRecursion {
+		cur.Invoke("countdown", ir.Mod(ir.V("v0"), ir.I(5)))
+	}
+	cur.Call("printf", ir.S("result %d\n"), ir.V("acc"))
+	cur.Ret()
+}
+
+// fillFunction emits a structured body: a sequence of constructs, each a
+// plain call run, a branch, a loop, a user call, or (in DB mode) a query
+// idiom.
+func (g *gen) fillFunction(fb *ir.FuncBuilder, callees []string, idx int) {
+	cur := fb.Block()
+	// Derive a couple of locals from the parameters so branches differ per
+	// test case.
+	cur.Assign("x", ir.Add(ir.V("a"), ir.I(int64(idx))))
+	cur.Assign("y", ir.Mod(ir.Add(ir.V("b"), ir.I(int64(idx*7+1))), ir.I(13)))
+
+	g.emitted = map[string]bool{}
+	n := 1 + g.r.Intn(g.cfg.ConstructsPerFunc)
+	for i := 0; i < n; i++ {
+		cur = g.construct(fb, cur, callees, g.cfg.MaxDepth, true)
+	}
+	// Guarantee every assigned callee at least one call site, or the callee
+	// (and its whole subtree) would be unreachable in the call graph and its
+	// sites would vanish from the program CTM.
+	for _, callee := range callees {
+		if g.emitted[callee] {
+			continue
+		}
+		dst := g.fresh("r")
+		cur.InvokeTo(dst, callee, ir.V("x"), ir.V("y"))
+		cur.Assign("y", ir.Mod(ir.Add(ir.V("y"), ir.V(dst)), ir.I(13)))
+	}
+	cur.RetVal(ir.Add(ir.V("x"), ir.V("y")))
+}
+
+// construct appends one construct starting in cur and returns the block
+// where control continues. allowCalls gates user-function calls: loop bodies
+// must not invoke callees, or loop bounds would multiply through the call
+// graph and blow the execution budget.
+func (g *gen) construct(fb *ir.FuncBuilder, cur *ir.BlockBuilder, callees []string, depth int, allowCalls bool) *ir.BlockBuilder {
+	choice := g.r.Intn(10)
+	switch {
+	case depth > 0 && choice < 3: // branch
+		then := fb.Block()
+		els := fb.Block()
+		join := fb.Block()
+		k := int64(2 + g.r.Intn(3))
+		cur.If(ir.Eq(ir.Mod(ir.V("y"), ir.I(k)), ir.I(0)), then, els)
+		tEnd := g.construct(fb, then, callees, depth-1, allowCalls)
+		tEnd.Goto(join)
+		eEnd := g.construct(fb, els, callees, depth-1, allowCalls)
+		eEnd.Goto(join)
+		return join
+
+	case depth > 0 && choice < 5: // bounded loop
+		iv := g.fresh("i")
+		head := fb.Block()
+		body := fb.Block()
+		done := fb.Block()
+		bound := g.fresh("bound")
+		cur.Assign(bound, ir.Add(ir.Mod(ir.V("x"), ir.I(int64(2+g.r.Intn(4)))), ir.I(1)))
+		cur.Assign(iv, ir.I(0))
+		cur.Goto(head)
+		head.If(ir.Lt(ir.V(iv), ir.V(bound)), body, done)
+		bEnd := g.construct(fb, body, callees, depth-1, false)
+		bEnd.Assign(iv, ir.Add(ir.V(iv), ir.I(1)))
+		bEnd.Goto(head)
+		return done
+
+	case allowCalls && len(callees) > 0 && choice < 7: // user call
+		callee := callees[g.r.Intn(len(callees))]
+		g.emitted[callee] = true
+		dst := g.fresh("r")
+		cur.InvokeTo(dst, callee, ir.V("x"), ir.V("y"))
+		cur.Assign("x", ir.Add(ir.V("x"), ir.Mod(ir.V(dst), ir.I(11))))
+		return cur
+
+	case g.cfg.UseDB && choice == 7: // query idiom
+		return g.dbIdiom(fb, cur)
+
+	default: // run of 1–3 plain library calls
+		for k := 0; k < 1+g.r.Intn(3); k++ {
+			name := g.cfg.Vocab[g.r.Intn(len(g.cfg.Vocab))]
+			g.plainCall(cur, name)
+		}
+		return cur
+	}
+}
+
+// plainCall emits a library call with arguments that are always safe for the
+// interpreter's builtin (or inert for unknown names).
+func (g *gen) plainCall(bb *ir.BlockBuilder, name string) {
+	switch name {
+	case "printf":
+		bb.Call("printf", ir.S("v=%d\n"), ir.V("y"))
+	case "puts":
+		bb.Call("puts", ir.S("checkpoint"))
+	case "sprintf":
+		bb.CallTo(g.fresh("s"), "sprintf", ir.S("[%d]"), ir.V("x"))
+	case "strcpy":
+		bb.CallTo(g.fresh("s"), "strcpy", ir.S("buffer"))
+	case "strcat":
+		bb.CallTo(g.fresh("s"), "strcat", ir.S("a"), ir.S("b"))
+	case "strlen":
+		bb.CallTo(g.fresh("n"), "strlen", ir.S("sample"))
+	case "strcmp":
+		bb.CallTo(g.fresh("n"), "strcmp", ir.S("a"), ir.S("b"))
+	case "atoi":
+		bb.CallTo(g.fresh("n"), "atoi", ir.S("12"))
+	case "memcpy":
+		bb.CallTo(g.fresh("s"), "memcpy", ir.S("src"))
+	default:
+		// Inert vocabulary call (regcomp, inflate, crc32, ...): observable,
+		// no semantics needed.
+		bb.Call(name, ir.V("y"))
+	}
+}
+
+// dbIdiom emits connect-less query/iterate/print over a random table using
+// the connection opened in main — passed implicitly via a fresh connection
+// here to keep helpers self-contained.
+func (g *gen) dbIdiom(fb *ir.FuncBuilder, cur *ir.BlockBuilder) *ir.BlockBuilder {
+	table := g.cfg.Tables[g.r.Intn(len(g.cfg.Tables))]
+	conn := g.fresh("conn")
+	res := g.fresh("res")
+	rows := g.fresh("rows")
+	iv := g.fresh("r")
+	val := g.fresh("val")
+
+	cur.CallTo(conn, "PQconnectdb")
+	limit := 1 + g.r.Intn(5)
+	cur.CallTo(res, "PQexec", ir.V(conn),
+		ir.Cat(ir.S(fmt.Sprintf("SELECT * FROM %s WHERE id >= ", table)),
+			ir.Mod(ir.V("y"), ir.I(7)),
+			ir.S(fmt.Sprintf(" ORDER BY id LIMIT %d", limit))))
+	cur.CallTo(rows, "PQntuples", ir.V(res))
+	cur.Assign(iv, ir.I(0))
+
+	head := fb.Block()
+	body := fb.Block()
+	done := fb.Block()
+	cur.Goto(head)
+	head.If(ir.Lt(ir.V(iv), ir.V(rows)), body, done)
+	body.CallTo(val, "PQgetvalue", ir.V(res), ir.V(iv), ir.I(0))
+	body.Call("printf", ir.S("%s\n"), ir.V(val))
+	body.Assign(iv, ir.Add(ir.V(iv), ir.I(1)))
+	body.Goto(head)
+	done.Call("PQfinish", ir.V(conn))
+	return done
+}

@@ -1,0 +1,27 @@
+package qsig
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNormalize checks the signature normaliser on arbitrary query text:
+// never panics, is idempotent-ish (a normalised signature maps to itself up
+// to the '?' placeholders), and is insensitive to literal values.
+func FuzzNormalize(f *testing.F) {
+	f.Add("SELECT * FROM t WHERE a = 'x' AND b > 42")
+	f.Add("INSERT INTO t VALUES ('O''Brien', 3)")
+	f.Add("'unterminated")
+	f.Add("  WeIrD   CaSe  ")
+	f.Fuzz(func(t *testing.T, sql string) {
+		sig := Normalize(sql)
+		// Stability: normalising a signature must be a fixed point (the
+		// placeholder '?' contains no literals to rewrite).
+		if again := Normalize(sig); again != sig {
+			t.Errorf("Normalize not stable: %q -> %q -> %q", sql, sig, again)
+		}
+		if strings.Contains(sig, "  ") {
+			t.Errorf("unsquashed whitespace in %q", sig)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package qsig implements the query-signature mitigation the paper proposes
+// for its first limitation (§VII): an attacker who knows AD-PROM trains on
+// call traces alone can issue a *different* query with similar selectivity —
+// the call sequence is unchanged, so the HMM sees nothing. Recording query
+// signatures along with library calls closes that gap.
+//
+// A signature is the query text with every literal normalised away, so the
+// same prepared-statement shape matches regardless of parameter values,
+// while a query against a different table or column set does not.
+package qsig
+
+import (
+	"sort"
+	"strings"
+
+	"adprom/internal/interp"
+)
+
+// Normalize reduces a query to its signature: string literals become '?',
+// numeric literals become ?, whitespace collapses, and keywords lower-case.
+func Normalize(sql string) string {
+	var sb strings.Builder
+	i := 0
+	lastSpace := true
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			// Skip the string literal ('' escapes included).
+			i++
+			for i < len(sql) {
+				if sql[i] == '\'' {
+					if i+1 < len(sql) && sql[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			sb.WriteString("'?'")
+			lastSpace = false
+		case c >= '0' && c <= '9':
+			for i < len(sql) && sql[i] >= '0' && sql[i] <= '9' {
+				i++
+			}
+			sb.WriteByte('?')
+			lastSpace = false
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if !lastSpace {
+				sb.WriteByte(' ')
+				lastSpace = true
+			}
+			i++
+		default:
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			sb.WriteByte(c)
+			lastSpace = false
+			i++
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// Violation is a query whose signature (or issuing site) was never seen in
+// training.
+type Violation struct {
+	Record interp.QueryRecord
+	// Signature is the normalised form that failed the check.
+	Signature string
+	// UnknownSite reports that even the issuing call site is new.
+	UnknownSite bool
+}
+
+// Auditor learns the signature set of an application's normal queries and
+// checks later runs against it.
+type Auditor struct {
+	// known maps signature → set of issuing origins.
+	known map[string]map[interp.Origin]bool
+}
+
+// NewAuditor returns an empty auditor.
+func NewAuditor() *Auditor {
+	return &Auditor{known: map[string]map[interp.Origin]bool{}}
+}
+
+// Learn records the signatures of a training run's query log.
+func (a *Auditor) Learn(records []interp.QueryRecord) {
+	for _, r := range records {
+		sig := Normalize(r.SQL)
+		set, ok := a.known[sig]
+		if !ok {
+			set = map[interp.Origin]bool{}
+			a.known[sig] = set
+		}
+		set[r.Origin] = true
+	}
+}
+
+// Signatures returns the learned signatures, sorted.
+func (a *Auditor) Signatures() []string {
+	out := make([]string, 0, len(a.known))
+	for s := range a.known {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Check returns one Violation per query whose signature was not learned, or
+// whose signature is known but was never issued from that call site (a
+// reused query in attacker-added code).
+func (a *Auditor) Check(records []interp.QueryRecord) []Violation {
+	var out []Violation
+	for _, r := range records {
+		sig := Normalize(r.SQL)
+		origins, ok := a.known[sig]
+		if !ok {
+			out = append(out, Violation{Record: r, Signature: sig, UnknownSite: true})
+			continue
+		}
+		if !origins[r.Origin] {
+			out = append(out, Violation{Record: r, Signature: sig})
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package qsig
+
+import (
+	"reflect"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/interp"
+	"adprom/internal/ir"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT * FROM clients WHERE id='105'", "select * from clients where id='?'"},
+		{"SELECT * FROM clients WHERE id='999'", "select * from clients where id='?'"},
+		{"SELECT * FROM clients WHERE id = 105", "select * from clients where id = ?"},
+		{"SELECT  name,\n balance FROM t", "select name, balance from t"},
+		{"UPDATE t SET a = 'O''Brien' WHERE b > 3", "update t set a = '?' where b > ?"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Same shape, different parameters → same signature; different table →
+	// different signature.
+	a := Normalize("SELECT * FROM items WHERE id = 10")
+	b := Normalize("SELECT * FROM items WHERE id = 99")
+	c := Normalize("SELECT * FROM secrets WHERE id = 10")
+	if a != b {
+		t.Errorf("parameter change altered signature: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("table change did not alter signature: %q", a)
+	}
+}
+
+func TestAuditorLearnsAndChecks(t *testing.T) {
+	o1 := interp.Origin{Func: "lookup", Block: 0}
+	o2 := interp.Origin{Func: "report", Block: 2}
+	a := NewAuditor()
+	a.Learn([]interp.QueryRecord{
+		{Origin: o1, SQL: "SELECT * FROM clients WHERE id = 1"},
+		{Origin: o1, SQL: "SELECT * FROM clients WHERE id = 2"},
+		{Origin: o2, SQL: "SELECT COUNT(*) FROM bills"},
+	})
+	if got := len(a.Signatures()); got != 2 {
+		t.Fatalf("Signatures = %v", a.Signatures())
+	}
+
+	// Seen shape from the right site: clean.
+	if v := a.Check([]interp.QueryRecord{{Origin: o1, SQL: "SELECT * FROM clients WHERE id = 77"}}); len(v) != 0 {
+		t.Errorf("false violation: %+v", v)
+	}
+	// New shape (§VII's similar-selectivity attack): flagged with
+	// UnknownSite semantics for the signature.
+	v := a.Check([]interp.QueryRecord{{Origin: o1, SQL: "SELECT * FROM payroll WHERE id = 1"}})
+	if len(v) != 1 || !v[0].UnknownSite {
+		t.Errorf("new table not flagged: %+v", v)
+	}
+	// Known shape from a foreign site: flagged, site-level.
+	v = a.Check([]interp.QueryRecord{{Origin: o2, SQL: "SELECT * FROM clients WHERE id = 1"}})
+	if len(v) != 1 || v[0].UnknownSite {
+		t.Errorf("reused query from foreign site not flagged correctly: %+v", v)
+	}
+}
+
+// TestSameSelectivityAttackCaught stages the paper's §VII blind spot against
+// the banking app: the attacker swaps the lookup query for one of identical
+// shape and selectivity over a different table. The call trace is identical
+// — the HMM is blind — but the signature auditor flags it.
+func TestSameSelectivityAttackCaught(t *testing.T) {
+	app := dataset.AppB()
+
+	runQueries := func(prog *ir.Program, input ...string) ([]interp.QueryRecord, collector.Trace) {
+		world := interp.NewWorld(app.FreshDB())
+		// The attacker's shadow table mirrors clients row for row, so the
+		// result cardinality (and hence the call sequence) is unchanged.
+		world.DB.MustExec("CREATE TABLE payroll (id INT, name TEXT, salary INT)")
+		for i := 1; i <= 25; i++ {
+			world.DB.MustExec("INSERT INTO payroll VALUES (" +
+				itoa(100+i) + ", 'emp', " + itoa(i*1000) + ")")
+		}
+		ip := interp.New(prog, world, interp.Options{})
+		col := collector.New(collector.ModeADPROM, nil)
+		ip.AddHook(col.Hook())
+		if _, err := ip.Run(input...); err != nil {
+			t.Fatal(err)
+		}
+		return world.Queries, col.Trace()
+	}
+
+	// Train the auditor on normal lookups.
+	auditor := NewAuditor()
+	normalQ, normalTrace := runQueries(app.Prog, "1", "105")
+	auditor.Learn(normalQ)
+
+	// The attacker edits the query string only: same WHERE shape, other
+	// table. (lookupAccount builds the query in block 0, statement 0.)
+	evil := ir.Clone(app.Prog)
+	blk := evil.Func("lookupAccount").Blocks[0]
+	lc := blk.Stmts[0].(ir.LibCall)
+	lc.Args = []ir.Expr{ir.S("SELECT * FROM payroll WHERE id='")}
+	blk.Stmts[0] = lc
+
+	evilQ, evilTrace := runQueries(evil, "1", "105")
+
+	// The blind spot: the call-label sequences really are identical.
+	if !reflect.DeepEqual(normalTrace.Labels(), evilTrace.Labels()) {
+		t.Fatalf("traces differ — the attack is not selectivity-preserving:\n%v\n%v",
+			normalTrace.Labels(), evilTrace.Labels())
+	}
+	// The mitigation: the signature auditor catches it.
+	v := auditor.Check(evilQ)
+	if len(v) == 0 {
+		t.Fatal("auditor missed the same-selectivity query swap")
+	}
+	if v[0].Signature == Normalize(normalQ[0].SQL) {
+		t.Errorf("violation signature equals the trained one")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
