@@ -1,0 +1,30 @@
+# Tier-1 verification plus the static and race checks added with the
+# concurrent runtime. `make verify` is the pre-merge gate.
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench serve-demo
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The runtime package is the concurrency-critical surface; -race across the
+# whole module also covers the facade's Runtime tests.
+race:
+	$(GO) test -race ./internal/runtime/... .
+
+verify: build test vet race
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkRuntimeThroughput -benchtime 3x .
+
+serve-demo:
+	$(GO) run ./cmd/adprom serve -app apph -streams 64 -workers 4

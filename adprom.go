@@ -18,8 +18,16 @@
 //	app := adprom.HospitalApp()                     // a bundled client app
 //	traces, _ := app.CollectTraces(adprom.ModeADPROM)
 //	prof, _, _ := adprom.Train(app.Prog, traces, adprom.TrainOptions{})
-//	mon := adprom.NewMonitor(prof, nil)
+//
+//	// One stream: a Monitor, configured with functional options.
+//	mon := adprom.NewMonitor(prof, adprom.WithSink(sink))
 //	alerts := mon.ObserveTrace(suspiciousTrace)
+//
+//	// Many concurrent streams: a Runtime multiplexes per-session call
+//	// streams onto a pool of detection workers over the shared profile.
+//	rt := adprom.NewRuntime(prof, adprom.WithWorkers(8))
+//	defer rt.Close()
+//	rt.Session("client-42").Observe(call)
 //
 // The facade re-exports the supported surface of the internal packages; see
 // examples/ for complete programs and internal/experiments for the paper's
@@ -27,6 +35,8 @@
 package adprom
 
 import (
+	"context"
+
 	"adprom/internal/attack"
 	"adprom/internal/collector"
 	"adprom/internal/core"
@@ -38,6 +48,7 @@ import (
 	"adprom/internal/minidb"
 	"adprom/internal/profile"
 	"adprom/internal/qsig"
+	"adprom/internal/runtime"
 )
 
 // Program building and execution.
@@ -84,6 +95,38 @@ type (
 	AlertSink = core.AlertSink
 	// AlertFunc adapts a function to AlertSink.
 	AlertFunc = core.AlertFunc
+)
+
+// Concurrent serving.
+type (
+	// Runtime multiplexes many concurrent per-session call streams onto a
+	// pool of detection workers sharing one profile; see NewRuntime.
+	Runtime = runtime.Runtime
+	// Session is one monitored call stream inside a Runtime.
+	Session = runtime.Session
+	// RuntimeOption configures NewRuntime.
+	RuntimeOption = runtime.Option
+	// RuntimeStats is a point-in-time snapshot of a Runtime's counters.
+	RuntimeStats = runtime.Stats
+	// DropPolicy selects a Runtime's full-queue behaviour (Block or
+	// DropNewest).
+	DropPolicy = runtime.DropPolicy
+)
+
+// Runtime drop policies.
+const (
+	// Block applies backpressure: Observe waits for queue space.
+	Block = runtime.Block
+	// DropNewest sheds the incoming call and returns ErrDropped.
+	DropNewest = runtime.DropNewest
+)
+
+// Runtime ingest errors.
+var (
+	// ErrClosed reports an operation on a closed Runtime or Session.
+	ErrClosed = runtime.ErrClosed
+	// ErrDropped reports a call shed by the DropNewest policy.
+	ErrDropped = runtime.ErrDropped
 )
 
 // Datasets and attacks.
@@ -161,9 +204,89 @@ func Train(prog *Program, traces []Trace, opts TrainOptions) (*Profile, *StaticA
 	return core.Train(prog, traces, opts)
 }
 
-// NewMonitor builds the detection phase around a trained profile; sink may
-// be nil.
-func NewMonitor(p *Profile, sink AlertSink) *Monitor { return core.NewMonitor(p, sink) }
+// TrainContext is Train with cancellation: a cancelled context aborts the
+// Baum–Welch loop between iterations and surfaces ctx.Err() as the error.
+func TrainContext(ctx context.Context, prog *Program, traces []Trace, opts TrainOptions) (*Profile, *StaticAnalysis, error) {
+	return core.TrainContext(ctx, prog, traces, opts)
+}
+
+// MonitorOption configures NewMonitor.
+type MonitorOption func(*monitorConfig)
+
+type monitorConfig struct {
+	sink      AlertSink
+	threshold *float64
+	window    int
+}
+
+// WithSink routes the monitor's alerts to sink (the security administrator).
+func WithSink(sink AlertSink) MonitorOption {
+	return func(c *monitorConfig) { c.sink = sink }
+}
+
+// WithThreshold overrides the profile's selected detection threshold
+// (per-symbol log probability).
+func WithThreshold(t float64) MonitorOption {
+	return func(c *monitorConfig) { c.threshold = &t }
+}
+
+// WithWindowSize overrides the profile's sliding-window length n.
+func WithWindowSize(n int) MonitorOption {
+	return func(c *monitorConfig) { c.window = n }
+}
+
+// NewMonitor builds the detection phase around a trained profile. With no
+// options it uses the profile's threshold and window length and keeps alerts
+// in the monitor's history only; nil options are ignored, so the legacy
+// NewMonitor(p, nil) spelling still compiles and behaves identically.
+func NewMonitor(p *Profile, opts ...MonitorOption) *Monitor {
+	var c monitorConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	m := core.NewMonitor(p, c.sink)
+	if c.window > 0 {
+		m.Engine().SetWindowLen(c.window)
+	}
+	if c.threshold != nil {
+		m.Engine().SetThreshold(*c.threshold)
+	}
+	return m
+}
+
+// NewMonitorWithSink builds a monitor with a positional alert sink.
+//
+// Deprecated: use NewMonitor(p, WithSink(sink)).
+func NewMonitorWithSink(p *Profile, sink AlertSink) *Monitor {
+	return core.NewMonitor(p, sink)
+}
+
+// NewRuntime builds a concurrent multi-stream detection runtime over a
+// trained profile: sessions obtained from Runtime.Session are scored in
+// parallel by a worker pool sharing the profile. Close it when done.
+func NewRuntime(p *Profile, opts ...RuntimeOption) *Runtime {
+	return runtime.New(p, opts...)
+}
+
+// WithWorkers sets the runtime's number of detection workers (default
+// GOMAXPROCS).
+func WithWorkers(n int) RuntimeOption { return runtime.WithWorkers(n) }
+
+// WithQueueDepth bounds each runtime worker's ingest queue (default 256).
+func WithQueueDepth(d int) RuntimeOption { return runtime.WithQueueDepth(d) }
+
+// WithDropPolicy selects the runtime's full-queue behaviour: Block
+// (backpressure, the default) or DropNewest (load shedding).
+func WithDropPolicy(p DropPolicy) RuntimeOption { return runtime.WithDropPolicy(p) }
+
+// WithSessionSink routes every runtime session's alerts to fn, tagged with
+// the session id. fn runs on worker goroutines and must be safe for
+// concurrent use.
+func WithSessionSink(fn func(session string, a Alert)) RuntimeOption {
+	return runtime.WithAlertFunc(runtime.AlertFunc(fn))
+}
 
 // NewCollector returns a calls collector for the given mode; attach it with
 // Interp.AddHook(c.Hook()).

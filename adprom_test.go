@@ -1,7 +1,12 @@
 package adprom
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -66,7 +71,7 @@ func TestFacadeQuickstart(t *testing.T) {
 
 	var got []Alert
 	sink := AlertFunc(func(a Alert) { got = append(got, a) })
-	mon := NewMonitor(prof, sink)
+	mon := NewMonitor(prof, WithSink(sink))
 	all := mon.ObserveTrace(run(build("a >= 0")))
 	if len(all) == 0 {
 		t.Fatal("selectivity attack not detected")
@@ -82,6 +87,106 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	if len(got) == 0 {
 		t.Error("sink not invoked")
+	}
+}
+
+// TestFacadeOptions covers the functional-option surface: monitor options,
+// the deprecated positional-sink alias, and the concurrent Runtime.
+func TestFacadeOptions(t *testing.T) {
+	app := HospitalApp()
+	traces, err := app.CollectTraces(ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Train(app.Prog, traces, TrainOptions{Train: HMMOptions{MaxIters: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithThreshold(0) forces every window below threshold; WithWindowSize
+	// shrinks the window so a short trace still completes several of them.
+	mon := NewMonitor(prof, WithThreshold(0), WithWindowSize(5))
+	if mon.Engine().Threshold() != 0 || mon.Engine().WindowLen() != 5 {
+		t.Fatalf("options not applied: threshold=%v window=%d",
+			mon.Engine().Threshold(), mon.Engine().WindowLen())
+	}
+	if alerts := mon.ObserveTrace(traces[0]); len(alerts) == 0 {
+		t.Fatal("threshold 0 raised no alerts")
+	}
+
+	var got []Alert
+	dep := NewMonitorWithSink(prof, AlertFunc(func(a Alert) { got = append(got, a) }))
+	dep.Engine().SetThreshold(0)
+	if alerts := dep.ObserveTrace(traces[0]); len(alerts) == 0 || len(got) != len(alerts) {
+		t.Fatalf("deprecated alias: %d alerts, %d via sink", len(alerts), len(got))
+	}
+
+	var mu sync.Mutex
+	perSession := map[string]int{}
+	rt := NewRuntime(prof,
+		WithWorkers(2), WithQueueDepth(16), WithDropPolicy(Block),
+		WithSessionSink(func(id string, a Alert) {
+			mu.Lock()
+			perSession[id]++
+			mu.Unlock()
+		}))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := rt.Session(fmt.Sprintf("s%d", i))
+			if _, err := s.ObserveTrace(traces[i%len(traces)]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Calls == 0 || st.ActiveSessions != 0 {
+		t.Fatalf("runtime stats: %v", st)
+	}
+	if err := rt.Session("late").Observe(Call{Label: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("observe after close: %v", err)
+	}
+	// Normal traces through the trained profile raise nothing.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perSession) != 0 && st.AlertTotal() == 0 {
+		t.Fatalf("sink fired without counted alerts: %v", perSession)
+	}
+}
+
+func TestFacadeTrainContext(t *testing.T) {
+	app := HospitalApp()
+	traces, err := app.CollectTraces(ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := TrainContext(ctx, app.Prog, traces, TrainOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled TrainContext: %v", err)
+	}
+	if _, err := app.CollectTracesContext(ctx, ModeADPROM); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CollectTracesContext: %v", err)
+	}
+}
+
+func TestFacadeFlagJSON(t *testing.T) {
+	b, err := json.Marshal(FlagDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"DL"` {
+		t.Fatalf("FlagDL marshals to %s", b)
+	}
+	var f Flag
+	if err := json.Unmarshal(b, &f); err != nil || f != FlagDL {
+		t.Fatalf("round trip: %v %v", f, err)
 	}
 }
 

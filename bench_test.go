@@ -7,13 +7,115 @@ package adprom
 // experiment at full scale with `go run ./cmd/adprom experiment <id> -full`.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"adprom/internal/experiments"
 )
 
 func benchCfg(i int) experiments.Config {
 	return experiments.Config{Quick: true, Seed: int64(i%7 + 1)}
+}
+
+var benchProfile struct {
+	sync.Once
+	p      *Profile
+	traces []Trace
+	err    error
+}
+
+func benchProfileAppH(b *testing.B) (*Profile, []Trace) {
+	b.Helper()
+	benchProfile.Do(func() {
+		app := HospitalApp()
+		traces, err := app.CollectTraces(ModeADPROM)
+		if err != nil {
+			benchProfile.err = err
+			return
+		}
+		p, _, err := Train(app.Prog, traces, TrainOptions{Train: HMMOptions{MaxIters: 6}})
+		benchProfile.p, benchProfile.traces, benchProfile.err = p, traces, err
+	})
+	if benchProfile.err != nil {
+		b.Fatal(benchProfile.err)
+	}
+	return benchProfile.p, benchProfile.traces
+}
+
+// batchScorePass replays one stream through the seed's per-call scoring
+// strategy — recompute the batch LogProb over the whole sliding window on
+// every observed call, as detect.Engine did before incremental scoring — and
+// returns the number of calls scored.
+func batchScorePass(p *Profile, stream Trace) int {
+	window := make([]string, 0, p.WindowLen)
+	for _, c := range stream {
+		window = append(window, c.Label)
+		if len(window) > p.WindowLen {
+			copy(window, window[1:])
+			window = window[:p.WindowLen]
+		}
+		if len(window) == p.WindowLen {
+			p.Score(window)
+		}
+	}
+	return len(stream)
+}
+
+// BenchmarkRuntimeThroughput measures the tentpole end to end: 64 concurrent
+// long-running client streams (the app's full trace corpus replayed as one
+// continuous call stream each) multiplexed through one Runtime over a shared
+// profile, with incremental window scoring. The x_vs_batch_monitor metric is
+// the speedup over looping the pre-runtime sequential Monitor (batch LogProb
+// recomputed per call); the acceptance bar is ≥2.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	p, traces := benchProfileAppH(b)
+	const streams = 64
+	var stream Trace
+	for _, tr := range traces {
+		stream = append(stream, tr...)
+	}
+
+	// Baseline: the seed's sequential Monitor loop over the same 64 streams.
+	baseStart := time.Now()
+	baseCalls := 0
+	for s := 0; s < streams; s++ {
+		baseCalls += batchScorePass(p, stream)
+	}
+	baseRate := float64(baseCalls) / time.Since(baseStart).Seconds()
+
+	b.ResetTimer()
+	var calls uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rt := NewRuntime(p, WithQueueDepth(128))
+		var wg sync.WaitGroup
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sess := rt.Session(fmt.Sprintf("bench-%02d", s))
+				for _, c := range stream {
+					if err := sess.Observe(c); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if _, err := sess.Close(); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+		calls += rt.Stats().Calls
+	}
+	rate := float64(calls) / time.Since(start).Seconds()
+	b.ReportMetric(rate, "calls/s")
+	b.ReportMetric(rate/baseRate, "x_vs_batch_monitor")
 }
 
 // BenchmarkTable3CADataset regenerates Table III: CA-dataset statistics.

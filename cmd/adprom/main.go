@@ -7,6 +7,7 @@
 //	adprom analyze    -app <name>
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
+//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>]
 //	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
 //
 // App names: apph, appb, apps (CA-dataset), app1..app4 (SIR-style).
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"time"
 
 	"adprom/internal/attack"
 	"adprom/internal/collector"
@@ -27,6 +30,7 @@ import (
 	"adprom/internal/hmm"
 	"adprom/internal/interp"
 	"adprom/internal/profile"
+	"adprom/internal/runtime"
 )
 
 func main() {
@@ -42,6 +46,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "detect":
 		err = cmdDetect(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "-h", "--help", "help":
@@ -61,6 +67,7 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>]
   adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
 
 apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)`)
@@ -245,6 +252,90 @@ func cmdDetect(args []string) error {
 	} else {
 		fmt.Printf("alert totals: %v\n", totals)
 	}
+	return nil
+}
+
+// cmdServe replays an application's collected traces as N concurrent client
+// streams through the multi-session detection runtime and reports throughput
+// — the serving-mode counterpart of `detect`, which scores one stream at a
+// time.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	appName := fs.String("app", "appb", "application to serve")
+	profPath := fs.String("profile", "", "trained profile (gob); trains fresh when empty")
+	streams := fs.Int("streams", 64, "concurrent client streams")
+	workers := fs.Int("workers", 0, "detection workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 256, "per-worker ingest queue depth")
+	drop := fs.String("drop", "block", "full-queue policy: block (backpressure) or newest (shed)")
+	repeat := fs.Int("repeat", 8, "replay passes per stream")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := lookupApp(*appName)
+	if err != nil {
+		return err
+	}
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		return err
+	}
+
+	var p *profile.Profile
+	if *profPath != "" {
+		f, err := os.Open(*profPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if p, err = profile.Load(f); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("training profile (pass -profile to reuse one)...")
+		if p, err = trainApp(app); err != nil {
+			return err
+		}
+	}
+
+	opts := []runtime.Option{
+		runtime.WithWorkers(*workers),
+		runtime.WithQueueDepth(*queue),
+	}
+	switch *drop {
+	case "block":
+	case "newest":
+		opts = append(opts, runtime.WithDropPolicy(runtime.DropNewest))
+	default:
+		return fmt.Errorf("bad -drop %q (want block or newest)", *drop)
+	}
+
+	rt := runtime.New(p, opts...)
+	fmt.Printf("serving %s: %d streams x %d passes over %d traces\n",
+		app.Name, *streams, *repeat, len(traces))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := rt.Session(fmt.Sprintf("stream-%03d", i))
+			for pass := 0; pass < *repeat; pass++ {
+				if _, err := s.ObserveTrace(traces[(i+pass)%len(traces)]); err != nil {
+					fmt.Fprintf(os.Stderr, "stream %d: %v\n", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := rt.Close(); err != nil {
+		return err
+	}
+	st := rt.Stats()
+	fmt.Println(st)
+	fmt.Printf("replayed in %v: %.0f calls/sec across %d workers\n",
+		elapsed.Round(time.Millisecond), float64(st.Calls)/elapsed.Seconds(), st.Workers)
 	return nil
 }
 

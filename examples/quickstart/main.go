@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"adprom"
 )
@@ -79,22 +80,53 @@ func main() {
 		prof.StatesAfter, len(sa.DDG.Labels), prof.Threshold)
 
 	// Detection phase, normal behaviour: silent.
-	mon := adprom.NewMonitor(prof, nil)
+	mon := adprom.NewMonitor(prof)
 	if alerts := mon.ObserveTrace(runAndCollect(original)); len(alerts) == 0 {
 		fmt.Println("normal run: no alerts")
 	}
 
 	// The attack: the predicate widens, the program now prints every row.
 	attacked := buildClient("quickstart", "id >= 10")
-	mon2 := adprom.NewMonitor(prof, adprom.AlertFunc(func(a adprom.Alert) {
+	mon2 := adprom.NewMonitor(prof, adprom.WithSink(adprom.AlertFunc(func(a adprom.Alert) {
 		fmt.Printf("ALERT %-10s score %.3f < %.3f", a.Flag, a.Score, a.Threshold)
 		if len(a.Origins) > 0 {
 			fmt.Printf("  leaked from query at %v", a.Origins)
 		}
 		fmt.Println()
-	}))
+	})))
 	fmt.Println("attacked run (WHERE id >= 10):")
 	if alerts := mon2.ObserveTrace(runAndCollect(attacked)); len(alerts) == 0 {
 		fmt.Println("  (no alerts — unexpected)")
 	}
+
+	// Serving many clients at once: a Runtime multiplexes per-session call
+	// streams onto a pool of detection workers sharing the trained profile.
+	rt := adprom.NewRuntime(prof,
+		adprom.WithWorkers(4),
+		adprom.WithSessionSink(func(id string, a adprom.Alert) {
+			fmt.Printf("  [%s] ALERT %s score %.3f < %.3f\n", id, a.Flag, a.Score, a.Threshold)
+		}))
+	fmt.Println("concurrent replay (3 normal clients, 1 attacked):")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog := original
+			if i == 3 {
+				prog = attacked
+			}
+			session := rt.Session(fmt.Sprintf("client-%d", i))
+			if _, err := session.ObserveTrace(runAndCollect(prog)); err != nil {
+				log.Fatal(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := rt.Stats()
+	fmt.Printf("runtime: %d calls scored, %d alerts, %d sessions\n",
+		st.Calls, st.AlertTotal(), st.SessionsOpened)
 }

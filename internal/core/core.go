@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,11 +84,20 @@ func Analyze(prog *ir.Program) (*StaticAnalysis, error) {
 // Train runs the full training phase (Figure 7): static analysis, then
 // profile construction over the collected traces.
 func Train(prog *ir.Program, traces []collector.Trace, opts profile.Options) (*profile.Profile, *StaticAnalysis, error) {
+	return TrainContext(context.Background(), prog, traces, opts)
+}
+
+// TrainContext is Train with cancellation: a cancelled context aborts the
+// Baum–Welch loop between iterations and surfaces ctx.Err() as the error.
+func TrainContext(ctx context.Context, prog *ir.Program, traces []collector.Trace, opts profile.Options) (*profile.Profile, *StaticAnalysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
 	sa, err := Analyze(prog)
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := profile.Build(prog, sa.PCTM, traces, opts)
+	p, err := profile.BuildContext(ctx, prog, sa.PCTM, traces, opts)
 	if err != nil {
 		return nil, sa, fmt.Errorf("core: %w", err)
 	}
@@ -154,7 +164,14 @@ func (m *Monitor) ObserveTrace(tr collector.Trace) []detect.Alert {
 			}
 		}
 	}
-	return m.engine.Flush()
+	before := len(m.engine.Alerts())
+	history := m.engine.Flush()
+	if m.sink != nil {
+		for _, a := range history[before:] {
+			m.sink.HandleAlert(a)
+		}
+	}
+	return history
 }
 
 // Alerts returns everything the engine has raised.

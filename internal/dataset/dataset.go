@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 
 	"adprom/internal/collector"
@@ -45,12 +46,26 @@ func (a *App) CollectTraces(mode collector.Mode) ([]collector.Trace, error) {
 	return a.CollectTracesFrom(a.Prog, mode)
 }
 
+// CollectTracesContext is CollectTraces with cancellation: the context is
+// checked before every test case, and a cancelled collection returns
+// ctx.Err() (wrapped).
+func (a *App) CollectTracesContext(ctx context.Context, mode collector.Mode) ([]collector.Trace, error) {
+	return a.collectTracesFrom(ctx, a.Prog, mode)
+}
+
 // CollectTracesFrom runs the app's test cases against prog — typically a
 // mutated copy produced by the attack framework — with the app's databases
 // and inputs.
 func (a *App) CollectTracesFrom(prog *ir.Program, mode collector.Mode) ([]collector.Trace, error) {
+	return a.collectTracesFrom(context.Background(), prog, mode)
+}
+
+func (a *App) collectTracesFrom(ctx context.Context, prog *ir.Program, mode collector.Mode) ([]collector.Trace, error) {
 	traces := make([]collector.Trace, 0, len(a.TestCases))
 	for _, tc := range a.TestCases {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dataset %s: collection cancelled after %d cases: %w", a.Name, len(traces), err)
+		}
 		tr, err := a.RunCase(prog, tc, mode, nil)
 		if err != nil {
 			return nil, fmt.Errorf("dataset %s: case %s: %w", a.Name, tc.Name, err)

@@ -11,9 +11,11 @@
 package detect
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"adprom/internal/collector"
+	"adprom/internal/hmm"
 	"adprom/internal/interp"
 	"adprom/internal/profile"
 )
@@ -44,6 +46,44 @@ func (f Flag) String() string {
 	}
 }
 
+// MarshalJSON serialises the flag as its name ("DL", "Anomalous", …) so
+// alert sinks and logs stay readable; unknown values fall back to the
+// numeric form Flag(n).
+func (f Flag) MarshalJSON() ([]byte, error) {
+	return json.Marshal(f.String())
+}
+
+// UnmarshalJSON accepts both the name form produced by MarshalJSON and the
+// bare integers older sinks wrote.
+func (f *Flag) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		switch name {
+		case "Normal":
+			*f = FlagNormal
+		case "Anomalous":
+			*f = FlagAnomalous
+		case "DL":
+			*f = FlagDL
+		case "OutOfContext":
+			*f = FlagOutOfContext
+		default:
+			var n int
+			if _, err := fmt.Sscanf(name, "Flag(%d)", &n); err != nil {
+				return fmt.Errorf("detect: unknown flag %q", name)
+			}
+			*f = Flag(n)
+		}
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("detect: flag must be a name or integer: %s", data)
+	}
+	*f = Flag(n)
+	return nil
+}
+
 // Alert is one detection-engine finding.
 type Alert struct {
 	Flag Flag
@@ -63,11 +103,18 @@ type Alert struct {
 	Origins []interp.Origin
 }
 
-// Engine performs streaming detection for one monitored execution.
+// Engine performs streaming detection for one monitored execution. Window
+// scoring is incremental: the engine owns a hmm.StreamScorer that maintains
+// the forward variables of every in-flight window over the profile's shared
+// read-only scoring view, so observing a call never recomputes the whole
+// window from scratch and never allocates.
 type Engine struct {
 	p         *profile.Profile
 	threshold float64
+	winLen    int
+	stream    *hmm.StreamScorer
 	window    []collector.Call
+	winStart  int // ring start within window when full
 	seq       int
 	alerts    []Alert
 
@@ -78,21 +125,55 @@ type Engine struct {
 }
 
 // NewEngine builds an engine around a trained profile, using the profile's
-// selected threshold.
+// selected threshold and window length.
 func NewEngine(p *profile.Profile) *Engine {
-	return &Engine{p: p, threshold: p.Threshold}
+	return &Engine{p: p, threshold: p.Threshold, winLen: p.WindowLen}
 }
 
 // SetThreshold overrides the profile's threshold (experiment sweeps and the
 // adaptive-threshold mode use this).
 func (e *Engine) SetThreshold(t float64) { e.threshold = t }
 
+// SetWindowLen overrides the profile's window length for this engine. It
+// resets the current window; call it before observing.
+func (e *Engine) SetWindowLen(n int) {
+	if n > 0 && n != e.winLen {
+		e.winLen = n
+		e.stream = nil
+	}
+	e.ResetWindow()
+}
+
+// WindowLen returns the engine's active window length.
+func (e *Engine) WindowLen() int { return e.winLen }
+
 // ResetWindow clears the sliding window between monitored executions, so a
 // window never straddles two program runs. Alert history is preserved.
-func (e *Engine) ResetWindow() { e.window = nil }
+func (e *Engine) ResetWindow() {
+	e.window = e.window[:0]
+	e.winStart = 0
+	if e.stream != nil {
+		e.stream.Reset()
+	}
+}
+
+// Reset returns the engine to its just-constructed state — window, sequence
+// counter, alert history, and threshold — so pooled engines can be recycled
+// across sessions without reallocating their forward-variable buffers.
+func (e *Engine) Reset() {
+	e.ResetWindow()
+	e.seq = 0
+	e.alerts = nil
+	e.threshold = e.p.Threshold
+	e.oocAllowed = nil
+	e.adaptRate, e.adaptMargin = 0, 0
+}
 
 // Threshold returns the active threshold.
 func (e *Engine) Threshold() float64 { return e.threshold }
+
+// Profile returns the profile the engine detects against.
+func (e *Engine) Profile() *profile.Profile { return e.p }
 
 // Observe processes one call and returns any alerts it raised.
 func (e *Engine) Observe(c collector.Call) []Alert {
@@ -112,14 +193,23 @@ func (e *Engine) Observe(c collector.Call) []Alert {
 		})
 	}
 
-	// Maintain the sliding n-window and score it once full.
-	e.window = append(e.window, c)
-	if len(e.window) > e.p.WindowLen {
-		e.window = e.window[1:]
-	}
-	if len(e.window) == e.p.WindowLen {
-		if a, flagged := e.judgeWindow(seq); flagged {
-			out = append(out, a)
+	// Fold the call into the incremental scorer and the (ring-buffered)
+	// window of pending calls; judge the window the moment it completes.
+	if e.winLen > 0 {
+		if e.stream == nil {
+			e.stream = e.p.NewStreamScorer(e.winLen)
+		}
+		if len(e.window) < e.winLen {
+			e.window = append(e.window, c)
+		} else {
+			e.window[e.winStart] = c
+			e.winStart = (e.winStart + 1) % e.winLen
+		}
+		if logp, done := e.stream.Push(e.p.SymbolOf(c.Label)); done {
+			score := logp / float64(e.winLen)
+			if a, flagged := e.judgeWindow(seq, score); flagged {
+				out = append(out, a)
+			}
 		}
 	}
 
@@ -130,12 +220,19 @@ func (e *Engine) Observe(c collector.Call) []Alert {
 // Flush evaluates a final short window (a trace shorter than n) and returns
 // the engine's full alert history.
 func (e *Engine) Flush() []Alert {
-	if len(e.window) > 0 && len(e.window) < e.p.WindowLen {
-		if a, flagged := e.judgeWindow(e.seq - 1); flagged {
+	if logp, n := partialScore(e.stream); n > 0 && n == len(e.window) {
+		if a, flagged := e.judgeWindow(e.seq-1, logp/float64(n)); flagged {
 			e.alerts = append(e.alerts, a)
 		}
 	}
 	return e.alerts
+}
+
+func partialScore(st *hmm.StreamScorer) (float64, int) {
+	if st == nil {
+		return 0, 0
+	}
+	return st.Partial()
 }
 
 // Alerts returns the alerts raised so far.
@@ -154,29 +251,34 @@ func (e *Engine) Hook() interp.Hook {
 	}
 }
 
-func (e *Engine) judgeWindow(seq int) (Alert, bool) {
-	labels := make([]string, len(e.window))
-	for i, c := range e.window {
-		labels[i] = c.Label
-	}
-	score := e.p.Score(labels)
+// judgeWindow classifies the current window given its per-symbol score (from
+// the incremental scorer). The window of pending calls is a ring: index
+// winStart is the oldest call once the ring is full.
+func (e *Engine) judgeWindow(seq int, score float64) (Alert, bool) {
 	if score >= e.threshold {
 		e.adapt(score)
 		return Alert{}, false
 	}
+	n := len(e.window)
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		labels[i] = e.window[(e.winStart+i)%n].Label
+	}
+	last := e.window[(e.winStart+n-1)%n]
 	a := Alert{
 		Flag:      FlagAnomalous,
 		Seq:       seq,
-		Label:     e.window[len(e.window)-1].Label,
-		Caller:    e.window[len(e.window)-1].Caller,
+		Label:     last.Label,
+		Caller:    last.Caller,
 		Score:     score,
 		Threshold: e.threshold,
 		Window:    labels,
 	}
 	// DL when the window contains an output of targeted data; the origins of
-	// the leaked values are attached once each.
+	// the leaked values are attached once each, in call order.
 	seen := map[interp.Origin]bool{}
-	for _, c := range e.window {
+	for i := 0; i < n; i++ {
+		c := e.window[(e.winStart+i)%n]
 		if len(c.Origins) > 0 || e.p.LeakLabels[c.Label] {
 			a.Flag = FlagDL
 			for _, o := range c.Origins {

@@ -1,0 +1,53 @@
+package detect
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFlagJSONRoundTrip(t *testing.T) {
+	for f := FlagNormal; f <= FlagOutOfContext; f++ {
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + f.String() + `"`; string(b) != want {
+			t.Errorf("%v marshals to %s, want %s", f, b, want)
+		}
+		var got Flag
+		if err := json.Unmarshal(b, &got); err != nil || got != f {
+			t.Errorf("round trip of %v: got %v, err %v", f, got, err)
+		}
+	}
+
+	// Unknown values survive via the numeric fallback form.
+	b, err := json.Marshal(Flag(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"Flag(9)"` {
+		t.Fatalf("Flag(9) marshals to %s", b)
+	}
+	var got Flag
+	if err := json.Unmarshal(b, &got); err != nil || got != Flag(9) {
+		t.Fatalf("Flag(9) round trip: %v %v", got, err)
+	}
+
+	// Legacy sinks wrote bare integers.
+	if err := json.Unmarshal([]byte(`2`), &got); err != nil || got != FlagDL {
+		t.Fatalf("legacy integer: %v %v", got, err)
+	}
+	if err := json.Unmarshal([]byte(`"Bogus"`), &got); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+
+	// Flags embedded in alerts serialise by name.
+	out, err := json.Marshal(Alert{Flag: FlagAnomalous, Label: "fwrite"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Alert
+	if err := json.Unmarshal(out, &decoded); err != nil || decoded.Flag != FlagAnomalous {
+		t.Fatalf("alert round trip: %+v %v", decoded, err)
+	}
+}

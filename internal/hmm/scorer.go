@@ -1,0 +1,198 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scorer is an immutable, read-optimised scoring view of a Model, shared by
+// any number of concurrent StreamScorers. It stores A transposed and flattened
+// so the forward recursion's inner product over the predecessor states walks
+// contiguous memory (Model.A's column traversal strides by N), and copies Pi
+// and B so later mutation of the Model (further training) cannot race with
+// detection.
+type Scorer struct {
+	n, m int
+	pi   []float64
+	at   []float64 // at[j*n+i] = A[i][j]
+	b    []float64 // b[i*m+k] = B[i][k]
+}
+
+// NewScorer snapshots the model into a scoring view. The view is safe for
+// concurrent use and never mutated.
+func (m *Model) NewScorer() *Scorer {
+	s := &Scorer{
+		n:  m.N,
+		m:  m.M,
+		pi: append([]float64(nil), m.Pi...),
+		at: make([]float64, m.N*m.N),
+		b:  make([]float64, m.N*m.M),
+	}
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s.at[j*m.N+i] = m.A[i][j]
+		}
+		copy(s.b[i*m.M:(i+1)*m.M], m.B[i])
+	}
+	return s
+}
+
+// N returns the number of hidden states of the underlying model.
+func (s *Scorer) N() int { return s.n }
+
+// M returns the number of observation symbols of the underlying model.
+func (s *Scorer) M() int { return s.m }
+
+// StreamScorer scores every sliding window (step 1, fixed length) of one call
+// stream incrementally. It maintains the scaled forward variables of all
+// windows currently open — a ring of W forward vectors, one per in-flight
+// window — so each pushed symbol advances every open window in a single fused
+// pass over the transposed transition matrix: the model is traversed once per
+// call (O(N²) memory traffic) instead of once per window position as a batch
+// LogProb recompute would (O(W·N²)), and the hot path performs zero
+// allocations. The arithmetic replays Model.LogProb's operation order exactly,
+// so completed-window scores are bit-identical to the batch forward pass.
+//
+// A StreamScorer belongs to one session/stream and is not safe for concurrent
+// use; the Scorer behind it is shared freely.
+type StreamScorer struct {
+	s *Scorer
+	w int // window length
+
+	// Ring state. Slot (t mod w) holds the window started at time t; the
+	// window started at t completes at t+w-1. alphas/next are w×n flattened.
+	alphas []float64
+	next   []float64
+	logs   []float64 // accumulated log scale factors per slot
+	lens   []int     // symbols folded into each slot's window (0 = free)
+	dead   []bool    // slot hit a zero scale: window probability is 0
+
+	count int // symbols pushed since the last reset
+}
+
+// NewStream returns a fresh incremental scorer over sliding windows of length
+// window.
+func (s *Scorer) NewStream(window int) *StreamScorer {
+	if window <= 0 {
+		panic(fmt.Sprintf("hmm: stream window %d", window))
+	}
+	return &StreamScorer{
+		s:      s,
+		w:      window,
+		alphas: make([]float64, window*s.n),
+		next:   make([]float64, s.n),
+		logs:   make([]float64, window),
+		lens:   make([]int, window),
+		dead:   make([]bool, window),
+	}
+}
+
+// WindowLen returns the configured sliding-window length.
+func (st *StreamScorer) WindowLen() int { return st.w }
+
+// Reset clears all in-flight windows; the next Push starts a new stream.
+func (st *StreamScorer) Reset() {
+	for i := range st.lens {
+		st.lens[i] = 0
+		st.dead[i] = false
+		st.logs[i] = 0
+	}
+	st.count = 0
+}
+
+// Push folds one observation symbol into the stream. When the push completes
+// a window (the stream has seen at least WindowLen symbols), it returns that
+// window's exact log probability log P(o_{t-w+1..t} | λ) and done=true;
+// during warm-up it returns done=false. Symbols outside [0, M) panic — the
+// caller encodes labels through the profile alphabet, which cannot produce
+// one.
+func (st *StreamScorer) Push(obs int) (logp float64, done bool) {
+	n := st.s.n
+	if obs < 0 || obs >= st.s.m {
+		panic(fmt.Sprintf("hmm: stream symbol %d out of range [0,%d)", obs, st.s.m))
+	}
+
+	// Advance every open window by obs in one fused pass: for each
+	// destination state j, the row at[j*n:] is loaded once and applied to
+	// all open forward vectors. Operation order per window matches
+	// Model.LogProb exactly (i ascending inside the dot product, j ascending
+	// for the scale sum).
+	for slot := 0; slot < st.w; slot++ {
+		if st.lens[slot] == 0 || st.dead[slot] {
+			if st.dead[slot] {
+				st.lens[slot]++
+			}
+			continue
+		}
+		alpha := st.alphas[slot*n : (slot+1)*n]
+		var scale float64
+		for j := 0; j < n; j++ {
+			row := st.s.at[j*n : (j+1)*n]
+			var sum float64
+			for i := 0; i < n; i++ {
+				sum += alpha[i] * row[i]
+			}
+			v := sum * st.s.b[j*st.s.m+obs]
+			st.next[j] = v
+			scale += v
+		}
+		if scale == 0 {
+			st.dead[slot] = true
+			st.logs[slot] = math.Inf(-1)
+		} else {
+			st.logs[slot] += math.Log(scale)
+			inv := 1 / scale
+			for j := 0; j < n; j++ {
+				alpha[j] = st.next[j] * inv
+			}
+		}
+		st.lens[slot]++
+	}
+
+	// Open the window that starts at this symbol. Its slot was freed when the
+	// window w steps older completed on the previous push.
+	slot := st.count % st.w
+	alpha := st.alphas[slot*n : (slot+1)*n]
+	var scale float64
+	for i := 0; i < n; i++ {
+		v := st.s.pi[i] * st.s.b[i*st.s.m+obs]
+		alpha[i] = v
+		scale += v
+	}
+	if scale == 0 {
+		st.dead[slot] = true
+		st.logs[slot] = math.Inf(-1)
+	} else {
+		st.dead[slot] = false
+		st.logs[slot] = math.Log(scale)
+		inv := 1 / scale
+		for i := 0; i < n; i++ {
+			alpha[i] *= inv
+		}
+	}
+	st.lens[slot] = 1
+	st.count++
+
+	// The oldest open window completes once the stream is w symbols deep.
+	if st.count < st.w {
+		return 0, false
+	}
+	doneSlot := st.count % st.w // window started at count-w, reused next push
+	logp = st.logs[doneSlot]
+	st.lens[doneSlot] = 0
+	st.dead[doneSlot] = false
+	return logp, true
+}
+
+// Partial returns the log probability and length of the window covering the
+// whole stream since the last reset, valid only while the stream is still
+// shorter than the window length (the detection engine's final short-window
+// judgement). Once a full window has completed it returns (0, 0).
+func (st *StreamScorer) Partial() (logp float64, length int) {
+	if st.count == 0 || st.count >= st.w {
+		return 0, 0
+	}
+	// While count < w no slot has been reused, so the stream-covering window
+	// opened by the first push since Reset still lives in slot 0.
+	return st.logs[0], st.count
+}

@@ -1,0 +1,156 @@
+package hmm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamScorerMatchesBatch drives random streams through StreamScorer and
+// checks every completed window's log probability against the batch forward
+// pass — the incremental recursion must reproduce Model.LogProb exactly.
+func TestStreamScorerMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, m, w, T int }{
+		{1, 2, 3, 40},
+		{4, 5, 2, 60},
+		{9, 6, 15, 200},
+		{33, 12, 15, 300},
+	} {
+		model := NewRandom(tc.n, tc.m, int64(tc.n*tc.m))
+		st := model.NewScorer().NewStream(tc.w)
+		obs := make([]int, tc.T)
+		for i := range obs {
+			obs[i] = r.Intn(tc.m)
+		}
+		completed := 0
+		for i, o := range obs {
+			got, done := st.Push(o)
+			if i < tc.w-1 {
+				if done {
+					t.Fatalf("n=%d: window completed during warm-up at %d", tc.n, i)
+				}
+				continue
+			}
+			if !done {
+				t.Fatalf("n=%d: no window completed at %d", tc.n, i)
+			}
+			completed++
+			want, err := model.LogProb(obs[i-tc.w+1 : i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("n=%d w=%d t=%d: stream %v, batch %v", tc.n, tc.w, i, got, want)
+			}
+		}
+		if completed != tc.T-tc.w+1 {
+			t.Fatalf("n=%d: %d windows completed, want %d", tc.n, completed, tc.T-tc.w+1)
+		}
+	}
+}
+
+// TestStreamScorerPartial checks the short-stream judgement used by
+// Engine.Flush: before the first window completes, Partial covers the whole
+// stream and matches the batch score of that prefix.
+func TestStreamScorerPartial(t *testing.T) {
+	model := NewRandom(6, 4, 3)
+	st := model.NewScorer().NewStream(10)
+	obs := []int{1, 3, 0, 2, 2, 1}
+	for _, o := range obs {
+		st.Push(o)
+	}
+	got, n := st.Partial()
+	if n != len(obs) {
+		t.Fatalf("Partial length %d, want %d", n, len(obs))
+	}
+	want, err := model.LogProb(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Partial = %v, batch = %v", got, want)
+	}
+
+	// Once a window has completed, there is no partial window left.
+	for i := 0; i < 10; i++ {
+		st.Push(0)
+	}
+	if _, n := st.Partial(); n != 0 {
+		t.Fatalf("Partial after full window reports length %d", n)
+	}
+
+	// Reset starts a fresh stream.
+	st.Reset()
+	if _, n := st.Partial(); n != 0 {
+		t.Fatal("Partial non-empty after Reset")
+	}
+	st.Push(2)
+	got, n = st.Partial()
+	want, _ = model.LogProb([]int{2})
+	if n != 1 || math.Abs(got-want) > 1e-9 {
+		t.Fatalf("post-reset Partial = (%v, %d), want (%v, 1)", got, n, want)
+	}
+}
+
+// TestStreamScorerImpossibleWindow: a window containing a symbol no state can
+// emit scores -Inf, like the batch pass, and the stream recovers afterwards.
+func TestStreamScorerImpossibleWindow(t *testing.T) {
+	model := New(3, 4)
+	for i := 0; i < model.N; i++ {
+		model.B[i][3] = 0 // symbol 3 unemittable
+	}
+	const w = 4
+	st := model.NewScorer().NewStream(w)
+	obs := []int{0, 1, 2, 3, 0, 1, 2, 0, 1, 2, 0}
+	for i, o := range obs {
+		got, done := st.Push(o)
+		if i < w-1 {
+			continue
+		}
+		if !done {
+			t.Fatalf("no window at %d", i)
+		}
+		want, err := model.LogProb(obs[i-w+1 : i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case math.IsInf(want, -1):
+			if !math.IsInf(got, -1) {
+				t.Fatalf("t=%d: stream %v, want -Inf", i, got)
+			}
+		case math.Abs(got-want) > 1e-9:
+			t.Fatalf("t=%d: stream %v, batch %v", i, got, want)
+		}
+	}
+}
+
+func TestStreamScorerPanicsOnBadSymbol(t *testing.T) {
+	st := New(2, 3).NewScorer().NewStream(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range symbol did not panic")
+		}
+	}()
+	st.Push(3)
+}
+
+// TestTrainContextCancelled: a cancelled context aborts Baum–Welch and
+// surfaces ctx.Err().
+func TestTrainContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := NewRandom(4, 3, 1)
+	seqs := [][]int{{0, 1, 2, 0, 1}, {2, 1, 0, 2}}
+	_, err := m.TrainContext(ctx, seqs, TrainOptions{MaxIters: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainContext error = %v, want context.Canceled", err)
+	}
+	// The uncancelled path still trains.
+	if _, err := m.TrainContext(context.Background(), seqs, TrainOptions{MaxIters: 2}); err != nil {
+		t.Fatalf("TrainContext: %v", err)
+	}
+}

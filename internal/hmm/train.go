@@ -1,6 +1,7 @@
 package hmm
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -57,6 +58,13 @@ type TrainResult struct {
 
 // Train runs multi-sequence Baum–Welch re-estimation in place.
 func (m *Model) Train(seqs [][]int, opts TrainOptions) (*TrainResult, error) {
+	return m.TrainContext(context.Background(), seqs, opts)
+}
+
+// TrainContext is Train with cancellation: the context is checked before
+// every re-estimation iteration, and a cancelled run returns ctx.Err()
+// (wrapped) with the model left at its last completed iteration.
+func (m *Model) TrainContext(ctx context.Context, seqs [][]int, opts TrainOptions) (*TrainResult, error) {
 	opts = opts.withDefaults()
 	var nonEmpty [][]int
 	for _, s := range seqs {
@@ -87,6 +95,9 @@ func (m *Model) Train(seqs [][]int, opts TrainOptions) (*TrainResult, error) {
 	holdBad := 0
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("hmm: training cancelled after %d iterations: %w", res.Iterations, err)
+		}
 		trainLL := m.reestimate(nonEmpty, prior, opts.PriorWeight)
 		m.Smooth(opts.SmoothFloor)
 		res.Iterations = iter + 1

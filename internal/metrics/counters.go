@@ -1,0 +1,92 @@
+package metrics
+
+import "sync/atomic"
+
+// NumFlags is the size of the alert-flag taxonomy the counters track
+// (detect.FlagNormal..FlagOutOfContext). metrics stays independent of the
+// detect package, so flags are counted by their integer value.
+const NumFlags = 4
+
+// Counters is a lock-free set of detection-runtime counters, shared by every
+// worker of a runtime. All methods are safe for concurrent use; the zero
+// value is ready.
+type Counters struct {
+	calls        atomic.Uint64
+	dropped      atomic.Uint64
+	alerts       [NumFlags]atomic.Uint64
+	latencyNanos atomic.Int64
+	sessions     atomic.Int64
+	opened       atomic.Uint64
+}
+
+// AddCall records one observed call and its processing latency in
+// nanoseconds.
+func (c *Counters) AddCall(latencyNanos int64) {
+	c.calls.Add(1)
+	c.latencyNanos.Add(latencyNanos)
+}
+
+// AddDropped records calls shed by the ingest queue's drop policy.
+func (c *Counters) AddDropped(n uint64) { c.dropped.Add(n) }
+
+// AddAlert records one alert of the given flag; out-of-range flags are
+// ignored rather than panicking a worker.
+func (c *Counters) AddAlert(flag int) {
+	if flag >= 0 && flag < NumFlags {
+		c.alerts[flag].Add(1)
+	}
+}
+
+// SessionOpened / SessionClosed maintain the active-session gauge.
+func (c *Counters) SessionOpened() { c.sessions.Add(1); c.opened.Add(1) }
+func (c *Counters) SessionClosed() { c.sessions.Add(-1) }
+
+// CountersSnapshot is a point-in-time copy of a Counters.
+type CountersSnapshot struct {
+	// Calls is the number of calls processed by detection workers.
+	Calls uint64
+	// Dropped is the number of calls shed under queue pressure.
+	Dropped uint64
+	// Alerts counts raised alerts by flag value.
+	Alerts [NumFlags]uint64
+	// LatencyNanos is the cumulative per-call processing time.
+	LatencyNanos int64
+	// ActiveSessions and SessionsOpened describe session churn.
+	ActiveSessions int64
+	SessionsOpened uint64
+}
+
+// AlertTotal sums the per-flag alert counts.
+func (s CountersSnapshot) AlertTotal() uint64 {
+	var t uint64
+	for _, v := range s.Alerts {
+		t += v
+	}
+	return t
+}
+
+// AvgLatencyNanos returns the mean per-call processing time, 0 before any
+// call.
+func (s CountersSnapshot) AvgLatencyNanos() int64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.LatencyNanos / int64(s.Calls)
+}
+
+// Snapshot reads the counters. Individual fields are each read atomically;
+// the snapshot as a whole is not a single atomic cut, which is fine for
+// monitoring.
+func (c *Counters) Snapshot() CountersSnapshot {
+	s := CountersSnapshot{
+		Calls:          c.calls.Load(),
+		Dropped:        c.dropped.Load(),
+		LatencyNanos:   c.latencyNanos.Load(),
+		ActiveSessions: c.sessions.Load(),
+		SessionsOpened: c.opened.Load(),
+	}
+	for i := range s.Alerts {
+		s.Alerts[i] = c.alerts[i].Load()
+	}
+	return s
+}

@@ -10,12 +10,14 @@
 package profile
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"adprom/internal/collector"
 	"adprom/internal/ctm"
@@ -122,11 +124,21 @@ type Profile struct {
 	TrainResult *hmm.TrainResult
 
 	symIndex map[string]int
+
+	scorerOnce sync.Once
+	scorer     *hmm.Scorer
 }
 
 // Build constructs and trains a profile from the program's pCTM and the
 // training traces.
 func Build(prog *ir.Program, pm *ctm.Matrix, traces []collector.Trace, opts Options) (*Profile, error) {
+	return BuildContext(context.Background(), prog, pm, traces, opts)
+}
+
+// BuildContext is Build with cancellation: the context aborts the Baum–Welch
+// loop between iterations and the threshold scan between windows, surfacing
+// ctx.Err() as the returned error.
+func BuildContext(ctx context.Context, prog *ir.Program, pm *ctm.Matrix, traces []collector.Trace, opts Options) (*Profile, error) {
 	opts = opts.withDefaults()
 
 	p := initFromCTM(prog, pm, opts)
@@ -204,7 +216,7 @@ func Build(prog *ir.Program, pm *ctm.Matrix, traces []collector.Trace, opts Opti
 		tOpts.PriorWeight = 2
 	}
 	tOpts.Holdout = hold
-	res, err := p.Model.Train(train, tOpts)
+	res, err := p.Model.TrainContext(ctx, train, tOpts)
 	if err != nil {
 		return nil, fmt.Errorf("profile: training %s: %w", prog.Name, err)
 	}
@@ -215,7 +227,12 @@ func Build(prog *ir.Program, pm *ctm.Matrix, traces []collector.Trace, opts Opti
 	if !opts.SkipThreshold {
 		minScore := 0.0
 		first := true
-		for _, w := range threshWindows {
+		for i, w := range threshWindows {
+			if i%512 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("profile: threshold scan for %s cancelled: %w", prog.Name, err)
+				}
+			}
 			s := p.Score(w)
 			if first || s < minScore {
 				minScore, first = s, false
@@ -224,6 +241,24 @@ func Build(prog *ir.Program, pm *ctm.Matrix, traces []collector.Trace, opts Opti
 		p.Threshold = minScore - opts.ThresholdSlack
 	}
 	return p, nil
+}
+
+// Scorer returns the shared read-optimised scoring view of the trained model.
+// It is built once, on first use, and safe for any number of concurrent
+// readers; per-stream state lives in the StreamScorers derived from it.
+func (p *Profile) Scorer() *hmm.Scorer {
+	p.scorerOnce.Do(func() { p.scorer = p.Model.NewScorer() })
+	return p.scorer
+}
+
+// NewStreamScorer returns an incremental sliding-window scorer over the
+// profile's model with the given window length (<= 0 uses the profile's
+// WindowLen). Each detection session owns one.
+func (p *Profile) NewStreamScorer(window int) *hmm.StreamScorer {
+	if window <= 0 {
+		window = p.WindowLen
+	}
+	return p.Scorer().NewStream(window)
 }
 
 // initFromCTM builds the un-trained profile: alphabet, caller index, and the

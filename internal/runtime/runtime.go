@@ -1,0 +1,487 @@
+// Package runtime multiplexes many concurrent per-session library-call
+// streams onto a pool of detection workers sharing one immutable Profile —
+// the serving layer that turns the paper's one-program Detection Engine into
+// a system that can monitor heavy traffic from many clients at once.
+//
+// # Model
+//
+//   - A Runtime owns W workers. Each worker owns one bounded ingest queue
+//     and runs detection for the sessions assigned to it.
+//   - A Session is one monitored call stream (one program execution, one
+//     connection, one tenant — whatever the caller keys it by). Sessions are
+//     created on first use by Runtime.Session(id) and pinned to a worker by
+//     hashing the id, so every session's calls are processed in FIFO order
+//     with no per-call locking; different sessions proceed in parallel.
+//   - Each session scores windows with a detect.Engine over the shared
+//     read-only profile. Engines maintain the HMM forward variables
+//     incrementally (hmm.StreamScorer) and are recycled through a sync.Pool
+//     when sessions close, so steady-state session churn does not allocate.
+//   - Ingest queues are bounded. Under pressure the configured DropPolicy
+//     either applies backpressure (Block, the default — Observe waits for
+//     queue space) or sheds the newest call (DropNewest, counted in Stats).
+//   - Close flushes every open session (judging partial windows, like
+//     Engine.Flush), waits for the workers to drain, and stops them.
+//
+// Atomic counters (calls, drops, alerts by flag, queue depth, per-call
+// latency) are kept in a metrics.Counters and exposed as a Stats snapshot.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	stdruntime "runtime"
+	"sync"
+	"time"
+
+	"adprom/internal/collector"
+	"adprom/internal/detect"
+	"adprom/internal/metrics"
+	"adprom/internal/profile"
+)
+
+// Errors returned by the ingest path.
+var (
+	// ErrClosed reports an Observe/Flush on a closed runtime or session.
+	ErrClosed = errors.New("runtime: closed")
+	// ErrDropped reports a call shed by the DropNewest policy.
+	ErrDropped = errors.New("runtime: call dropped: queue full")
+)
+
+// DropPolicy selects the behaviour of a full ingest queue.
+type DropPolicy int
+
+const (
+	// Block applies backpressure: Observe waits until the worker drains.
+	Block DropPolicy = iota
+	// DropNewest sheds the incoming call, counts it, and returns ErrDropped.
+	DropNewest
+)
+
+func (p DropPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	default:
+		return fmt.Sprintf("DropPolicy(%d)", int(p))
+	}
+}
+
+// AlertFunc receives every alert raised by any session, tagged with the
+// session id. It is invoked on worker goroutines: implementations must be
+// safe for concurrent use and should return quickly (hand off to a channel
+// or async sink for slow delivery).
+type AlertFunc func(session string, a detect.Alert)
+
+type config struct {
+	workers    int
+	queueDepth int
+	policy     DropPolicy
+	sink       AlertFunc
+	threshold  *float64
+	windowLen  int
+}
+
+// Option configures a Runtime.
+type Option func(*config)
+
+// WithWorkers sets the number of detection workers (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// WithQueueDepth bounds each worker's ingest queue (default 256).
+func WithQueueDepth(d int) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.queueDepth = d
+		}
+	}
+}
+
+// WithDropPolicy selects backpressure (Block) or load shedding (DropNewest).
+func WithDropPolicy(p DropPolicy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithAlertFunc routes every session's alerts to fn.
+func WithAlertFunc(fn AlertFunc) Option {
+	return func(c *config) { c.sink = fn }
+}
+
+// WithThreshold overrides the profile's detection threshold for every
+// session.
+func WithThreshold(t float64) Option {
+	return func(c *config) { c.threshold = &t }
+}
+
+// WithWindowLen overrides the profile's window length for every session.
+func WithWindowLen(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.windowLen = n
+		}
+	}
+}
+
+// Runtime is a concurrent multi-stream detection service over one shared
+// profile. Create with New, feed with Session(...).Observe, stop with Close.
+type Runtime struct {
+	p    *profile.Profile
+	cfg  config
+	seed maphash.Seed
+
+	queues []chan op
+	wg     sync.WaitGroup
+
+	mu       sync.RWMutex // guards sessions map and closed flag vs ingest
+	sessions map[string]*Session
+	closed   bool
+
+	pool sync.Pool // *detect.Engine, all built over p
+	ctr  metrics.Counters
+}
+
+type opKind int
+
+const (
+	opObserve opKind = iota
+	opFlush          // judge partial window, reply with history, reset window
+	opClose          // opFlush + recycle the engine
+)
+
+type op struct {
+	s    *Session
+	call collector.Call
+	kind opKind
+	done chan []detect.Alert
+}
+
+// Session is one monitored call stream. All its calls are scored in FIFO
+// order on a single worker; the handle itself may be shared, but calls from
+// multiple goroutines into one session interleave without ordering
+// guarantees (use one producer per session for deterministic replay).
+type Session struct {
+	rt     *Runtime
+	id     string
+	worker int
+
+	mu     sync.Mutex
+	closed bool
+
+	// engine and dead are owned by the worker goroutine: engine is created on
+	// first op, dead is set once the close op has been processed.
+	engine *detect.Engine
+	dead   bool
+}
+
+// New builds a runtime over a trained profile. The profile is treated as
+// immutable from this point on: do not retrain it while the runtime serves.
+func New(p *profile.Profile, opts ...Option) *Runtime {
+	cfg := config{
+		workers:    stdruntime.GOMAXPROCS(0),
+		queueDepth: 256,
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	rt := &Runtime{
+		p:        p,
+		cfg:      cfg,
+		seed:     maphash.MakeSeed(),
+		queues:   make([]chan op, cfg.workers),
+		sessions: make(map[string]*Session),
+	}
+	rt.pool.New = func() any { return detect.NewEngine(p) }
+	// Force the shared scorer into existence before any worker races to use
+	// it (Profile.Scorer is once-guarded anyway; this keeps first-call
+	// latency out of the serving path).
+	p.Scorer()
+	for i := range rt.queues {
+		rt.queues[i] = make(chan op, cfg.queueDepth)
+		rt.wg.Add(1)
+		go rt.worker(rt.queues[i])
+	}
+	return rt
+}
+
+// Session returns the session registered under id, creating it if needed.
+func (rt *Runtime) Session(id string) *Session {
+	rt.mu.RLock()
+	s := rt.sessions[id]
+	rt.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if s = rt.sessions[id]; s != nil {
+		return s
+	}
+	var h maphash.Hash
+	h.SetSeed(rt.seed)
+	h.WriteString(id)
+	s = &Session{rt: rt, id: id, worker: int(h.Sum64() % uint64(len(rt.queues)))}
+	if !rt.closed {
+		rt.sessions[id] = s
+		rt.ctr.SessionOpened()
+	} else {
+		s.closed = true
+	}
+	return s
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Observe enqueues one call for detection. Under the Block policy it waits
+// for queue space (backpressure); under DropNewest a full queue sheds the
+// call and returns ErrDropped. A closed session or runtime returns
+// ErrClosed.
+func (s *Session) Observe(c collector.Call) error {
+	return s.send(op{s: s, call: c, kind: opObserve})
+}
+
+// ObserveTrace replays one whole collected execution through the session and
+// returns the session's full alert history after judging the trace's final
+// short window — the concurrent counterpart of Monitor.ObserveTrace. The
+// session stays open for further traces.
+func (s *Session) ObserveTrace(tr collector.Trace) ([]detect.Alert, error) {
+	for _, c := range tr {
+		if err := s.Observe(c); err != nil && !errors.Is(err, ErrDropped) {
+			return nil, err
+		}
+	}
+	return s.Flush()
+}
+
+// Flush waits for every call enqueued so far to be scored, judges a pending
+// short window (a stream shorter than the window length), resets the sliding
+// window so the next trace starts clean, and returns the session's full
+// alert history.
+func (s *Session) Flush() ([]detect.Alert, error) {
+	done := make(chan []detect.Alert, 1)
+	if err := s.send(op{s: s, kind: opFlush, done: done}); err != nil {
+		return nil, err
+	}
+	return <-done, nil
+}
+
+// Close flushes the session, returns its full alert history, removes it from
+// the runtime, and recycles its engine. Further calls return ErrClosed.
+func (s *Session) Close() ([]detect.Alert, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	done := make(chan []detect.Alert, 1)
+	// The session is already marked closed, so bypass the closed check.
+	if err := s.rt.enqueue(s.worker, op{s: s, kind: opClose, done: done}, true); err != nil {
+		return nil, err
+	}
+	alerts := <-done
+
+	s.rt.mu.Lock()
+	if s.rt.sessions[s.id] == s {
+		delete(s.rt.sessions, s.id)
+	}
+	s.rt.mu.Unlock()
+	s.rt.ctr.SessionClosed()
+	return alerts, nil
+}
+
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Session) send(o op) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	return s.rt.enqueue(s.worker, o, o.kind != opObserve)
+}
+
+// enqueue routes an op to a worker queue. Control ops (flush/close) always
+// block: they are rare, small, and their reply channel must be served.
+func (rt *Runtime) enqueue(worker int, o op, control bool) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	q := rt.queues[worker]
+	if !control && rt.cfg.policy == DropNewest {
+		select {
+		case q <- o:
+			return nil
+		default:
+			rt.ctr.AddDropped(1)
+			return ErrDropped
+		}
+	}
+	q <- o
+	return nil
+}
+
+func (rt *Runtime) worker(q chan op) {
+	defer rt.wg.Done()
+	for o := range q {
+		s := o.s
+		if s.dead {
+			// An op that raced with Close and was enqueued behind the close
+			// op must not resurrect an engine on the dead session.
+			if o.kind == opObserve {
+				rt.ctr.AddDropped(1)
+			}
+			if o.done != nil {
+				o.done <- nil
+			}
+			continue
+		}
+		if s.engine == nil {
+			e := rt.pool.Get().(*detect.Engine)
+			e.Reset()
+			if rt.cfg.threshold != nil {
+				e.SetThreshold(*rt.cfg.threshold)
+			}
+			if rt.cfg.windowLen > 0 {
+				e.SetWindowLen(rt.cfg.windowLen)
+			}
+			s.engine = e
+		}
+		switch o.kind {
+		case opObserve:
+			start := time.Now()
+			alerts := s.engine.Observe(o.call)
+			rt.ctr.AddCall(time.Since(start).Nanoseconds())
+			rt.deliver(s.id, alerts)
+		case opFlush, opClose:
+			before := len(s.engine.Alerts())
+			history := s.engine.Flush()
+			rt.deliver(s.id, history[before:])
+			// Windows never straddle traces: the next stream starts clean.
+			s.engine.ResetWindow()
+			out := make([]detect.Alert, len(history))
+			copy(out, history)
+			if o.kind == opClose {
+				eng := s.engine
+				s.engine = nil
+				s.dead = true
+				rt.pool.Put(eng)
+			}
+			o.done <- out
+		}
+	}
+}
+
+func (rt *Runtime) deliver(session string, alerts []detect.Alert) {
+	for _, a := range alerts {
+		rt.ctr.AddAlert(int(a.Flag))
+	}
+	if rt.cfg.sink != nil {
+		for _, a := range alerts {
+			rt.cfg.sink(session, a)
+		}
+	}
+}
+
+// Close flushes every open session's partial window, drains the workers, and
+// stops them. The runtime accepts no calls afterwards. Close is idempotent;
+// concurrent Observes racing with Close either complete or return ErrClosed.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	open := make([]*Session, 0, len(rt.sessions))
+	for _, s := range rt.sessions {
+		open = append(open, s)
+	}
+	rt.mu.Unlock()
+
+	// Flush sessions while ingest is still accepted, so their partial
+	// windows are judged and delivered to the sink.
+	for _, s := range open {
+		_, _ = s.Close()
+	}
+
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	for _, q := range rt.queues {
+		close(q)
+	}
+	rt.wg.Wait()
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the runtime's health.
+type Stats struct {
+	// Calls scored, and calls shed by DropNewest.
+	Calls, Dropped uint64
+	// Alerts raised, by detect.Flag value.
+	Alerts [metrics.NumFlags]uint64
+	// QueueDepth is the number of calls currently waiting across all worker
+	// queues; Workers and QueueCap describe capacity.
+	QueueDepth int
+	Workers    int
+	QueueCap   int
+	// ActiveSessions / SessionsOpened count session churn.
+	ActiveSessions int64
+	SessionsOpened uint64
+	// AvgLatency is the mean engine-side processing time per call.
+	AvgLatency time.Duration
+}
+
+// AlertTotal sums the per-flag alert counts.
+func (s Stats) AlertTotal() uint64 {
+	var t uint64
+	for _, v := range s.Alerts {
+		t += v
+	}
+	return t
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s",
+		s.Calls, s.Dropped, s.AlertTotal(),
+		s.Alerts[int(detect.FlagAnomalous)], s.Alerts[int(detect.FlagDL)], s.Alerts[int(detect.FlagOutOfContext)],
+		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap, s.AvgLatency)
+}
+
+// Stats snapshots the runtime's counters and gauges.
+func (rt *Runtime) Stats() Stats {
+	snap := rt.ctr.Snapshot()
+	st := Stats{
+		Calls:          snap.Calls,
+		Dropped:        snap.Dropped,
+		Alerts:         snap.Alerts,
+		Workers:        rt.cfg.workers,
+		QueueCap:       rt.cfg.queueDepth,
+		ActiveSessions: snap.ActiveSessions,
+		SessionsOpened: snap.SessionsOpened,
+		AvgLatency:     time.Duration(snap.AvgLatencyNanos()),
+	}
+	rt.mu.RLock()
+	for _, q := range rt.queues {
+		st.QueueDepth += len(q)
+	}
+	rt.mu.RUnlock()
+	return st
+}
