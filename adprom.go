@@ -36,6 +36,7 @@ package adprom
 
 import (
 	"context"
+	"time"
 
 	"adprom/internal/attack"
 	"adprom/internal/collector"
@@ -111,6 +112,9 @@ type (
 	// DropPolicy selects a Runtime's full-queue behaviour (Block or
 	// DropNewest).
 	DropPolicy = runtime.DropPolicy
+	// JudgeHook observes (or vetoes) every completed window judgement; a
+	// non-nil error quarantines the session. See WithJudgeHook.
+	JudgeHook = runtime.JudgeHook
 )
 
 // Runtime drop policies.
@@ -127,6 +131,10 @@ var (
 	ErrClosed = runtime.ErrClosed
 	// ErrDropped reports a call shed by the DropNewest policy.
 	ErrDropped = runtime.ErrDropped
+	// ErrSessionFailed reports a session quarantined after a detection
+	// failure (engine panic or judge-hook error); other sessions are
+	// unaffected.
+	ErrSessionFailed = runtime.ErrSessionFailed
 )
 
 // Datasets and attacks.
@@ -282,11 +290,30 @@ func WithQueueDepth(d int) RuntimeOption { return runtime.WithQueueDepth(d) }
 func WithDropPolicy(p DropPolicy) RuntimeOption { return runtime.WithDropPolicy(p) }
 
 // WithSessionSink routes every runtime session's alerts to fn, tagged with
-// the session id. fn runs on worker goroutines and must be safe for
-// concurrent use.
+// the session id. Delivery is asynchronous and isolated: fn runs on a
+// dedicated sink goroutine (never on detection workers), panics inside it are
+// recovered and counted, and deliveries that cannot be handed off within the
+// sink timeout are shed and counted rather than stalling detection.
 func WithSessionSink(fn func(session string, a Alert)) RuntimeOption {
 	return runtime.WithAlertFunc(runtime.AlertFunc(fn))
 }
+
+// WithSinkBuffer bounds the runtime's asynchronous alert-delivery queue
+// (default 1024). When the sink cannot keep up, overflowing alerts are shed
+// and counted in RuntimeStats.SinkDropped; detection itself never blocks on
+// the sink.
+func WithSinkBuffer(n int) RuntimeOption { return runtime.WithSinkBuffer(n) }
+
+// WithSinkTimeout bounds how long the runtime waits to hand one alert to the
+// sink before shedding it (default 1s).
+func WithSinkTimeout(d time.Duration) RuntimeOption { return runtime.WithSinkTimeout(d) }
+
+// WithJudgeHook installs a hook observing every completed window judgement
+// (session id, window end sequence, score, flagged). A non-nil error
+// quarantines that session — Observe/Flush return ErrSessionFailed — without
+// affecting other sessions. The hook runs on worker goroutines and must be
+// safe for concurrent use.
+func WithJudgeHook(fn JudgeHook) RuntimeOption { return runtime.WithJudgeHook(fn) }
 
 // NewCollector returns a calls collector for the given mode; attach it with
 // Interp.AddHook(c.Hook()).

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestFacadeQuickstart exercises the public API end to end: build a program,
@@ -157,6 +158,62 @@ func TestFacadeOptions(t *testing.T) {
 	defer mu.Unlock()
 	if len(perSession) != 0 && st.AlertTotal() == 0 {
 		t.Fatalf("sink fired without counted alerts: %v", perSession)
+	}
+}
+
+// TestFacadeFaultToleranceSurface covers the robustness additions: context
+// ingest, the judge hook quarantining a single session, and sink isolation
+// options — all through the public facade.
+func TestFacadeFaultToleranceSurface(t *testing.T) {
+	app := HospitalApp()
+	traces, err := app.CollectTraces(ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Train(app.Prog, traces, TrainOptions{Train: HMMOptions{MaxIters: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := NewRuntime(prof,
+		WithWorkers(2),
+		WithSinkBuffer(8),
+		WithSinkTimeout(time.Second),
+		WithJudgeHook(func(session string, seq int, score float64, flagged bool) error {
+			if session == "victim" {
+				return errors.New("injected engine failure")
+			}
+			return nil
+		}))
+	defer rt.Close()
+
+	ctx := context.Background()
+	healthy := rt.Session("healthy")
+	for _, c := range traces[0] {
+		if err := healthy.ObserveContext(ctx, c); err != nil {
+			t.Fatalf("healthy ObserveContext: %v", err)
+		}
+	}
+	if _, err := healthy.FlushContext(ctx); err != nil {
+		t.Fatalf("healthy FlushContext: %v", err)
+	}
+
+	victim := rt.Session("victim")
+	_, err = victim.ObserveTrace(traces[0])
+	if err == nil {
+		_, err = victim.Flush() // short traces fail on the flush judgement
+	}
+	if !errors.Is(err, ErrSessionFailed) {
+		t.Fatalf("victim error = %v, want ErrSessionFailed", err)
+	}
+	if healthyErr := healthy.Err(); healthyErr != nil {
+		t.Fatalf("healthy session infected: %v", healthyErr)
+	}
+	if st := rt.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1: %v", st.Quarantined, st)
+	}
+	if err := rt.CloseContext(ctx); err != nil {
+		t.Fatalf("CloseContext: %v", err)
 	}
 }
 

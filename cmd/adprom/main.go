@@ -7,18 +7,21 @@
 //	adprom analyze    -app <name>
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
-//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>]
+//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos]
 //	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
 //
 // App names: apph, appb, apps (CA-dataset), app1..app4 (SIR-style).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adprom/internal/attack"
@@ -27,6 +30,7 @@ import (
 	"adprom/internal/dataset"
 	"adprom/internal/detect"
 	"adprom/internal/experiments"
+	"adprom/internal/faultinject"
 	"adprom/internal/hmm"
 	"adprom/internal/interp"
 	"adprom/internal/profile"
@@ -67,7 +71,7 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
-  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos]
   adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
 
 apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)`)
@@ -258,7 +262,10 @@ func cmdDetect(args []string) error {
 // cmdServe replays an application's collected traces as N concurrent client
 // streams through the multi-session detection runtime and reports throughput
 // — the serving-mode counterpart of `detect`, which scores one stream at a
-// time.
+// time. With -chaos it injects faults (a crashing, slow alert sink; an
+// engine panic on one stream; a worker crash on another) to demonstrate that
+// the runtime isolates failures: healthy streams finish, victims are
+// quarantined, and the run ends with clean shutdown and fault counters.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	appName := fs.String("app", "appb", "application to serve")
@@ -268,8 +275,17 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 256, "per-worker ingest queue depth")
 	drop := fs.String("drop", "block", "full-queue policy: block (backpressure) or newest (shed)")
 	repeat := fs.Int("repeat", 8, "replay passes per stream")
+	chaos := fs.Bool("chaos", false, "inject sink, engine, and worker faults during the replay")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *streams < 1 {
+		*streams = 1
+	}
+	if *chaos && *streams < 2 {
+		// Chaos mode quarantines two victim streams; keep at least one
+		// healthy stream to demonstrate isolation.
+		*streams = 2
 	}
 	app, err := lookupApp(*appName)
 	if err != nil {
@@ -309,18 +325,52 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("bad -drop %q (want block or newest)", *drop)
 	}
 
+	var (
+		sink        *faultinject.Sink
+		engineFault *faultinject.EngineFault
+		workerFault *faultinject.WorkerFault
+	)
+	engineVictim := fmt.Sprintf("stream-%03d", 0)
+	workerVictim := fmt.Sprintf("stream-%03d", (*streams-1)%*streams)
+	if *chaos {
+		sink = faultinject.NewSink(nil, faultinject.PanicEvery(5), faultinject.Latency(time.Millisecond))
+		engineFault = faultinject.NewEngineFault(faultinject.FaultPanic, 1,
+			func(id string) bool { return id == engineVictim })
+		workerFault = faultinject.NewWorkerFault(workerVictim, 3)
+		opts = append(opts,
+			runtime.WithAlertFunc(sink.Deliver),
+			runtime.WithSinkBuffer(16),
+			runtime.WithSinkTimeout(50*time.Millisecond),
+			runtime.WithJudgeHook(engineFault.Hook),
+			runtime.WithWorkerHook(workerFault.Hook),
+		)
+		fmt.Printf("chaos: sink panics every 5th delivery; engine panic on %s; worker crash on op 3 of %s\n",
+			engineVictim, workerVictim)
+	}
+
 	rt := runtime.New(p, opts...)
 	fmt.Printf("serving %s: %d streams x %d passes over %d traces\n",
 		app.Name, *streams, *repeat, len(traces))
 	start := time.Now()
 	var wg sync.WaitGroup
+	var quarantinedStreams atomic.Int64
 	for i := 0; i < *streams; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			s := rt.Session(fmt.Sprintf("stream-%03d", i))
 			for pass := 0; pass < *repeat; pass++ {
-				if _, err := s.ObserveTrace(traces[(i+pass)%len(traces)]); err != nil {
+				_, err := s.ObserveTrace(traces[(i+pass)%len(traces)])
+				switch {
+				case err == nil:
+				case errors.Is(err, runtime.ErrDropped):
+					// Load shedding under -drop newest: the runtime reports
+					// how many calls it shed; keep replaying.
+				case errors.Is(err, runtime.ErrSessionFailed):
+					quarantinedStreams.Add(1)
+					fmt.Fprintf(os.Stderr, "stream %d quarantined: %v\n", i, err)
+					return
+				default:
 					fmt.Fprintf(os.Stderr, "stream %d: %v\n", i, err)
 					return
 				}
@@ -329,13 +379,24 @@ func cmdServe(args []string) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if err := rt.Close(); err != nil {
+	closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.CloseContext(closeCtx); err != nil {
 		return err
 	}
 	st := rt.Stats()
 	fmt.Println(st)
 	fmt.Printf("replayed in %v: %.0f calls/sec across %d workers\n",
 		elapsed.Round(time.Millisecond), float64(st.Calls)/elapsed.Seconds(), st.Workers)
+	if *chaos {
+		fmt.Printf("chaos outcome: %d/%d streams quarantined; sink deliveries=%d panics=%d; engine fault fired=%v; worker fault fired=%v\n",
+			quarantinedStreams.Load(), *streams, sink.Calls(), sink.Panics(),
+			engineFault.Fired(engineVictim), workerFault.Fired())
+		healthy := int64(*streams) - quarantinedStreams.Load()
+		if healthy <= 0 {
+			return fmt.Errorf("chaos replay: no healthy streams survived")
+		}
+	}
 	return nil
 }
 

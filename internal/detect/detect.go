@@ -122,7 +122,20 @@ type Engine struct {
 	oocAllowed  map[[2]string]bool
 	adaptRate   float64
 	adaptMargin float64
+
+	// Judge hook (fault injection / external policy) and its sticky error.
+	judgeHook JudgeFunc
+	err       error
 }
+
+// JudgeFunc observes every completed-window judgement: the index of the
+// window's last call, its per-symbol score, and whether it was flagged. A
+// non-nil return poisons the engine — Err reports it and callers such as the
+// concurrent runtime quarantine the stream — which gives fault-injection
+// harnesses and external circuit breakers an error-propagating seam into the
+// hot path. A JudgeFunc that panics is indistinguishable from any other
+// engine panic to the caller.
+type JudgeFunc func(seq int, score float64, flagged bool) error
 
 // NewEngine builds an engine around a trained profile, using the profile's
 // selected threshold and window length.
@@ -158,8 +171,9 @@ func (e *Engine) ResetWindow() {
 }
 
 // Reset returns the engine to its just-constructed state — window, sequence
-// counter, alert history, and threshold — so pooled engines can be recycled
-// across sessions without reallocating their forward-variable buffers.
+// counter, alert history, threshold, judge hook, and error — so pooled
+// engines can be recycled across sessions without reallocating their
+// forward-variable buffers.
 func (e *Engine) Reset() {
 	e.ResetWindow()
 	e.seq = 0
@@ -167,7 +181,18 @@ func (e *Engine) Reset() {
 	e.threshold = e.p.Threshold
 	e.oocAllowed = nil
 	e.adaptRate, e.adaptMargin = 0, 0
+	e.judgeHook = nil
+	e.err = nil
 }
+
+// SetJudgeHook installs h, which observes every subsequent completed-window
+// judgement; pass nil to remove it. See JudgeFunc for the error semantics.
+func (e *Engine) SetJudgeHook(h JudgeFunc) { e.judgeHook = h }
+
+// Err reports the first error returned by the engine's judge hook, nil while
+// healthy. Once non-nil the engine still scores windows, but stream owners
+// should treat the engine as failed.
+func (e *Engine) Err() error { return e.err }
 
 // Threshold returns the active threshold.
 func (e *Engine) Threshold() float64 { return e.threshold }
@@ -257,6 +282,7 @@ func (e *Engine) Hook() interp.Hook {
 func (e *Engine) judgeWindow(seq int, score float64) (Alert, bool) {
 	if score >= e.threshold {
 		e.adapt(score)
+		e.runJudgeHook(seq, score, false)
 		return Alert{}, false
 	}
 	n := len(e.window)
@@ -289,7 +315,19 @@ func (e *Engine) judgeWindow(seq int, score float64) (Alert, bool) {
 			}
 		}
 	}
+	e.runJudgeHook(seq, score, true)
 	return a, true
+}
+
+// runJudgeHook invokes the judge hook, capturing its first error; a panic
+// propagates to the caller of Observe/Flush.
+func (e *Engine) runJudgeHook(seq int, score float64, flagged bool) {
+	if e.judgeHook == nil || e.err != nil {
+		return
+	}
+	if err := e.judgeHook(seq, score, flagged); err != nil {
+		e.err = err
+	}
 }
 
 // Classify scores one label window against a profile and threshold: the

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 )
 
@@ -39,6 +40,36 @@ func TestFlagJSONRoundTrip(t *testing.T) {
 	}
 	if err := json.Unmarshal([]byte(`"Bogus"`), &got); err == nil {
 		t.Fatal("bogus name accepted")
+	}
+
+	// The numeric fallback covers every legacy spelling: each named flag's
+	// integer value, out-of-taxonomy integers, and the Flag(n) string form.
+	for f := FlagNormal; f <= FlagOutOfContext; f++ {
+		var n Flag
+		if err := json.Unmarshal([]byte(fmt.Sprint(int(f))), &n); err != nil || n != f {
+			t.Errorf("legacy integer %d: got %v, err %v", int(f), n, err)
+		}
+	}
+	if err := json.Unmarshal([]byte(`42`), &got); err != nil || got != Flag(42) {
+		t.Errorf("out-of-taxonomy integer: got %v, err %v", got, err)
+	}
+	if err := json.Unmarshal([]byte(`"Flag(42)"`), &got); err != nil || got != Flag(42) {
+		t.Errorf("Flag(n) string form: got %v, err %v", got, err)
+	}
+	// Non-integer and malformed payloads are rejected, not silently zeroed.
+	for _, bad := range []string{`1.5`, `true`, `{"x":1}`, `"Flag(x)"`} {
+		prev := got
+		if err := json.Unmarshal([]byte(bad), &got); err == nil {
+			t.Errorf("malformed flag %s accepted as %v", bad, got)
+		}
+		got = prev
+	}
+
+	// A whole legacy alert record with a numeric flag still decodes.
+	var legacy Alert
+	if err := json.Unmarshal([]byte(`{"Flag":3,"Seq":7,"Label":"printf"}`), &legacy); err != nil ||
+		legacy.Flag != FlagOutOfContext || legacy.Seq != 7 {
+		t.Errorf("legacy alert record: %+v, err %v", legacy, err)
 	}
 
 	// Flags embedded in alerts serialise by name.

@@ -17,6 +17,13 @@ type Counters struct {
 	latencyNanos atomic.Int64
 	sessions     atomic.Int64
 	opened       atomic.Uint64
+
+	// Failure-path counters (worker supervision and sink isolation).
+	panics         atomic.Uint64
+	workerRestarts atomic.Uint64
+	quarantined    atomic.Uint64
+	sinkDropped    atomic.Uint64
+	sinkPanics     atomic.Uint64
 }
 
 // AddCall records one observed call and its processing latency in
@@ -41,6 +48,24 @@ func (c *Counters) AddAlert(flag int) {
 func (c *Counters) SessionOpened() { c.sessions.Add(1); c.opened.Add(1) }
 func (c *Counters) SessionClosed() { c.sessions.Add(-1) }
 
+// AddPanic records one panic recovered on a detection worker (per-op recovery
+// or a worker-goroutine crash).
+func (c *Counters) AddPanic() { c.panics.Add(1) }
+
+// AddWorkerRestart records one supervised restart of a crashed worker
+// goroutine.
+func (c *Counters) AddWorkerRestart() { c.workerRestarts.Add(1) }
+
+// AddQuarantined records one session quarantined after a component failure.
+func (c *Counters) AddQuarantined() { c.quarantined.Add(1) }
+
+// AddSinkDropped records alerts shed by the async sink dispatcher (buffer
+// overflow or per-delivery handoff timeout).
+func (c *Counters) AddSinkDropped(n uint64) { c.sinkDropped.Add(n) }
+
+// AddSinkPanic records one panic recovered from the user's alert sink.
+func (c *Counters) AddSinkPanic() { c.sinkPanics.Add(1) }
+
 // CountersSnapshot is a point-in-time copy of a Counters.
 type CountersSnapshot struct {
 	// Calls is the number of calls processed by detection workers.
@@ -54,6 +79,16 @@ type CountersSnapshot struct {
 	// ActiveSessions and SessionsOpened describe session churn.
 	ActiveSessions int64
 	SessionsOpened uint64
+	// Panics counts panics recovered on detection workers; WorkerRestarts
+	// counts supervised worker-goroutine restarts; Quarantined counts
+	// sessions isolated after a component failure.
+	Panics         uint64
+	WorkerRestarts uint64
+	Quarantined    uint64
+	// SinkDropped counts alerts shed by the async sink dispatcher;
+	// SinkPanics counts panics recovered from the user's alert sink.
+	SinkDropped uint64
+	SinkPanics  uint64
 }
 
 // AlertTotal sums the per-flag alert counts.
@@ -84,6 +119,11 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		LatencyNanos:   c.latencyNanos.Load(),
 		ActiveSessions: c.sessions.Load(),
 		SessionsOpened: c.opened.Load(),
+		Panics:         c.panics.Load(),
+		WorkerRestarts: c.workerRestarts.Load(),
+		Quarantined:    c.quarantined.Load(),
+		SinkDropped:    c.sinkDropped.Load(),
+		SinkPanics:     c.sinkPanics.Load(),
 	}
 	for i := range s.Alerts {
 		s.Alerts[i] = c.alerts[i].Load()

@@ -22,11 +22,35 @@
 //   - Close flushes every open session (judging partial windows, like
 //     Engine.Flush), waits for the workers to drain, and stops them.
 //
+// # Failure model
+//
+// The runtime is designed to keep monitoring when individual components
+// misbehave:
+//
+//   - Worker supervision. Every op runs under panic recovery. A recovered
+//     panic quarantines only the offending session: its pending control ops
+//     get an error reply, subsequent ops return ErrSessionFailed (the cause
+//     is available via Session.Err), and the worker keeps serving its other
+//     sessions. If the worker goroutine itself dies (a panic outside the
+//     per-op recovery), a supervisor restarts it with capped exponential
+//     backoff; restarts surface in Stats.WorkerRestarts.
+//   - Deadline-aware ingest. ObserveContext, FlushContext, ObserveTraceContext,
+//     Session.CloseContext and Runtime.CloseContext bound Block-policy
+//     backpressure and shutdown drain by the caller's context instead of
+//     hanging forever; the plain forms are context.Background wrappers.
+//   - Sink isolation. Alerts reach the user's AlertFunc through a bounded
+//     async dispatcher with a per-delivery handoff timeout, panic recovery,
+//     and a drop-and-count overflow policy, so a slow or crashing sink never
+//     stalls detection workers. Sink failures appear in Stats.SinkPanics and
+//     shed deliveries in Stats.SinkDropped.
+//
 // Atomic counters (calls, drops, alerts by flag, queue depth, per-call
-// latency) are kept in a metrics.Counters and exposed as a Stats snapshot.
+// latency, panics, restarts, quarantines, sink losses) are kept in a
+// metrics.Counters and exposed as a Stats snapshot.
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -46,6 +70,19 @@ var (
 	ErrClosed = errors.New("runtime: closed")
 	// ErrDropped reports a call shed by the DropNewest policy.
 	ErrDropped = errors.New("runtime: call dropped: queue full")
+	// ErrSessionFailed reports an op on a quarantined session — one whose
+	// engine, judge hook, or worker panicked (or whose judge hook returned an
+	// error) while processing its stream. The quarantine cause is attached to
+	// the returned error and available via Session.Err; other sessions are
+	// unaffected. Close a failed session to release its slot.
+	ErrSessionFailed = errors.New("runtime: session failed")
+)
+
+// Supervised worker restarts back off exponentially from restartBackoffBase,
+// doubling per consecutive crash up to restartBackoffCap.
+const (
+	restartBackoffBase = time.Millisecond
+	restartBackoffCap  = 100 * time.Millisecond
 )
 
 // DropPolicy selects the behaviour of a full ingest queue.
@@ -70,18 +107,39 @@ func (p DropPolicy) String() string {
 }
 
 // AlertFunc receives every alert raised by any session, tagged with the
-// session id. It is invoked on worker goroutines: implementations must be
-// safe for concurrent use and should return quickly (hand off to a channel
-// or async sink for slow delivery).
+// session id. Delivery is asynchronous: workers hand alerts to a bounded
+// dispatcher, so a slow or panicking implementation cannot stall detection —
+// it only causes deliveries to be shed (counted in Stats.SinkDropped) or
+// panics to be counted (Stats.SinkPanics). Implementations are invoked from
+// a single dispatcher goroutine, one alert at a time.
 type AlertFunc func(session string, a detect.Alert)
 
+// JudgeHook observes every completed-window judgement of every session: the
+// session id, the window's closing sequence number, its per-symbol score,
+// and whether it was flagged. Returning a non-nil error quarantines the
+// session (ErrSessionFailed wrapping the cause); a panic does the same via
+// the worker's per-op recovery. It runs on worker goroutines and must be
+// safe for concurrent use. Intended for fault injection and external
+// circuit-breaker policies.
+type JudgeHook func(session string, seq int, score float64, flagged bool) error
+
+// WorkerHook runs on the worker goroutine before each op, *outside* the
+// per-op panic recovery: a panic here kills the worker itself, exercising
+// supervised restart. It exists for fault injection and latency injection in
+// chaos tests; production configurations should leave it nil.
+type WorkerHook func(worker int, session string)
+
 type config struct {
-	workers    int
-	queueDepth int
-	policy     DropPolicy
-	sink       AlertFunc
-	threshold  *float64
-	windowLen  int
+	workers     int
+	queueDepth  int
+	policy      DropPolicy
+	sink        AlertFunc
+	sinkBuffer  int
+	sinkTimeout time.Duration
+	judgeHook   JudgeHook
+	workerHook  WorkerHook
+	threshold   *float64
+	windowLen   int
 }
 
 // Option configures a Runtime.
@@ -110,9 +168,44 @@ func WithDropPolicy(p DropPolicy) Option {
 	return func(c *config) { c.policy = p }
 }
 
-// WithAlertFunc routes every session's alerts to fn.
+// WithAlertFunc routes every session's alerts to fn through the async sink
+// dispatcher.
 func WithAlertFunc(fn AlertFunc) Option {
 	return func(c *config) { c.sink = fn }
+}
+
+// WithSinkBuffer bounds the async sink dispatcher's queue (default 1024).
+// When the buffer is full, further alerts are shed and counted in
+// Stats.SinkDropped rather than blocking workers.
+func WithSinkBuffer(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.sinkBuffer = n
+		}
+	}
+}
+
+// WithSinkTimeout bounds how long the dispatcher waits for the sink to
+// accept each delivery (default 1s). Alerts that cannot be handed off in
+// time — because the sink is still busy with the previous one — are shed and
+// counted in Stats.SinkDropped.
+func WithSinkTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.sinkTimeout = d
+		}
+	}
+}
+
+// WithJudgeHook installs fn as every session engine's judge hook; see
+// JudgeHook for the quarantine semantics.
+func WithJudgeHook(fn JudgeHook) Option {
+	return func(c *config) { c.judgeHook = fn }
+}
+
+// WithWorkerHook installs fn on the worker loop; see WorkerHook. Test-only.
+func WithWorkerHook(fn WorkerHook) Option {
+	return func(c *config) { c.workerHook = fn }
 }
 
 // WithThreshold overrides the profile's detection threshold for every
@@ -140,12 +233,32 @@ type Runtime struct {
 	queues []chan op
 	wg     sync.WaitGroup
 
-	mu       sync.RWMutex // guards sessions map and closed flag vs ingest
+	// stopped is closed when workers must abandon ingest (shutdown); senders
+	// and reply-waiters select on it so nothing hangs past Close.
+	stopped  chan struct{}
+	stopOnce sync.Once
+	closeMu  sync.Mutex // serialises Close/CloseContext
+
+	mu       sync.RWMutex // guards sessions map and draining/closed flags
 	sessions map[string]*Session
-	closed   bool
+	draining bool // no new session registrations (Close has begun)
+	closed   bool // no ingest at all
+
+	// Async sink pipeline (nil alertq when no sink is configured): workers
+	// enqueue into alertq without blocking; the dispatcher hands each alert
+	// to the deliverer within sinkTimeout or sheds it; the deliverer invokes
+	// the user sink under panic recovery.
+	alertq  chan alertMsg
+	handoff chan alertMsg
+	sinkWG  sync.WaitGroup
 
 	pool sync.Pool // *detect.Engine, all built over p
 	ctr  metrics.Counters
+}
+
+type alertMsg struct {
+	session string
+	alert   detect.Alert
 }
 
 type opKind int
@@ -156,11 +269,24 @@ const (
 	opClose          // opFlush + recycle the engine
 )
 
+type reply struct {
+	alerts []detect.Alert
+	err    error
+}
+
 type op struct {
-	s    *Session
-	call collector.Call
-	kind opKind
-	done chan []detect.Alert
+	s       *Session
+	call    collector.Call
+	kind    opKind
+	done    chan reply // buffered(1); at most one send (guarded by replied)
+	replied bool
+}
+
+func (o *op) reply(r reply) {
+	if o.done != nil && !o.replied {
+		o.replied = true
+		o.done <- r
+	}
 }
 
 // Session is one monitored call stream. All its calls are scored in FIFO
@@ -172,8 +298,9 @@ type Session struct {
 	id     string
 	worker int
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	closed  bool
+	failure error // ErrSessionFailed wrapping the quarantine cause
 
 	// engine and dead are owned by the worker goroutine: engine is created on
 	// first op, dead is set once the close op has been processed.
@@ -185,8 +312,10 @@ type Session struct {
 // immutable from this point on: do not retrain it while the runtime serves.
 func New(p *profile.Profile, opts ...Option) *Runtime {
 	cfg := config{
-		workers:    stdruntime.GOMAXPROCS(0),
-		queueDepth: 256,
+		workers:     stdruntime.GOMAXPROCS(0),
+		queueDepth:  256,
+		sinkBuffer:  1024,
+		sinkTimeout: time.Second,
 	}
 	for _, o := range opts {
 		if o != nil {
@@ -199,21 +328,31 @@ func New(p *profile.Profile, opts ...Option) *Runtime {
 		seed:     maphash.MakeSeed(),
 		queues:   make([]chan op, cfg.workers),
 		sessions: make(map[string]*Session),
+		stopped:  make(chan struct{}),
 	}
 	rt.pool.New = func() any { return detect.NewEngine(p) }
 	// Force the shared scorer into existence before any worker races to use
 	// it (Profile.Scorer is once-guarded anyway; this keeps first-call
 	// latency out of the serving path).
 	p.Scorer()
+	if cfg.sink != nil {
+		rt.alertq = make(chan alertMsg, cfg.sinkBuffer)
+		rt.handoff = make(chan alertMsg)
+		rt.sinkWG.Add(2)
+		go rt.dispatchLoop()
+		go rt.deliverLoop()
+	}
 	for i := range rt.queues {
 		rt.queues[i] = make(chan op, cfg.queueDepth)
 		rt.wg.Add(1)
-		go rt.worker(rt.queues[i])
+		go rt.supervise(i)
 	}
 	return rt
 }
 
 // Session returns the session registered under id, creating it if needed.
+// Once Close has begun (the runtime is draining) new ids are refused: the
+// returned session is already closed and every op on it reports ErrClosed.
 func (rt *Runtime) Session(id string) *Session {
 	rt.mu.RLock()
 	s := rt.sessions[id]
@@ -230,37 +369,101 @@ func (rt *Runtime) Session(id string) *Session {
 	h.SetSeed(rt.seed)
 	h.WriteString(id)
 	s = &Session{rt: rt, id: id, worker: int(h.Sum64() % uint64(len(rt.queues)))}
-	if !rt.closed {
-		rt.sessions[id] = s
-		rt.ctr.SessionOpened()
-	} else {
+	if rt.draining || rt.closed {
 		s.closed = true
+		return s
 	}
+	rt.sessions[id] = s
+	rt.ctr.SessionOpened()
 	return s
 }
 
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
 
+// Err reports why the session was quarantined (an error wrapping
+// ErrSessionFailed), or nil while the session is healthy.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failure
+}
+
+// quarantine records the session's first failure cause; reports whether this
+// call was the one that quarantined it.
+func (s *Session) quarantine(cause error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure != nil {
+		return false
+	}
+	s.failure = fmt.Errorf("%w: %v", ErrSessionFailed, cause)
+	return true
+}
+
 // Observe enqueues one call for detection. Under the Block policy it waits
 // for queue space (backpressure); under DropNewest a full queue sheds the
 // call and returns ErrDropped. A closed session or runtime returns
-// ErrClosed.
+// ErrClosed; a quarantined session returns ErrSessionFailed.
 func (s *Session) Observe(c collector.Call) error {
-	return s.send(op{s: s, call: c, kind: opObserve})
+	return s.ObserveContext(context.Background(), c)
+}
+
+// ObserveContext is Observe bounded by ctx: Block-policy backpressure waits
+// no longer than the context allows and surfaces ctx.Err().
+func (s *Session) ObserveContext(ctx context.Context, c collector.Call) error {
+	if err := s.ingestErr(); err != nil {
+		return err
+	}
+	return s.rt.enqueue(ctx, s.worker, op{s: s, call: c, kind: opObserve}, false)
+}
+
+func (s *Session) ingestErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure != nil {
+		return s.failure
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
 }
 
 // ObserveTrace replays one whole collected execution through the session and
 // returns the session's full alert history after judging the trace's final
 // short window — the concurrent counterpart of Monitor.ObserveTrace. The
 // session stays open for further traces.
+//
+// Under DropNewest, calls shed by a full queue truncate the replay: the
+// history is still returned, together with an error wrapping ErrDropped that
+// reports how many of the trace's calls were shed, so callers can tell a
+// truncated replay from a complete one. Any other ingest error aborts the
+// replay.
 func (s *Session) ObserveTrace(tr collector.Trace) ([]detect.Alert, error) {
+	return s.ObserveTraceContext(context.Background(), tr)
+}
+
+// ObserveTraceContext is ObserveTrace bounded by ctx.
+func (s *Session) ObserveTraceContext(ctx context.Context, tr collector.Trace) ([]detect.Alert, error) {
+	dropped := 0
 	for _, c := range tr {
-		if err := s.Observe(c); err != nil && !errors.Is(err, ErrDropped) {
+		switch err := s.ObserveContext(ctx, c); {
+		case err == nil:
+		case errors.Is(err, ErrDropped):
+			dropped++
+		default:
 			return nil, err
 		}
 	}
-	return s.Flush()
+	history, err := s.FlushContext(ctx)
+	if err != nil {
+		return history, err
+	}
+	if dropped > 0 {
+		return history, fmt.Errorf("%w (%d of %d trace calls shed)", ErrDropped, dropped, len(tr))
+	}
+	return history, nil
 }
 
 // Flush waits for every call enqueued so far to be scored, judges a pending
@@ -268,16 +471,34 @@ func (s *Session) ObserveTrace(tr collector.Trace) ([]detect.Alert, error) {
 // window so the next trace starts clean, and returns the session's full
 // alert history.
 func (s *Session) Flush() ([]detect.Alert, error) {
-	done := make(chan []detect.Alert, 1)
-	if err := s.send(op{s: s, kind: opFlush, done: done}); err != nil {
+	return s.FlushContext(context.Background())
+}
+
+// FlushContext is Flush bounded by ctx. If the context expires while the
+// flush is queued, the worker still performs it later; only the wait is
+// abandoned.
+func (s *Session) FlushContext(ctx context.Context) ([]detect.Alert, error) {
+	if err := s.ingestErr(); err != nil {
 		return nil, err
 	}
-	return <-done, nil
+	done := make(chan reply, 1)
+	if err := s.rt.enqueue(ctx, s.worker, op{s: s, kind: opFlush, done: done}, true); err != nil {
+		return nil, err
+	}
+	return s.await(ctx, done)
 }
 
 // Close flushes the session, returns its full alert history, removes it from
 // the runtime, and recycles its engine. Further calls return ErrClosed.
+// Closing a quarantined session releases its registration and returns
+// ErrSessionFailed (its history died with its engine).
 func (s *Session) Close() ([]detect.Alert, error) {
+	return s.CloseContext(context.Background())
+}
+
+// CloseContext is Close bounded by ctx. The session is deregistered even if
+// the wait is abandoned; the worker still retires its engine later.
+func (s *Session) CloseContext(ctx context.Context) ([]detect.Alert, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -286,44 +507,62 @@ func (s *Session) Close() ([]detect.Alert, error) {
 	s.closed = true
 	s.mu.Unlock()
 
-	done := make(chan []detect.Alert, 1)
-	// The session is already marked closed, so bypass the closed check.
-	if err := s.rt.enqueue(s.worker, op{s: s, kind: opClose, done: done}, true); err != nil {
-		return nil, err
+	done := make(chan reply, 1)
+	// The session is already marked closed, so enqueue directly (control ops
+	// bypass the DropNewest policy).
+	err := s.rt.enqueue(ctx, s.worker, op{s: s, kind: opClose, done: done}, true)
+	var alerts []detect.Alert
+	if err == nil {
+		alerts, err = s.await(ctx, done)
 	}
-	alerts := <-done
-
-	s.rt.mu.Lock()
-	if s.rt.sessions[s.id] == s {
-		delete(s.rt.sessions, s.id)
-	}
-	s.rt.mu.Unlock()
-	s.rt.ctr.SessionClosed()
-	return alerts, nil
+	s.deregister()
+	return alerts, err
 }
 
-func (s *Session) isClosed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
+// await waits for a control op's reply, bounded by ctx and by runtime
+// shutdown (the workers answer every queued control op before exiting, but a
+// send that raced past shutdown could otherwise wait forever).
+func (s *Session) await(ctx context.Context, done chan reply) ([]detect.Alert, error) {
+	select {
+	case r := <-done:
+		return r.alerts, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.rt.stopped:
+		// A worker may have replied concurrently with shutdown.
+		select {
+		case r := <-done:
+			return r.alerts, r.err
+		default:
+			return nil, ErrClosed
+		}
+	}
 }
 
-func (s *Session) send(o op) error {
-	if s.isClosed() {
-		return ErrClosed
+func (s *Session) deregister() {
+	rt := s.rt
+	rt.mu.Lock()
+	owned := rt.sessions[s.id] == s
+	if owned {
+		delete(rt.sessions, s.id)
 	}
-	return s.rt.enqueue(s.worker, o, o.kind != opObserve)
+	rt.mu.Unlock()
+	if owned {
+		rt.ctr.SessionClosed()
+	}
 }
 
 // enqueue routes an op to a worker queue. Control ops (flush/close) always
-// block: they are rare, small, and their reply channel must be served.
-func (rt *Runtime) enqueue(worker int, o op, control bool) error {
+// use backpressure: they are rare, small, and their reply channel must be
+// served. Blocking sends are bounded by ctx and by runtime shutdown.
+func (rt *Runtime) enqueue(ctx context.Context, worker int, o op, control bool) error {
 	rt.mu.RLock()
-	defer rt.mu.RUnlock()
 	if rt.closed {
+		rt.mu.RUnlock()
 		return ErrClosed
 	}
 	q := rt.queues[worker]
+	rt.mu.RUnlock()
 	if !control && rt.cfg.policy == DropNewest {
 		select {
 		case q <- o:
@@ -333,81 +572,264 @@ func (rt *Runtime) enqueue(worker int, o op, control bool) error {
 			return ErrDropped
 		}
 	}
-	q <- o
-	return nil
+	select {
+	case q <- o:
+		return nil
+	case <-rt.stopped:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
-func (rt *Runtime) worker(q chan op) {
+// supervise owns one worker slot: it runs the worker loop and restarts it
+// with capped exponential backoff when it crashes. The ingest queue survives
+// restarts, so queued ops of healthy sessions are only delayed, never lost.
+func (rt *Runtime) supervise(w int) {
 	defer rt.wg.Done()
-	for o := range q {
-		s := o.s
-		if s.dead {
-			// An op that raced with Close and was enqueued behind the close
-			// op must not resurrect an engine on the dead session.
-			if o.kind == opObserve {
-				rt.ctr.AddDropped(1)
-			}
-			if o.done != nil {
-				o.done <- nil
-			}
-			continue
+	backoff := restartBackoffBase
+	for {
+		if rt.runWorker(w) {
+			return // clean shutdown
 		}
-		if s.engine == nil {
-			e := rt.pool.Get().(*detect.Engine)
-			e.Reset()
-			if rt.cfg.threshold != nil {
-				e.SetThreshold(*rt.cfg.threshold)
-			}
-			if rt.cfg.windowLen > 0 {
-				e.SetWindowLen(rt.cfg.windowLen)
-			}
-			s.engine = e
+		rt.ctr.AddWorkerRestart()
+		select {
+		case <-time.After(backoff):
+		case <-rt.stopped:
+			rt.drainQueue(rt.queues[w])
+			return
 		}
-		switch o.kind {
-		case opObserve:
-			start := time.Now()
-			alerts := s.engine.Observe(o.call)
-			rt.ctr.AddCall(time.Since(start).Nanoseconds())
-			rt.deliver(s.id, alerts)
-		case opFlush, opClose:
-			before := len(s.engine.Alerts())
-			history := s.engine.Flush()
-			rt.deliver(s.id, history[before:])
-			// Windows never straddle traces: the next stream starts clean.
-			s.engine.ResetWindow()
-			out := make([]detect.Alert, len(history))
-			copy(out, history)
-			if o.kind == opClose {
-				eng := s.engine
-				s.engine = nil
-				s.dead = true
-				rt.pool.Put(eng)
-			}
-			o.done <- out
+		if backoff *= 2; backoff > restartBackoffCap {
+			backoff = restartBackoffCap
 		}
 	}
 }
 
+// runWorker serves ops until shutdown (returns true) or a panic that escaped
+// the per-op recovery kills it (returns false after quarantining the session
+// whose op was in flight).
+func (rt *Runtime) runWorker(w int) (clean bool) {
+	q := rt.queues[w]
+	var cur *op
+	defer func() {
+		if r := recover(); r != nil {
+			rt.ctr.AddPanic()
+			if cur != nil {
+				rt.failSession(cur, fmt.Errorf("worker %d crashed: %v", w, r))
+			}
+		}
+	}()
+	for {
+		select {
+		case o := <-q:
+			cur = &o
+			if h := rt.cfg.workerHook; h != nil {
+				// Outside the per-op recovery: a panic here kills the worker.
+				h(w, o.s.id)
+			}
+			rt.process(&o)
+			cur = nil
+		case <-rt.stopped:
+			rt.drainQueue(q)
+			return true
+		}
+	}
+}
+
+// drainQueue empties a worker queue during shutdown, answering control ops
+// so no Flush/Close waits on a stopped worker.
+func (rt *Runtime) drainQueue(q chan op) {
+	for {
+		select {
+		case o := <-q:
+			if o.kind == opObserve {
+				rt.ctr.AddDropped(1)
+			}
+			o.reply(reply{err: ErrClosed})
+		default:
+			return
+		}
+	}
+}
+
+// failSession quarantines the session an op was addressed to, discards its
+// (suspect) engine rather than recycling it, and answers the op.
+func (rt *Runtime) failSession(o *op, cause error) {
+	if o.s.quarantine(cause) {
+		rt.ctr.AddQuarantined()
+	}
+	o.s.engine = nil
+	o.reply(reply{err: o.s.Err()})
+}
+
+// process runs one op under per-op panic recovery: a panicking engine, judge
+// hook, or profile quarantines only the offending session and the worker
+// moves on to its next op.
+func (rt *Runtime) process(o *op) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.ctr.AddPanic()
+			rt.failSession(o, fmt.Errorf("recovered panic: %v", r))
+		}
+	}()
+	s := o.s
+	if s.dead {
+		// An op that raced with Close and was enqueued behind the close
+		// op must not resurrect an engine on the dead session.
+		if o.kind == opObserve {
+			rt.ctr.AddDropped(1)
+		}
+		o.reply(reply{})
+		return
+	}
+	if err := s.Err(); err != nil {
+		// Quarantined: shed queued observes, answer control ops with the
+		// failure, and let a close op retire the registration.
+		if o.kind == opObserve {
+			rt.ctr.AddDropped(1)
+		}
+		if o.kind == opClose {
+			s.dead = true
+		}
+		o.reply(reply{err: err})
+		return
+	}
+	if s.engine == nil {
+		e := rt.pool.Get().(*detect.Engine)
+		e.Reset()
+		if rt.cfg.threshold != nil {
+			e.SetThreshold(*rt.cfg.threshold)
+		}
+		if rt.cfg.windowLen > 0 {
+			e.SetWindowLen(rt.cfg.windowLen)
+		}
+		if rt.cfg.judgeHook != nil {
+			id, hook := s.id, rt.cfg.judgeHook
+			e.SetJudgeHook(func(seq int, score float64, flagged bool) error {
+				return hook(id, seq, score, flagged)
+			})
+		}
+		s.engine = e
+	}
+	switch o.kind {
+	case opObserve:
+		start := time.Now()
+		alerts := s.engine.Observe(o.call)
+		rt.ctr.AddCall(time.Since(start).Nanoseconds())
+		rt.deliver(s.id, alerts)
+		if err := s.engine.Err(); err != nil {
+			// Error-propagating judge hook: quarantine without a panic.
+			rt.failSession(o, err)
+		}
+	case opFlush, opClose:
+		before := len(s.engine.Alerts())
+		history := s.engine.Flush()
+		rt.deliver(s.id, history[before:])
+		// Windows never straddle traces: the next stream starts clean.
+		s.engine.ResetWindow()
+		out := make([]detect.Alert, len(history))
+		copy(out, history)
+		if err := s.engine.Err(); err != nil {
+			rt.failSession(o, err)
+			return
+		}
+		if o.kind == opClose {
+			eng := s.engine
+			s.engine = nil
+			s.dead = true
+			rt.pool.Put(eng)
+		}
+		o.reply(reply{alerts: out})
+	}
+}
+
+// deliver counts alerts and hands them to the async sink pipeline without
+// ever blocking the worker: a full buffer sheds the delivery.
 func (rt *Runtime) deliver(session string, alerts []detect.Alert) {
 	for _, a := range alerts {
 		rt.ctr.AddAlert(int(a.Flag))
 	}
-	if rt.cfg.sink != nil {
-		for _, a := range alerts {
-			rt.cfg.sink(session, a)
+	if rt.alertq == nil {
+		return
+	}
+	for _, a := range alerts {
+		select {
+		case rt.alertq <- alertMsg{session: session, alert: a}:
+		default:
+			rt.ctr.AddSinkDropped(1)
 		}
 	}
 }
 
-// Close flushes every open session's partial window, drains the workers, and
-// stops them. The runtime accepts no calls afterwards. Close is idempotent;
-// concurrent Observes racing with Close either complete or return ErrClosed.
+// dispatchLoop forwards buffered alerts to the deliverer, giving each
+// delivery sinkTimeout to be accepted; alerts the (possibly stalled) sink
+// cannot take in time are shed and counted.
+func (rt *Runtime) dispatchLoop() {
+	defer rt.sinkWG.Done()
+	timer := time.NewTimer(rt.cfg.sinkTimeout)
+	defer timer.Stop()
+	for m := range rt.alertq {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(rt.cfg.sinkTimeout)
+		select {
+		case rt.handoff <- m:
+		case <-timer.C:
+			rt.ctr.AddSinkDropped(1)
+		}
+	}
+	close(rt.handoff)
+}
+
+// deliverLoop invokes the user sink one alert at a time under panic
+// recovery.
+func (rt *Runtime) deliverLoop() {
+	defer rt.sinkWG.Done()
+	for m := range rt.handoff {
+		rt.callSink(m)
+	}
+}
+
+func (rt *Runtime) callSink(m alertMsg) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.ctr.AddSinkPanic()
+		}
+	}()
+	rt.cfg.sink(m.session, m.alert)
+}
+
+// Close flushes every open session's partial window, drains the workers and
+// the sink pipeline, and stops them. The runtime accepts no calls
+// afterwards. Close is idempotent; concurrent Observes racing with Close
+// either complete or return ErrClosed. Close waits for the sink to finish
+// its in-flight delivery — use CloseContext to bound shutdown when the sink
+// may hang.
 func (rt *Runtime) Close() error {
+	return rt.CloseContext(context.Background())
+}
+
+// CloseContext is Close bounded by ctx: the per-session drain and the final
+// worker/sink join each give up when the context expires, returning
+// ctx.Err() while shutdown completes in the background. Either way the
+// runtime stops accepting calls before CloseContext returns.
+func (rt *Runtime) CloseContext(ctx context.Context) error {
+	rt.closeMu.Lock()
+	defer rt.closeMu.Unlock()
+
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
 		return nil
 	}
+	// Refuse new session registrations from this point: a session registered
+	// after this snapshot would otherwise never be flushed and would leak
+	// the ActiveSessions gauge.
+	rt.draining = true
 	open := make([]*Session, 0, len(rt.sessions))
 	for _, s := range rt.sessions {
 		open = append(open, s)
@@ -415,24 +837,43 @@ func (rt *Runtime) Close() error {
 	rt.mu.Unlock()
 
 	// Flush sessions while ingest is still accepted, so their partial
-	// windows are judged and delivered to the sink.
+	// windows are judged and delivered to the sink; a dead deadline stops
+	// the drain early.
+	var ctxErr error
 	for _, s := range open {
-		_, _ = s.Close()
+		if _, err := s.CloseContext(ctx); err != nil &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			ctxErr = err
+			break
+		}
 	}
 
 	rt.mu.Lock()
 	rt.closed = true
 	rt.mu.Unlock()
-	for _, q := range rt.queues {
-		close(q)
+	rt.stopOnce.Do(func() { close(rt.stopped) })
+
+	finished := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		if rt.alertq != nil {
+			close(rt.alertq)
+			rt.sinkWG.Wait()
+		}
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return ctxErr
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	rt.wg.Wait()
-	return nil
 }
 
 // Stats is a point-in-time snapshot of the runtime's health.
 type Stats struct {
-	// Calls scored, and calls shed by DropNewest.
+	// Calls scored, and calls shed by DropNewest (or discarded after a
+	// session died or was quarantined).
 	Calls, Dropped uint64
 	// Alerts raised, by detect.Flag value.
 	Alerts [metrics.NumFlags]uint64
@@ -446,6 +887,17 @@ type Stats struct {
 	SessionsOpened uint64
 	// AvgLatency is the mean engine-side processing time per call.
 	AvgLatency time.Duration
+	// Panics counts panics recovered on workers (per-op or worker-crash);
+	// WorkerRestarts counts supervised worker restarts; Quarantined counts
+	// sessions isolated after a failure.
+	Panics         uint64
+	WorkerRestarts uint64
+	Quarantined    uint64
+	// SinkDropped counts alert deliveries shed by the async dispatcher
+	// (buffer overflow or handoff timeout); SinkPanics counts panics
+	// recovered from the user's alert sink.
+	SinkDropped uint64
+	SinkPanics  uint64
 }
 
 // AlertTotal sums the per-flag alert counts.
@@ -459,10 +911,11 @@ func (s Stats) AlertTotal() uint64 {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s",
+		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d]",
 		s.Calls, s.Dropped, s.AlertTotal(),
 		s.Alerts[int(detect.FlagAnomalous)], s.Alerts[int(detect.FlagDL)], s.Alerts[int(detect.FlagOutOfContext)],
-		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap, s.AvgLatency)
+		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap, s.AvgLatency,
+		s.Panics, s.WorkerRestarts, s.Quarantined, s.SinkDropped, s.SinkPanics)
 }
 
 // Stats snapshots the runtime's counters and gauges.
@@ -477,6 +930,11 @@ func (rt *Runtime) Stats() Stats {
 		ActiveSessions: snap.ActiveSessions,
 		SessionsOpened: snap.SessionsOpened,
 		AvgLatency:     time.Duration(snap.AvgLatencyNanos()),
+		Panics:         snap.Panics,
+		WorkerRestarts: snap.WorkerRestarts,
+		Quarantined:    snap.Quarantined,
+		SinkDropped:    snap.SinkDropped,
+		SinkPanics:     snap.SinkPanics,
 	}
 	rt.mu.RLock()
 	for _, q := range rt.queues {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"adprom/internal/core"
 	"adprom/internal/dataset"
 	"adprom/internal/detect"
+	"adprom/internal/faultinject"
 	"adprom/internal/hmm"
 	"adprom/internal/profile"
 )
@@ -182,15 +184,14 @@ func TestStreamScorerMatchesBatchOnCAApps(t *testing.T) {
 func TestRuntimeDropNewestShedsLoad(t *testing.T) {
 	p, traces := trainAppH(t)
 	gate := make(chan struct{})
-	var once sync.Once
 	rt := New(p,
 		WithWorkers(1), WithQueueDepth(1), WithDropPolicy(DropNewest),
-		WithThreshold(0), // every completed window alerts
-		WithAlertFunc(func(string, detect.Alert) { once.Do(func() { <-gate }) }),
+		// Wedge the worker so the depth-1 queue must overflow. (A slow alert
+		// sink no longer stalls workers — delivery is async — so the stall
+		// is injected on the worker path itself.)
+		WithWorkerHook(faultinject.WorkerGate(gate)),
 	)
 	s := rt.Session("flood")
-	// Feed until the sink blocks the worker, then keep going until the
-	// bounded queue sheds a call.
 	dropped := false
 	var sent int
 	for pass := 0; pass < 100 && !dropped; pass++ {
@@ -215,6 +216,129 @@ func TestRuntimeDropNewestShedsLoad(t *testing.T) {
 	}
 	if st.Calls+st.Dropped < uint64(sent) {
 		t.Fatalf("calls %d + dropped %d < sent %d", st.Calls, st.Dropped, sent)
+	}
+}
+
+// TestObserveTraceReportsShedding covers the DropNewest truncation contract:
+// a truncated replay returns the flushed history together with an error
+// wrapping ErrDropped, so callers can tell it apart from a complete one.
+func TestObserveTraceReportsShedding(t *testing.T) {
+	p, traces := trainAppH(t)
+	gate := make(chan struct{})
+	rt := New(p,
+		WithWorkers(1), WithQueueDepth(1), WithDropPolicy(DropNewest),
+		WithWorkerHook(faultinject.WorkerGate(gate)),
+	)
+	s := rt.Session("truncated")
+	// The worker is gated, so at most one call is consumed and at most one
+	// sits in the queue: a full trace must shed.
+	errc := make(chan error, 1)
+	histc := make(chan []detect.Alert, 1)
+	go func() {
+		h, err := s.ObserveTrace(traces[0])
+		histc <- h
+		errc <- err
+	}()
+	// ObserveTrace's flush is a control op: it blocks until the gate opens.
+	close(gate)
+	err := <-errc
+	<-histc
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("truncated replay: err = %v, want ErrDropped wrapper", err)
+	}
+	if rt.Stats().Dropped == 0 {
+		t.Fatal("no drops counted for a truncated replay")
+	}
+	// (Complete replays under the Block policy report a nil error; that path
+	// is covered by TestSessionLifecycle.)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeCloseDrainsLateRegistrations locks in the Close/Session race
+// fix: sessions registered while Close snapshots are either drained or
+// refused, so the ActiveSessions gauge always returns to zero.
+func TestRuntimeCloseDrainsLateRegistrations(t *testing.T) {
+	p, traces := trainAppH(t)
+	for round := 0; round < 8; round++ {
+		rt := New(p, WithWorkers(2), WithQueueDepth(16))
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s := rt.Session(fmt.Sprintf("r%d-g%d-s%d", round, g, i))
+					if err := s.Observe(traces[0][0]); errors.Is(err, ErrClosed) {
+						return
+					}
+				}
+			}(g)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		if st := rt.Stats(); st.ActiveSessions != 0 {
+			t.Fatalf("round %d: ActiveSessions = %d after Close (gauge leak); stats %v",
+				round, st.ActiveSessions, st)
+		}
+		// A registration attempted after Close must be born closed.
+		if err := rt.Session("late").Observe(traces[0][0]); !errors.Is(err, ErrClosed) {
+			t.Fatalf("late session observe: %v", err)
+		}
+	}
+}
+
+func TestDropPolicyString(t *testing.T) {
+	cases := []struct {
+		p    DropPolicy
+		want string
+	}{
+		{Block, "block"},
+		{DropNewest, "drop-newest"},
+		{DropPolicy(7), "DropPolicy(7)"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("DropPolicy(%d).String() = %q, want %q", int(c.p), got, c.want)
+		}
+	}
+}
+
+func TestStatsStringAndAlertTotal(t *testing.T) {
+	st := Stats{
+		Calls:   100,
+		Dropped: 3,
+		Workers: 4,
+	}
+	st.Alerts[int(detect.FlagAnomalous)] = 2
+	st.Alerts[int(detect.FlagDL)] = 5
+	st.Alerts[int(detect.FlagOutOfContext)] = 1
+	if got := st.AlertTotal(); got != 8 {
+		t.Fatalf("AlertTotal = %d, want 8", got)
+	}
+	out := st.String()
+	for _, want := range []string{
+		"calls=100", "dropped=3", "alerts=8",
+		"anomalous=2", "dl=5", "ooc=1",
+		"panics=0", "restarts=0", "quarantined=0", "sink[dropped=0 panics=0]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() = %q: missing %q", out, want)
+		}
+	}
+	var zero Stats
+	if zero.AlertTotal() != 0 {
+		t.Errorf("zero Stats.AlertTotal() = %d", zero.AlertTotal())
 	}
 }
 
