@@ -1,9 +1,10 @@
-# Tier-1 verification plus the static and race checks added with the
-# concurrent runtime. `make verify` is the pre-merge gate.
+# Tier-1 verification plus the static, race, and fuzz checks added with the
+# concurrent runtime and the profile codec. `make verify` is the pre-merge
+# gate.
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench serve-demo
+.PHONY: all build test vet race fuzz verify bench serve-demo
 
 all: verify
 
@@ -19,12 +20,23 @@ vet:
 # The runtime package is the concurrency-critical surface; -race across the
 # whole module also covers the facade's Runtime tests.
 race:
-	$(GO) test -race ./internal/runtime/... .
+	$(GO) test -race ./internal/runtime/... ./internal/lifecycle/... .
 
-verify: build test vet race
+# A short coverage-guided smoke over the profile codec: enough to catch
+# parser regressions on every verify without the cost of a long campaign.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime 5s ./internal/profile
 
+verify: build test vet race fuzz
+
+# bench writes the human-readable log to BENCH_runtime.txt and a
+# machine-readable report (name, ns/op, allocs/op, throughput metrics) to
+# BENCH_runtime.json; CI archives both as artifacts.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkRuntimeThroughput -benchtime 3x .
+	$(GO) test -run '^$$' -bench BenchmarkRuntimeThroughput -benchmem -benchtime 3x . > BENCH_runtime.txt
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x ./internal/hmm >> BENCH_runtime.txt
+	cat BENCH_runtime.txt
+	$(GO) run ./cmd/benchjson -o BENCH_runtime.json < BENCH_runtime.txt
 
 serve-demo:
 	$(GO) run ./cmd/adprom serve -app apph -streams 64 -workers 4

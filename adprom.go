@@ -36,6 +36,7 @@ package adprom
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"adprom/internal/attack"
@@ -46,6 +47,8 @@ import (
 	"adprom/internal/hmm"
 	"adprom/internal/interp"
 	"adprom/internal/ir"
+	"adprom/internal/lifecycle"
+	"adprom/internal/metrics"
 	"adprom/internal/minidb"
 	"adprom/internal/profile"
 	"adprom/internal/qsig"
@@ -115,6 +118,41 @@ type (
 	// JudgeHook observes (or vetoes) every completed window judgement; a
 	// non-nil error quarantines the session. See WithJudgeHook.
 	JudgeHook = runtime.JudgeHook
+)
+
+// Profile lifecycle: drift detection, background retraining, and zero-
+// downtime hot-swap (Runtime.SwapProfile).
+type (
+	// Lifecycle watches the live judgement stream for concept drift, retrains
+	// in the background from judged-Normal traces, and hot-swaps the new
+	// profile generation into its Runtime; see NewLifecycle.
+	Lifecycle = lifecycle.Manager
+	// LifecycleConfig tunes a Lifecycle.
+	LifecycleConfig = lifecycle.Config
+	// DriftConfig tunes the lifecycle's drift detector.
+	DriftConfig = lifecycle.DriftConfig
+	// DriftState is a snapshot of the drift detector.
+	DriftState = lifecycle.DriftState
+	// LifecycleStats is a snapshot of the lifecycle counters.
+	LifecycleStats = metrics.LifecycleSnapshot
+	// RetrainOptions tunes the lifecycle's background retraining pass.
+	RetrainOptions = profile.RetrainOptions
+	// ProfileRegistry is the versioned on-disk store of profile generations;
+	// see OpenProfileRegistry.
+	ProfileRegistry = lifecycle.Registry
+	// RegistryEntry describes one persisted profile generation.
+	RegistryEntry = lifecycle.Entry
+)
+
+// Profile serialisation errors (Profile.Save / LoadProfile); match with
+// errors.Is.
+var (
+	// ErrCorruptProfile reports a truncated, bit-flipped, or structurally
+	// unusable profile stream.
+	ErrCorruptProfile = profile.ErrCorrupt
+	// ErrIncompatibleProfile reports a profile written by a newer format
+	// version than this build understands.
+	ErrIncompatibleProfile = profile.ErrIncompatible
 )
 
 // Runtime drop policies.
@@ -314,6 +352,45 @@ func WithSinkTimeout(d time.Duration) RuntimeOption { return runtime.WithSinkTim
 // affecting other sessions. The hook runs on worker goroutines and must be
 // safe for concurrent use.
 func WithJudgeHook(fn JudgeHook) RuntimeOption { return runtime.WithJudgeHook(fn) }
+
+// NewLifecycle builds a profile-lifecycle manager; wire it into a runtime
+// with WithLifecycle, then Start it:
+//
+//	mgr := adprom.NewLifecycle(adprom.LifecycleConfig{})
+//	rt := adprom.NewRuntime(prof, adprom.WithLifecycle(mgr))
+//	mgr.Start()
+//	defer mgr.Stop()
+//
+// Feed judged-Normal traces to mgr.RecordTrace; when the drift watcher
+// confirms the served profile has gone stale, the manager retrains in the
+// background and hot-swaps the next generation in with zero downtime.
+func NewLifecycle(cfg LifecycleConfig) *Lifecycle { return lifecycle.NewManager(cfg) }
+
+// WithLifecycle binds a lifecycle manager to the runtime under construction:
+// the manager's drift watcher taps every completed window judgement, and a
+// confirmed drift verdict leads to a background retrain and a
+// Runtime.SwapProfile. One manager manages one runtime.
+func WithLifecycle(m *Lifecycle) RuntimeOption {
+	if m == nil {
+		return nil
+	}
+	return runtime.Options(
+		runtime.WithJudgeObserver(m.Observe),
+		runtime.WithAttach(m.Bind),
+	)
+}
+
+// OpenProfileRegistry opens (creating if needed) the versioned profile store
+// rooted at dir: one file per published generation plus a manifest, all
+// written atomically.
+func OpenProfileRegistry(dir string) (*ProfileRegistry, error) {
+	return lifecycle.OpenRegistry(dir)
+}
+
+// LoadProfile reads a profile saved with Profile.Save, accepting both the
+// current versioned format and legacy headerless streams. Corrupt input
+// fails with ErrCorruptProfile, a newer format with ErrIncompatibleProfile.
+func LoadProfile(r io.Reader) (*Profile, error) { return profile.Load(r) }
 
 // NewCollector returns a calls collector for the given mode; attach it with
 // Interp.AddHook(c.Hook()).

@@ -1,6 +1,7 @@
 package adprom
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -244,6 +245,119 @@ func TestFacadeFlagJSON(t *testing.T) {
 	var f Flag
 	if err := json.Unmarshal(b, &f); err != nil || f != FlagDL {
 		t.Fatalf("round trip: %v %v", f, err)
+	}
+}
+
+// TestFacadeNilMonitorOption pins the compatibility contract: a nil
+// MonitorOption is explicitly ignored, so the legacy NewMonitor(p, nil)
+// spelling configures nothing and behaves exactly like NewMonitor(p) — and
+// nils interleaved with real options are skipped without disturbing them.
+func TestFacadeNilMonitorOption(t *testing.T) {
+	app := HospitalApp()
+	traces, err := app.CollectTraces(ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Train(app.Prog, traces, TrainOptions{Train: HMMOptions{MaxIters: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := NewMonitor(prof)
+	legacy := NewMonitor(prof, nil)
+	if legacy.Engine().Threshold() != plain.Engine().Threshold() ||
+		legacy.Engine().WindowLen() != plain.Engine().WindowLen() {
+		t.Fatalf("nil option changed configuration: threshold %v/%v window %d/%d",
+			legacy.Engine().Threshold(), plain.Engine().Threshold(),
+			legacy.Engine().WindowLen(), plain.Engine().WindowLen())
+	}
+	want := plain.ObserveTrace(traces[0])
+	got := legacy.ObserveTrace(traces[0])
+	if len(got) != len(want) {
+		t.Fatalf("nil option changed behaviour: %d alerts vs %d", len(got), len(want))
+	}
+
+	mixed := NewMonitor(prof, nil, WithThreshold(0), nil, WithWindowSize(5), nil)
+	if mixed.Engine().Threshold() != 0 || mixed.Engine().WindowLen() != 5 {
+		t.Fatalf("nils disturbed real options: threshold=%v window=%d",
+			mixed.Engine().Threshold(), mixed.Engine().WindowLen())
+	}
+}
+
+// TestFacadeLifecycleSurface drives the lifecycle additions through the
+// public API: profile save/load with typed errors, manual SwapProfile with
+// generation accounting, the registry, and a runtime wired to a lifecycle
+// manager via WithLifecycle.
+func TestFacadeLifecycleSurface(t *testing.T) {
+	app := HospitalApp()
+	traces, err := app.CollectTraces(ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Train(app.Prog, traces, TrainOptions{Train: HMMOptions{MaxIters: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Save / LoadProfile round trip, and the typed corruption error.
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+	clone, err := LoadProfile(bytes.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := append([]byte(nil), saved...)
+	mangled[len(mangled)/2] ^= 0x40
+	if _, err := LoadProfile(bytes.NewReader(mangled)); !errors.Is(err, ErrCorruptProfile) {
+		t.Fatalf("mangled profile: %v, want ErrCorruptProfile", err)
+	}
+
+	// A lifecycle-wired runtime: judgements reach the drift watcher, and a
+	// manual SwapProfile publishes generation 2 with zero downtime.
+	mgr := NewLifecycle(LifecycleConfig{})
+	rt := NewRuntime(prof, WithWorkers(1), WithLifecycle(mgr), WithLifecycle(nil))
+	defer rt.Close()
+	mgr.Start()
+	defer mgr.Stop()
+
+	s := rt.Session("app")
+	for _, tr := range traces {
+		if _, err := s.ObserveTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mgr.Stats().DriftSamples; got == 0 {
+		t.Error("no judgements reached the drift watcher through WithLifecycle")
+	}
+	gen, err := rt.SwapProfile(clone)
+	if err != nil || gen != 2 {
+		t.Fatalf("SwapProfile = %d, %v, want 2, nil", gen, err)
+	}
+	if _, err := s.ObserveTrace(traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.Generation != 2 || st.Swaps != 1 {
+		t.Fatalf("swap not visible in stats: %v", st)
+	}
+
+	// The registry persists generations and reloads them intact.
+	reg, err := OpenProfileRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := reg.Add(clone, gen, "operator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := reg.LoadEntry(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Program != prof.Program || reloaded.Threshold != prof.Threshold {
+		t.Fatal("registry round trip diverged")
 	}
 }
 

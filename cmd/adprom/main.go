@@ -7,10 +7,18 @@
 //	adprom analyze    -app <name>
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
-//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos]
+//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>]
+//	adprom profile    inspect <file>...
 //	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
 //
 // App names: apph, appb, apps (CA-dataset), app1..app4 (SIR-style).
+//
+// With -profile-dir, serve loads its starting profile from the newest
+// .adprof file in the directory (when one exists) and keeps watching it for
+// the whole replay: each new or rewritten profile file is hot-swapped into
+// the running detection runtime with zero downtime, so a lifecycle manager
+// or an operator publishing generations into the directory retunes a live
+// server without restarting it.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"adprom/internal/faultinject"
 	"adprom/internal/hmm"
 	"adprom/internal/interp"
+	"adprom/internal/lifecycle"
 	"adprom/internal/profile"
 	"adprom/internal/runtime"
 )
@@ -52,6 +61,8 @@ func main() {
 		err = cmdDetect(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "-h", "--help", "help":
@@ -71,10 +82,13 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
-  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>]
+  adprom profile    inspect <file>...
   adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
 
-apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)`)
+apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)
+serve -profile-dir: load the newest .adprof in <dir> at startup and hot-swap
+every profile published there while the replay runs`)
 }
 
 func lookupApp(name string) (*dataset.App, error) {
@@ -276,6 +290,8 @@ func cmdServe(args []string) error {
 	drop := fs.String("drop", "block", "full-queue policy: block (backpressure) or newest (shed)")
 	repeat := fs.Int("repeat", 8, "replay passes per stream")
 	chaos := fs.Bool("chaos", false, "inject sink, engine, and worker faults during the replay")
+	profileDir := fs.String("profile-dir", "", "load the newest .adprof here and hot-swap profiles published while serving")
+	watchEvery := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -profile-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -297,7 +313,8 @@ func cmdServe(args []string) error {
 	}
 
 	var p *profile.Profile
-	if *profPath != "" {
+	switch {
+	case *profPath != "":
 		f, err := os.Open(*profPath)
 		if err != nil {
 			return err
@@ -306,7 +323,21 @@ func cmdServe(args []string) error {
 		if p, err = profile.Load(f); err != nil {
 			return err
 		}
-	} else {
+	case *profileDir != "":
+		path, loaded, err := lifecycle.LatestProfile(*profileDir)
+		switch {
+		case err == nil:
+			p = loaded
+			fmt.Printf("serving generation from %s\n", path)
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no profile in %s yet; training a starting profile...\n", *profileDir)
+			if p, err = trainApp(app); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+	default:
 		fmt.Println("training profile (pass -profile to reuse one)...")
 		if p, err = trainApp(app); err != nil {
 			return err
@@ -349,6 +380,32 @@ func cmdServe(args []string) error {
 	}
 
 	rt := runtime.New(p, opts...)
+	var watchWG sync.WaitGroup
+	stopWatch := func() {}
+	if *profileDir != "" {
+		var watchCtx context.Context
+		watchCtx, stopWatch = context.WithCancel(context.Background())
+		defer stopWatch()
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			_ = lifecycle.WatchDir(watchCtx, *profileDir, *watchEvery,
+				func(path string, next *profile.Profile, err error) {
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "profile-dir: skipping %s: %v\n", path, err)
+						return
+					}
+					gen, err := rt.SwapProfile(next)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "profile-dir: swap of %s refused: %v\n", path, err)
+						return
+					}
+					fmt.Printf("profile-dir: %s live as generation %d (threshold %.4f)\n",
+						path, gen, next.Threshold)
+				})
+		}()
+		fmt.Printf("watching %s every %v for new profile generations\n", *profileDir, *watchEvery)
+	}
 	fmt.Printf("serving %s: %d streams x %d passes over %d traces\n",
 		app.Name, *streams, *repeat, len(traces))
 	start := time.Now()
@@ -379,6 +436,8 @@ func cmdServe(args []string) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	stopWatch()
+	watchWG.Wait()
 	closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := rt.CloseContext(closeCtx); err != nil {
@@ -396,6 +455,38 @@ func cmdServe(args []string) error {
 		if healthy <= 0 {
 			return fmt.Errorf("chaos replay: no healthy streams survived")
 		}
+	}
+	return nil
+}
+
+// cmdProfile groups profile-file utilities. `inspect` prints each saved
+// profile's codec header (format version, payload size, CRC-32) and model
+// summary, verifying integrity on the way — corrupt or newer-format files
+// fail with the codec's typed errors instead of decoding garbage.
+func cmdProfile(args []string) error {
+	if len(args) < 2 || args[0] != "inspect" {
+		return errors.New("usage: adprom profile inspect <file>...")
+	}
+	for _, path := range args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		info, _, err := profile.Inspect(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		format := fmt.Sprintf("v%d", info.FormatVersion)
+		if info.FormatVersion == 0 {
+			format = "v0 (legacy headerless)"
+		}
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  format   %s, %d payload bytes, crc32 %s\n", format, info.PayloadBytes, info.Checksum)
+		fmt.Printf("  program  %s\n", info.Program)
+		fmt.Printf("  model    %d states, %d symbols, reduced=%v, %d training iterations\n",
+			info.States, info.Symbols, info.Reduced, info.TrainedIters)
+		fmt.Printf("  detect   window %d, threshold %.4f\n", info.WindowLen, info.Threshold)
 	}
 	return nil
 }

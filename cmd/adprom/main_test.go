@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adprom/internal/profile"
+)
 
 func TestLookupApp(t *testing.T) {
 	for _, name := range []string{"apph", "appb", "apps", "app1", "app2", "app3", "app4"} {
@@ -29,6 +36,68 @@ func TestCmdExperimentRejectsUnknown(t *testing.T) {
 	}
 	if err := cmdExperiment(nil); err == nil {
 		t.Fatal("missing experiment id accepted")
+	}
+}
+
+// trainTestProfile trains apph once and saves it under dir, returning the
+// file path.
+func trainTestProfile(t *testing.T, dir string) string {
+	t.Helper()
+	app, err := lookupApp("apph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := trainApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "gen-000001.adprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdProfileInspect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a profile")
+	}
+	path := trainTestProfile(t, t.TempDir())
+	if err := cmdProfile([]string{"inspect", path}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := cmdProfile([]string{"inspect"}); err == nil {
+		t.Fatal("inspect without files accepted")
+	}
+	if err := cmdProfile(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.adprof")
+	if err := os.WriteFile(bad, []byte("ADPROFgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProfile([]string{"inspect", bad}); !errors.Is(err, profile.ErrCorrupt) {
+		t.Fatalf("inspect on garbage: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCmdServeProfileDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a profile and replays streams")
+	}
+	dir := t.TempDir()
+	trainTestProfile(t, dir)
+	err := cmdServe([]string{
+		"-app", "apph", "-profile-dir", dir,
+		"-streams", "2", "-repeat", "1", "-workers", "1",
+	})
+	if err != nil {
+		t.Fatalf("serve -profile-dir: %v", err)
 	}
 }
 

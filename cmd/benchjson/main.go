@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report, so CI can archive machine-readable performance numbers
+// next to the human-readable log.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . > bench.txt
+//	benchjson -o BENCH_runtime.json < bench.txt
+//
+// Standard measurements (ns/op, B/op, allocs/op) become typed fields; any
+// custom b.ReportMetric units (calls/s, ...) are kept in a metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file benchjson writes. Input may concatenate several
+// packages' bench output; each result carries the pkg it came from.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			r.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBench decodes one result line: a name, an iteration count, then
+// value/unit pairs.
+//
+//	BenchmarkRuntimeThroughput-4  3  41243292 ns/op  1201 B/op  5 allocs/op  291883 calls/s
+func parseBench(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("want name and iterations")
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	r := Result{Name: strings.TrimPrefix(fields[0], "Benchmark"), Iterations: iters}
+	pairs := fields[2:]
+	if len(pairs)%2 != 0 {
+		return Result{}, fmt.Errorf("odd value/unit tail")
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		v, err := strconv.ParseFloat(pairs[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("value %q: %w", pairs[i], err)
+		}
+		switch unit := pairs[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: adprom
+cpu: Intel(R) Xeon(R)
+BenchmarkRuntimeThroughput-4   	       3	  41243292 ns/op	    1201 B/op	       5 allocs/op	    291883 calls/s	     12.50 x_vs_batch_monitor
+PASS
+ok  	adprom	2.573s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "RuntimeThroughput-4" || b.Pkg != "adprom" || b.Iterations != 3 {
+		t.Fatalf("identity: %+v", b)
+	}
+	if b.NsPerOp != 41243292 || b.BytesPerOp != 1201 || b.AllocsPerOp != 5 {
+		t.Fatalf("standard units: %+v", b)
+	}
+	if b.Metrics["calls/s"] != 291883 || b.Metrics["x_vs_batch_monitor"] != 12.5 {
+		t.Fatalf("custom metrics: %+v", b.Metrics)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",               // no iterations
+		"BenchmarkX abc",           // bad iterations
+		"BenchmarkX 3 10",          // value without unit
+		"BenchmarkX 3 ten ns/op",   // bad value
+	} {
+		if _, err := parseBench(line); err == nil {
+			t.Errorf("parseBench(%q) accepted", line)
+		}
+	}
+}

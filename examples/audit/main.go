@@ -66,7 +66,7 @@ func main() {
 	blk.Stmts[0] = lc
 
 	evilQ, evilTrace := runWithQueries(evil, "1", "105")
-	hmmsAlerts := adprom.NewMonitor(prof, nil).ObserveTrace(evilTrace)
+	hmmsAlerts := adprom.NewMonitor(prof).ObserveTrace(evilTrace)
 	fmt.Printf("HMM alerts on the swapped query: %d (trace is label-identical: %v)\n",
 		len(hmmsAlerts), len(normalTrace) == len(evilTrace))
 	for _, v := range auditor.Check(evilQ) {
@@ -81,7 +81,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	alerts := adprom.NewMonitor(prof, nil).ObserveTrace(injTrace)
+	alerts := adprom.NewMonitor(prof).ObserveTrace(injTrace)
 	for _, a := range alerts {
 		if a.Flag == adprom.FlagDL && len(a.Window) == prof.WindowLen {
 			ex, err := detect.Explain(prof, a.Window)

@@ -44,7 +44,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		quiet += len(adprom.NewMonitor(prof, nil).ObserveTrace(tr))
+		quiet += len(adprom.NewMonitor(prof).ObserveTrace(tr))
 	}
 	fmt.Printf("20 normal operations: %d alerts\n", quiet)
 
@@ -66,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, a := range adprom.NewMonitor(prof, nil).ObserveTrace(tr) {
+	for _, a := range adprom.NewMonitor(prof).ObserveTrace(tr) {
 		fmt.Printf("  ALERT %-12s", a.Flag)
 		if a.Score != 0 {
 			fmt.Printf(" score %.3f < %.3f", a.Score, a.Threshold)

@@ -35,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("clean statement run: %d calls, %d alerts\n",
-		len(clean), len(adprom.NewMonitor(prof, nil).ObserveTrace(clean)))
+		len(clean), len(adprom.NewMonitor(prof).ObserveTrace(clean)))
 
 	// The wire turns hostile: every "WHERE client_id =" becomes ">=".
 	mitm := attack.AppBMITM()
@@ -46,7 +46,7 @@ func main() {
 	}
 	fmt.Printf("\nMITM-rewritten run: %d calls (result set inflated in transit)\n", len(hostile))
 
-	alerts := adprom.NewMonitor(prof, nil).ObserveTrace(hostile)
+	alerts := adprom.NewMonitor(prof).ObserveTrace(hostile)
 	fmt.Printf("alerts: %d\n", len(alerts))
 	for i, a := range alerts {
 		if i >= 3 {

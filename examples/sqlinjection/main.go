@@ -38,7 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("legitimate lookup (id=105): %d calls, %d alerts\n",
-		len(normal), len(adprom.NewMonitor(prof, nil).ObserveTrace(normal)))
+		len(normal), len(adprom.NewMonitor(prof).ObserveTrace(normal)))
 
 	// The attack needs no code or binary access — just a crafted input.
 	payload := adprom.TautologyPayload
@@ -50,7 +50,7 @@ func main() {
 	}
 	fmt.Printf("injected lookup: %d calls (the loop now visits every client row)\n", len(injected))
 
-	alerts := adprom.NewMonitor(prof, nil).ObserveTrace(injected)
+	alerts := adprom.NewMonitor(prof).ObserveTrace(injected)
 	dl := 0
 	for _, a := range alerts {
 		if a.Flag == adprom.FlagDL {

@@ -189,6 +189,21 @@ func (e *Engine) Reset() {
 // judgement; pass nil to remove it. See JudgeFunc for the error semantics.
 func (e *Engine) SetJudgeHook(h JudgeFunc) { e.judgeHook = h }
 
+// Adopt carries prev's alert history and sequence counter into e, so that a
+// stream owner replacing its engine at a trace boundary (the runtime's
+// profile hot-swap upgrades sessions to the new generation when their window
+// resets) presents one continuous history across the replacement. Window
+// state is deliberately not carried — Adopt is only correct at a boundary
+// where the window is empty — and neither are the adaptive-threshold
+// whitelist or the judge hook, which the new owner reconfigures.
+func (e *Engine) Adopt(prev *Engine) {
+	if prev == nil {
+		return
+	}
+	e.seq = prev.seq
+	e.alerts = prev.alerts
+}
+
 // Err reports the first error returned by the engine's judge hook, nil while
 // healthy. Once non-nil the engine still scores windows, but stream owners
 // should treat the engine as failed.

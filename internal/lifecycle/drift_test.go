@@ -1,0 +1,102 @@
+package lifecycle
+
+import (
+	"sync"
+	"testing"
+)
+
+// feedN folds n identical judgements and returns whether any confirmed drift.
+func feedN(d *Detector, n int, score float64, flagged bool) bool {
+	confirmed := false
+	for i := 0; i < n; i++ {
+		if _, c := d.Observe(score, flagged); c {
+			confirmed = true
+		}
+	}
+	return confirmed
+}
+
+func TestDetectorStationaryStreamNeverDrifts(t *testing.T) {
+	d := NewDetector(DriftConfig{SampleEvery: 1, Window: 16, Warmup: 16, PHDelta: 0.05, PHLambda: 2, RateMargin: 0.2})
+	if feedN(d, 500, -1.5, false) {
+		t.Fatal("stationary stream confirmed drift")
+	}
+	st := d.State()
+	if !st.Warm || st.Drifted {
+		t.Fatalf("state after stationary stream: %+v", st)
+	}
+	if st.BaselineMean != -1.5 || st.WindowMean != -1.5 {
+		t.Fatalf("means: baseline %v window %v, want -1.5", st.BaselineMean, st.WindowMean)
+	}
+}
+
+func TestDetectorScoreMeanDecreaseDrifts(t *testing.T) {
+	d := NewDetector(DriftConfig{SampleEvery: 1, Window: 16, Warmup: 16, PHDelta: 0.05, PHLambda: 2, RateMargin: 0.9})
+	feedN(d, 16, -1.5, false) // warm-up
+	// A 0.5-nat mean drop accumulates (0.5-0.05)/sample: crosses λ=2 in ~5.
+	if !feedN(d, 10, -2.0, false) {
+		t.Fatalf("mean decrease not confirmed: %+v", d.State())
+	}
+	if st := d.State(); st.Cause != "score-mean" {
+		t.Fatalf("cause = %q, want score-mean", st.Cause)
+	}
+	// Latched: no second confirmation without Reset.
+	if feedN(d, 50, -5, true) {
+		t.Fatal("latched detector confirmed twice")
+	}
+	d.Reset()
+	if st := d.State(); st.Drifted || st.Warm || st.Samples != 0 {
+		t.Fatalf("state after Reset: %+v", st)
+	}
+	feedN(d, 16, -2.0, false) // re-warms on the new regime
+	if feedN(d, 100, -2.0, false) {
+		t.Fatal("re-warmed detector drifted on its own baseline")
+	}
+}
+
+func TestDetectorAnomalyRateIncreaseDrifts(t *testing.T) {
+	d := NewDetector(DriftConfig{SampleEvery: 1, Window: 10, Warmup: 10, PHDelta: 10, PHLambda: 1e9, RateMargin: 0.3})
+	feedN(d, 10, -1.5, false) // warm-up: baseline rate 0
+	// Scores stay put (PH disabled by the huge λ) but every window flags.
+	if !feedN(d, 10, -1.5, true) {
+		t.Fatalf("rate increase not confirmed: %+v", d.State())
+	}
+	if st := d.State(); st.Cause != "anomaly-rate" {
+		t.Fatalf("cause = %q, want anomaly-rate", st.Cause)
+	}
+}
+
+func TestDetectorSamplingGate(t *testing.T) {
+	d := NewDetector(DriftConfig{SampleEvery: 4, Window: 8, Warmup: 8})
+	sampledCount := 0
+	for i := 0; i < 100; i++ {
+		if sampled, _ := d.Observe(-1, false); sampled {
+			sampledCount++
+		}
+	}
+	if sampledCount != 25 {
+		t.Fatalf("gate sampled %d of 100 judgements, want 25", sampledCount)
+	}
+	if st := d.State(); st.Samples != 25 {
+		t.Fatalf("detector folded %d samples, want 25", st.Samples)
+	}
+}
+
+func TestDetectorConcurrentObserve(t *testing.T) {
+	d := NewDetector(DriftConfig{SampleEvery: 2, Window: 64, Warmup: 64})
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Observe(-1.5, i%7 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := d.State(); st.Samples != workers*per/2 {
+		t.Fatalf("folded %d samples, want %d", st.Samples, workers*per/2)
+	}
+}

@@ -1,0 +1,181 @@
+package lifecycle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"adprom/internal/profile"
+)
+
+// manifestName is the registry's index file inside its directory.
+const manifestName = "manifest.json"
+
+// ProfileSuffix is the file extension registry profile files (and the files
+// WatchDir reacts to) carry.
+const ProfileSuffix = ".adprof"
+
+// Entry describes one published profile generation.
+type Entry struct {
+	// Generation is the runtime generation number the profile was (or is to
+	// be) served as.
+	Generation uint64 `json:"generation"`
+	// CreatedAt is when the entry was registered (UTC).
+	CreatedAt time.Time `json:"created_at"`
+	// Source records provenance: "initial", "drift-retrain", "operator", ...
+	Source string `json:"source"`
+	// Checksum is the hex CRC-32 recorded in the saved file's header (gob
+	// encodings are not canonical, so it fingerprints the file, not the
+	// logical profile); LoadEntry re-verifies it.
+	Checksum string `json:"checksum"`
+	// File is the profile file's name inside the registry directory.
+	File string `json:"file"`
+	// Program is the monitored program the profile models.
+	Program string `json:"program"`
+}
+
+// Registry is a versioned on-disk store of profile generations: one
+// ProfileSuffix file per generation plus a manifest.json index. All writes
+// are atomic (temp file + rename), so a crash mid-publish never leaves a
+// half-written profile or manifest behind. Safe for concurrent use within
+// one process; it does not arbitrate between processes.
+type Registry struct {
+	dir string
+
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// OpenRegistry opens (creating if needed) the registry rooted at dir and
+// loads its manifest.
+func OpenRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lifecycle: opening registry: %w", err)
+	}
+	r := &Registry{dir: dir}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case os.IsNotExist(err):
+		return r, nil
+	case err != nil:
+		return nil, fmt.Errorf("lifecycle: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &r.entries); err != nil {
+		return nil, fmt.Errorf("lifecycle: parsing manifest: %w", err)
+	}
+	sort.Slice(r.entries, func(i, j int) bool {
+		return r.entries[i].Generation < r.entries[j].Generation
+	})
+	return r, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Entries returns a copy of the manifest, generation-ascending.
+func (r *Registry) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Entry(nil), r.entries...)
+}
+
+// Latest returns the highest-generation entry, if any.
+func (r *Registry) Latest() (Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == 0 {
+		return Entry{}, false
+	}
+	return r.entries[len(r.entries)-1], true
+}
+
+// Add persists p as generation gen: the profile is encoded once, its header
+// checksum becomes the entry's fingerprint, and the file and manifest are
+// each written atomically.
+func (r *Registry) Add(p *profile.Profile, gen uint64, source string) (Entry, error) {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return Entry{}, fmt.Errorf("lifecycle: encoding generation %d: %w", gen, err)
+	}
+	info, _, err := profile.Inspect(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return Entry{}, fmt.Errorf("lifecycle: fingerprinting generation %d: %w", gen, err)
+	}
+	sum := info.Checksum
+	name := fmt.Sprintf("gen-%06d%s", gen, ProfileSuffix)
+	if err := r.writeAtomic(name, func(f *os.File) error {
+		_, werr := f.Write(buf.Bytes())
+		return werr
+	}); err != nil {
+		return Entry{}, err
+	}
+	e := Entry{
+		Generation: gen,
+		CreatedAt:  time.Now().UTC(),
+		Source:     source,
+		Checksum:   sum,
+		File:       name,
+		Program:    p.Program,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, e)
+	sort.Slice(r.entries, func(i, j int) bool {
+		return r.entries[i].Generation < r.entries[j].Generation
+	})
+	data, err := json.MarshalIndent(r.entries, "", "  ")
+	if err != nil {
+		return Entry{}, fmt.Errorf("lifecycle: encoding manifest: %w", err)
+	}
+	if err := r.writeAtomic(manifestName, func(f *os.File) error {
+		_, werr := f.Write(data)
+		return werr
+	}); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// LoadEntry loads an entry's profile file and verifies its checksum against
+// the manifest; a mismatch surfaces as profile.ErrCorrupt.
+func (r *Registry) LoadEntry(e Entry) (*profile.Profile, error) {
+	f, err := os.Open(filepath.Join(r.dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: opening generation %d: %w", e.Generation, err)
+	}
+	defer f.Close()
+	info, p, err := profile.Inspect(f)
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: loading generation %d: %w", e.Generation, err)
+	}
+	if info.Checksum != e.Checksum {
+		return nil, fmt.Errorf("lifecycle: generation %d: manifest checksum %s, file records %s: %w",
+			e.Generation, e.Checksum, info.Checksum, profile.ErrCorrupt)
+	}
+	return p, nil
+}
+
+// writeAtomic writes a file in the registry directory via temp + rename.
+func (r *Registry) writeAtomic(name string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(r.dir, "."+name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("lifecycle: creating temp for %s: %w", name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("lifecycle: writing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("lifecycle: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(r.dir, name)); err != nil {
+		return fmt.Errorf("lifecycle: publishing %s: %w", name, err)
+	}
+	return nil
+}

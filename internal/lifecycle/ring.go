@@ -1,0 +1,65 @@
+package lifecycle
+
+import (
+	"sync"
+
+	"adprom/internal/collector"
+)
+
+// TraceRing is a bounded ring of judged-Normal traces — the supervised
+// retraining corpus. The administrator (or an automated policy that only
+// records traces whose replay raised no alerts) feeds it through Add; when
+// full, the oldest trace is evicted, so the corpus always reflects the most
+// recent legitimate behaviour. Safe for concurrent use.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []collector.Trace
+	next  int
+	count int
+}
+
+// NewTraceRing builds a ring holding at most capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]collector.Trace, capacity)}
+}
+
+// Add records one trace, evicting the oldest when full; reports whether an
+// eviction happened. The trace is stored by reference — callers must not
+// mutate it afterwards.
+func (r *TraceRing) Add(tr collector.Trace) (evicted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evicted = r.count == len(r.buf)
+	r.buf[r.next] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	if !evicted {
+		r.count++
+	}
+	return evicted
+}
+
+// Len reports the number of traces currently held.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Snapshot copies the held traces, oldest first. The trace values are shared
+// with the ring (treat them as read-only); the slice is the caller's.
+func (r *TraceRing) Snapshot() []collector.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]collector.Trace, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"adprom/internal/profile"
+)
+
+// LatestProfile loads the most recently modified profile file (ProfileSuffix,
+// not dot-prefixed) in dir, returning its path. os.ErrNotExist is returned
+// when the directory holds no profile file.
+func LatestProfile(dir string) (string, *profile.Profile, error) {
+	names, err := scanProfiles(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(names) == 0 {
+		return "", nil, fmt.Errorf("lifecycle: no %s file in %s: %w", ProfileSuffix, dir, os.ErrNotExist)
+	}
+	path := names[len(names)-1].path
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	p, err := profile.Load(f)
+	if err != nil {
+		return path, nil, err
+	}
+	return path, p, nil
+}
+
+// WatchFunc receives each profile file WatchDir noticed: either the loaded
+// profile, or the load error (exactly one of p and err is non-nil).
+type WatchFunc func(path string, p *profile.Profile, err error)
+
+// WatchDir polls dir every interval for new or modified profile files
+// (ProfileSuffix, not dot-prefixed — registry temp files are skipped) and
+// hands each one to fn in modification order. Files already present when
+// WatchDir starts are treated as seen and not reported — load the starting
+// profile with LatestProfile. Runs until ctx is done; returns ctx.Err().
+func WatchDir(ctx context.Context, dir string, interval time.Duration, fn WatchFunc) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	seen := map[string]fileStamp{}
+	if names, err := scanProfiles(dir); err == nil {
+		for _, c := range names {
+			seen[c.path] = c.stamp
+		}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		names, err := scanProfiles(dir)
+		if err != nil {
+			continue // transient: directory may be mid-recreation
+		}
+		for _, c := range names {
+			if prev, ok := seen[c.path]; ok && prev == c.stamp {
+				continue
+			}
+			seen[c.path] = c.stamp
+			f, err := os.Open(c.path)
+			if err != nil {
+				fn(c.path, nil, err)
+				continue
+			}
+			p, err := profile.Load(f)
+			f.Close()
+			if err != nil {
+				fn(c.path, nil, err)
+				continue
+			}
+			fn(c.path, p, nil)
+		}
+	}
+}
+
+type fileStamp struct {
+	mod  time.Time
+	size int64
+}
+
+type candidate struct {
+	path  string
+	stamp fileStamp
+}
+
+// scanProfiles lists dir's profile files sorted by modification time
+// (oldest first; ties broken by name for determinism).
+func scanProfiles(dir string) ([]candidate, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []candidate
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || name[0] == '.' || filepath.Ext(name) != ProfileSuffix {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, candidate{
+			path:  filepath.Join(dir, name),
+			stamp: fileStamp{mod: info.ModTime(), size: info.Size()},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].stamp.mod.Equal(out[j].stamp.mod) {
+			return out[i].stamp.mod.Before(out[j].stamp.mod)
+		}
+		return out[i].path < out[j].path
+	})
+	return out, nil
+}

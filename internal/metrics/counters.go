@@ -24,6 +24,10 @@ type Counters struct {
 	quarantined    atomic.Uint64
 	sinkDropped    atomic.Uint64
 	sinkPanics     atomic.Uint64
+
+	// Hot-swap counters (profile lifecycle).
+	swaps          atomic.Uint64
+	enginesRetired atomic.Uint64
 }
 
 // AddCall records one observed call and its processing latency in
@@ -66,6 +70,13 @@ func (c *Counters) AddSinkDropped(n uint64) { c.sinkDropped.Add(n) }
 // AddSinkPanic records one panic recovered from the user's alert sink.
 func (c *Counters) AddSinkPanic() { c.sinkPanics.Add(1) }
 
+// AddSwap records one profile hot-swap published to the runtime.
+func (c *Counters) AddSwap() { c.swaps.Add(1) }
+
+// AddEngineRetired records one detection engine discarded because it was
+// built over a superseded profile generation (instead of being recycled).
+func (c *Counters) AddEngineRetired() { c.enginesRetired.Add(1) }
+
 // CountersSnapshot is a point-in-time copy of a Counters.
 type CountersSnapshot struct {
 	// Calls is the number of calls processed by detection workers.
@@ -89,6 +100,10 @@ type CountersSnapshot struct {
 	// SinkPanics counts panics recovered from the user's alert sink.
 	SinkDropped uint64
 	SinkPanics  uint64
+	// Swaps counts profile hot-swaps; EnginesRetired counts pooled or
+	// per-session engines discarded for being a generation behind.
+	Swaps          uint64
+	EnginesRetired uint64
 }
 
 // AlertTotal sums the per-flag alert counts.
@@ -124,6 +139,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		Quarantined:    c.quarantined.Load(),
 		SinkDropped:    c.sinkDropped.Load(),
 		SinkPanics:     c.sinkPanics.Load(),
+		Swaps:          c.swaps.Load(),
+		EnginesRetired: c.enginesRetired.Load(),
 	}
 	for i := range s.Alerts {
 		s.Alerts[i] = c.alerts[i].Load()

@@ -1,0 +1,75 @@
+package metrics
+
+import "sync/atomic"
+
+// Lifecycle is a lock-free set of profile-lifecycle counters: drift
+// estimation, background retraining, and hot-swap bookkeeping. Shared by the
+// lifecycle manager's drift observer (called from detection workers) and its
+// retrain goroutine; the zero value is ready.
+type Lifecycle struct {
+	driftSamples atomic.Uint64
+	driftSignals atomic.Uint64
+
+	retrainsStarted   atomic.Uint64
+	retrainsSucceeded atomic.Uint64
+	retrainsFailed    atomic.Uint64
+
+	swaps atomic.Uint64
+
+	tracesRecorded atomic.Uint64
+	tracesEvicted  atomic.Uint64
+}
+
+// AddDriftSample records one judgement folded into the drift estimator
+// (post-sampling: judgements the sampler skips are not counted).
+func (l *Lifecycle) AddDriftSample() { l.driftSamples.Add(1) }
+
+// AddDriftSignal records one confirmed drift verdict (the estimator crossing
+// its change-test boundary, not every sample while it stays crossed).
+func (l *Lifecycle) AddDriftSignal() { l.driftSignals.Add(1) }
+
+// AddRetrainStarted / AddRetrainSucceeded / AddRetrainFailed track background
+// retraining runs.
+func (l *Lifecycle) AddRetrainStarted()   { l.retrainsStarted.Add(1) }
+func (l *Lifecycle) AddRetrainSucceeded() { l.retrainsSucceeded.Add(1) }
+func (l *Lifecycle) AddRetrainFailed()    { l.retrainsFailed.Add(1) }
+
+// AddSwap records one profile generation hot-swapped into the runtime.
+func (l *Lifecycle) AddSwap() { l.swaps.Add(1) }
+
+// AddTraceRecorded / AddTraceEvicted track the bounded ring of judged-Normal
+// retraining traces.
+func (l *Lifecycle) AddTraceRecorded() { l.tracesRecorded.Add(1) }
+func (l *Lifecycle) AddTraceEvicted()  { l.tracesEvicted.Add(1) }
+
+// LifecycleSnapshot is a point-in-time copy of a Lifecycle.
+type LifecycleSnapshot struct {
+	// DriftSamples counts judgements folded into the drift estimator;
+	// DriftSignals counts confirmed drift verdicts.
+	DriftSamples uint64
+	DriftSignals uint64
+	// Retraining outcomes: Started = Succeeded + Failed + in flight.
+	RetrainsStarted   uint64
+	RetrainsSucceeded uint64
+	RetrainsFailed    uint64
+	// Swaps counts profile generations published to the runtime.
+	Swaps uint64
+	// TracesRecorded / TracesEvicted describe the retraining ring's churn.
+	TracesRecorded uint64
+	TracesEvicted  uint64
+}
+
+// Snapshot reads the counters; each field is read atomically, the whole is
+// not a single cut (fine for monitoring).
+func (l *Lifecycle) Snapshot() LifecycleSnapshot {
+	return LifecycleSnapshot{
+		DriftSamples:      l.driftSamples.Load(),
+		DriftSignals:      l.driftSignals.Load(),
+		RetrainsStarted:   l.retrainsStarted.Load(),
+		RetrainsSucceeded: l.retrainsSucceeded.Load(),
+		RetrainsFailed:    l.retrainsFailed.Load(),
+		Swaps:             l.swaps.Load(),
+		TracesRecorded:    l.tracesRecorded.Load(),
+		TracesEvicted:     l.tracesEvicted.Load(),
+	}
+}

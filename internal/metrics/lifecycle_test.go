@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLifecycleSnapshot(t *testing.T) {
+	var l Lifecycle
+	for i := 0; i < 5; i++ {
+		l.AddDriftSample()
+	}
+	l.AddDriftSignal()
+	l.AddRetrainStarted()
+	l.AddRetrainSucceeded()
+	l.AddRetrainStarted()
+	l.AddRetrainFailed()
+	l.AddSwap()
+	l.AddTraceRecorded()
+	l.AddTraceRecorded()
+	l.AddTraceEvicted()
+
+	s := l.Snapshot()
+	want := LifecycleSnapshot{
+		DriftSamples: 5, DriftSignals: 1,
+		RetrainsStarted: 2, RetrainsSucceeded: 1, RetrainsFailed: 1,
+		Swaps: 1, TracesRecorded: 2, TracesEvicted: 1,
+	}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestLifecycleConcurrent(t *testing.T) {
+	var l Lifecycle
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.AddDriftSample()
+				l.AddTraceRecorded()
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.DriftSamples != workers*perWorker || s.TracesRecorded != workers*perWorker {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestCountersSwapFields(t *testing.T) {
+	var c Counters
+	c.AddSwap()
+	c.AddSwap()
+	c.AddEngineRetired()
+	s := c.Snapshot()
+	if s.Swaps != 2 || s.EnginesRetired != 1 {
+		t.Fatalf("swap counters = %d/%d, want 2/1", s.Swaps, s.EnginesRetired)
+	}
+}

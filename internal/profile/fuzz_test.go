@@ -1,0 +1,65 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"testing"
+
+	"adprom/internal/hmm"
+)
+
+// FuzzLoad drives the profile loader with truncated, corrupt, and bit-flipped
+// input. The invariant under fuzzing: Load never panics and never returns a
+// profile the detection engine cannot use (nil model, mismatched alphabet) —
+// every malformed stream must fail with an error instead. `make verify` runs
+// a short smoke pass; longer runs explore the gob surface.
+func FuzzLoad(f *testing.F) {
+	p := &Profile{
+		Program:     "fuzz",
+		Symbols:     []string{"a", "b", UnknownLabel},
+		WindowLen:   3,
+		Threshold:   -1,
+		CallerIndex: map[string][]string{"a": {"main"}},
+		LeakLabels:  map[string]bool{"b": true},
+	}
+	p.Model = hmm.New(2, len(p.Symbols))
+
+	var v1 bytes.Buffer
+	if err := p.Save(&v1); err != nil {
+		f.Fatal(err)
+	}
+	var v0 bytes.Buffer
+	if err := gob.NewEncoder(&v0).Encode(p); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(v1.Bytes())
+	f.Add(v0.Bytes())
+	f.Add(v1.Bytes()[:headerLen])
+	f.Add(v1.Bytes()[:headerLen/2])
+	f.Add([]byte{})
+	f.Add([]byte("ADPROF"))
+	f.Add([]byte("not a profile at all"))
+	// A header declaring far more payload than follows.
+	hdr := append([]byte(nil), v1.Bytes()[:headerLen]...)
+	binary.BigEndian.PutUint64(hdr[8:16], 1<<20)
+	f.Add(hdr)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful load must yield a profile detection can hold: encode a
+		// label, score a window, and touch the caller index without panicking.
+		if q.Model == nil || len(q.Symbols) == 0 || q.WindowLen <= 0 {
+			t.Fatalf("Load returned unusable profile: %+v", q)
+		}
+		if got := q.SymbolOf("no-such-label-ever"); got < 0 || got >= len(q.Symbols) {
+			t.Fatalf("SymbolOf out of range: %d", got)
+		}
+		q.KnownCaller("a", "main")
+		q.Score([]string{"a", "b"})
+	})
+}

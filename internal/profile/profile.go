@@ -11,10 +11,8 @@ package profile
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -472,19 +470,4 @@ func subsample(windows [][]string, max int) [][]string {
 		out = append(out, windows[i])
 	}
 	return out
-}
-
-// Save gob-encodes the profile.
-func (p *Profile) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(p)
-}
-
-// Load decodes a profile written by Save.
-func Load(r io.Reader) (*Profile, error) {
-	var p Profile
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("profile: decoding: %w", err)
-	}
-	p.buildSymIndex()
-	return &p, nil
 }

@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"context"
+	"fmt"
+
+	"adprom/internal/collector"
+	"adprom/internal/hmm"
+)
+
+// RetrainOptions tune Retrain. The zero value applies Build's defaults.
+type RetrainOptions struct {
+	// Train configures the warm-started Baum–Welch pass; Holdout is filled
+	// from the CSDS split of the retraining corpus.
+	Train hmm.TrainOptions
+	// HoldoutFrac is the CSDS fraction kept aside to stop training
+	// (default 0.2).
+	HoldoutFrac float64
+	// ThresholdSlack is subtracted from the lowest corpus score to place the
+	// refreshed threshold (default 0.05 nats, as in Build).
+	ThresholdSlack float64
+	// MaxTrainWindows caps the training windows (0 = no cap), subsampling
+	// deterministically like Build.
+	MaxTrainWindows int
+}
+
+// Retrain builds the next generation of a profile from recent judged-Normal
+// traces: the model is a warm-started copy of base.Model (base's CTM
+// initialisation and earlier training survive as the MAP prior, see
+// hmm.Model.Retrain), the caller index and leak labels absorb any new
+// call sites the corpus exercises, and the detection threshold is re-selected
+// from the corpus so post-drift normal behaviour stops flagging. The alphabet
+// is frozen: labels unseen at initial training time keep mapping to the
+// reserved unknown symbol, whose emission probabilities the retrain raises in
+// the states where drifted traffic visits it.
+//
+// base is never mutated — it may be serving live detection while this runs.
+func Retrain(ctx context.Context, base *Profile, traces []collector.Trace, opts RetrainOptions) (*Profile, error) {
+	if opts.HoldoutFrac <= 0 || opts.HoldoutFrac >= 1 {
+		opts.HoldoutFrac = 0.2
+	}
+	if opts.ThresholdSlack <= 0 {
+		opts.ThresholdSlack = 0.05
+	}
+
+	var windows [][]string
+	for _, tr := range traces {
+		windows = append(windows, tr.LabelWindows(base.WindowLen)...)
+	}
+	if len(windows) == 0 {
+		return nil, ErrNoTraces
+	}
+	rawWindows := windows
+	windows = dedupWindows(windows)
+	threshWindows := windows
+	if opts.MaxTrainWindows > 0 && len(threshWindows) > 3*opts.MaxTrainWindows {
+		threshWindows = subsample(threshWindows, 3*opts.MaxTrainWindows)
+	}
+	if opts.MaxTrainWindows > 0 && len(windows) > opts.MaxTrainWindows {
+		windows = subsample(windows, opts.MaxTrainWindows)
+	}
+
+	next := &Profile{
+		Program:      base.Program,
+		Symbols:      base.Symbols, // frozen alphabet, shared (immutable)
+		WindowLen:    base.WindowLen,
+		CallerIndex:  make(map[string][]string, len(base.CallerIndex)),
+		LeakLabels:   make(map[string]bool, len(base.LeakLabels)),
+		StatesBefore: base.StatesBefore,
+		StatesAfter:  base.StatesAfter,
+		Reduced:      base.Reduced,
+	}
+	for label, callers := range base.CallerIndex {
+		next.CallerIndex[label] = append([]string(nil), callers...)
+	}
+	for label := range base.LeakLabels {
+		next.LeakLabels[label] = true
+	}
+	next.buildSymIndex()
+
+	// Recent legitimate behaviour extends the caller expectations: a known
+	// call migrating to a new (administrator-approved) caller must stop
+	// raising OutOfContext after the swap.
+	for _, tr := range traces {
+		for _, c := range tr {
+			next.addCaller(c.Label, c.Caller)
+			if len(c.Origins) > 0 {
+				next.LeakLabels[c.Label] = true
+			}
+		}
+	}
+	next.sortCallerIndex()
+
+	train := make([][]int, 0, len(windows))
+	for _, w := range windows {
+		train = append(train, next.Encode(w))
+	}
+	stride := int(1 / opts.HoldoutFrac)
+	tOpts := opts.Train
+	for i := stride - 1; i < len(rawWindows) && len(tOpts.Holdout) < 200; i += stride {
+		tOpts.Holdout = append(tOpts.Holdout, next.Encode(rawWindows[i]))
+	}
+
+	model, res, err := base.Model.Retrain(ctx, train, tOpts)
+	if err != nil {
+		return nil, fmt.Errorf("profile: retraining %s: %w", base.Program, err)
+	}
+	next.Model = model
+	next.TrainResult = res
+
+	minScore := 0.0
+	first := true
+	for i, w := range threshWindows {
+		if i%512 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("profile: retrain threshold scan for %s cancelled: %w", base.Program, err)
+			}
+		}
+		if s := next.Score(w); first || s < minScore {
+			minScore, first = s, false
+		}
+	}
+	next.Threshold = minScore - opts.ThresholdSlack
+	return next, nil
+}

@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"context"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/dataset"
+	"adprom/internal/hmm"
+)
+
+// driftTraces injects a systematic behavioural shift into every trace: a new
+// telemetry call (unknown to the original alphabet) every stride calls — the
+// benign-drift scenario where an application update changes its library-call
+// mix without any attack.
+func driftTraces(traces []collector.Trace, stride int) []collector.Trace {
+	out := make([]collector.Trace, len(traces))
+	for i, tr := range traces {
+		var mutated collector.Trace
+		for j, c := range tr {
+			mutated = append(mutated, c)
+			if j%stride == stride-1 {
+				mutated = append(mutated, collector.Call{
+					Label: "sd_journal_send", Name: "sd_journal_send", Caller: c.Caller,
+				})
+			}
+		}
+		out[i] = mutated
+	}
+	return out
+}
+
+// countFlagged counts sliding windows scoring below the profile threshold.
+func countFlagged(p *Profile, traces []collector.Trace) (flagged, total int) {
+	for _, tr := range traces {
+		for _, w := range tr.LabelWindows(p.WindowLen) {
+			total++
+			if p.Score(w) < p.Threshold {
+				flagged++
+			}
+		}
+	}
+	return flagged, total
+}
+
+// TestRetrainRestoresFalsePositiveRate reproduces the concept-drift failure
+// mode end to end at the profile layer: drifted-but-benign traces flood the
+// stale profile with false positives; a warm-started retrain on those traces
+// eliminates them, while the original profile object stays untouched.
+func TestRetrainRestoresFalsePositiveRate(t *testing.T) {
+	app := dataset.AppH()
+	base, traces := buildFor(t, app, Options{Train: hmm.TrainOptions{MaxIters: 6}})
+	drifted := driftTraces(traces, 5)
+
+	staleFP, total := countFlagged(base, drifted)
+	if staleFP == 0 {
+		t.Fatalf("drift injection raised no false positives over %d windows; test premise broken", total)
+	}
+
+	prevThreshold := base.Threshold
+	next, err := Retrain(context.Background(), base, drifted, RetrainOptions{
+		Train: hmm.TrainOptions{MaxIters: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Threshold != prevThreshold {
+		t.Fatal("Retrain mutated the base profile's threshold")
+	}
+	if next == base || next.Model == base.Model {
+		t.Fatal("Retrain returned the base profile or shared its model")
+	}
+
+	freshFP, _ := countFlagged(next, drifted)
+	if freshFP != 0 {
+		t.Errorf("retrained profile still flags %d/%d drifted-normal windows (stale: %d)",
+			freshFP, total, staleFP)
+	}
+
+	// The refreshed caller index must accept the drifted call's callers: no
+	// OutOfContext storm after the swap. The label itself is outside the
+	// frozen alphabet, so it must stay un-"known" (probability handles it).
+	if next.KnownLabel("sd_journal_send") {
+		t.Error("frozen alphabet grew a new label")
+	}
+	if got, want := len(next.Symbols), len(base.Symbols); got != want {
+		t.Errorf("alphabet size changed: %d != %d", got, want)
+	}
+}
+
+// TestRetrainStillDetectsAttacks: adapting to benign drift must not blind the
+// detector — a foreign-call burst (A-S2 style) still scores far below the
+// refreshed threshold.
+func TestRetrainStillDetectsAttacks(t *testing.T) {
+	app := dataset.AppH()
+	base, traces := buildFor(t, app, Options{Train: hmm.TrainOptions{MaxIters: 6}})
+	drifted := driftTraces(traces, 5)
+	next, err := Retrain(context.Background(), base, drifted, RetrainOptions{
+		Train: hmm.TrainOptions{MaxIters: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sample []string
+	for _, tr := range drifted {
+		for _, w := range tr.LabelWindows(next.WindowLen) {
+			if len(w) == next.WindowLen {
+				sample = append([]string(nil), w...)
+				break
+			}
+		}
+		if sample != nil {
+			break
+		}
+	}
+	if sample == nil {
+		t.Fatal("no full window in drifted corpus")
+	}
+	foreign := append([]string(nil), sample...)
+	for i := len(foreign) - 6; i < len(foreign); i++ {
+		foreign[i] = "curl_easy_perform"
+	}
+	if s := next.Score(foreign); s >= next.Threshold {
+		t.Errorf("foreign burst scored %v, above refreshed threshold %v", s, next.Threshold)
+	}
+}
+
+func TestRetrainRejectsEmptyCorpus(t *testing.T) {
+	app := dataset.AppH()
+	base, _ := buildFor(t, app, Options{Train: hmm.TrainOptions{MaxIters: 2}})
+	if _, err := Retrain(context.Background(), base, nil, RetrainOptions{}); err == nil {
+		t.Fatal("Retrain accepted an empty corpus")
+	}
+}

@@ -1,7 +1,7 @@
 // Package runtime multiplexes many concurrent per-session library-call
-// streams onto a pool of detection workers sharing one immutable Profile —
-// the serving layer that turns the paper's one-program Detection Engine into
-// a system that can monitor heavy traffic from many clients at once.
+// streams onto a pool of detection workers sharing one Profile — the serving
+// layer that turns the paper's one-program Detection Engine into a system
+// that can monitor heavy traffic from many clients at once.
 //
 // # Model
 //
@@ -44,9 +44,29 @@
 //     stalls detection workers. Sink failures appear in Stats.SinkPanics and
 //     shed deliveries in Stats.SinkDropped.
 //
+// # Profile generations and hot-swap
+//
+// The serving profile is versioned: the runtime starts at generation 1 and
+// SwapProfile atomically publishes a retrained profile as generation N+1
+// with zero downtime. The swap protocol keeps detection correct without any
+// locking on the hot path:
+//
+//   - Each session's engine is tagged with the generation it was built over.
+//     In-flight windows always finish scoring against that generation — an
+//     engine is never rebound mid-stream.
+//   - Sessions upgrade at trace boundaries only: when a Flush (or
+//     ObserveTrace completing) resets the sliding window and a newer
+//     generation exists, the worker retires the session's engine, builds one
+//     over the new profile, and carries the alert history and sequence
+//     counter over (detect.Engine.Adopt). Every window therefore scores
+//     entirely on exactly one generation.
+//   - Pooled engines are invalidated by generation: a recycled engine whose
+//     generation is stale is discarded (counted in Stats.EnginesRetired)
+//     instead of being reused against the wrong model.
+//
 // Atomic counters (calls, drops, alerts by flag, queue depth, per-call
-// latency, panics, restarts, quarantines, sink losses) are kept in a
-// metrics.Counters and exposed as a Stats snapshot.
+// latency, panics, restarts, quarantines, sink losses, swaps, retired
+// engines) are kept in a metrics.Counters and exposed as a Stats snapshot.
 package runtime
 
 import (
@@ -56,6 +76,7 @@ import (
 	"hash/maphash"
 	stdruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adprom/internal/collector"
@@ -123,6 +144,15 @@ type AlertFunc func(session string, a detect.Alert)
 // circuit-breaker policies.
 type JudgeHook func(session string, seq int, score float64, flagged bool) error
 
+// JudgeObserver passively observes every completed-window judgement. Unlike
+// JudgeHook it cannot veto: it has no error return, so it can never
+// quarantine a session by policy (a panic inside it still counts as an
+// engine panic and quarantines the session whose judgement it was observing).
+// It runs on worker goroutines before the JudgeHook, must be cheap, and must
+// be safe for concurrent use — the profile-lifecycle drift estimator is the
+// intended consumer.
+type JudgeObserver func(session string, seq int, score float64, flagged bool)
+
 // WorkerHook runs on the worker goroutine before each op, *outside* the
 // per-op panic recovery: a panic here kills the worker itself, exercising
 // supervised restart. It exists for fault injection and latency injection in
@@ -137,13 +167,28 @@ type config struct {
 	sinkBuffer  int
 	sinkTimeout time.Duration
 	judgeHook   JudgeHook
+	observer    JudgeObserver
 	workerHook  WorkerHook
 	threshold   *float64
 	windowLen   int
+	attach      []func(*Runtime)
 }
 
 // Option configures a Runtime.
 type Option func(*config)
+
+// Options bundles several options into one, applying them in order (nils are
+// skipped) — the composition seam for facade options that expand to more
+// than one runtime option.
+func Options(opts ...Option) Option {
+	return func(c *config) {
+		for _, o := range opts {
+			if o != nil {
+				o(c)
+			}
+		}
+	}
+}
 
 // WithWorkers sets the number of detection workers (default GOMAXPROCS).
 func WithWorkers(n int) Option {
@@ -203,6 +248,24 @@ func WithJudgeHook(fn JudgeHook) Option {
 	return func(c *config) { c.judgeHook = fn }
 }
 
+// WithJudgeObserver installs fn as a passive tap on every session's
+// completed-window judgements; see JudgeObserver. It composes with (and runs
+// before) any WithJudgeHook.
+func WithJudgeObserver(fn JudgeObserver) Option {
+	return func(c *config) { c.observer = fn }
+}
+
+// WithAttach registers fn to run against the fully constructed Runtime just
+// before New returns — the seam components like the lifecycle manager use to
+// bind themselves to the runtime they are configured into.
+func WithAttach(fn func(*Runtime)) Option {
+	return func(c *config) {
+		if fn != nil {
+			c.attach = append(c.attach, fn)
+		}
+	}
+}
+
 // WithWorkerHook installs fn on the worker loop; see WorkerHook. Test-only.
 func WithWorkerHook(fn WorkerHook) Option {
 	return func(c *config) { c.workerHook = fn }
@@ -223,10 +286,28 @@ func WithWindowLen(n int) Option {
 	}
 }
 
+// generation is one immutable (profile, version) pair. The runtime's current
+// generation is published through an atomic pointer; workers read it without
+// locking and never mutate it.
+type generation struct {
+	p   *profile.Profile
+	gen uint64
+}
+
+// pooledEngine tags a recycled detect.Engine with the generation it was built
+// over, so the pool never hands an engine bound to a superseded profile to a
+// new session.
+type pooledEngine struct {
+	gen uint64
+	e   *detect.Engine
+}
+
 // Runtime is a concurrent multi-stream detection service over one shared
 // profile. Create with New, feed with Session(...).Observe, stop with Close.
+// SwapProfile replaces the serving profile atomically; see the package doc's
+// hot-swap section for the generation protocol.
 type Runtime struct {
-	p    *profile.Profile
+	cur  atomic.Pointer[generation]
 	cfg  config
 	seed maphash.Seed
 
@@ -252,7 +333,7 @@ type Runtime struct {
 	handoff chan alertMsg
 	sinkWG  sync.WaitGroup
 
-	pool sync.Pool // *detect.Engine, all built over p
+	pool sync.Pool // *pooledEngine, each tagged with its generation
 	ctr  metrics.Counters
 }
 
@@ -302,14 +383,28 @@ type Session struct {
 	closed  bool
 	failure error // ErrSessionFailed wrapping the quarantine cause
 
-	// engine and dead are owned by the worker goroutine: engine is created on
-	// first op, dead is set once the close op has been processed.
+	// engine, gen, and dead are owned by the worker goroutine: engine is
+	// created on first op (over the then-current generation, recorded in gen),
+	// dead is set once the close op has been processed.
 	engine *detect.Engine
+	gen    uint64
 	dead   bool
+
+	// lastGen mirrors gen for readers outside the worker: it is stored by the
+	// worker before each op is scored, so after a synchronous Flush returns,
+	// Generation reports the generation that scored the flushed trace.
+	lastGen atomic.Uint64
 }
 
-// New builds a runtime over a trained profile. The profile is treated as
-// immutable from this point on: do not retrain it while the runtime serves.
+// Generation reports the profile generation that scored the session's most
+// recently processed op (0 before any call reached the worker). Because
+// sessions only change generation at trace boundaries, the value read after a
+// Flush returns names the single generation that scored the whole trace.
+func (s *Session) Generation() uint64 { return s.lastGen.Load() }
+
+// New builds a runtime over a trained profile. The profile becomes generation
+// 1 and is treated as immutable from this point on: publish retrained models
+// through SwapProfile, never by mutating a served profile in place.
 func New(p *profile.Profile, opts ...Option) *Runtime {
 	cfg := config{
 		workers:     stdruntime.GOMAXPROCS(0),
@@ -323,14 +418,17 @@ func New(p *profile.Profile, opts ...Option) *Runtime {
 		}
 	}
 	rt := &Runtime{
-		p:        p,
 		cfg:      cfg,
 		seed:     maphash.MakeSeed(),
 		queues:   make([]chan op, cfg.workers),
 		sessions: make(map[string]*Session),
 		stopped:  make(chan struct{}),
 	}
-	rt.pool.New = func() any { return detect.NewEngine(p) }
+	rt.cur.Store(&generation{p: p, gen: 1})
+	rt.pool.New = func() any {
+		g := rt.cur.Load()
+		return &pooledEngine{gen: g.gen, e: detect.NewEngine(g.p)}
+	}
 	// Force the shared scorer into existence before any worker races to use
 	// it (Profile.Scorer is once-guarded anyway; this keeps first-call
 	// latency out of the serving path).
@@ -347,7 +445,49 @@ func New(p *profile.Profile, opts ...Option) *Runtime {
 		rt.wg.Add(1)
 		go rt.supervise(i)
 	}
+	for _, fn := range cfg.attach {
+		fn(rt)
+	}
 	return rt
+}
+
+// Profile returns the profile currently serving (the newest generation).
+// Sessions mid-trace may still be scoring against an older one.
+func (rt *Runtime) Profile() *profile.Profile { return rt.cur.Load().p }
+
+// Generation returns the current profile generation number, starting at 1 and
+// incremented by every successful SwapProfile.
+func (rt *Runtime) Generation() uint64 { return rt.cur.Load().gen }
+
+// SwapProfile atomically publishes next as the new serving profile and
+// returns its generation number. The swap is zero-downtime: no ingest is
+// paused, in-flight windows finish scoring against the generation they
+// started on, and each session upgrades (keeping its alert history) at its
+// next trace boundary. The next profile must be trained and must use the
+// same window length discipline as its predecessor's consumers expect; a nil
+// profile or one without a model is rejected. Safe for concurrent use with
+// ingest and with other SwapProfile calls.
+func (rt *Runtime) SwapProfile(next *profile.Profile) (uint64, error) {
+	if next == nil || next.Model == nil {
+		return 0, errors.New("runtime: SwapProfile: profile is nil or untrained")
+	}
+	rt.mu.RLock()
+	closed := rt.closed
+	rt.mu.RUnlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	// Materialise the read-only scoring view before publication so the first
+	// session to upgrade does not pay for it on the serving path.
+	next.Scorer()
+	for {
+		old := rt.cur.Load()
+		g := &generation{p: next, gen: old.gen + 1}
+		if rt.cur.CompareAndSwap(old, g) {
+			rt.ctr.AddSwap()
+			return g.gen, nil
+		}
+	}
 }
 
 // Session returns the session registered under id, creating it if needed.
@@ -695,22 +835,9 @@ func (rt *Runtime) process(o *op) {
 		return
 	}
 	if s.engine == nil {
-		e := rt.pool.Get().(*detect.Engine)
-		e.Reset()
-		if rt.cfg.threshold != nil {
-			e.SetThreshold(*rt.cfg.threshold)
-		}
-		if rt.cfg.windowLen > 0 {
-			e.SetWindowLen(rt.cfg.windowLen)
-		}
-		if rt.cfg.judgeHook != nil {
-			id, hook := s.id, rt.cfg.judgeHook
-			e.SetJudgeHook(func(seq int, score float64, flagged bool) error {
-				return hook(id, seq, score, flagged)
-			})
-		}
-		s.engine = e
+		rt.installEngine(s)
 	}
+	s.lastGen.Store(s.gen)
 	switch o.kind {
 	case opObserve:
 		start := time.Now()
@@ -734,13 +861,61 @@ func (rt *Runtime) process(o *op) {
 			return
 		}
 		if o.kind == opClose {
-			eng := s.engine
+			eng, gen := s.engine, s.gen
 			s.engine = nil
 			s.dead = true
-			rt.pool.Put(eng)
+			if rt.cur.Load().gen == gen {
+				rt.pool.Put(&pooledEngine{gen: gen, e: eng})
+			} else {
+				rt.ctr.AddEngineRetired()
+			}
+		} else if rt.cur.Load().gen != s.gen {
+			// Trace boundary (window just reset) with a newer generation
+			// published: upgrade the session now, carrying its cumulative
+			// alert history and sequence counter into the new engine so the
+			// next trace scores on the new profile with continuous history.
+			old := s.engine
+			rt.installEngine(s)
+			s.engine.Adopt(old)
+			rt.ctr.AddEngineRetired()
 		}
 		o.reply(reply{alerts: out})
 	}
+}
+
+// installEngine equips s with an engine over the current generation: a pooled
+// engine of that generation if one is available (stale pooled engines are
+// discarded and counted), a freshly built one otherwise. Runs on the
+// session's worker goroutine.
+func (rt *Runtime) installEngine(s *Session) {
+	g := rt.cur.Load()
+	pe := rt.pool.Get().(*pooledEngine)
+	if pe.gen != g.gen {
+		rt.ctr.AddEngineRetired()
+		pe = &pooledEngine{gen: g.gen, e: detect.NewEngine(g.p)}
+	}
+	e := pe.e
+	e.Reset()
+	if rt.cfg.threshold != nil {
+		e.SetThreshold(*rt.cfg.threshold)
+	}
+	if rt.cfg.windowLen > 0 {
+		e.SetWindowLen(rt.cfg.windowLen)
+	}
+	if rt.cfg.judgeHook != nil || rt.cfg.observer != nil {
+		id, hook, obs := s.id, rt.cfg.judgeHook, rt.cfg.observer
+		e.SetJudgeHook(func(seq int, score float64, flagged bool) error {
+			if obs != nil {
+				obs(id, seq, score, flagged)
+			}
+			if hook != nil {
+				return hook(id, seq, score, flagged)
+			}
+			return nil
+		})
+	}
+	s.engine = e
+	s.gen = pe.gen
 }
 
 // deliver counts alerts and hands them to the async sink pipeline without
@@ -898,6 +1073,12 @@ type Stats struct {
 	// recovered from the user's alert sink.
 	SinkDropped uint64
 	SinkPanics  uint64
+	// Generation is the current profile generation (1 until the first swap);
+	// Swaps counts SwapProfile publications; EnginesRetired counts engines
+	// discarded for being a generation behind instead of recycled.
+	Generation     uint64
+	Swaps          uint64
+	EnginesRetired uint64
 }
 
 // AlertTotal sums the per-flag alert counts.
@@ -911,11 +1092,12 @@ func (s Stats) AlertTotal() uint64 {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d]",
+		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d",
 		s.Calls, s.Dropped, s.AlertTotal(),
 		s.Alerts[int(detect.FlagAnomalous)], s.Alerts[int(detect.FlagDL)], s.Alerts[int(detect.FlagOutOfContext)],
 		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap, s.AvgLatency,
-		s.Panics, s.WorkerRestarts, s.Quarantined, s.SinkDropped, s.SinkPanics)
+		s.Panics, s.WorkerRestarts, s.Quarantined, s.SinkDropped, s.SinkPanics,
+		s.Generation, s.Swaps, s.EnginesRetired)
 }
 
 // Stats snapshots the runtime's counters and gauges.
@@ -935,6 +1117,9 @@ func (rt *Runtime) Stats() Stats {
 		Quarantined:    snap.Quarantined,
 		SinkDropped:    snap.SinkDropped,
 		SinkPanics:     snap.SinkPanics,
+		Generation:     rt.cur.Load().gen,
+		Swaps:          snap.Swaps,
+		EnginesRetired: snap.EnginesRetired,
 	}
 	rt.mu.RLock()
 	for _, q := range rt.queues {
