@@ -11,8 +11,11 @@ all: verify
 build:
 	$(GO) build ./...
 
+# internal/experiments alone runs ~9 minutes of full-scale replays; the
+# explicit timeout keeps the per-package default from tripping when the
+# package set runs in parallel on a loaded machine.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
@@ -30,10 +33,10 @@ fuzz:
 verify: build test vet race fuzz
 
 # bench writes the human-readable log to BENCH_runtime.txt and a
-# machine-readable report (name, ns/op, allocs/op, throughput metrics) to
-# BENCH_runtime.json; CI archives both as artifacts.
+# machine-readable report (name, ns/op, allocs/op, throughput and latency-
+# percentile metrics) to BENCH_runtime.json; CI archives both as artifacts.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkRuntimeThroughput -benchmem -benchtime 3x . > BENCH_runtime.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRuntimeThroughput|BenchmarkInstrumentationOverhead' -benchmem -benchtime 3x . > BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x ./internal/hmm >> BENCH_runtime.txt
 	cat BENCH_runtime.txt
 	$(GO) run ./cmd/benchjson -o BENCH_runtime.json < BENCH_runtime.txt

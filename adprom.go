@@ -37,6 +37,8 @@ package adprom
 import (
 	"context"
 	"io"
+	"log/slog"
+	"net/http"
 	"time"
 
 	"adprom/internal/attack"
@@ -50,6 +52,7 @@ import (
 	"adprom/internal/lifecycle"
 	"adprom/internal/metrics"
 	"adprom/internal/minidb"
+	"adprom/internal/obsv"
 	"adprom/internal/profile"
 	"adprom/internal/qsig"
 	"adprom/internal/runtime"
@@ -118,6 +121,22 @@ type (
 	// JudgeHook observes (or vetoes) every completed window judgement; a
 	// non-nil error quarantines the session. See WithJudgeHook.
 	JudgeHook = runtime.JudgeHook
+)
+
+// Observability: decision provenance, latency histograms, and the live
+// introspection endpoint (see NewIntrospectionHandler).
+type (
+	// Decision is the provenance record of one window judgement: session,
+	// window offset, score vs threshold, verdict, profile generation, and —
+	// for alerts — the triggering call's label and caller. Retrieve recent
+	// ones with Runtime.Decisions; tune retention with WithDecisionLog.
+	Decision = obsv.Decision
+	// RuntimeHistograms bundles the runtime's latency histograms (per-call
+	// scoring, flush/close, sink delivery); see Runtime.Histograms.
+	RuntimeHistograms = runtime.Histograms
+	// LatencyHistogram is one power-of-two-bucket latency histogram snapshot
+	// with Mean and Quantile estimators.
+	LatencyHistogram = metrics.HistogramSnapshot
 )
 
 // Profile lifecycle: drift detection, background retraining, and zero-
@@ -352,6 +371,47 @@ func WithSinkTimeout(d time.Duration) RuntimeOption { return runtime.WithSinkTim
 // affecting other sessions. The hook runs on worker goroutines and must be
 // safe for concurrent use.
 func WithJudgeHook(fn JudgeHook) RuntimeOption { return runtime.WithJudgeHook(fn) }
+
+// WithLogger routes the runtime's structured events (worker restarts, session
+// quarantines, profile swaps) to l as slog records. Nil leaves event logging
+// off; the hot path is never logged.
+func WithLogger(l *slog.Logger) RuntimeOption { return runtime.WithLogger(l) }
+
+// WithDecisionLog sizes the runtime's decision-provenance ring: the last
+// capacity judgement records are retained (default 1024; negative disables
+// provenance entirely), with unflagged judgements sampled one-in-sampleEvery
+// (default 16; 1 records every judgement). Alerts are always recorded.
+// Retrieve records with Runtime.Decisions or the introspection endpoint's
+// /decisions.
+func WithDecisionLog(capacity, sampleEvery int) RuntimeOption {
+	return runtime.WithDecisionLog(capacity, sampleEvery)
+}
+
+// NewIntrospectionHandler builds the live introspection endpoint for a
+// runtime: GET /metrics (Prometheus text format, including the lifecycle
+// manager's counters when lc is non-nil), /decisions (recent provenance as
+// JSON, ?limit=N), /healthz and /readyz (200/503 probes), and the
+// net/http/pprof suite under /debug/pprof/. Serve it on a private address:
+//
+//	go http.ListenAndServe("localhost:9313", adprom.NewIntrospectionHandler(rt, nil))
+func NewIntrospectionHandler(rt *Runtime, lc *Lifecycle) http.Handler {
+	return obsv.NewHandler(obsv.ServerConfig{
+		Metrics: func(w io.Writer) error {
+			if err := rt.WritePrometheus(w); err != nil {
+				return err
+			}
+			if lc != nil {
+				return obsv.WriteLifecycleProm(w, lc.Stats())
+			}
+			return nil
+		},
+		Decisions: rt.Decisions,
+		// Liveness is the process answering at all; readiness is the runtime
+		// accepting ingest with a published profile generation.
+		Healthz: func() error { return nil },
+		Readyz:  rt.Ready,
+	})
+}
 
 // NewLifecycle builds a profile-lifecycle manager; wire it into a runtime
 // with WithLifecycle, then Start it:

@@ -6,6 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -381,4 +385,131 @@ func TestFacadeBundledApps(t *testing.T) {
 	if !strings.Contains(TautologyPayload, "OR") {
 		t.Errorf("TautologyPayload = %q", TautologyPayload)
 	}
+}
+
+// TestFacadeObservabilitySurface covers the observability additions end to
+// end through the public API: the decision-provenance ring, latency
+// histograms, structured event logging, and the live introspection endpoint.
+func TestFacadeObservabilitySurface(t *testing.T) {
+	app := HospitalApp()
+	traces, err := app.CollectTraces(ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Train(app.Prog, traces, TrainOptions{Train: HMMOptions{MaxIters: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof.Threshold = 0 // every window flags, so provenance must hold alerts
+
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(syncWriter{&logMu, &logBuf}, nil))
+	rt := NewRuntime(prof,
+		WithWorkers(2),
+		WithDecisionLog(256, 1),
+		WithLogger(logger))
+	s := rt.Session("obs-1")
+	for _, c := range traces[0] {
+		if err := s.Observe(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alerts, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("threshold 0 raised no alerts; the provenance check is vacuous")
+	}
+
+	// Decision provenance: every alert is retained with its context.
+	ds := rt.Decisions(0)
+	var flagged int
+	for _, d := range ds {
+		if d.Flagged {
+			flagged++
+			if d.Session != "obs-1" || d.Generation == 0 || d.Flag == "Normal" {
+				t.Errorf("alert decision incomplete: %+v", d)
+			}
+		}
+	}
+	if flagged != len(alerts) {
+		t.Errorf("provenance holds %d alert decisions, want %d", flagged, len(alerts))
+	}
+
+	// Latency histograms mirror the counters.
+	h := rt.Histograms()
+	st := rt.Stats()
+	if h.Observe.Count != st.Calls || h.Observe.Count == 0 {
+		t.Errorf("observe histogram count %d vs calls %d", h.Observe.Count, st.Calls)
+	}
+	if st.P95Latency < st.P50Latency || st.MaxLatency < st.P99Latency {
+		t.Errorf("percentiles inconsistent: %v", st)
+	}
+
+	// A profile swap emits a structured event through WithLogger.
+	if _, err := rt.SwapProfile(prof); err != nil {
+		t.Fatal(err)
+	}
+	logMu.Lock()
+	logged := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logged, "profile swapped") {
+		t.Errorf("swap event missing from the structured log: %q", logged)
+	}
+
+	// The introspection endpoint over the live runtime.
+	srv := httptest.NewServer(NewIntrospectionHandler(rt, nil))
+	defer srv.Close()
+	fetch := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+	if code, body := fetch("/metrics"); code != 200 ||
+		!strings.Contains(body, "adprom_calls_total") ||
+		!strings.Contains(body, "adprom_observe_latency_seconds_bucket") {
+		t.Errorf("/metrics = %d, body %.200s", code, body)
+	}
+	if code, body := fetch("/decisions?limit=5"); code != 200 {
+		t.Errorf("/decisions = %d %s", code, body)
+	} else {
+		var got []Decision
+		if err := json.Unmarshal([]byte(body), &got); err != nil || len(got) == 0 {
+			t.Errorf("/decisions decode: %v (%d records)", err, len(got))
+		}
+	}
+	if code, _ := fetch("/healthz"); code != 200 {
+		t.Errorf("/healthz = %d", code)
+	}
+	if code, _ := fetch("/readyz"); code != 200 {
+		t.Errorf("/readyz while serving = %d", code)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := fetch("/readyz"); code != 503 || !strings.Contains(body, "closed") {
+		t.Errorf("/readyz after close = %d %q, want 503 with the cause", code, body)
+	}
+}
+
+// syncWriter serialises the slog handler's writes against the test's reads.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }

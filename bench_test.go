@@ -87,6 +87,7 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 
 	b.ResetTimer()
 	var calls uint64
+	var lastStats RuntimeStats
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		rt := NewRuntime(p, WithQueueDepth(128))
@@ -111,11 +112,73 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 		if err := rt.Close(); err != nil {
 			b.Fatal(err)
 		}
-		calls += rt.Stats().Calls
+		lastStats = rt.Stats()
+		calls += lastStats.Calls
 	}
 	rate := float64(calls) / time.Since(start).Seconds()
 	b.ReportMetric(rate, "calls/s")
 	b.ReportMetric(rate/baseRate, "x_vs_batch_monitor")
+	// Per-call latency percentiles from the last iteration's observe-path
+	// histogram, so BENCH_runtime.json carries the latency shape, not just
+	// the mean throughput.
+	b.ReportMetric(float64(lastStats.P50Latency.Nanoseconds()), "p50_latency_ns")
+	b.ReportMetric(float64(lastStats.P95Latency.Nanoseconds()), "p95_latency_ns")
+	b.ReportMetric(float64(lastStats.P99Latency.Nanoseconds()), "p99_latency_ns")
+}
+
+// BenchmarkInstrumentationOverhead prices the observability layer on the hot
+// path: the same concurrent replay once with decision provenance disabled
+// (histograms still on — they are not optional) and once with the default
+// provenance sampling (ring 1024, 1-in-16). The overhead_pct metric is the
+// throughput cost of the default instrumentation; the acceptance budget for
+// the PR is 5%.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	p, traces := benchProfileAppH(b)
+	const streams = 16
+	var stream Trace
+	for _, tr := range traces {
+		stream = append(stream, tr...)
+	}
+
+	replay := func(opts ...RuntimeOption) float64 {
+		rt := NewRuntime(p, append([]RuntimeOption{WithQueueDepth(128)}, opts...)...)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sess := rt.Session(fmt.Sprintf("bench-%02d", s))
+				for _, c := range stream {
+					if err := sess.Observe(c); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if _, err := sess.Close(); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return float64(rt.Stats().Calls) / elapsed.Seconds()
+	}
+
+	b.ResetTimer()
+	var rateOff, rateOn float64
+	for i := 0; i < b.N; i++ {
+		rateOff += replay(WithDecisionLog(-1, 0))
+		rateOn += replay() // default: ring 1024, sample 1-in-16
+	}
+	rateOff /= float64(b.N)
+	rateOn /= float64(b.N)
+	b.ReportMetric(rateOn, "calls/s")
+	b.ReportMetric(rateOff, "baseline_calls/s")
+	b.ReportMetric(100*(rateOff-rateOn)/rateOff, "overhead_pct")
 }
 
 // BenchmarkTable3CADataset regenerates Table III: CA-dataset statistics.

@@ -7,7 +7,7 @@
 //	adprom analyze    -app <name>
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
-//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>]
+//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
 //	adprom profile    inspect <file>...
 //	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
 //
@@ -19,6 +19,14 @@
 // the running detection runtime with zero downtime, so a lifecycle manager
 // or an operator publishing generations into the directory retunes a live
 // server without restarting it.
+//
+// With -http, serve exposes the live introspection endpoint on the given
+// address — /metrics (Prometheus text format), /decisions (recent judgement
+// provenance as JSON), /healthz, /readyz, and /debug/pprof/ — and keeps it
+// (and the detection runtime) alive after the replay until SIGINT/SIGTERM,
+// so operators and scrapers can inspect a running server. -log mirrors the
+// runtime's structured events (worker restarts, quarantines, profile swaps)
+// to stderr.
 package main
 
 import (
@@ -26,10 +34,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"adprom/internal/attack"
@@ -42,6 +56,7 @@ import (
 	"adprom/internal/hmm"
 	"adprom/internal/interp"
 	"adprom/internal/lifecycle"
+	"adprom/internal/obsv"
 	"adprom/internal/profile"
 	"adprom/internal/runtime"
 )
@@ -82,13 +97,15 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
-  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
   adprom profile    inspect <file>...
   adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
 
 apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)
 serve -profile-dir: load the newest .adprof in <dir> at startup and hot-swap
-every profile published there while the replay runs`)
+every profile published there while the replay runs
+serve -http: expose /metrics, /decisions, /healthz, /readyz, /debug/pprof/ on
+<addr> and stay alive after the replay until SIGINT/SIGTERM`)
 }
 
 func lookupApp(name string) (*dataset.App, error) {
@@ -292,6 +309,8 @@ func cmdServe(args []string) error {
 	chaos := fs.Bool("chaos", false, "inject sink, engine, and worker faults during the replay")
 	profileDir := fs.String("profile-dir", "", "load the newest .adprof here and hot-swap profiles published while serving")
 	watchEvery := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -profile-dir")
+	httpAddr := fs.String("http", "", "serve the introspection endpoint (/metrics /decisions /healthz /readyz /debug/pprof/) on this address and linger after the replay")
+	logEvents := fs.Bool("log", false, "emit structured runtime events (worker restarts, quarantines, swaps) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -348,6 +367,9 @@ func cmdServe(args []string) error {
 		runtime.WithWorkers(*workers),
 		runtime.WithQueueDepth(*queue),
 	}
+	if *logEvents {
+		opts = append(opts, runtime.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
 	switch *drop {
 	case "block":
 	case "newest":
@@ -380,6 +402,22 @@ func cmdServe(args []string) error {
 	}
 
 	rt := runtime.New(p, opts...)
+	var srv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			rt.Close()
+			return err
+		}
+		srv = &http.Server{Handler: obsv.NewHandler(obsv.ServerConfig{
+			Metrics:   func(w io.Writer) error { return rt.WritePrometheus(w) },
+			Decisions: rt.Decisions,
+			Healthz:   func() error { return nil },
+			Readyz:    rt.Ready,
+		})}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Printf("introspection: http://%s (/metrics /decisions /healthz /readyz /debug/pprof/)\n", ln.Addr())
+	}
 	var watchWG sync.WaitGroup
 	stopWatch := func() {}
 	if *profileDir != "" {
@@ -436,6 +474,18 @@ func cmdServe(args []string) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if srv != nil {
+		// Stay alive so operators (and the CI smoke test) can inspect the
+		// still-serving runtime; profile hot-swaps keep applying meanwhile.
+		fmt.Println("replay done; introspection endpoint still live — SIGINT/SIGTERM to exit")
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
+		signal.Stop(sigc)
+		shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(shutCtx)
+		cancelShut()
+	}
 	stopWatch()
 	watchWG.Wait()
 	closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -2,9 +2,15 @@ package main
 
 import (
 	"errors"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"adprom/internal/profile"
 )
@@ -98,6 +104,84 @@ func TestCmdServeProfileDir(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("serve -profile-dir: %v", err)
+	}
+}
+
+// TestCmdServeHTTP boots serve with the introspection endpoint, waits for
+// the post-replay linger, probes every route, and shuts the server down with
+// the same SIGTERM an operator (or the CI smoke step) would send.
+func TestCmdServeHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a profile and replays streams")
+	}
+	// Pick a free port: listen, remember, release. The tiny window before
+	// serve re-binds is acceptable in CI.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-app", "apph", "-streams", "2", "-repeat", "1", "-workers", "1",
+			"-http", addr, "-log",
+		})
+	}()
+
+	base := "http://" + addr
+	var resp *http.Response
+	for i := 0; i < 200; i++ { // training dominates startup; poll generously
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before the endpoint came up: %v", err)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		t.Fatalf("endpoint never came up on %s: %v", addr, err)
+	}
+
+	fetch := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+	if code, body := fetch("/metrics"); code != 200 || !strings.Contains(body, "adprom_calls_total") {
+		t.Errorf("/metrics = %d, body %.120s", code, body)
+	}
+	if code, _ := fetch("/readyz"); code != 200 {
+		t.Errorf("/readyz = %d, want 200 while serving", code)
+	}
+	if code, body := fetch("/decisions?limit=5"); code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Errorf("/decisions = %d, body %.120s", code, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
 	}
 }
 

@@ -10,7 +10,8 @@ const sample = `goos: linux
 goarch: amd64
 pkg: adprom
 cpu: Intel(R) Xeon(R)
-BenchmarkRuntimeThroughput-4   	       3	  41243292 ns/op	    1201 B/op	       5 allocs/op	    291883 calls/s	     12.50 x_vs_batch_monitor
+BenchmarkRuntimeThroughput-4   	       3	  41243292 ns/op	    1201 B/op	       5 allocs/op	    291883 calls/s	     12.50 x_vs_batch_monitor	      4096 p50_latency_ns	     16384 p95_latency_ns	     32768 p99_latency_ns
+BenchmarkInstrumentationOverhead-4 	       3	1620208058 ns/op	     21625 baseline_calls/s	     21607 calls/s	         0.08373 overhead_pct
 PASS
 ok  	adprom	2.573s
 `
@@ -23,8 +24,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if rep.Goos != "linux" || rep.Goarch != "amd64" {
 		t.Fatalf("header: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 1 {
-		t.Fatalf("got %d benchmarks, want 1", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
 	}
 	b := rep.Benchmarks[0]
 	if b.Name != "RuntimeThroughput-4" || b.Pkg != "adprom" || b.Iterations != 3 {
@@ -36,14 +37,35 @@ func TestParseBenchOutput(t *testing.T) {
 	if b.Metrics["calls/s"] != 291883 || b.Metrics["x_vs_batch_monitor"] != 12.5 {
 		t.Fatalf("custom metrics: %+v", b.Metrics)
 	}
+	// The latency percentiles ride through the metrics map with their units
+	// as keys, so the JSON report carries the histogram shape.
+	for key, want := range map[string]float64{
+		"p50_latency_ns": 4096,
+		"p95_latency_ns": 16384,
+		"p99_latency_ns": 32768,
+	} {
+		if got := b.Metrics[key]; got != want {
+			t.Errorf("Metrics[%q] = %g, want %g", key, got, want)
+		}
+	}
+	ov := rep.Benchmarks[1]
+	if ov.Name != "InstrumentationOverhead-4" {
+		t.Fatalf("second benchmark: %+v", ov)
+	}
+	if got := ov.Metrics["overhead_pct"]; got != 0.08373 {
+		t.Errorf("Metrics[overhead_pct] = %g, want 0.08373", got)
+	}
+	if got := ov.Metrics["baseline_calls/s"]; got != 21625 {
+		t.Errorf("Metrics[baseline_calls/s] = %g, want 21625", got)
+	}
 }
 
 func TestParseBenchRejectsMalformed(t *testing.T) {
 	for _, line := range []string{
-		"BenchmarkX",               // no iterations
-		"BenchmarkX abc",           // bad iterations
-		"BenchmarkX 3 10",          // value without unit
-		"BenchmarkX 3 ten ns/op",   // bad value
+		"BenchmarkX",             // no iterations
+		"BenchmarkX abc",         // bad iterations
+		"BenchmarkX 3 10",        // value without unit
+		"BenchmarkX 3 ten ns/op", // bad value
 	} {
 		if _, err := parseBench(line); err == nil {
 			t.Errorf("parseBench(%q) accepted", line)

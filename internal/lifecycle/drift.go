@@ -11,7 +11,10 @@
 // on-disk store, and Manager wires them to a runtime.Runtime.
 package lifecycle
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // DriftConfig tunes the Detector. The zero value applies the defaults noted
 // per field.
@@ -105,6 +108,10 @@ type driftState struct {
 	ph      float64
 	drifted bool
 	cause   string
+
+	// lastSample is the runtime-supplied timestamp of the newest folded
+	// judgement — the detector never reads the clock itself.
+	lastSample time.Time
 }
 
 // NewDetector builds a detector; see DriftConfig for the defaults.
@@ -122,6 +129,14 @@ func NewDetector(cfg DriftConfig) *Detector {
 // sample confirmed drift — true exactly once per Reset cycle, at the moment
 // a signal crosses its boundary.
 func (d *Detector) Observe(score float64, flagged bool) (sampled, confirmed bool) {
+	return d.ObserveAt(time.Time{}, score, flagged)
+}
+
+// ObserveAt is Observe with the judgement's timestamp supplied by the caller
+// — the runtime captures time.Now once per observed call and threads it to
+// every observer, so the drift sampler never re-reads the clock on the hot
+// path. The newest sampled timestamp surfaces in DriftState.LastSample.
+func (d *Detector) ObserveAt(at time.Time, score float64, flagged bool) (sampled, confirmed bool) {
 	d.gateMu.Lock()
 	d.gate++
 	take := d.gate%uint64(d.cfg.SampleEvery) == 0
@@ -134,6 +149,7 @@ func (d *Detector) Observe(score float64, flagged bool) (sampled, confirmed bool
 	defer d.mu.Unlock()
 	st := &d.st
 	st.samples++
+	st.lastSample = at
 
 	if !st.warm {
 		st.warmN++
@@ -220,6 +236,9 @@ type DriftState struct {
 	PH      float64
 	Drifted bool
 	Cause   string
+	// LastSample is the runtime-stamped time of the newest folded judgement
+	// (zero when the caller used Observe without a timestamp).
+	LastSample time.Time
 }
 
 // State snapshots the detector.
@@ -235,6 +254,7 @@ func (d *Detector) State() DriftState {
 		PH:           st.ph,
 		Drifted:      st.drifted,
 		Cause:        st.cause,
+		LastSample:   st.lastSample,
 	}
 	n := st.idx
 	if st.filled {

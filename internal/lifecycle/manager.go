@@ -2,6 +2,7 @@ package lifecycle
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -34,6 +35,11 @@ type Config struct {
 	// Logf, when set, receives one line per lifecycle event (drift verdicts,
 	// retrain outcomes, swaps).
 	Logf func(format string, args ...any)
+	// Logger, when set, receives the same lifecycle events as structured
+	// slog records (drift verdict, retrain start/finish, swap) — the
+	// counterpart of the runtime's WithLogger option. Logf and Logger
+	// compose; either may be nil.
+	Logger *slog.Logger
 }
 
 // Manager runs the profile lifecycle against one runtime.Runtime: its
@@ -98,9 +104,10 @@ func (m *Manager) Bind(rt *runtime.Runtime) {
 // Observe is the runtime.JudgeObserver feeding the drift detector. It is on
 // the workers' hot path: unsampled judgements cost one gate update, sampled
 // ones a short mutex-guarded fold; a confirmed verdict additionally performs
-// one non-blocking channel send.
-func (m *Manager) Observe(_ string, _ int, score float64, flagged bool) {
-	sampled, confirmed := m.det.Observe(score, flagged)
+// one non-blocking channel send. at is the runtime's single per-op clock
+// capture — the sampler never calls time.Now itself.
+func (m *Manager) Observe(_ string, _ int, at time.Time, score float64, flagged bool) {
+	sampled, confirmed := m.det.ObserveAt(at, score, flagged)
 	if sampled {
 		m.lc.AddDriftSample()
 	}
@@ -109,6 +116,13 @@ func (m *Manager) Observe(_ string, _ int, score float64, flagged bool) {
 		st := m.det.State()
 		m.logf("lifecycle: drift confirmed by %s signal (baseline mean %.3f rate %.3f, window mean %.3f rate %.3f, PH %.3f)",
 			st.Cause, st.BaselineMean, st.BaselineRate, st.WindowMean, st.WindowRate, st.PH)
+		if l := m.cfg.Logger; l != nil {
+			l.Warn("drift confirmed",
+				"cause", st.Cause,
+				"baseline_mean", st.BaselineMean, "baseline_rate", st.BaselineRate,
+				"window_mean", st.WindowMean, "window_rate", st.WindowRate,
+				"ph", st.PH)
+		}
 		m.kick()
 	}
 }
@@ -233,10 +247,17 @@ func (m *Manager) retrainOnce() {
 	m.lc.AddRetrainStarted()
 	base := rt.Profile()
 	start := time.Now()
+	if l := m.cfg.Logger; l != nil {
+		l.Info("retrain started", "traces", len(traces), "base_threshold", base.Threshold)
+	}
 	next, err := profile.Retrain(m.ctx, base, traces, m.cfg.Retrain)
+	m.lc.ObserveRetrain(time.Since(start).Nanoseconds())
 	if err != nil {
 		m.lc.AddRetrainFailed()
 		m.logf("lifecycle: retrain failed after %s: %v", time.Since(start).Round(time.Millisecond), err)
+		if l := m.cfg.Logger; l != nil {
+			l.Error("retrain failed", "elapsed", time.Since(start), "err", err)
+		}
 		m.det.Reset()
 		return
 	}
@@ -244,12 +265,22 @@ func (m *Manager) retrainOnce() {
 	if err != nil {
 		m.lc.AddRetrainFailed()
 		m.logf("lifecycle: swap refused: %v", err)
+		if l := m.cfg.Logger; l != nil {
+			l.Error("swap refused", "err", err)
+		}
 		return
 	}
 	m.lc.AddRetrainSucceeded()
 	m.lc.AddSwap()
 	m.logf("lifecycle: generation %d live after %s retrain on %d traces (threshold %.4f → %.4f)",
 		gen, time.Since(start).Round(time.Millisecond), len(traces), base.Threshold, next.Threshold)
+	if l := m.cfg.Logger; l != nil {
+		l.Info("retrain finished",
+			"generation", gen,
+			"elapsed", time.Since(start),
+			"traces", len(traces),
+			"threshold", next.Threshold)
+	}
 	if m.cfg.Registry != nil {
 		if _, err := m.cfg.Registry.Add(next, gen, m.cfg.Source); err != nil {
 			m.logf("lifecycle: persisting generation %d: %v", gen, err)

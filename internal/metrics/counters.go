@@ -11,12 +11,19 @@ const NumFlags = 4
 // worker of a runtime. All methods are safe for concurrent use; the zero
 // value is ready.
 type Counters struct {
-	calls        atomic.Uint64
-	dropped      atomic.Uint64
-	alerts       [NumFlags]atomic.Uint64
-	latencyNanos atomic.Int64
-	sessions     atomic.Int64
-	opened       atomic.Uint64
+	calls    atomic.Uint64
+	dropped  atomic.Uint64
+	alerts   [NumFlags]atomic.Uint64
+	sessions atomic.Int64
+	opened   atomic.Uint64
+
+	// Latency histograms for the three instrumented paths: per-call engine
+	// scoring (observe), flush/close processing, and async sink deliveries.
+	// The observe histogram subsumes the old latencyNanos sum: the snapshot's
+	// LatencyNanos and MaxLatencyNanos derive from it.
+	observe     Histogram
+	flush       Histogram
+	sinkDeliver Histogram
 
 	// Failure-path counters (worker supervision and sink isolation).
 	panics         atomic.Uint64
@@ -34,8 +41,15 @@ type Counters struct {
 // nanoseconds.
 func (c *Counters) AddCall(latencyNanos int64) {
 	c.calls.Add(1)
-	c.latencyNanos.Add(latencyNanos)
+	c.observe.Observe(latencyNanos)
 }
+
+// AddFlush records the processing latency of one flush or close op.
+func (c *Counters) AddFlush(latencyNanos int64) { c.flush.Observe(latencyNanos) }
+
+// AddSinkDelivery records the duration of one alert delivery to the user's
+// sink (including deliveries that ended in a recovered panic).
+func (c *Counters) AddSinkDelivery(latencyNanos int64) { c.sinkDeliver.Observe(latencyNanos) }
 
 // AddDropped records calls shed by the ingest queue's drop policy.
 func (c *Counters) AddDropped(n uint64) { c.dropped.Add(n) }
@@ -104,6 +118,12 @@ type CountersSnapshot struct {
 	// per-session engines discarded for being a generation behind.
 	Swaps          uint64
 	EnginesRetired uint64
+	// Observe, Flush, and SinkDelivery are the latency histograms of the
+	// per-call scoring path, the flush/close path, and async sink deliveries.
+	// Observe.Sum == LatencyNanos and Observe.Count == Calls.
+	Observe      HistogramSnapshot
+	Flush        HistogramSnapshot
+	SinkDelivery HistogramSnapshot
 }
 
 // AlertTotal sums the per-flag alert counts.
@@ -124,6 +144,9 @@ func (s CountersSnapshot) AvgLatencyNanos() int64 {
 	return s.LatencyNanos / int64(s.Calls)
 }
 
+// MaxLatencyNanos returns the largest single-call processing time observed.
+func (s CountersSnapshot) MaxLatencyNanos() int64 { return s.Observe.Max }
+
 // Snapshot reads the counters. Individual fields are each read atomically;
 // the snapshot as a whole is not a single atomic cut, which is fine for
 // monitoring.
@@ -131,7 +154,6 @@ func (c *Counters) Snapshot() CountersSnapshot {
 	s := CountersSnapshot{
 		Calls:          c.calls.Load(),
 		Dropped:        c.dropped.Load(),
-		LatencyNanos:   c.latencyNanos.Load(),
 		ActiveSessions: c.sessions.Load(),
 		SessionsOpened: c.opened.Load(),
 		Panics:         c.panics.Load(),
@@ -141,7 +163,11 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		SinkPanics:     c.sinkPanics.Load(),
 		Swaps:          c.swaps.Load(),
 		EnginesRetired: c.enginesRetired.Load(),
+		Observe:        c.observe.Snapshot(),
+		Flush:          c.flush.Snapshot(),
+		SinkDelivery:   c.sinkDeliver.Snapshot(),
 	}
+	s.LatencyNanos = s.Observe.Sum
 	for i := range s.Alerts {
 		s.Alerts[i] = c.alerts[i].Load()
 	}

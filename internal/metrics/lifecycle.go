@@ -18,6 +18,10 @@ type Lifecycle struct {
 
 	tracesRecorded atomic.Uint64
 	tracesEvicted  atomic.Uint64
+
+	// retrain is the latency histogram of completed background retraining
+	// runs (successful or failed).
+	retrain Histogram
 }
 
 // AddDriftSample records one judgement folded into the drift estimator
@@ -42,6 +46,9 @@ func (l *Lifecycle) AddSwap() { l.swaps.Add(1) }
 func (l *Lifecycle) AddTraceRecorded() { l.tracesRecorded.Add(1) }
 func (l *Lifecycle) AddTraceEvicted()  { l.tracesEvicted.Add(1) }
 
+// ObserveRetrain records the duration of one completed retraining run.
+func (l *Lifecycle) ObserveRetrain(nanos int64) { l.retrain.Observe(nanos) }
+
 // LifecycleSnapshot is a point-in-time copy of a Lifecycle.
 type LifecycleSnapshot struct {
 	// DriftSamples counts judgements folded into the drift estimator;
@@ -57,6 +64,8 @@ type LifecycleSnapshot struct {
 	// TracesRecorded / TracesEvicted describe the retraining ring's churn.
 	TracesRecorded uint64
 	TracesEvicted  uint64
+	// Retrain is the latency histogram of completed retraining runs.
+	Retrain HistogramSnapshot
 }
 
 // Snapshot reads the counters; each field is read atomically, the whole is
@@ -71,5 +80,6 @@ func (l *Lifecycle) Snapshot() LifecycleSnapshot {
 		Swaps:             l.swaps.Load(),
 		TracesRecorded:    l.tracesRecorded.Load(),
 		TracesEvicted:     l.tracesEvicted.Load(),
+		Retrain:           l.retrain.Snapshot(),
 	}
 }

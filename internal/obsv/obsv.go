@@ -1,0 +1,124 @@
+// Package obsv is the observability layer of the detection runtime: decision
+// provenance (a compact, bounded record of per-window judgements answering
+// "why did window W on session S flag under generation G?"), a Prometheus
+// text-format renderer for the runtime's counters and latency histograms, and
+// the live introspection HTTP handler (/metrics, /decisions, /healthz,
+// /readyz, pprof).
+//
+// The package is deliberately free of runtime dependencies: the runtime
+// records decisions into a Recorder it owns, and the HTTP handler is wired
+// with plain functions, so obsv never imports the packages it observes.
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Decision is the provenance record of one completed-window judgement: who
+// (session), where (window-end sequence number in the stream), when (the
+// op's single monotonic-clock capture, as wall nanoseconds), what the engine
+// computed (per-symbol window log-probability against the threshold), the
+// verdict, and which profile generation scored it. For alerts, Label and
+// Caller identify the triggering call — the caller context that explains an
+// OutOfContext flag. The struct is flat and pointer-free (its strings alias
+// interned call metadata), so recording one never allocates.
+type Decision struct {
+	Session    string  `json:"session"`
+	Seq        int     `json:"seq"`
+	UnixNanos  int64   `json:"unix_nanos"`
+	Score      float64 `json:"score"`
+	Threshold  float64 `json:"threshold"`
+	Flag       string  `json:"flag"`
+	Flagged    bool    `json:"flagged"`
+	Generation uint64  `json:"generation"`
+	Label      string  `json:"label,omitempty"`
+	Caller     string  `json:"caller,omitempty"`
+}
+
+// Recorder samples judgement decisions into a bounded ring. The sampling
+// policy is 1-in-N for unflagged (Normal) judgements — gated by one atomic
+// add, so skipped judgements never touch the ring's mutex — plus
+// always-sample for alerts, so the evidence for every flagged window
+// survives. The ring overwrites oldest-first; Record never allocates.
+type Recorder struct {
+	every uint64
+	gate  atomic.Uint64
+
+	recorded atomic.Uint64 // decisions written into the ring
+	skipped  atomic.Uint64 // unflagged judgements the sampler passed over
+
+	mu   sync.Mutex
+	buf  []Decision
+	next int
+	full bool
+}
+
+// NewRecorder builds a recorder keeping the last capacity decisions and
+// sampling one in sampleEvery unflagged judgements (alerts are always
+// recorded). capacity ≤ 0 disables recording entirely (Record becomes a
+// no-op); sampleEvery ≤ 1 records every judgement.
+func NewRecorder(capacity, sampleEvery int) *Recorder {
+	r := &Recorder{}
+	if sampleEvery > 1 {
+		r.every = uint64(sampleEvery)
+	}
+	if capacity > 0 {
+		r.buf = make([]Decision, capacity)
+	}
+	return r
+}
+
+// Enabled reports whether the recorder keeps any decisions.
+func (r *Recorder) Enabled() bool { return r != nil && r.buf != nil }
+
+// Record applies the sampling policy to one decision and reports whether it
+// was kept. Safe for concurrent use from many workers.
+func (r *Recorder) Record(d Decision) bool {
+	if !r.Enabled() {
+		return false
+	}
+	if !d.Flagged && r.every > 1 && r.gate.Add(1)%r.every != 0 {
+		r.skipped.Add(1)
+		return false
+	}
+	r.recorded.Add(1)
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// Recorded returns the number of decisions written into the ring since
+// creation; Skipped the unflagged judgements the 1-in-N gate passed over.
+func (r *Recorder) Recorded() uint64 { return r.recorded.Load() }
+func (r *Recorder) Skipped() uint64  { return r.skipped.Load() }
+
+// Decisions returns up to limit of the most recent decisions, newest first.
+// limit ≤ 0 returns everything retained.
+func (r *Recorder) Decisions(limit int) []Decision {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Decision, limit)
+	for i := 0; i < limit; i++ {
+		// next-1 is the newest slot; walk backwards, wrapping.
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out[i] = r.buf[idx]
+	}
+	return out
+}

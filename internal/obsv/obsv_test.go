@@ -1,0 +1,128 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRecorderDisabled(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Error("nil recorder must report disabled")
+	}
+	if nilRec.Decisions(10) != nil {
+		t.Error("nil recorder must return no decisions")
+	}
+
+	r := NewRecorder(0, 1)
+	if r.Enabled() {
+		t.Error("capacity 0 must disable recording")
+	}
+	if r.Record(Decision{Flagged: true}) {
+		t.Error("disabled recorder must not keep decisions")
+	}
+	if r.Recorded() != 0 {
+		t.Error("disabled recorder must count nothing")
+	}
+}
+
+func TestRecorderKeepsEveryAlert(t *testing.T) {
+	r := NewRecorder(8, 100) // aggressive sampling, but alerts bypass the gate
+	for i := 0; i < 5; i++ {
+		if !r.Record(Decision{Session: "s", Seq: i, Flagged: true, Flag: "DL"}) {
+			t.Fatalf("alert %d was sampled out", i)
+		}
+	}
+	if got := r.Recorded(); got != 5 {
+		t.Errorf("recorded = %d, want 5", got)
+	}
+	ds := r.Decisions(0)
+	if len(ds) != 5 {
+		t.Fatalf("retained %d decisions, want 5", len(ds))
+	}
+	// Newest first.
+	for i, d := range ds {
+		if want := 4 - i; d.Seq != want {
+			t.Errorf("decision %d has seq %d, want %d", i, d.Seq, want)
+		}
+	}
+}
+
+func TestRecorderSamplesUnflagged(t *testing.T) {
+	const every = 16
+	r := NewRecorder(1024, every)
+	for i := 0; i < 160; i++ {
+		r.Record(Decision{Seq: i})
+	}
+	if got := r.Recorded(); got != 160/every {
+		t.Errorf("recorded = %d, want %d", got, 160/every)
+	}
+	if got := r.Skipped(); got != 160-160/every {
+		t.Errorf("skipped = %d, want %d", got, 160-160/every)
+	}
+
+	// sampleEvery ≤ 1 keeps everything.
+	all := NewRecorder(1024, 1)
+	for i := 0; i < 10; i++ {
+		if !all.Record(Decision{Seq: i}) {
+			t.Fatalf("sampleEvery=1 dropped decision %d", i)
+		}
+	}
+}
+
+func TestRecorderRingOverwritesOldest(t *testing.T) {
+	r := NewRecorder(4, 1)
+	for i := 0; i < 10; i++ {
+		r.Record(Decision{Seq: i})
+	}
+	ds := r.Decisions(0)
+	if len(ds) != 4 {
+		t.Fatalf("retained %d decisions, want capacity 4", len(ds))
+	}
+	for i, d := range ds {
+		if want := 9 - i; d.Seq != want {
+			t.Errorf("decision %d has seq %d, want %d", i, d.Seq, want)
+		}
+	}
+	// A limit below retention truncates from the newest end.
+	if got := r.Decisions(2); len(got) != 2 || got[0].Seq != 9 || got[1].Seq != 8 {
+		t.Errorf("Decisions(2) = %+v, want seqs [9 8]", got)
+	}
+	// A limit above retention returns what exists.
+	if got := r.Decisions(100); len(got) != 4 {
+		t.Errorf("Decisions(100) returned %d, want 4", len(got))
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(256, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Decision{
+					Session: fmt.Sprintf("s%d", g),
+					Seq:     i,
+					Flagged: i%10 == 0,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 8000 decisions: 800 alerts always kept; 7200 unflagged through a 1-in-4
+	// gate. The gate is a shared counter, so exactly a quarter of the
+	// unflagged adds fire.
+	recorded, skipped := r.Recorded(), r.Skipped()
+	if recorded+skipped != 8000 {
+		t.Errorf("recorded %d + skipped %d = %d, want 8000", recorded, skipped, recorded+skipped)
+	}
+	if recorded < 800 {
+		t.Errorf("recorded %d < 800 alerts that must all be kept", recorded)
+	}
+	if len(r.Decisions(0)) != 256 {
+		t.Errorf("ring retained %d, want full capacity 256", len(r.Decisions(0)))
+	}
+}

@@ -1,0 +1,121 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"adprom/internal/metrics"
+)
+
+// PromWriter renders metric families in the Prometheus text exposition
+// format (version 0.0.4) using only the standard library. Families are
+// written in call order; the first error sticks and is reported by Err.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, nil if all writes succeeded.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family writes the # HELP and # TYPE header of one metric family; typ is
+// "counter", "gauge", or "histogram".
+func (p *PromWriter) Family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter writes a single-series counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.Family(name, "counter", help)
+	p.Sample(name, nil, v)
+}
+
+// Gauge writes a single-series gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Family(name, "gauge", help)
+	p.Sample(name, nil, v)
+}
+
+// Sample writes one series line. Labels are name/value pairs rendered in the
+// given order; values are escaped per the exposition format.
+func (p *PromWriter) Sample(name string, labels [][2]string, v float64) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		// %q escapes quotes, backslashes, and newlines exactly as the
+		// exposition format requires.
+		fmt.Fprintf(&sb, "%s=%q", l[0], l[1])
+	}
+	p.printf("%s{%s} %s\n", name, sb.String(), formatValue(v))
+}
+
+// Histogram writes one metrics.HistogramSnapshot as a Prometheus histogram:
+// cumulative le-buckets at the power-of-two bounds (trailing empty buckets
+// collapse into the +Inf series), then _sum and _count. Values are in
+// seconds, the Prometheus convention for durations.
+func (p *PromWriter) Histogram(name, help string, h metrics.HistogramSnapshot) {
+	p.Family(name, "histogram", help)
+	last := 0
+	for i, n := range h.Buckets {
+		if n > 0 {
+			last = i + 1
+		}
+	}
+	var cum uint64
+	for i := 0; i < last && i < metrics.HistBuckets-1; i++ {
+		cum += h.Buckets[i]
+		le := metrics.BucketBound(i) / 1e9
+		p.Sample(name+"_bucket", [][2]string{{"le", formatValue(le)}}, float64(cum))
+	}
+	p.Sample(name+"_bucket", [][2]string{{"le", "+Inf"}}, float64(h.Count))
+	p.Sample(name+"_sum", nil, float64(h.Sum)/1e9)
+	p.Sample(name+"_count", nil, float64(h.Count))
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WriteLifecycleProm renders the profile-lifecycle counters (drift sampling,
+// retraining outcomes, swap bookkeeping, the retrain-duration histogram) as
+// adprom_lifecycle_* families.
+func WriteLifecycleProm(w io.Writer, s metrics.LifecycleSnapshot) error {
+	p := NewPromWriter(w)
+	p.Counter("adprom_lifecycle_drift_samples_total", "Judgements folded into the drift estimator.", float64(s.DriftSamples))
+	p.Counter("adprom_lifecycle_drift_signals_total", "Confirmed drift verdicts.", float64(s.DriftSignals))
+	p.Counter("adprom_lifecycle_retrains_started_total", "Background retraining runs started.", float64(s.RetrainsStarted))
+	p.Counter("adprom_lifecycle_retrains_succeeded_total", "Background retraining runs that published a generation.", float64(s.RetrainsSucceeded))
+	p.Counter("adprom_lifecycle_retrains_failed_total", "Background retraining runs that failed.", float64(s.RetrainsFailed))
+	p.Counter("adprom_lifecycle_swaps_total", "Profile generations hot-swapped by the lifecycle manager.", float64(s.Swaps))
+	p.Counter("adprom_lifecycle_traces_recorded_total", "Judged-Normal traces recorded into the retraining corpus.", float64(s.TracesRecorded))
+	p.Counter("adprom_lifecycle_traces_evicted_total", "Traces evicted from the bounded retraining corpus.", float64(s.TracesEvicted))
+	p.Histogram("adprom_lifecycle_retrain_duration_seconds", "Duration of completed background retraining runs.", s.Retrain)
+	return p.Err()
+}

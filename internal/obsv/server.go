@@ -1,0 +1,99 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// ServerConfig wires the introspection handler to a live runtime without
+// obsv importing it: every hook is a plain function. Nil hooks disable the
+// corresponding endpoint (it answers 404).
+type ServerConfig struct {
+	// Metrics renders the Prometheus exposition for /metrics.
+	Metrics func(w io.Writer) error
+	// Decisions returns the most recent provenance records (newest first) for
+	// /decisions; limit ≤ 0 means everything retained.
+	Decisions func(limit int) []Decision
+	// Healthz reports process liveness: nil while the serving process is able
+	// to make progress at all.
+	Healthz func() error
+	// Readyz reports serving readiness: nil while the runtime accepts ingest
+	// (workers supervised, a profile generation published, not draining).
+	Readyz func() error
+}
+
+// NewHandler builds the introspection endpoint: /metrics (Prometheus text
+// format), /decisions (recent provenance as JSON), /healthz and /readyz
+// (200 ok / 503 with the cause), and the net/http/pprof suite under
+// /debug/pprof/. GET / lists the routes.
+func NewHandler(cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+	if cfg.Metrics != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := cfg.Metrics(w); err != nil {
+				// Headers are gone; all we can do is abort the body.
+				return
+			}
+		})
+	}
+	if cfg.Decisions != nil {
+		mux.HandleFunc("/decisions", func(w http.ResponseWriter, r *http.Request) {
+			limit := 100
+			if s := r.URL.Query().Get("limit"); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			ds := cfg.Decisions(limit)
+			if ds == nil {
+				ds = []Decision{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(ds)
+		})
+	}
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unavailable: %v\n", err)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		}
+	}
+	if cfg.Healthz != nil {
+		mux.HandleFunc("/healthz", probe(cfg.Healthz))
+	}
+	if cfg.Readyz != nil {
+		mux.HandleFunc("/readyz", probe(cfg.Readyz))
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "adprom introspection endpoints:")
+		for _, route := range []string{"/metrics", "/decisions?limit=N", "/healthz", "/readyz", "/debug/pprof/"} {
+			fmt.Fprintln(w, "  "+route)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,290 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adprom/internal/detect"
+	"adprom/internal/metrics"
+)
+
+// TestStatsStringGolden pins the full Stats.String rendering with every field
+// at a distinct value, so a counter silently dropped from the format string
+// fails here rather than disappearing from operators' logs.
+func TestStatsStringGolden(t *testing.T) {
+	st := Stats{
+		Calls:             100,
+		Dropped:           3,
+		QueueDepth:        7,
+		Workers:           4,
+		QueueCap:          64,
+		ActiveSessions:    2,
+		SessionsOpened:    9,
+		AvgLatency:        1500 * time.Nanosecond,
+		MaxLatency:        2 * time.Millisecond,
+		P50Latency:        time.Microsecond,
+		P95Latency:        3 * time.Microsecond,
+		P99Latency:        9 * time.Microsecond,
+		Panics:            1,
+		WorkerRestarts:    12,
+		Quarantined:       13,
+		SinkDropped:       14,
+		SinkPanics:        15,
+		Generation:        6,
+		Swaps:             5,
+		EnginesRetired:    16,
+		DecisionsRecorded: 11,
+	}
+	st.Alerts[int(detect.FlagAnomalous)] = 2
+	st.Alerts[int(detect.FlagDL)] = 5
+	st.Alerts[int(detect.FlagOutOfContext)] = 1
+
+	want := "calls=100 dropped=3 alerts=8 (anomalous=2 dl=5 ooc=1) " +
+		"sessions=2/9 queue=7/4×64 " +
+		"avg=1.5µs max=2ms p50=1µs p95=3µs p99=9µs " +
+		"panics=1 restarts=12 quarantined=13 sink[dropped=14 panics=15] " +
+		"gen=6 swaps=5 retired=16 decisions=11"
+	if got := st.String(); got != want {
+		t.Errorf("Stats.String() =\n  %q\nwant\n  %q", got, want)
+	}
+}
+
+// TestStatsStringCoversEveryField perturbs each Stats field via reflection
+// and requires the rendering to change: a field added to Stats but not to
+// String() fails CI instead of shipping an invisible counter.
+func TestStatsStringCoversEveryField(t *testing.T) {
+	base := Stats{}
+	baseline := base.String()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		st := Stats{}
+		v := reflect.ValueOf(&st).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.Uint64:
+			v.SetUint(99)
+		case reflect.Int, reflect.Int64:
+			v.SetInt(99)
+		case reflect.Array:
+			v.Index(0).SetUint(99) // FlagNormal still feeds AlertTotal
+		default:
+			t.Fatalf("field %s has unhandled kind %s; extend this test", f.Name, v.Kind())
+		}
+		if st.String() == baseline {
+			t.Errorf("perturbing Stats.%s does not change String(); the field is not surfaced", f.Name)
+		}
+	}
+}
+
+// TestWritePrometheusCoversEveryCounter holds /metrics to the counters
+// snapshot: every CountersSnapshot field must be mapped to a family in
+// countersMetric, and every mapped family must appear in the rendered
+// exposition. Adding a counter without exporting it fails here.
+func TestWritePrometheusCoversEveryCounter(t *testing.T) {
+	typ := reflect.TypeOf(metrics.CountersSnapshot{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := countersMetric[name]; !ok {
+			t.Errorf("CountersSnapshot.%s has no entry in countersMetric; extend the map and WritePrometheus", name)
+		}
+	}
+	for name := range countersMetric {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("countersMetric maps %q, which is no longer a CountersSnapshot field", name)
+		}
+	}
+
+	p, traces := trainAppH(t)
+	rt := New(p, WithWorkers(2), WithQueueDepth(64))
+	defer rt.Close()
+	s := rt.Session("prom-test")
+	for _, c := range traces[0] {
+		if err := s.Observe(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rt.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for field, family := range countersMetric {
+		if !strings.Contains(out, family) {
+			t.Errorf("family %q (CountersSnapshot.%s) missing from /metrics output", family, field)
+		}
+	}
+	for _, extra := range []string{
+		"adprom_profile_generation", "adprom_workers",
+		"adprom_queue_capacity", "adprom_queue_depth",
+		"adprom_decisions_recorded_total", "adprom_decisions_sampled_out_total",
+	} {
+		if !strings.Contains(out, extra) {
+			t.Errorf("gauge %q missing from /metrics output", extra)
+		}
+	}
+	// Every sample line must be `name[{labels}] value` with a parseable value.
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		if v := line[sp+1:]; v != "+Inf" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Fatalf("line %d: unparseable value %q: %v", ln+1, v, err)
+			}
+		}
+	}
+	if !strings.Contains(out, "adprom_calls_total "+strconv.Itoa(len(traces[0]))) {
+		t.Errorf("adprom_calls_total does not reflect the %d observed calls:\n%s", len(traces[0]), out)
+	}
+}
+
+// TestDecisionProvenance is the acceptance test for the provenance ring: an
+// alert raised during detection must surface in Decisions() with its full
+// context (session, window offset, score vs threshold, flag, generation, and
+// the triggering call's label/caller).
+func TestDecisionProvenance(t *testing.T) {
+	p, traces := trainAppH(t)
+	const sessions = 12
+	streams := streamSet(traces, sessions)
+
+	rt := New(p,
+		WithWorkers(4), WithQueueDepth(64),
+		WithDecisionLog(4096, 1)) // record everything: the assertions are exact
+	defer rt.Close()
+
+	var wg sync.WaitGroup
+	wantAlerts := make([]int, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := rt.Session(fmt.Sprintf("s%02d", i))
+			for _, c := range streams[i] {
+				if err := s.Observe(c); err != nil {
+					t.Errorf("session %d: %v", i, err)
+					return
+				}
+			}
+			alerts, err := s.Close()
+			if err != nil {
+				t.Errorf("session %d close: %v", i, err)
+				return
+			}
+			wantAlerts[i] = len(alerts)
+		}(i)
+	}
+	wg.Wait()
+
+	var total int
+	for _, n := range wantAlerts {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no alerts raised; the provenance check is vacuous")
+	}
+
+	ds := rt.Decisions(0)
+	if len(ds) == 0 {
+		t.Fatal("decision ring is empty")
+	}
+	flagged := map[string]int{}
+	for _, d := range ds {
+		if d.Session == "" || d.Generation == 0 {
+			t.Fatalf("decision missing identity: %+v", d)
+		}
+		if d.UnixNanos == 0 {
+			t.Fatalf("decision missing the op timestamp: %+v", d)
+		}
+		if !d.Flagged {
+			if d.Flag != detect.FlagNormal.String() {
+				t.Fatalf("unflagged decision carries flag %q", d.Flag)
+			}
+			continue
+		}
+		flagged[d.Session]++
+		if d.Flag == detect.FlagNormal.String() {
+			t.Fatalf("flagged decision carries the Normal flag: %+v", d)
+		}
+		if d.Label == "" || d.Caller == "" {
+			t.Errorf("alert decision lacks the triggering call context: %+v", d)
+		}
+		if d.Flag != detect.FlagOutOfContext.String() && d.Score > d.Threshold {
+			t.Errorf("probability alert scored %g above its threshold %g: %+v", d.Score, d.Threshold, d)
+		}
+	}
+	var gotFlagged int
+	for _, n := range flagged {
+		gotFlagged += n
+	}
+	if gotFlagged != total {
+		t.Errorf("provenance holds %d alert decisions, want every one of the %d alerts", gotFlagged, total)
+	}
+
+	st := rt.Stats()
+	if st.DecisionsRecorded != uint64(len(ds)) {
+		t.Errorf("Stats.DecisionsRecorded = %d, ring holds %d", st.DecisionsRecorded, len(ds))
+	}
+	h := rt.Histograms()
+	if h.Observe.Count != st.Calls {
+		t.Errorf("observe histogram count %d diverged from calls %d", h.Observe.Count, st.Calls)
+	}
+	if h.Flush.Count == 0 {
+		t.Error("flush histogram empty after session closes")
+	}
+	if st.P50Latency <= 0 || st.P95Latency < st.P50Latency || st.MaxLatency < st.P99Latency {
+		t.Errorf("latency percentiles inconsistent: p50=%s p95=%s p99=%s max=%s",
+			st.P50Latency, st.P95Latency, st.P99Latency, st.MaxLatency)
+	}
+}
+
+// TestDecisionLogDisabled checks the kill switch: WithDecisionLog(-1, 0)
+// leaves no provenance and costs the hot path nothing.
+func TestDecisionLogDisabled(t *testing.T) {
+	p, traces := trainAppH(t)
+	rt := New(p, WithWorkers(2), WithDecisionLog(-1, 0))
+	defer rt.Close()
+	s := rt.Session("quiet")
+	for _, c := range traces[0] {
+		if err := s.Observe(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ds := rt.Decisions(0); len(ds) != 0 {
+		t.Errorf("disabled decision log still holds %d records", len(ds))
+	}
+	if st := rt.Stats(); st.DecisionsRecorded != 0 {
+		t.Errorf("DecisionsRecorded = %d with the log disabled", st.DecisionsRecorded)
+	}
+}
+
+func TestReadyProbe(t *testing.T) {
+	p, _ := trainAppH(t)
+	rt := New(p)
+	if err := rt.Ready(); err != nil {
+		t.Errorf("fresh runtime not ready: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Ready(); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed runtime Ready() = %v, want ErrClosed", err)
+	}
+}

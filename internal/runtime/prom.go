@@ -1,0 +1,77 @@
+package runtime
+
+import (
+	"io"
+
+	"adprom/internal/detect"
+	"adprom/internal/metrics"
+	"adprom/internal/obsv"
+)
+
+// countersMetric maps every metrics.CountersSnapshot field to the Prometheus
+// family it is exported under. The map is consulted by WritePrometheus's
+// test via reflection: adding a counter field without extending this map —
+// and the rendering below — fails CI instead of silently hiding the new
+// counter from /metrics.
+var countersMetric = map[string]string{
+	"Calls":          "adprom_calls_total",
+	"Dropped":        "adprom_dropped_total",
+	"Alerts":         "adprom_alerts_total",
+	"LatencyNanos":   "adprom_observe_latency_seconds_sum",
+	"ActiveSessions": "adprom_active_sessions",
+	"SessionsOpened": "adprom_sessions_opened_total",
+	"Panics":         "adprom_panics_total",
+	"WorkerRestarts": "adprom_worker_restarts_total",
+	"Quarantined":    "adprom_quarantined_sessions_total",
+	"SinkDropped":    "adprom_sink_dropped_total",
+	"SinkPanics":     "adprom_sink_panics_total",
+	"Swaps":          "adprom_profile_swaps_total",
+	"EnginesRetired": "adprom_engines_retired_total",
+	"Observe":        "adprom_observe_latency_seconds",
+	"Flush":          "adprom_flush_latency_seconds",
+	"SinkDelivery":   "adprom_sink_delivery_seconds",
+}
+
+// WritePrometheus renders the runtime's counters, gauges, and latency
+// histograms in the Prometheus text exposition format — the body of the
+// introspection endpoint's /metrics.
+func (rt *Runtime) WritePrometheus(w io.Writer) error {
+	snap := rt.ctr.Snapshot()
+	p := obsv.NewPromWriter(w)
+
+	p.Counter(countersMetric["Calls"], "Calls scored by detection workers.", float64(snap.Calls))
+	p.Counter(countersMetric["Dropped"], "Calls shed under queue pressure or after session failure.", float64(snap.Dropped))
+	p.Family(countersMetric["Alerts"], "counter", "Alerts raised, by flag.")
+	for f := 0; f < metrics.NumFlags; f++ {
+		p.Sample(countersMetric["Alerts"],
+			[][2]string{{"flag", detect.Flag(f).String()}}, float64(snap.Alerts[f]))
+	}
+	p.Gauge(countersMetric["ActiveSessions"], "Sessions currently open.", float64(snap.ActiveSessions))
+	p.Counter(countersMetric["SessionsOpened"], "Sessions opened since start.", float64(snap.SessionsOpened))
+	p.Counter(countersMetric["Panics"], "Panics recovered on detection workers.", float64(snap.Panics))
+	p.Counter(countersMetric["WorkerRestarts"], "Supervised worker restarts.", float64(snap.WorkerRestarts))
+	p.Counter(countersMetric["Quarantined"], "Sessions quarantined after a failure.", float64(snap.Quarantined))
+	p.Counter(countersMetric["SinkDropped"], "Alert deliveries shed by the async sink dispatcher.", float64(snap.SinkDropped))
+	p.Counter(countersMetric["SinkPanics"], "Panics recovered from the user's alert sink.", float64(snap.SinkPanics))
+	p.Counter(countersMetric["Swaps"], "Profile hot-swaps published.", float64(snap.Swaps))
+	p.Counter(countersMetric["EnginesRetired"], "Engines discarded for being a generation behind.", float64(snap.EnginesRetired))
+
+	// The histograms carry LatencyNanos (= Observe.Sum) as their _sum series.
+	p.Histogram(countersMetric["Observe"], "Per-call engine scoring latency.", snap.Observe)
+	p.Histogram(countersMetric["Flush"], "Flush/close op processing latency.", snap.Flush)
+	p.Histogram(countersMetric["SinkDelivery"], "Alert delivery duration at the user sink.", snap.SinkDelivery)
+
+	p.Gauge("adprom_profile_generation", "Serving profile generation (1 until the first swap).", float64(rt.cur.Load().gen))
+	p.Gauge("adprom_workers", "Detection worker count.", float64(rt.cfg.workers))
+	p.Gauge("adprom_queue_capacity", "Per-worker ingest queue capacity.", float64(rt.cfg.queueDepth))
+	depth := 0
+	rt.mu.RLock()
+	for _, q := range rt.queues {
+		depth += len(q)
+	}
+	rt.mu.RUnlock()
+	p.Gauge("adprom_queue_depth", "Calls waiting across all worker queues.", float64(depth))
+	p.Counter("adprom_decisions_recorded_total", "Provenance decisions written into the ring.", float64(rt.rec.Recorded()))
+	p.Counter("adprom_decisions_sampled_out_total", "Unflagged judgements passed over by the 1-in-N sampler.", float64(rt.rec.Skipped()))
+	return p.Err()
+}

@@ -74,6 +74,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"log/slog"
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,7 @@ import (
 	"adprom/internal/collector"
 	"adprom/internal/detect"
 	"adprom/internal/metrics"
+	"adprom/internal/obsv"
 	"adprom/internal/profile"
 )
 
@@ -150,8 +152,11 @@ type JudgeHook func(session string, seq int, score float64, flagged bool) error
 // engine panic and quarantines the session whose judgement it was observing).
 // It runs on worker goroutines before the JudgeHook, must be cheap, and must
 // be safe for concurrent use — the profile-lifecycle drift estimator is the
-// intended consumer.
-type JudgeObserver func(session string, seq int, score float64, flagged bool)
+// intended consumer. at is the op's single clock capture: the worker reads
+// time.Now once per observed call and threads the same timestamp through the
+// latency histogram, the provenance Decision, and every observer, so
+// downstream samplers never re-read the clock on the hot path.
+type JudgeObserver func(session string, seq int, at time.Time, score float64, flagged bool)
 
 // WorkerHook runs on the worker goroutine before each op, *outside* the
 // per-op panic recovery: a panic here kills the worker itself, exercising
@@ -160,18 +165,21 @@ type JudgeObserver func(session string, seq int, score float64, flagged bool)
 type WorkerHook func(worker int, session string)
 
 type config struct {
-	workers     int
-	queueDepth  int
-	policy      DropPolicy
-	sink        AlertFunc
-	sinkBuffer  int
-	sinkTimeout time.Duration
-	judgeHook   JudgeHook
-	observer    JudgeObserver
-	workerHook  WorkerHook
-	threshold   *float64
-	windowLen   int
-	attach      []func(*Runtime)
+	workers       int
+	queueDepth    int
+	policy        DropPolicy
+	sink          AlertFunc
+	sinkBuffer    int
+	sinkTimeout   time.Duration
+	judgeHook     JudgeHook
+	observer      JudgeObserver
+	workerHook    WorkerHook
+	threshold     *float64
+	windowLen     int
+	attach        []func(*Runtime)
+	logger        *slog.Logger
+	decisionCap   int
+	decisionEvery int
 }
 
 // Option configures a Runtime.
@@ -266,6 +274,31 @@ func WithAttach(fn func(*Runtime)) Option {
 	}
 }
 
+// WithLogger installs a structured event logger: worker restarts, session
+// quarantines, and profile swaps — state transitions that were previously
+// silent — are emitted as slog records. The logger is never called on the
+// per-call hot path; nil (the default) disables event logging entirely.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
+}
+
+// WithDecisionLog sizes the decision-provenance ring: the runtime retains the
+// last capacity judgement records (default 1024), sampling one in sampleEvery
+// unflagged judgements (default 16) while always recording alerts. capacity
+// < 0 disables provenance entirely, 0 keeps the default; sampleEvery 1
+// records every judgement, ≤ 0 keeps the default. Read the ring with
+// Runtime.Decisions.
+func WithDecisionLog(capacity, sampleEvery int) Option {
+	return func(c *config) {
+		if capacity != 0 {
+			c.decisionCap = capacity
+		}
+		if sampleEvery > 0 {
+			c.decisionEvery = sampleEvery
+		}
+	}
+}
+
 // WithWorkerHook installs fn on the worker loop; see WorkerHook. Test-only.
 func WithWorkerHook(fn WorkerHook) Option {
 	return func(c *config) { c.workerHook = fn }
@@ -335,6 +368,7 @@ type Runtime struct {
 
 	pool sync.Pool // *pooledEngine, each tagged with its generation
 	ctr  metrics.Counters
+	rec  *obsv.Recorder // decision provenance; nil-safe, Enabled gates use
 }
 
 type alertMsg struct {
@@ -383,12 +417,16 @@ type Session struct {
 	closed  bool
 	failure error // ErrSessionFailed wrapping the quarantine cause
 
-	// engine, gen, and dead are owned by the worker goroutine: engine is
-	// created on first op (over the then-current generation, recorded in gen),
-	// dead is set once the close op has been processed.
+	// engine, gen, dead, and opTime are owned by the worker goroutine: engine
+	// is created on first op (over the then-current generation, recorded in
+	// gen), dead is set once the close op has been processed, and opTime is
+	// the single clock capture of the op currently being processed — the one
+	// timestamp shared by the latency histogram, the judge-hook observers,
+	// and the provenance Decision record.
 	engine *detect.Engine
 	gen    uint64
 	dead   bool
+	opTime time.Time
 
 	// lastGen mirrors gen for readers outside the worker: it is stored by the
 	// worker before each op is scored, so after a synchronous Flush returns,
@@ -407,10 +445,12 @@ func (s *Session) Generation() uint64 { return s.lastGen.Load() }
 // through SwapProfile, never by mutating a served profile in place.
 func New(p *profile.Profile, opts ...Option) *Runtime {
 	cfg := config{
-		workers:     stdruntime.GOMAXPROCS(0),
-		queueDepth:  256,
-		sinkBuffer:  1024,
-		sinkTimeout: time.Second,
+		workers:       stdruntime.GOMAXPROCS(0),
+		queueDepth:    256,
+		sinkBuffer:    1024,
+		sinkTimeout:   time.Second,
+		decisionCap:   1024,
+		decisionEvery: 16,
 	}
 	for _, o := range opts {
 		if o != nil {
@@ -423,6 +463,7 @@ func New(p *profile.Profile, opts ...Option) *Runtime {
 		queues:   make([]chan op, cfg.workers),
 		sessions: make(map[string]*Session),
 		stopped:  make(chan struct{}),
+		rec:      obsv.NewRecorder(cfg.decisionCap, cfg.decisionEvery),
 	}
 	rt.cur.Store(&generation{p: p, gen: 1})
 	rt.pool.New = func() any {
@@ -485,6 +526,12 @@ func (rt *Runtime) SwapProfile(next *profile.Profile) (uint64, error) {
 		g := &generation{p: next, gen: old.gen + 1}
 		if rt.cur.CompareAndSwap(old, g) {
 			rt.ctr.AddSwap()
+			if l := rt.cfg.logger; l != nil {
+				l.Info("profile swapped",
+					"generation", g.gen,
+					"threshold", next.Threshold,
+					"window_len", next.WindowLen)
+			}
 			return g.gen, nil
 		}
 	}
@@ -733,6 +780,9 @@ func (rt *Runtime) supervise(w int) {
 			return // clean shutdown
 		}
 		rt.ctr.AddWorkerRestart()
+		if l := rt.cfg.logger; l != nil {
+			l.Warn("worker crashed; restarting", "worker", w, "backoff", backoff)
+		}
 		select {
 		case <-time.After(backoff):
 		case <-rt.stopped:
@@ -797,6 +847,9 @@ func (rt *Runtime) drainQueue(q chan op) {
 func (rt *Runtime) failSession(o *op, cause error) {
 	if o.s.quarantine(cause) {
 		rt.ctr.AddQuarantined()
+		if l := rt.cfg.logger; l != nil {
+			l.Warn("session quarantined", "session", o.s.id, "cause", cause)
+		}
 	}
 	o.s.engine = nil
 	o.reply(reply{err: o.s.Err()})
@@ -838,11 +891,15 @@ func (rt *Runtime) process(o *op) {
 		rt.installEngine(s)
 	}
 	s.lastGen.Store(s.gen)
+	// One clock capture per op: the same timestamp stamps the latency
+	// histogram, the observer hooks, and every Decision this op produces.
+	start := time.Now()
+	s.opTime = start
 	switch o.kind {
 	case opObserve:
-		start := time.Now()
 		alerts := s.engine.Observe(o.call)
 		rt.ctr.AddCall(time.Since(start).Nanoseconds())
+		rt.recordAlerts(s, alerts)
 		rt.deliver(s.id, alerts)
 		if err := s.engine.Err(); err != nil {
 			// Error-propagating judge hook: quarantine without a panic.
@@ -851,6 +908,8 @@ func (rt *Runtime) process(o *op) {
 	case opFlush, opClose:
 		before := len(s.engine.Alerts())
 		history := s.engine.Flush()
+		rt.ctr.AddFlush(time.Since(start).Nanoseconds())
+		rt.recordAlerts(s, history[before:])
 		rt.deliver(s.id, history[before:])
 		// Windows never straddle traces: the next stream starts clean.
 		s.engine.ResetWindow()
@@ -902,11 +961,24 @@ func (rt *Runtime) installEngine(s *Session) {
 	if rt.cfg.windowLen > 0 {
 		e.SetWindowLen(rt.cfg.windowLen)
 	}
-	if rt.cfg.judgeHook != nil || rt.cfg.observer != nil {
-		id, hook, obs := s.id, rt.cfg.judgeHook, rt.cfg.observer
+	if rt.cfg.judgeHook != nil || rt.cfg.observer != nil || rt.rec.Enabled() {
+		id, hook, obs, rec := s.id, rt.cfg.judgeHook, rt.cfg.observer, rt.rec
 		e.SetJudgeHook(func(seq int, score float64, flagged bool) error {
+			// Unflagged judgements are sampled here (1-in-N); flagged ones
+			// are recorded with their full alert context in recordAlerts.
+			if !flagged && rec.Enabled() {
+				rec.Record(obsv.Decision{
+					Session:    id,
+					Seq:        seq,
+					UnixNanos:  s.opTime.UnixNano(),
+					Score:      score,
+					Threshold:  e.Threshold(),
+					Flag:       detect.FlagNormal.String(),
+					Generation: s.gen,
+				})
+			}
 			if obs != nil {
-				obs(id, seq, score, flagged)
+				obs(id, seq, s.opTime, score, flagged)
 			}
 			if hook != nil {
 				return hook(id, seq, score, flagged)
@@ -916,6 +988,30 @@ func (rt *Runtime) installEngine(s *Session) {
 	}
 	s.engine = e
 	s.gen = pe.gen
+}
+
+// recordAlerts writes one provenance Decision per raised alert — alerts are
+// always sampled, so the evidence behind every flag survives in the ring.
+// Runs on the session's worker goroutine.
+func (rt *Runtime) recordAlerts(s *Session, alerts []detect.Alert) {
+	if !rt.rec.Enabled() {
+		return
+	}
+	for i := range alerts {
+		a := &alerts[i]
+		rt.rec.Record(obsv.Decision{
+			Session:    s.id,
+			Seq:        a.Seq,
+			UnixNanos:  s.opTime.UnixNano(),
+			Score:      a.Score,
+			Threshold:  a.Threshold,
+			Flag:       a.Flag.String(),
+			Flagged:    true,
+			Generation: s.gen,
+			Label:      a.Label,
+			Caller:     a.Caller,
+		})
+	}
 }
 
 // deliver counts alerts and hands them to the async sink pipeline without
@@ -970,7 +1066,9 @@ func (rt *Runtime) deliverLoop() {
 }
 
 func (rt *Runtime) callSink(m alertMsg) {
+	start := time.Now()
 	defer func() {
+		rt.ctr.AddSinkDelivery(time.Since(start).Nanoseconds())
 		if r := recover(); r != nil {
 			rt.ctr.AddSinkPanic()
 		}
@@ -1060,8 +1158,14 @@ type Stats struct {
 	// ActiveSessions / SessionsOpened count session churn.
 	ActiveSessions int64
 	SessionsOpened uint64
-	// AvgLatency is the mean engine-side processing time per call.
+	// AvgLatency is the mean engine-side processing time per call;
+	// MaxLatency the largest single call, and P50/P95/P99Latency the
+	// percentiles estimated from the observe-path latency histogram.
 	AvgLatency time.Duration
+	MaxLatency time.Duration
+	P50Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
 	// Panics counts panics recovered on workers (per-op or worker-crash);
 	// WorkerRestarts counts supervised worker restarts; Quarantined counts
 	// sessions isolated after a failure.
@@ -1079,6 +1183,9 @@ type Stats struct {
 	Generation     uint64
 	Swaps          uint64
 	EnginesRetired uint64
+	// DecisionsRecorded counts provenance records written into the decision
+	// ring (alerts plus 1-in-N sampled Normal judgements).
+	DecisionsRecorded uint64
 }
 
 // AlertTotal sums the per-flag alert counts.
@@ -1092,12 +1199,13 @@ func (s Stats) AlertTotal() uint64 {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d",
+		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s max=%s p50=%s p95=%s p99=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d decisions=%d",
 		s.Calls, s.Dropped, s.AlertTotal(),
 		s.Alerts[int(detect.FlagAnomalous)], s.Alerts[int(detect.FlagDL)], s.Alerts[int(detect.FlagOutOfContext)],
-		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap, s.AvgLatency,
+		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap,
+		s.AvgLatency, s.MaxLatency, s.P50Latency, s.P95Latency, s.P99Latency,
 		s.Panics, s.WorkerRestarts, s.Quarantined, s.SinkDropped, s.SinkPanics,
-		s.Generation, s.Swaps, s.EnginesRetired)
+		s.Generation, s.Swaps, s.EnginesRetired, s.DecisionsRecorded)
 }
 
 // Stats snapshots the runtime's counters and gauges.
@@ -1112,6 +1220,10 @@ func (rt *Runtime) Stats() Stats {
 		ActiveSessions: snap.ActiveSessions,
 		SessionsOpened: snap.SessionsOpened,
 		AvgLatency:     time.Duration(snap.AvgLatencyNanos()),
+		MaxLatency:     time.Duration(snap.MaxLatencyNanos()),
+		P50Latency:     time.Duration(snap.Observe.Quantile(0.50)),
+		P95Latency:     time.Duration(snap.Observe.Quantile(0.95)),
+		P99Latency:     time.Duration(snap.Observe.Quantile(0.99)),
 		Panics:         snap.Panics,
 		WorkerRestarts: snap.WorkerRestarts,
 		Quarantined:    snap.Quarantined,
@@ -1121,10 +1233,48 @@ func (rt *Runtime) Stats() Stats {
 		Swaps:          snap.Swaps,
 		EnginesRetired: snap.EnginesRetired,
 	}
+	st.DecisionsRecorded = rt.rec.Recorded()
 	rt.mu.RLock()
 	for _, q := range rt.queues {
 		st.QueueDepth += len(q)
 	}
 	rt.mu.RUnlock()
 	return st
+}
+
+// Histograms bundles the runtime's latency histograms: per-call engine
+// scoring (Observe), flush/close processing (Flush), and async alert
+// deliveries to the user sink (SinkDelivery). All values are nanoseconds.
+type Histograms struct {
+	Observe      metrics.HistogramSnapshot
+	Flush        metrics.HistogramSnapshot
+	SinkDelivery metrics.HistogramSnapshot
+}
+
+// Histograms snapshots the runtime's latency histograms.
+func (rt *Runtime) Histograms() Histograms {
+	snap := rt.ctr.Snapshot()
+	return Histograms{Observe: snap.Observe, Flush: snap.Flush, SinkDelivery: snap.SinkDelivery}
+}
+
+// Decisions returns up to limit of the most recent provenance records,
+// newest first (limit ≤ 0 returns everything retained). Empty when the
+// decision log was disabled with WithDecisionLog(-1, 0).
+func (rt *Runtime) Decisions(limit int) []obsv.Decision { return rt.rec.Decisions(limit) }
+
+// Ready reports nil while the runtime serves ingest: workers supervised, a
+// profile generation published, and Close not yet begun. The introspection
+// endpoint's /readyz is wired to this.
+func (rt *Runtime) Ready() error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	switch {
+	case rt.closed:
+		return ErrClosed
+	case rt.draining:
+		return errors.New("runtime: draining")
+	case rt.cur.Load().gen == 0:
+		return errors.New("runtime: no profile generation published")
+	}
+	return nil
 }
