@@ -111,8 +111,6 @@ type (
 	Runtime = runtime.Runtime
 	// Session is one monitored call stream inside a Runtime.
 	Session = runtime.Session
-	// RuntimeOption configures NewRuntime.
-	RuntimeOption = runtime.Option
 	// RuntimeStats is a point-in-time snapshot of a Runtime's counters.
 	RuntimeStats = runtime.Stats
 	// DropPolicy selects a Runtime's full-queue behaviour (Block or
@@ -275,29 +273,79 @@ func TrainContext(ctx context.Context, prog *Program, traces []Trace, opts Train
 	return core.TrainContext(ctx, prog, traces, opts)
 }
 
-// MonitorOption configures NewMonitor.
-type MonitorOption func(*monitorConfig)
+// Scorer configuration, shared by monitors and runtimes.
+type (
+	// ScorerMode selects the HMM scoring kernel detection runs on; the zero
+	// value is ScorerExact. See WithScorerMode.
+	ScorerMode = hmm.ScorerMode
+)
+
+// ScorerExact is the default scoring mode: the full transition matrix,
+// bit-identical to the batch forward pass used during training.
+var ScorerExact = hmm.ScorerExact
+
+// ScorerTopK returns the approximate scoring mode that prunes each HMM
+// transition row to its k largest entries (renormalised). Scoring cost per
+// call drops from O(N²) to O(N·k); every judgement carries a sound
+// per-window bound on the score error it may have introduced
+// (Alert.ScoreErrorBound, Decision.ScoreErrorBound), so the approximation is
+// visible rather than silent. Panics if k < 1.
+func ScorerTopK(k int) ScorerMode { return hmm.ScorerTopK(k) }
+
+// MonitorOption configures NewMonitor. Options that make sense for both
+// single-stream monitors and concurrent runtimes (WithScorerMode) satisfy
+// MonitorOption and RuntimeOption at once.
+type MonitorOption interface{ applyMonitor(*monitorConfig) }
+
+// RuntimeOption configures NewRuntime.
+type RuntimeOption interface{ runtimeOption() runtime.Option }
+
+// monitorOptionFunc adapts a config mutation to MonitorOption.
+type monitorOptionFunc func(*monitorConfig)
+
+func (f monitorOptionFunc) applyMonitor(c *monitorConfig) { f(c) }
+
+// runtimeOptionWrap adapts an internal runtime.Option to RuntimeOption.
+type runtimeOptionWrap struct{ o runtime.Option }
+
+func (w runtimeOptionWrap) runtimeOption() runtime.Option { return w.o }
 
 type monitorConfig struct {
 	sink      AlertSink
 	threshold *float64
 	window    int
+	mode      ScorerMode
 }
+
+// ScorerModeOption is the option WithScorerMode returns; it configures both
+// NewMonitor and NewRuntime.
+type ScorerModeOption struct{ m ScorerMode }
+
+func (s ScorerModeOption) applyMonitor(c *monitorConfig) { c.mode = s.m }
+func (s ScorerModeOption) runtimeOption() runtime.Option { return runtime.WithScorerMode(s.m) }
+
+// WithScorerMode selects the HMM scoring kernel: ScorerExact (the default)
+// or ScorerTopK(k) for approximate scoring with a reported error bound. The
+// returned option is accepted by both NewMonitor and NewRuntime:
+//
+//	mon := adprom.NewMonitor(prof, adprom.WithScorerMode(adprom.ScorerTopK(8)))
+//	rt := adprom.NewRuntime(prof, adprom.WithScorerMode(adprom.ScorerTopK(8)))
+func WithScorerMode(m ScorerMode) ScorerModeOption { return ScorerModeOption{m: m} }
 
 // WithSink routes the monitor's alerts to sink (the security administrator).
 func WithSink(sink AlertSink) MonitorOption {
-	return func(c *monitorConfig) { c.sink = sink }
+	return monitorOptionFunc(func(c *monitorConfig) { c.sink = sink })
 }
 
 // WithThreshold overrides the profile's selected detection threshold
 // (per-symbol log probability).
 func WithThreshold(t float64) MonitorOption {
-	return func(c *monitorConfig) { c.threshold = &t }
+	return monitorOptionFunc(func(c *monitorConfig) { c.threshold = &t })
 }
 
 // WithWindowSize overrides the profile's sliding-window length n.
 func WithWindowSize(n int) MonitorOption {
-	return func(c *monitorConfig) { c.window = n }
+	return monitorOptionFunc(func(c *monitorConfig) { c.window = n })
 }
 
 // NewMonitor builds the detection phase around a trained profile. With no
@@ -308,7 +356,7 @@ func NewMonitor(p *Profile, opts ...MonitorOption) *Monitor {
 	var c monitorConfig
 	for _, o := range opts {
 		if o != nil {
-			o(&c)
+			o.applyMonitor(&c)
 		}
 	}
 	m := core.NewMonitor(p, c.sink)
@@ -318,33 +366,44 @@ func NewMonitor(p *Profile, opts ...MonitorOption) *Monitor {
 	if c.threshold != nil {
 		m.Engine().SetThreshold(*c.threshold)
 	}
+	m.Engine().SetScorerMode(c.mode)
 	return m
 }
 
 // NewMonitorWithSink builds a monitor with a positional alert sink.
 //
-// Deprecated: use NewMonitor(p, WithSink(sink)).
+// Deprecated: this is a thin shim kept for source compatibility and slated
+// for removal; use NewMonitor(p, WithSink(sink)).
 func NewMonitorWithSink(p *Profile, sink AlertSink) *Monitor {
-	return core.NewMonitor(p, sink)
+	return NewMonitor(p, WithSink(sink))
 }
 
 // NewRuntime builds a concurrent multi-stream detection runtime over a
 // trained profile: sessions obtained from Runtime.Session are scored in
-// parallel by a worker pool sharing the profile. Close it when done.
+// parallel by a worker pool sharing the profile. Nil options are ignored.
+// Close it when done.
 func NewRuntime(p *Profile, opts ...RuntimeOption) *Runtime {
-	return runtime.New(p, opts...)
+	ros := make([]runtime.Option, 0, len(opts))
+	for _, o := range opts {
+		if o != nil {
+			ros = append(ros, o.runtimeOption())
+		}
+	}
+	return runtime.New(p, ros...)
 }
 
 // WithWorkers sets the runtime's number of detection workers (default
 // GOMAXPROCS).
-func WithWorkers(n int) RuntimeOption { return runtime.WithWorkers(n) }
+func WithWorkers(n int) RuntimeOption { return runtimeOptionWrap{runtime.WithWorkers(n)} }
 
 // WithQueueDepth bounds each runtime worker's ingest queue (default 256).
-func WithQueueDepth(d int) RuntimeOption { return runtime.WithQueueDepth(d) }
+func WithQueueDepth(d int) RuntimeOption { return runtimeOptionWrap{runtime.WithQueueDepth(d)} }
 
 // WithDropPolicy selects the runtime's full-queue behaviour: Block
 // (backpressure, the default) or DropNewest (load shedding).
-func WithDropPolicy(p DropPolicy) RuntimeOption { return runtime.WithDropPolicy(p) }
+func WithDropPolicy(p DropPolicy) RuntimeOption {
+	return runtimeOptionWrap{runtime.WithDropPolicy(p)}
+}
 
 // WithSessionSink routes every runtime session's alerts to fn, tagged with
 // the session id. Delivery is asynchronous and isolated: fn runs on a
@@ -352,30 +411,32 @@ func WithDropPolicy(p DropPolicy) RuntimeOption { return runtime.WithDropPolicy(
 // recovered and counted, and deliveries that cannot be handed off within the
 // sink timeout are shed and counted rather than stalling detection.
 func WithSessionSink(fn func(session string, a Alert)) RuntimeOption {
-	return runtime.WithAlertFunc(runtime.AlertFunc(fn))
+	return runtimeOptionWrap{runtime.WithAlertFunc(runtime.AlertFunc(fn))}
 }
 
 // WithSinkBuffer bounds the runtime's asynchronous alert-delivery queue
 // (default 1024). When the sink cannot keep up, overflowing alerts are shed
 // and counted in RuntimeStats.SinkDropped; detection itself never blocks on
 // the sink.
-func WithSinkBuffer(n int) RuntimeOption { return runtime.WithSinkBuffer(n) }
+func WithSinkBuffer(n int) RuntimeOption { return runtimeOptionWrap{runtime.WithSinkBuffer(n)} }
 
 // WithSinkTimeout bounds how long the runtime waits to hand one alert to the
 // sink before shedding it (default 1s).
-func WithSinkTimeout(d time.Duration) RuntimeOption { return runtime.WithSinkTimeout(d) }
+func WithSinkTimeout(d time.Duration) RuntimeOption {
+	return runtimeOptionWrap{runtime.WithSinkTimeout(d)}
+}
 
 // WithJudgeHook installs a hook observing every completed window judgement
 // (session id, window end sequence, score, flagged). A non-nil error
 // quarantines that session — Observe/Flush return ErrSessionFailed — without
 // affecting other sessions. The hook runs on worker goroutines and must be
 // safe for concurrent use.
-func WithJudgeHook(fn JudgeHook) RuntimeOption { return runtime.WithJudgeHook(fn) }
+func WithJudgeHook(fn JudgeHook) RuntimeOption { return runtimeOptionWrap{runtime.WithJudgeHook(fn)} }
 
 // WithLogger routes the runtime's structured events (worker restarts, session
 // quarantines, profile swaps) to l as slog records. Nil leaves event logging
 // off; the hot path is never logged.
-func WithLogger(l *slog.Logger) RuntimeOption { return runtime.WithLogger(l) }
+func WithLogger(l *slog.Logger) RuntimeOption { return runtimeOptionWrap{runtime.WithLogger(l)} }
 
 // WithDecisionLog sizes the runtime's decision-provenance ring: the last
 // capacity judgement records are retained (default 1024; negative disables
@@ -384,7 +445,7 @@ func WithLogger(l *slog.Logger) RuntimeOption { return runtime.WithLogger(l) }
 // Retrieve records with Runtime.Decisions or the introspection endpoint's
 // /decisions.
 func WithDecisionLog(capacity, sampleEvery int) RuntimeOption {
-	return runtime.WithDecisionLog(capacity, sampleEvery)
+	return runtimeOptionWrap{runtime.WithDecisionLog(capacity, sampleEvery)}
 }
 
 // NewIntrospectionHandler builds the live introspection endpoint for a
@@ -434,10 +495,10 @@ func WithLifecycle(m *Lifecycle) RuntimeOption {
 	if m == nil {
 		return nil
 	}
-	return runtime.Options(
+	return runtimeOptionWrap{runtime.Options(
 		runtime.WithJudgeObserver(m.Observe),
 		runtime.WithAttach(m.Bind),
-	)
+	)}
 }
 
 // OpenProfileRegistry opens (creating if needed) the versioned profile store

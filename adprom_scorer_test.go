@@ -1,0 +1,96 @@
+package adprom
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestFacadeScorerMode covers the scorer-configuration surface: the same
+// WithScorerMode option value configures both NewMonitor and NewRuntime,
+// exact stays the default, batched observe matches per-call observe through
+// the public API, and the top-K approximation's error bound surfaces on
+// alerts and decision provenance instead of being silently applied.
+func TestFacadeScorerMode(t *testing.T) {
+	app := HospitalApp()
+	traces, err := app.CollectTraces(ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Train(app.Prog, traces, TrainOptions{Train: HMMOptions{MaxIters: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A trace with a foreign-call burst so detection actually raises alerts.
+	attacked := append(Trace{}, traces[0]...)
+	for i := 0; i < 6; i++ {
+		attacked = append(attacked, Call{
+			Label: "curl_easy_perform", Name: "curl_easy_perform", Caller: "main",
+		})
+	}
+
+	if !NewMonitor(prof).Engine().ScorerMode().Exact() {
+		t.Fatal("default monitor mode is not exact")
+	}
+	mode := ScorerTopK(6)
+	mon := NewMonitor(prof, WithScorerMode(mode))
+	if got := mon.Engine().ScorerMode(); got != mode {
+		t.Fatalf("monitor mode = %v, want %v", got, mode)
+	}
+
+	// Monitor.ObserveBatch is call-for-call equivalent to Observe.
+	perCall := NewMonitor(prof, WithScorerMode(mode))
+	var want []Alert
+	for _, c := range attacked {
+		want = append(want, perCall.Engine().Observe(c)...)
+	}
+	got := mon.ObserveBatch(attacked)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched monitor alerts diverge:\nbatch    %+v\nper-call %+v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("attacked trace raised no alerts; the check is vacuous")
+	}
+	var bounded int
+	for _, a := range got {
+		if a.ScoreErrorBound < 0 {
+			t.Fatalf("negative error bound: %+v", a)
+		}
+		if a.ScoreErrorBound > 0 {
+			bounded++
+		}
+	}
+	if bounded == 0 {
+		t.Fatal("top-K alerts carry no positive ScoreErrorBound")
+	}
+
+	// The same option value configures a Runtime; batched session ingest
+	// raises the same alerts and the bound lands on decision provenance.
+	rt := NewRuntime(prof, WithWorkers(1), WithScorerMode(mode), WithDecisionLog(256, 1))
+	s := rt.Session("batch")
+	if err := s.ObserveBatch(attacked); err != nil {
+		t.Fatal(err)
+	}
+	history, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close flushes the session, so compare against the per-call engine's
+	// full flushed history.
+	if fullWant := perCall.Engine().Flush(); !reflect.DeepEqual(history, fullWant) {
+		t.Fatalf("runtime batched alerts diverge:\nruntime  %+v\nper-call %+v", history, fullWant)
+	}
+	var provenanced int
+	for _, d := range rt.Decisions(0) {
+		if d.Flagged && d.ScoreErrorBound > 0 && !math.IsInf(d.ScoreErrorBound, 0) {
+			provenanced++
+		}
+	}
+	if provenanced == 0 {
+		t.Fatal("no flagged decision carries the top-K error bound")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

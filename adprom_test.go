@@ -121,10 +121,14 @@ func TestFacadeOptions(t *testing.T) {
 	}
 
 	var got []Alert
-	dep := NewMonitorWithSink(prof, AlertFunc(func(a Alert) { got = append(got, a) }))
-	dep.Engine().SetThreshold(0)
+	dep := NewMonitor(prof, WithSink(AlertFunc(func(a Alert) { got = append(got, a) })), WithThreshold(0))
 	if alerts := dep.ObserveTrace(traces[0]); len(alerts) == 0 || len(got) != len(alerts) {
-		t.Fatalf("deprecated alias: %d alerts, %d via sink", len(alerts), len(got))
+		t.Fatalf("WithSink: %d alerts, %d via sink", len(alerts), len(got))
+	}
+	// The deprecated shim must keep compiling and behaving as
+	// NewMonitor(p, WithSink(sink)) until removal.
+	if shim := NewMonitorWithSink(prof, nil); shim == nil || shim.Engine() == nil {
+		t.Fatal("NewMonitorWithSink shim broken")
 	}
 
 	var mu sync.Mutex

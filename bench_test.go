@@ -66,12 +66,14 @@ func batchScorePass(p *Profile, stream Trace) int {
 // BenchmarkRuntimeThroughput measures the tentpole end to end: 64 concurrent
 // long-running client streams (the app's full trace corpus replayed as one
 // continuous call stream each) multiplexed through one Runtime over a shared
-// profile, with incremental window scoring. The x_vs_batch_monitor metric is
-// the speedup over looping the pre-runtime sequential Monitor (batch LogProb
-// recomputed per call); the acceptance bar is ≥2.
+// profile, ingested through the batched observe path (Session.ObserveBatch
+// in chunks of 64) over the flat-kernel incremental scorer. The
+// x_vs_batch_monitor metric is the speedup over looping the pre-runtime
+// sequential Monitor (batch LogProb recomputed per call).
 func BenchmarkRuntimeThroughput(b *testing.B) {
 	p, traces := benchProfileAppH(b)
 	const streams = 64
+	const chunk = 64
 	var stream Trace
 	for _, tr := range traces {
 		stream = append(stream, tr...)
@@ -97,8 +99,12 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 			go func(s int) {
 				defer wg.Done()
 				sess := rt.Session(fmt.Sprintf("bench-%02d", s))
-				for _, c := range stream {
-					if err := sess.Observe(c); err != nil {
+				for lo := 0; lo < len(stream); lo += chunk {
+					hi := lo + chunk
+					if hi > len(stream) {
+						hi = len(stream)
+					}
+					if err := sess.ObserveBatch(stream[lo:hi]); err != nil {
 						b.Error(err)
 						return
 					}

@@ -7,7 +7,7 @@
 //	adprom analyze    -app <name>
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
-//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
 //	adprom profile    inspect <file>...
 //	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
 //
@@ -97,7 +97,7 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
-  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
   adprom profile    inspect <file>...
   adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
 
@@ -297,6 +297,43 @@ func cmdDetect(args []string) error {
 // engine panic on one stream; a worker crash on another) to demonstrate that
 // the runtime isolates failures: healthy streams finish, victims are
 // quarantined, and the run ends with clean shutdown and fault counters.
+// parseScorerMode parses the -scorer flag: "exact" or "topk:<k>".
+func parseScorerMode(s string) (hmm.ScorerMode, error) {
+	switch {
+	case s == "" || s == "exact":
+		return hmm.ScorerExact, nil
+	case len(s) > 5 && s[:5] == "topk:":
+		k, err := strconv.Atoi(s[5:])
+		if err != nil || k < 1 {
+			return hmm.ScorerMode{}, fmt.Errorf("bad -scorer %q (want exact or topk:<k>, k >= 1)", s)
+		}
+		return hmm.ScorerTopK(k), nil
+	default:
+		return hmm.ScorerMode{}, fmt.Errorf("bad -scorer %q (want exact or topk:<k>)", s)
+	}
+}
+
+// replayTrace feeds one trace through a serving session — batched when
+// batch > 0, per-call otherwise — and flushes the trailing short window.
+// Chunks shed under -drop newest are skipped, matching ObserveTrace.
+func replayTrace(s *runtime.Session, tr collector.Trace, batch int) error {
+	if batch <= 0 {
+		_, err := s.ObserveTrace(tr)
+		return err
+	}
+	for lo := 0; lo < len(tr); lo += batch {
+		hi := lo + batch
+		if hi > len(tr) {
+			hi = len(tr)
+		}
+		if err := s.ObserveBatch(tr[lo:hi]); err != nil && !errors.Is(err, runtime.ErrDropped) {
+			return err
+		}
+	}
+	_, err := s.Flush()
+	return err
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	appName := fs.String("app", "appb", "application to serve")
@@ -306,6 +343,8 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 256, "per-worker ingest queue depth")
 	drop := fs.String("drop", "block", "full-queue policy: block (backpressure) or newest (shed)")
 	repeat := fs.Int("repeat", 8, "replay passes per stream")
+	batch := fs.Int("batch", 64, "calls per batched observe (0 = per-call ingest)")
+	scorer := fs.String("scorer", "exact", "scoring kernel: exact or topk:<k> (approximate, with reported error bound)")
 	chaos := fs.Bool("chaos", false, "inject sink, engine, and worker faults during the replay")
 	profileDir := fs.String("profile-dir", "", "load the newest .adprof here and hot-swap profiles published while serving")
 	watchEvery := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -profile-dir")
@@ -363,9 +402,14 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	mode, err := parseScorerMode(*scorer)
+	if err != nil {
+		return err
+	}
 	opts := []runtime.Option{
 		runtime.WithWorkers(*workers),
 		runtime.WithQueueDepth(*queue),
+		runtime.WithScorerMode(mode),
 	}
 	if *logEvents {
 		opts = append(opts, runtime.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
@@ -455,7 +499,7 @@ func cmdServe(args []string) error {
 			defer wg.Done()
 			s := rt.Session(fmt.Sprintf("stream-%03d", i))
 			for pass := 0; pass < *repeat; pass++ {
-				_, err := s.ObserveTrace(traces[(i+pass)%len(traces)])
+				err := replayTrace(s, traces[(i+pass)%len(traces)], *batch)
 				switch {
 				case err == nil:
 				case errors.Is(err, runtime.ErrDropped):

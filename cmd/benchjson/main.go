@@ -12,6 +12,18 @@
 // (calls/s, x_vs_batch_monitor), the observe-path latency percentiles
 // (p50_latency_ns, p95_latency_ns, p99_latency_ns), and the observability
 // layer's cost (overhead_pct) all flow through unchanged.
+//
+// With -baseline, benchjson instead compares the report parsed from stdin
+// against a committed baseline JSON and exits 1 when any benchmark present
+// in both regressed in ns/op by more than -tolerance (default 0.20, i.e.
+// 20%). -filter restricts the comparison to benchmark names matching a
+// regexp — the CI bench-smoke gate:
+//
+//	go test -run '^$' -bench 'ScorerLogProb|StreamPush' -benchtime 3x ./internal/hmm |
+//	    benchjson -baseline BENCH_runtime.json -filter 'ScorerLogProb|StreamPush'
+//
+// Benchmarks only on one side are reported but never fail the gate, so
+// adding or retiring a benchmark does not break CI.
 package main
 
 import (
@@ -20,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,6 +60,9 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline report JSON; compare instead of converting, exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs -baseline (0.20 = 20%)")
+	filter := flag.String("filter", "", "regexp restricting which benchmark names -baseline compares")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -56,6 +73,17 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		ok, err := compare(rep, *baseline, *tolerance, *filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -71,6 +99,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// minNs folds a report into the fastest ns/op seen per benchmark name.
+// Both sides of a comparison are expected to run with -count > 1; min-of-N
+// is the standard way to strip scheduler noise from a shared CI box, since
+// a benchmark can run unluckily slow but never unluckily fast.
+func minNs(rep *Report) map[string]float64 {
+	m := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if best, seen := m[b.Name]; !seen || b.NsPerOp < best {
+			m[b.Name] = b.NsPerOp
+		}
+	}
+	return m
+}
+
+// compare checks the freshly parsed report against a committed baseline and
+// prints one line per benchmark compared. It returns ok=false when any
+// benchmark present in both reports (and matching the filter, if given) got
+// slower in min-of-N ns/op by more than the tolerance fraction. Names on
+// only one side are noted but never fail the gate.
+func compare(cur *Report, baselinePath string, tolerance float64, filter string) (bool, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	var re *regexp.Regexp
+	if filter != "" {
+		if re, err = regexp.Compile(filter); err != nil {
+			return false, fmt.Errorf("filter: %w", err)
+		}
+	}
+	baseNs, curNs := minNs(&base), minNs(cur)
+	names := make([]string, 0, len(curNs))
+	for name := range curNs {
+		if re == nil || re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ok, compared := true, 0
+	for _, name := range names {
+		now := curNs[name]
+		was, found := baseNs[name]
+		if !found {
+			fmt.Printf("  ?   %-40s %12.0f ns/op  (no baseline)\n", name, now)
+			continue
+		}
+		compared++
+		delta := now/was - 1
+		mark := "ok"
+		if delta > tolerance {
+			mark, ok = "FAIL", false
+		}
+		fmt.Printf("%4s  %-40s %12.0f ns/op  vs %12.0f  (%+.1f%%, tolerance %.0f%%)\n",
+			mark, name, now, was, 100*delta, 100*tolerance)
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("no benchmarks in common with baseline %s (filter %q)", baselinePath, filter)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark regression beyond tolerance")
+	}
+	return ok, nil
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -150,18 +150,31 @@ func (m *Monitor) Attach(ip *interp.Interp) {
 	})
 }
 
+// ObserveBatch feeds a run of consecutive calls from the monitored stream
+// through the engine's batched scoring path and returns (and sinks) the
+// alerts raised. The alerts are exactly those len(calls) individual Observe
+// calls would raise, in the same order; batching only amortises per-call
+// overhead.
+func (m *Monitor) ObserveBatch(calls []collector.Call) []detect.Alert {
+	alerts := m.engine.ObserveBatch(calls)
+	if m.sink != nil {
+		for _, a := range alerts {
+			m.sink.HandleAlert(a)
+		}
+	}
+	return alerts
+}
+
 // ObserveTrace replays one collected execution through the monitor (the
 // offline deployment mode) and returns the engine's full alert history
 // including the final short-window judgement. The sliding window resets at
 // the start of the trace: windows never straddle two executions.
 func (m *Monitor) ObserveTrace(tr collector.Trace) []detect.Alert {
 	m.engine.ResetWindow()
-	for _, c := range tr {
-		alerts := m.engine.Observe(c)
-		if m.sink != nil {
-			for _, a := range alerts {
-				m.sink.HandleAlert(a)
-			}
+	alerts := m.engine.ObserveBatch(tr)
+	if m.sink != nil {
+		for _, a := range alerts {
+			m.sink.HandleAlert(a)
 		}
 	}
 	before := len(m.engine.Alerts())

@@ -1,0 +1,125 @@
+package detect
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/hmm"
+)
+
+// TestObserveBatchMatchesObserve: feeding a stream through ObserveBatch in
+// arbitrary chunks must yield exactly the alerts (bitwise scores and bounds
+// included), sequence numbers, judge-hook calls, and Flush behaviour of the
+// per-call path — in both scorer modes.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	p, traces, _ := trainAppH(t)
+	r := rand.New(rand.NewSource(17))
+
+	// Concatenate traces and splice in foreign calls, OOC callers, and an
+	// origin-carrying leak call so every alert flavour appears.
+	var stream []collector.Call
+	for _, tr := range traces {
+		stream = append(stream, tr...)
+	}
+	for i := 0; i < 8; i++ {
+		stream = append(stream, collector.Call{
+			Label: "curl_easy_perform", Name: "curl_easy_perform", Caller: "main",
+		})
+	}
+	if len(stream) > 4 {
+		c := stream[3]
+		c.Caller = "unexpected_fn"
+		stream = append(stream, c)
+	}
+	for _, tr := range traces {
+		stream = append(stream, tr...)
+	}
+
+	type hookCall struct {
+		seq     int
+		score   float64
+		flagged bool
+	}
+
+	for _, mode := range []hmm.ScorerMode{hmm.ScorerExact, hmm.ScorerTopK(4)} {
+		var refHooks, batHooks []hookCall
+		ref := NewEngine(p)
+		ref.SetScorerMode(mode)
+		ref.SetJudgeHook(func(seq int, score float64, flagged bool) error {
+			refHooks = append(refHooks, hookCall{seq, score, flagged})
+			return nil
+		})
+		var want []Alert
+		for _, c := range stream {
+			want = append(want, ref.Observe(c)...)
+		}
+
+		bat := NewEngine(p)
+		bat.SetScorerMode(mode)
+		bat.SetJudgeHook(func(seq int, score float64, flagged bool) error {
+			batHooks = append(batHooks, hookCall{seq, score, flagged})
+			return nil
+		})
+		var got []Alert
+		for lo := 0; lo < len(stream); {
+			hi := lo + 1 + r.Intn(40)
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			got = append(got, bat.ObserveBatch(stream[lo:hi])...)
+			lo = hi
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("mode %v: batch raised %d alerts, per-call %d", mode, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("mode %v alert %d:\nbatch    %+v\nper-call %+v", mode, i, got[i], want[i])
+			}
+		}
+		if !reflect.DeepEqual(refHooks, batHooks) {
+			t.Fatalf("mode %v: judge-hook sequences differ (%d vs %d calls)", mode, len(batHooks), len(refHooks))
+		}
+		if !reflect.DeepEqual(bat.Flush(), ref.Flush()) {
+			t.Fatalf("mode %v: Flush histories differ", mode)
+		}
+	}
+}
+
+// TestObserveBatchPartialWindows: batches shorter than the window length keep
+// the ring consistent, so a later Flush judges the same short window the
+// per-call path would.
+func TestObserveBatchPartialWindows(t *testing.T) {
+	p, traces, _ := trainAppH(t)
+	short := traces[0]
+	if len(short) > p.WindowLen-2 {
+		short = short[:p.WindowLen-2]
+	}
+
+	ref := NewEngine(p)
+	for _, c := range short {
+		ref.Observe(c)
+	}
+	bat := NewEngine(p)
+	bat.ObserveBatch(short[:len(short)/2])
+	bat.ObserveBatch(short[len(short)/2:])
+
+	if !reflect.DeepEqual(bat.Flush(), ref.Flush()) {
+		t.Fatalf("short-stream Flush differs: batch %+v, per-call %+v", bat.Flush(), ref.Flush())
+	}
+}
+
+// TestObserveBatchEmpty: a nil batch is a no-op.
+func TestObserveBatchEmpty(t *testing.T) {
+	p, _, _ := trainAppH(t)
+	e := NewEngine(p)
+	if out := e.ObserveBatch(nil); out != nil {
+		t.Fatalf("empty batch returned %v", out)
+	}
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("empty batch recorded alerts")
+	}
+}

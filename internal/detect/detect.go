@@ -96,6 +96,12 @@ type Alert struct {
 	// probability); both are zero for OutOfContext alerts.
 	Score     float64
 	Threshold float64
+	// ScoreErrorBound bounds |Score − exact score| when the engine runs an
+	// approximate scorer mode (hmm.ScorerTopK), on the same per-symbol scale
+	// as Score. It is 0 in exact mode and +Inf when the pruned window lost
+	// all probability mass (the bound is vacuous but Score < threshold still
+	// holds exactly).
+	ScoreErrorBound float64 `json:",omitempty"`
 	// Window is the flagged call sequence.
 	Window []string
 	// Origins links a DL alert to the queries whose data leaked — the
@@ -112,11 +118,25 @@ type Engine struct {
 	p         *profile.Profile
 	threshold float64
 	winLen    int
+	mode      hmm.ScorerMode
 	stream    *hmm.StreamScorer
 	window    []collector.Call
 	winStart  int // ring start within window when full
 	seq       int
 	alerts    []Alert
+
+	// ObserveBatch scratch, reused across batches (never retained by alerts).
+	syms       []int
+	scores     []float64
+	bounds     []float64
+	winScratch []collector.Call
+
+	// Append-only arenas flagged windows carve their Window labels and leak
+	// Origins from, so a batch with many alerts costs a few arena-growth
+	// allocations instead of a few per alert. Exhausted arenas are abandoned
+	// (their carved regions stay alive through the alerts) and replaced.
+	labelArena  []string
+	originArena []interp.Origin
 
 	// Adaptive-threshold state (see adaptive.go).
 	oocAllowed  map[[2]string]bool
@@ -160,6 +180,21 @@ func (e *Engine) SetWindowLen(n int) {
 // WindowLen returns the engine's active window length.
 func (e *Engine) WindowLen() int { return e.winLen }
 
+// SetScorerMode selects the scoring kernel (hmm.ScorerExact or
+// hmm.ScorerTopK) for subsequent windows. Like SetWindowLen it resets the
+// current window, so call it before observing. The mode, like the window
+// length, survives Reset.
+func (e *Engine) SetScorerMode(m hmm.ScorerMode) {
+	if m != e.mode {
+		e.mode = m
+		e.stream = nil
+	}
+	e.ResetWindow()
+}
+
+// ScorerMode returns the engine's active scoring kernel mode.
+func (e *Engine) ScorerMode() hmm.ScorerMode { return e.mode }
+
 // ResetWindow clears the sliding window between monitored executions, so a
 // window never straddles two program runs. Alert history is preserved.
 func (e *Engine) ResetWindow() {
@@ -178,6 +213,7 @@ func (e *Engine) Reset() {
 	e.ResetWindow()
 	e.seq = 0
 	e.alerts = nil
+	e.labelArena, e.originArena = nil, nil
 	e.threshold = e.p.Threshold
 	e.oocAllowed = nil
 	e.adaptRate, e.adaptMargin = 0, 0
@@ -237,7 +273,7 @@ func (e *Engine) Observe(c collector.Call) []Alert {
 	// window of pending calls; judge the window the moment it completes.
 	if e.winLen > 0 {
 		if e.stream == nil {
-			e.stream = e.p.NewStreamScorer(e.winLen)
+			e.stream = e.p.NewStreamScorerMode(e.winLen, e.mode)
 		}
 		if len(e.window) < e.winLen {
 			e.window = append(e.window, c)
@@ -246,8 +282,8 @@ func (e *Engine) Observe(c collector.Call) []Alert {
 			e.winStart = (e.winStart + 1) % e.winLen
 		}
 		if logp, done := e.stream.Push(e.p.SymbolOf(c.Label)); done {
-			score := logp / float64(e.winLen)
-			if a, flagged := e.judgeWindow(seq, score); flagged {
+			w := float64(e.winLen)
+			if a, flagged := e.judgeWindow(seq, logp/w, e.stream.LastBound()/w); flagged {
 				out = append(out, a)
 			}
 		}
@@ -257,11 +293,107 @@ func (e *Engine) Observe(c collector.Call) []Alert {
 	return out
 }
 
+// ObserveBatch processes a run of calls from one stream in a single pass and
+// returns the alerts they raised. It is equivalent to calling Observe on
+// each call in order — same alerts, same scores bit for bit, same judge-hook
+// invocations — but folds the whole run into the incremental scorer with one
+// batched push and defers the window ring update to the end of the batch, so
+// the per-call dispatch and bookkeeping cost is amortised across the batch.
+// The calls slice is not retained; the Call values (and their Origins) are.
+func (e *Engine) ObserveBatch(calls []collector.Call) []Alert {
+	if len(calls) == 0 {
+		return nil
+	}
+	baseSeq := e.seq
+	e.seq += len(calls)
+	// Alerts are appended straight into the history and the batch's run of it
+	// returned, so raising many alerts costs amortised history growth instead
+	// of a second slice.
+	histStart := len(e.alerts)
+
+	// Score the whole run first: completions are the trailing entries, and
+	// judging happens in call order below, interleaved with the OOC checks
+	// exactly as the per-call path would.
+	completedFrom := len(calls)
+	if e.winLen > 0 {
+		if e.stream == nil {
+			e.stream = e.p.NewStreamScorerMode(e.winLen, e.mode)
+		}
+		e.growScratch(len(calls))
+		for i := range calls {
+			e.syms[i] = e.p.SymbolOf(calls[i].Label)
+		}
+		completedFrom = len(calls) - e.stream.PushBatch(e.syms, e.scores, e.bounds)
+	}
+
+	prevLen := len(e.window)
+	w := float64(e.winLen)
+	for i := range calls {
+		c := &calls[i]
+		if e.p.KnownLabel(c.Label) && !e.p.KnownCaller(c.Label, c.Caller) &&
+			!e.oocAllowed[[2]string{c.Label, c.Caller}] {
+			e.alerts = append(e.alerts, Alert{
+				Flag:   FlagOutOfContext,
+				Seq:    baseSeq + i,
+				Label:  c.Label,
+				Caller: c.Caller,
+			})
+		}
+		if i >= completedFrom {
+			if a, flagged := e.judgeBatchWindow(baseSeq+i, e.scores[i]/w, e.bounds[i]/w, calls, i, prevLen); flagged {
+				e.alerts = append(e.alerts, a)
+			}
+		}
+	}
+
+	// Rebuild the ring to hold the last winLen calls, oldest first.
+	if e.winLen > 0 {
+		total := prevLen + len(calls)
+		newLen := e.winLen
+		if total < newLen {
+			newLen = total
+		}
+		fromBatch := len(calls)
+		if fromBatch > newLen {
+			fromBatch = newLen
+		}
+		fromRing := newLen - fromBatch
+		if fromRing > 0 {
+			e.winScratch = e.winScratch[:0]
+			for t := prevLen - fromRing; t < prevLen; t++ {
+				e.winScratch = append(e.winScratch, e.window[(e.winStart+t)%prevLen])
+			}
+		}
+		e.window = e.window[:0]
+		e.window = append(e.window, e.winScratch[:fromRing]...)
+		e.window = append(e.window, calls[len(calls)-fromBatch:]...)
+		e.winStart = 0
+	}
+
+	if len(e.alerts) == histStart {
+		return nil
+	}
+	return e.alerts[histStart:len(e.alerts):len(e.alerts)]
+}
+
+// growScratch sizes the batch scratch slices for n calls without reallocating
+// on repeat batches.
+func (e *Engine) growScratch(n int) {
+	if cap(e.syms) < n {
+		e.syms = make([]int, n)
+		e.scores = make([]float64, n)
+		e.bounds = make([]float64, n)
+	}
+	e.syms = e.syms[:n]
+	e.scores = e.scores[:n]
+	e.bounds = e.bounds[:n]
+}
+
 // Flush evaluates a final short window (a trace shorter than n) and returns
 // the engine's full alert history.
 func (e *Engine) Flush() []Alert {
 	if logp, n := partialScore(e.stream); n > 0 && n == len(e.window) {
-		if a, flagged := e.judgeWindow(e.seq-1, logp/float64(n)); flagged {
+		if a, flagged := e.judgeWindow(e.seq-1, logp/float64(n), e.stream.PartialBound()/float64(n)); flagged {
 			e.alerts = append(e.alerts, a)
 		}
 	}
@@ -291,10 +423,10 @@ func (e *Engine) Hook() interp.Hook {
 	}
 }
 
-// judgeWindow classifies the current window given its per-symbol score (from
-// the incremental scorer). The window of pending calls is a ring: index
-// winStart is the oldest call once the ring is full.
-func (e *Engine) judgeWindow(seq int, score float64) (Alert, bool) {
+// judgeWindow classifies the current window given its per-symbol score and
+// error bound (from the incremental scorer). The window of pending calls is
+// a ring: index winStart is the oldest call once the ring is full.
+func (e *Engine) judgeWindow(seq int, score, bound float64) (Alert, bool) {
 	if score >= e.threshold {
 		e.adapt(score)
 		e.runJudgeHook(seq, score, false)
@@ -305,33 +437,121 @@ func (e *Engine) judgeWindow(seq int, score float64) (Alert, bool) {
 	for i := 0; i < n; i++ {
 		labels[i] = e.window[(e.winStart+i)%n].Label
 	}
-	last := e.window[(e.winStart+n-1)%n]
+	last := &e.window[(e.winStart+n-1)%n]
 	a := Alert{
-		Flag:      FlagAnomalous,
-		Seq:       seq,
-		Label:     last.Label,
-		Caller:    last.Caller,
-		Score:     score,
-		Threshold: e.threshold,
-		Window:    labels,
+		Flag:            FlagAnomalous,
+		Seq:             seq,
+		Label:           last.Label,
+		Caller:          last.Caller,
+		Score:           score,
+		Threshold:       e.threshold,
+		ScoreErrorBound: bound,
+		Window:          labels,
 	}
-	// DL when the window contains an output of targeted data; the origins of
-	// the leaked values are attached once each, in call order.
-	seen := map[interp.Origin]bool{}
 	for i := 0; i < n; i++ {
-		c := e.window[(e.winStart+i)%n]
-		if len(c.Origins) > 0 || e.p.LeakLabels[c.Label] {
-			a.Flag = FlagDL
-			for _, o := range c.Origins {
-				if !seen[o] {
-					seen[o] = true
-					a.Origins = append(a.Origins, o)
-				}
-			}
-		}
+		e.attachLeak(&a, &e.window[(e.winStart+i)%n])
 	}
 	e.runJudgeHook(seq, score, true)
 	return a, true
+}
+
+// judgeBatchWindow is judgeWindow for a window completed inside an
+// ObserveBatch run: the window's calls are the last fromBatch = min(i+1, w)
+// entries of calls[:i+1] preceded by the trailing w−fromBatch calls of the
+// frozen pre-batch ring (length prevLen). Flagged windows carve their label
+// copies and leak origins from the engine's arenas instead of allocating
+// slices each.
+func (e *Engine) judgeBatchWindow(seq int, score, bound float64, calls []collector.Call, i, prevLen int) (Alert, bool) {
+	if score >= e.threshold {
+		e.adapt(score)
+		e.runJudgeHook(seq, score, false)
+		return Alert{}, false
+	}
+	w := e.winLen
+	fromBatch := i + 1
+	if fromBatch > w {
+		fromBatch = w
+	}
+	fromRing := w - fromBatch
+	if cap(e.labelArena)-len(e.labelArena) < w {
+		c := 2 * cap(e.labelArena)
+		if c < 64*w {
+			c = 64 * w
+		}
+		e.labelArena = make([]string, 0, c)
+	}
+	start := len(e.labelArena)
+	for t := prevLen - fromRing; t < prevLen; t++ {
+		e.labelArena = append(e.labelArena, e.window[(e.winStart+t)%prevLen].Label)
+	}
+	for t := i + 1 - fromBatch; t <= i; t++ {
+		e.labelArena = append(e.labelArena, calls[t].Label)
+	}
+	a := Alert{
+		Flag:            FlagAnomalous,
+		Seq:             seq,
+		Label:           calls[i].Label,
+		Caller:          calls[i].Caller,
+		Score:           score,
+		Threshold:       e.threshold,
+		ScoreErrorBound: bound,
+		Window:          e.labelArena[start : start+w : start+w],
+	}
+
+	// Upper-bound the window's origin demand so the arena never regrows (and
+	// so copies) mid-window; an exhausted arena is abandoned, not copied.
+	need := 0
+	for t := prevLen - fromRing; t < prevLen; t++ {
+		need += len(e.window[(e.winStart+t)%prevLen].Origins)
+	}
+	for t := i + 1 - fromBatch; t <= i; t++ {
+		need += len(calls[t].Origins)
+	}
+	if need > 0 {
+		if cap(e.originArena)-len(e.originArena) < need {
+			c := 2 * cap(e.originArena)
+			if c < 4*need {
+				c = 4 * need
+			}
+			e.originArena = make([]interp.Origin, 0, c)
+		}
+		ostart := len(e.originArena)
+		a.Origins = e.originArena[ostart:ostart:cap(e.originArena)]
+	}
+	for t := prevLen - fromRing; t < prevLen; t++ {
+		e.attachLeak(&a, &e.window[(e.winStart+t)%prevLen])
+	}
+	for t := i + 1 - fromBatch; t <= i; t++ {
+		e.attachLeak(&a, &calls[t])
+	}
+	if len(a.Origins) == 0 {
+		a.Origins = nil
+	} else {
+		e.originArena = e.originArena[:len(e.originArena)+len(a.Origins)]
+		a.Origins = a.Origins[:len(a.Origins):len(a.Origins)]
+	}
+	e.runJudgeHook(seq, score, true)
+	return a, true
+}
+
+// attachLeak upgrades an alert to DL when the window call c outputs targeted
+// data, attaching the origins of the leaked values once each, in call order.
+// Windows are short and origins few, so dedup is a linear scan of what is
+// already attached rather than a map.
+func (e *Engine) attachLeak(a *Alert, c *collector.Call) {
+	if len(c.Origins) == 0 && !e.p.LeakLabels[c.Label] {
+		return
+	}
+	a.Flag = FlagDL
+outer:
+	for _, o := range c.Origins {
+		for _, have := range a.Origins {
+			if have == o {
+				continue outer
+			}
+		}
+		a.Origins = append(a.Origins, o)
+	}
 }
 
 // runJudgeHook invokes the judge hook, capturing its first error; a panic

@@ -30,6 +30,65 @@ func BenchmarkLogProb(b *testing.B) {
 	}
 }
 
+// BenchmarkScorerLogProb measures the flat-kernel batch scorer over the same
+// windows — the fast path behind Profile.Score and threshold scans.
+func BenchmarkScorerLogProb(b *testing.B) {
+	for _, n := range []int{50, 200, 450} {
+		model, obs := benchModel(n, 40)
+		s := model.NewScorer()
+		b.Run(itoa(n)+"states", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.LogProb(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamPush measures the incremental sliding-window scorer — the
+// per-call cost of the detection hot path with all windows in flight — in
+// exact mode and with top-K pruning. ns/op is per pushed symbol.
+func BenchmarkStreamPush(b *testing.B) {
+	for _, mode := range []ScorerMode{ScorerExact, ScorerTopK(8)} {
+		for _, n := range []int{50, 200, 450} {
+			model, _ := benchModel(n, 40)
+			s := model.NewScorerMode(mode)
+			st := s.NewStream(15)
+			r := rand.New(rand.NewSource(4))
+			obs := make([]int, 4096)
+			for i := range obs {
+				obs[i] = r.Intn(40)
+			}
+			b.Run(mode.String()+"/"+itoa(n)+"states", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					st.Push(obs[i&4095])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStreamPushBatch measures the batched variant (64 symbols per
+// call); ns/op is still per symbol.
+func BenchmarkStreamPushBatch(b *testing.B) {
+	model, _ := benchModel(50, 40)
+	st := model.NewScorer().NewStream(15)
+	r := rand.New(rand.NewSource(5))
+	obs := make([]int, 64)
+	for i := range obs {
+		obs[i] = r.Intn(40)
+	}
+	scores := make([]float64, len(obs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(obs) {
+		st.PushBatch(obs, scores, nil)
+	}
+}
+
 // BenchmarkBaumWelchIteration measures one training pass over 100 windows.
 func BenchmarkBaumWelchIteration(b *testing.B) {
 	model, _ := benchModel(100, 40)

@@ -1,0 +1,25 @@
+package hmm
+
+// Test hooks: force a specific kernel dispatch level to cross-check the
+// vector paths against the pure-Go fallback.
+
+const (
+	KernelGo     = kernelGo
+	KernelAVX2   = kernelAVX2
+	KernelAVX512 = kernelAVX512
+)
+
+// DetectedKernel reports the dispatch level chosen at init.
+func DetectedKernel() int { return kernelLevel }
+
+// ForceKernel overrides the dispatch level and returns a restore func. Only
+// levels at or below the detected one are honoured (forcing AVX-512 on a
+// machine without it would fault), so callers skip when it returns false.
+func ForceKernel(level int) (restore func(), ok bool) {
+	if level > DetectedKernel() {
+		return func() {}, false
+	}
+	prev := kernelLevel
+	kernelLevel = level
+	return func() { kernelLevel = prev }, true
+}

@@ -134,6 +134,12 @@ func (m *Model) Validate(tol float64) error {
 // LogProb returns log P(obs | λ) using the scaled forward algorithm, or -Inf
 // when the sequence is impossible under the model. Symbols outside [0, M)
 // return ErrSymbols.
+//
+// This is the readable reference implementation of the canonical forward
+// arithmetic (see kernel.go): per-state dots reduce over predecessors in
+// ascending order, the scale factor is the 8-lane blocked sum, and
+// normalisation multiplies by the reciprocal of the scale. The flat Scorer
+// kernels and the incremental StreamScorer reproduce it bit for bit.
 func (m *Model) LogProb(obs []int) (float64, error) {
 	if len(obs) == 0 {
 		return 0, nil
@@ -146,17 +152,19 @@ func (m *Model) LogProb(obs []int) (float64, error) {
 	if o < 0 || o >= m.M {
 		return 0, fmt.Errorf("%w: %d", ErrSymbols, o)
 	}
-	var scale float64
+	var lanes [scaleLanes]float64
 	for i := 0; i < m.N; i++ {
 		alpha[i] = m.Pi[i] * m.B[i][o]
-		scale += alpha[i]
+		lanes[i&7] += alpha[i]
 	}
+	scale := reduceLanes(&lanes)
 	if scale == 0 {
 		return math.Inf(-1), nil
 	}
 	logL += math.Log(scale)
+	inv := 1 / scale
 	for i := range alpha {
-		alpha[i] /= scale
+		alpha[i] *= inv
 	}
 
 	for t := 1; t < len(obs); t++ {
@@ -164,21 +172,23 @@ func (m *Model) LogProb(obs []int) (float64, error) {
 		if o < 0 || o >= m.M {
 			return 0, fmt.Errorf("%w: %d", ErrSymbols, o)
 		}
-		scale = 0
+		lanes = [scaleLanes]float64{}
 		for j := 0; j < m.N; j++ {
 			var s float64
 			for i := 0; i < m.N; i++ {
 				s += alpha[i] * m.A[i][j]
 			}
 			next[j] = s * m.B[j][o]
-			scale += next[j]
+			lanes[j&7] += next[j]
 		}
+		scale = reduceLanes(&lanes)
 		if scale == 0 {
 			return math.Inf(-1), nil
 		}
 		logL += math.Log(scale)
+		inv = 1 / scale
 		for j := range next {
-			next[j] /= scale
+			next[j] *= inv
 		}
 		alpha, next = next, alpha
 	}

@@ -1,0 +1,58 @@
+//go:build amd64 && !purego
+
+package hmm
+
+// Vector kernels for the forward step. Both keep the canonical rounding
+// order defined in kernel.go: lanes run across destination states j, the
+// per-j reduction over i stays a single sequential multiply-then-add chain
+// (no FMA), and the AVX-512 kernel accumulates the scale sum in one 8-lane
+// register folded by the reduceLanes tree.
+
+// dotEmitScaleAVX512 computes next = (alphaᵀA) ∘ bcol over the flat
+// row-major transition slab a (n rows × np zero-padded columns) and returns
+// the canonical scale sum. bcol and next must hold np entries.
+//
+//go:noescape
+func dotEmitScaleAVX512(alpha, a, bcol, next *float64, n, np int) float64
+
+// forwardDotsAVX2 computes next[j] = Σ_i alpha[i]·a[i*np+j] for all np padded
+// destination states; the emission multiply and scale sum run in Go
+// (emitScale).
+//
+//go:noescape
+func forwardDotsAVX2(alpha, a, next *float64, n, np int)
+
+// cpuidRaw executes CPUID with the given leaf/subleaf; xgetbv0 reads XCR0.
+func cpuidRaw(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+var kernelLevel = detectKernel()
+
+func detectKernel() int {
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 7 {
+		return kernelGo
+	}
+	_, _, c1, _ := cpuidRaw(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return kernelGo
+	}
+	xlo, _ := xgetbv0()
+	_, b7, _, _ := cpuidRaw(7, 0)
+	const (
+		avx2Bit    = 1 << 5
+		avx512fBit = 1 << 16
+		// XCR0: SSE|AVX state for AVX2; opmask|ZMM_Hi256|Hi16_ZMM on top
+		// for AVX-512.
+		avxState    = 0x6
+		avx512State = 0xe0
+	)
+	if b7&avx512fBit != 0 && xlo&(avxState|avx512State) == avxState|avx512State {
+		return kernelAVX512
+	}
+	if b7&avx2Bit != 0 && xlo&avxState == avxState {
+		return kernelAVX2
+	}
+	return kernelGo
+}

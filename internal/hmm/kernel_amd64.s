@@ -1,0 +1,205 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Forward-step kernels. The rounding-order contract (kernel.go) is: per
+// destination state j, the reduction over predecessor states i is one
+// sequential multiply-then-add chain (no FMA), and the scale sum places
+// element j in lane j mod 8 with the reduceLanes fold tree. Both kernels
+// vectorise across j only, so every lane replays the scalar chain exactly.
+//
+// The Scorer pads its slabs to np = roundup16(n) destination states with
+// zero columns (kernel.go): a zero transition column times any alpha is +0.0
+// and adds exactly nothing to the scale lanes, so the kernels run unmasked
+// full-width blocks with no tail cases.
+
+// func dotEmitScaleAVX512(alpha, a, bcol, next *float64, n, np int) float64
+//
+// next = (alphaᵀ A) ∘ bcol over the row-major n×np slab a; returns the
+// canonical laned scale sum. Destination states are covered by passes of 48
+// (6 zmm blocks — six independent add chains for ILP) and the np%48
+// remainder (0, 16, or 32 padded lanes) by passes of 16 (2 blocks).
+TEXT ·dotEmitScaleAVX512(SB), NOSPLIT, $0-56
+	MOVQ alpha+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ bcol+16(FP), DX
+	MOVQ next+24(FP), R8
+	MOVQ n+32(FP), R9
+	MOVQ np+40(FP), BX
+
+	MOVQ BX, R13
+	SHLQ $3, R13              // row stride in bytes
+	VPXORQ Z9, Z9, Z9         // scale lane accumulator
+	XORQ R10, R10             // jb: first destination state of the pass
+
+big_check:
+	MOVQ BX, CX
+	SUBQ R10, CX              // padded states remaining
+	CMPQ CX, $48
+	JLT small_check
+
+	// 6-block pass covering j = jb .. jb+47.
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	LEAQ (SI)(R10*8), R12     // &a[0*np + jb]
+	XORQ R11, R11             // i
+
+big_i:
+	VBROADCASTSD (DI)(R11*8), Z6
+	VMULPD (R12), Z6, Z7
+	VADDPD Z7, Z0, Z0
+	VMULPD 64(R12), Z6, Z7
+	VADDPD Z7, Z1, Z1
+	VMULPD 128(R12), Z6, Z7
+	VADDPD Z7, Z2, Z2
+	VMULPD 192(R12), Z6, Z7
+	VADDPD Z7, Z3, Z3
+	VMULPD 256(R12), Z6, Z7
+	VADDPD Z7, Z4, Z4
+	VMULPD 320(R12), Z6, Z7
+	VADDPD Z7, Z5, Z5
+	ADDQ R13, R12
+	INCQ R11
+	CMPQ R11, R9
+	JLT big_i
+
+	// Emission multiply, store, and ascending-block scale accumulation.
+	VMULPD (DX)(R10*8), Z0, Z0
+	VMOVUPD Z0, (R8)(R10*8)
+	VADDPD Z0, Z9, Z9
+	VMULPD 64(DX)(R10*8), Z1, Z1
+	VMOVUPD Z1, 64(R8)(R10*8)
+	VADDPD Z1, Z9, Z9
+	VMULPD 128(DX)(R10*8), Z2, Z2
+	VMOVUPD Z2, 128(R8)(R10*8)
+	VADDPD Z2, Z9, Z9
+	VMULPD 192(DX)(R10*8), Z3, Z3
+	VMOVUPD Z3, 192(R8)(R10*8)
+	VADDPD Z3, Z9, Z9
+	VMULPD 256(DX)(R10*8), Z4, Z4
+	VMOVUPD Z4, 256(R8)(R10*8)
+	VADDPD Z4, Z9, Z9
+	VMULPD 320(DX)(R10*8), Z5, Z5
+	VMOVUPD Z5, 320(R8)(R10*8)
+	VADDPD Z5, Z9, Z9
+
+	ADDQ $48, R10
+	JMP big_check
+
+small_check:
+	TESTQ CX, CX
+	JLE reduce
+
+small_pass:
+	// 2-block pass covering j = jb .. jb+15.
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	LEAQ (SI)(R10*8), R12
+	XORQ R11, R11
+
+small_i:
+	VBROADCASTSD (DI)(R11*8), Z6
+	VMULPD (R12), Z6, Z7
+	VADDPD Z7, Z0, Z0
+	VMULPD 64(R12), Z6, Z7
+	VADDPD Z7, Z1, Z1
+	ADDQ R13, R12
+	INCQ R11
+	CMPQ R11, R9
+	JLT small_i
+
+	VMULPD (DX)(R10*8), Z0, Z0
+	VMOVUPD Z0, (R8)(R10*8)
+	VADDPD Z0, Z9, Z9
+	VMULPD 64(DX)(R10*8), Z1, Z1
+	VMOVUPD Z1, 64(R8)(R10*8)
+	VADDPD Z1, Z9, Z9
+
+	ADDQ $16, R10
+	CMPQ R10, BX
+	JLT small_pass
+
+reduce:
+	// reduceLanes fold tree: high half, high quarter, final pair.
+	VEXTRACTF64X4 $1, Z9, Y10
+	VADDPD Y10, Y9, Y9
+	VEXTRACTF128 $1, Y9, X10
+	VADDPD X10, X9, X9
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X9, X9
+	VZEROUPPER
+	MOVSD X9, ret+48(FP)
+	RET
+
+// func forwardDotsAVX2(alpha, a, next *float64, n, np int)
+//
+// next[j] = Σ_i alpha[i]·a[i*np+j]; the emission multiply and scale sum run
+// in Go (emitScale), which preserves the canonical order. Padded lanes make
+// every pass four unmasked ymm blocks (16 states).
+TEXT ·forwardDotsAVX2(SB), NOSPLIT, $0-40
+	MOVQ alpha+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ next+16(FP), R8
+	MOVQ n+24(FP), R9
+	MOVQ np+32(FP), BX
+
+	MOVQ BX, R13
+	SHLQ $3, R13
+	XORQ R10, R10
+
+a2_pass:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	LEAQ (SI)(R10*8), R12
+	XORQ R11, R11
+
+a2_i:
+	VBROADCASTSD (DI)(R11*8), Y6
+	VMULPD (R12), Y6, Y7
+	VADDPD Y7, Y0, Y0
+	VMULPD 32(R12), Y6, Y7
+	VADDPD Y7, Y1, Y1
+	VMULPD 64(R12), Y6, Y7
+	VADDPD Y7, Y2, Y2
+	VMULPD 96(R12), Y6, Y7
+	VADDPD Y7, Y3, Y3
+	ADDQ R13, R12
+	INCQ R11
+	CMPQ R11, R9
+	JLT a2_i
+
+	VMOVUPD Y0, (R8)(R10*8)
+	VMOVUPD Y1, 32(R8)(R10*8)
+	VMOVUPD Y2, 64(R8)(R10*8)
+	VMOVUPD Y3, 96(R8)(R10*8)
+	ADDQ $16, R10
+	CMPQ R10, BX
+	JLT a2_pass
+
+	VZEROUPPER
+	RET
+
+// func cpuidRaw(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

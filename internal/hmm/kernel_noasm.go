@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package hmm
+
+var kernelLevel = kernelGo
+
+// Stubs keep kernel.go's dispatch switch compiling on platforms without the
+// vector kernels; kernelLevel never selects them here.
+
+func dotEmitScaleAVX512(alpha, a, bcol, next *float64, n, np int) float64 {
+	panic("hmm: AVX-512 kernel unavailable")
+}
+
+func forwardDotsAVX2(alpha, a, next *float64, n, np int) {
+	panic("hmm: AVX2 kernel unavailable")
+}

@@ -1,0 +1,182 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomForwardState builds a random model plus a normalised forward vector,
+// exercising awkward state counts around every kernel block boundary.
+func randomForwardState(n int, r *rand.Rand) (*Model, []float64) {
+	m := NewRandom(n, 7, r.Int63())
+	alpha := make([]float64, n)
+	var sum float64
+	for i := range alpha {
+		alpha[i] = r.Float64()
+		sum += alpha[i]
+	}
+	inv := 1 / sum
+	for i := range alpha {
+		alpha[i] *= inv
+	}
+	return m, alpha
+}
+
+// TestKernelParity pins the cross-path guarantee the scoring API is built
+// on: the AVX-512, AVX2, and pure-Go forward steps produce bit-identical
+// next vectors and scale sums for every state count.
+func TestKernelParity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sizes := []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 46, 47, 48, 49, 63, 64, 65, 96, 97, 130}
+	for _, n := range sizes {
+		m, alpha := randomForwardState(n, r)
+		s := m.NewScorer()
+		bc := s.bcol(r.Intn(m.M))
+
+		type result struct {
+			name  string
+			next  []float64
+			scale float64
+		}
+		var results []result
+		for _, lvl := range []struct {
+			name  string
+			level int
+		}{{"go", KernelGo}, {"avx2", KernelAVX2}, {"avx512", KernelAVX512}} {
+			restore, ok := ForceKernel(lvl.level)
+			if !ok {
+				continue
+			}
+			next := make([]float64, s.np) // vector kernels store padded lanes
+			scale := s.step(alpha, bc, next)
+			restore()
+			results = append(results, result{lvl.name, next[:n], scale})
+		}
+		if len(results) < 2 {
+			t.Skip("only one kernel level available")
+		}
+		ref := results[0]
+		for _, got := range results[1:] {
+			if got.scale != ref.scale {
+				t.Errorf("n=%d: scale %s=%v differs from %s=%v", n, got.name, got.scale, ref.name, ref.scale)
+			}
+			for j := range ref.next {
+				if got.next[j] != ref.next[j] {
+					t.Fatalf("n=%d: next[%d] %s=%v differs from %s=%v", n, j, got.name, got.next[j], ref.name, ref.next[j])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelMatchesModelStep checks the flat kernel against a direct
+// [][]float64 reimplementation of the canonical order, so a shared bug in
+// the slab layouts cannot hide.
+func TestKernelMatchesModelStep(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 3, 8, 46, 50, 97} {
+		m, alpha := randomForwardState(n, r)
+		s := m.NewScorer()
+		o := r.Intn(m.M)
+
+		next := make([]float64, s.np)
+		scale := s.step(alpha, s.bcol(o), next)
+
+		want := make([]float64, n)
+		var lanes [scaleLanes]float64
+		for j := 0; j < n; j++ {
+			var d float64
+			for i := 0; i < n; i++ {
+				d += alpha[i] * m.A[i][j]
+			}
+			want[j] = d * m.B[j][o]
+			lanes[j&7] += want[j]
+		}
+		if wantScale := reduceLanes(&lanes); scale != wantScale {
+			t.Errorf("n=%d: scale = %v, want %v", n, scale, wantScale)
+		}
+		for j := range want {
+			if next[j] != want[j] {
+				t.Fatalf("n=%d: next[%d] = %v, want %v", n, j, next[j], want[j])
+			}
+		}
+	}
+}
+
+// TestLanedSumMatchesEmitScale pins emitScale to lanedSum ∘ elementwise
+// multiply and both to reduceLanes' documented tree.
+func TestLanedSumMatchesEmitScale(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 7, 8, 9, 46} {
+		v := make([]float64, n)
+		b := make([]float64, n)
+		prod := make([]float64, n)
+		for i := range v {
+			v[i] = r.Float64()
+			b[i] = r.Float64()
+			prod[i] = v[i] * b[i]
+		}
+		want := lanedSum(prod)
+		got := emitScale(v, b)
+		if got != want {
+			t.Errorf("n=%d: emitScale = %v, lanedSum = %v", n, got, want)
+		}
+		var s [scaleLanes]float64
+		for j, x := range prod {
+			s[j&7] += x
+		}
+		tree := ((s[0] + s[4]) + (s[2] + s[6])) + ((s[1] + s[5]) + (s[3] + s[7]))
+		if want != tree {
+			t.Errorf("n=%d: reduceLanes = %v, documented tree = %v", n, want, tree)
+		}
+	}
+}
+
+// TestScorerLogProbBitIdentical: the pooled flat-kernel batch scorer must
+// reproduce Model.LogProb bit for bit, including -Inf windows.
+func TestScorerLogProbBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(60)
+		m := NewRandom(n, 2+r.Intn(12), r.Int63())
+		if trial%3 == 0 {
+			sharpen(m, r) // near-sparse rows, as CTM initialisation produces
+		}
+		s := m.NewScorer()
+		obs := make([]int, 1+r.Intn(30))
+		for i := range obs {
+			obs[i] = r.Intn(m.M)
+		}
+		want, err := m.LogProb(obs)
+		if err != nil {
+			t.Fatalf("LogProb: %v", err)
+		}
+		got, err := s.LogProb(obs)
+		if err != nil {
+			t.Fatalf("Scorer.LogProb: %v", err)
+		}
+		if got != want && !(math.IsInf(got, -1) && math.IsInf(want, -1)) {
+			t.Fatalf("trial %d (n=%d): Scorer.LogProb = %v, Model.LogProb = %v (diff %g)",
+				trial, n, got, want, got-want)
+		}
+	}
+}
+
+// sharpen raises each stochastic row to a power and renormalises, pushing
+// most of the mass onto a few entries the way pCTM-derived rows look.
+func sharpen(m *Model, r *rand.Rand) {
+	pow := 3 + r.Intn(5)
+	for i := 0; i < m.N; i++ {
+		for _, row := range [][]float64{m.A[i], m.B[i]} {
+			var sum float64
+			for j := range row {
+				row[j] = math.Pow(row[j], float64(pow))
+				sum += row[j]
+			}
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+	}
+}

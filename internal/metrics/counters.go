@@ -44,6 +44,18 @@ func (c *Counters) AddCall(latencyNanos int64) {
 	c.observe.Observe(latencyNanos)
 }
 
+// AddCalls records n calls processed by one batched op that took totalNanos.
+// Each call is attributed the mean per-call share of the batch, preserving
+// the snapshot invariant Observe.Count == Calls (Observe.Sum may round down
+// by up to n-1 nanoseconds per batch).
+func (c *Counters) AddCalls(n int, totalNanos int64) {
+	if n <= 0 {
+		return
+	}
+	c.calls.Add(uint64(n))
+	c.observe.ObserveN(totalNanos/int64(n), uint64(n))
+}
+
 // AddFlush records the processing latency of one flush or close op.
 func (c *Counters) AddFlush(latencyNanos int64) { c.flush.Observe(latencyNanos) }
 

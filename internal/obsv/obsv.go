@@ -34,6 +34,11 @@ type Decision struct {
 	Generation uint64  `json:"generation"`
 	Label      string  `json:"label,omitempty"`
 	Caller     string  `json:"caller,omitempty"`
+	// ScoreErrorBound is the per-symbol bound on |approx−exact| of Score when
+	// the session scored under a pruned (top-K) kernel; 0 under the exact
+	// kernel. A vacuous (+Inf) bound is clamped to MaxFloat64 so the decision
+	// log stays valid JSON.
+	ScoreErrorBound float64 `json:"score_error_bound,omitempty"`
 }
 
 // Recorder samples judgement decisions into a bounded ring. The sampling

@@ -123,8 +123,8 @@ type Profile struct {
 
 	symIndex map[string]int
 
-	scorerOnce sync.Once
-	scorer     *hmm.Scorer
+	scorerMu sync.Mutex
+	scorers  map[hmm.ScorerMode]*hmm.Scorer
 }
 
 // Build constructs and trains a profile from the program's pCTM and the
@@ -241,22 +241,43 @@ func BuildContext(ctx context.Context, prog *ir.Program, pm *ctm.Matrix, traces 
 	return p, nil
 }
 
-// Scorer returns the shared read-optimised scoring view of the trained model.
+// Scorer returns the shared exact-mode scoring view of the trained model.
 // It is built once, on first use, and safe for any number of concurrent
 // readers; per-stream state lives in the StreamScorers derived from it.
 func (p *Profile) Scorer() *hmm.Scorer {
-	p.scorerOnce.Do(func() { p.scorer = p.Model.NewScorer() })
-	return p.scorer
+	return p.ScorerFor(hmm.ScorerExact)
 }
 
-// NewStreamScorer returns an incremental sliding-window scorer over the
-// profile's model with the given window length (<= 0 uses the profile's
-// WindowLen). Each detection session owns one.
+// ScorerFor returns the shared scoring view built for the given kernel mode,
+// building and caching it on first use. Views are immutable, so one per mode
+// serves any number of concurrent sessions.
+func (p *Profile) ScorerFor(mode hmm.ScorerMode) *hmm.Scorer {
+	p.scorerMu.Lock()
+	defer p.scorerMu.Unlock()
+	if s, ok := p.scorers[mode]; ok {
+		return s
+	}
+	if p.scorers == nil {
+		p.scorers = make(map[hmm.ScorerMode]*hmm.Scorer, 1)
+	}
+	s := p.Model.NewScorerMode(mode)
+	p.scorers[mode] = s
+	return s
+}
+
+// NewStreamScorer returns an exact-mode incremental sliding-window scorer
+// over the profile's model with the given window length (<= 0 uses the
+// profile's WindowLen). Each detection session owns one.
 func (p *Profile) NewStreamScorer(window int) *hmm.StreamScorer {
+	return p.NewStreamScorerMode(window, hmm.ScorerExact)
+}
+
+// NewStreamScorerMode is NewStreamScorer with an explicit kernel mode.
+func (p *Profile) NewStreamScorerMode(window int, mode hmm.ScorerMode) *hmm.StreamScorer {
 	if window <= 0 {
 		window = p.WindowLen
 	}
-	return p.Scorer().NewStream(window)
+	return p.ScorerFor(mode).NewStream(window)
 }
 
 // initFromCTM builds the un-trained profile: alphabet, caller index, and the
@@ -422,7 +443,7 @@ func (p *Profile) Score(labels []string) float64 {
 	if len(labels) == 0 {
 		return 0
 	}
-	ll, err := p.Model.LogProb(p.Encode(labels))
+	ll, err := p.Scorer().LogProb(p.Encode(labels))
 	if err != nil {
 		return 0
 	}

@@ -1,0 +1,119 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+)
+
+// TestSessionObserveBatchMatchesObserve drives the same mixed corpus of
+// streams through two runtimes — one per-call, one via ObserveBatch in
+// random chunks — concurrently (run under -race) and requires bit-identical
+// alert histories, identical call counts, and zero drops, in both scorer
+// modes.
+func TestSessionObserveBatchMatchesObserve(t *testing.T) {
+	p, traces := trainAppH(t)
+	const sessions = 16
+	streams := streamSet(traces, sessions)
+
+	for _, mode := range []hmm.ScorerMode{hmm.ScorerExact, hmm.ScorerTopK(4)} {
+		run := func(batched bool) ([][]detect.Alert, Stats, uint64) {
+			rt := New(p, WithWorkers(4), WithQueueDepth(64), WithScorerMode(mode))
+			got := make([][]detect.Alert, sessions)
+			var wg sync.WaitGroup
+			for i := 0; i < sessions; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					s := rt.Session(fmt.Sprintf("session-%03d", i))
+					if batched {
+						r := rand.New(rand.NewSource(int64(i)))
+						for lo := 0; lo < len(streams[i]); {
+							hi := lo + 1 + r.Intn(40)
+							if hi > len(streams[i]) {
+								hi = len(streams[i])
+							}
+							if err := s.ObserveBatch(streams[i][lo:hi]); err != nil {
+								t.Error(err)
+								return
+							}
+							lo = hi
+						}
+					} else {
+						for _, c := range streams[i] {
+							if err := s.Observe(c); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+					var err error
+					if got[i], err = s.Close(); err != nil {
+						t.Error(err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			st := rt.Stats()
+			oc := rt.Histograms().Observe.Count
+			if err := rt.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return got, st, oc
+		}
+
+		want, wantStats, _ := run(false)
+		got, gotStats, gotObserved := run(true)
+		var alerts int
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("mode %v session %d: batched history diverged\nbatch    %+v\nper-call %+v",
+					mode, i, got[i], want[i])
+			}
+			alerts += len(want[i])
+		}
+		if alerts == 0 {
+			t.Fatalf("mode %v: baseline raised no alerts; equivalence is vacuous", mode)
+		}
+		if gotStats.Calls != wantStats.Calls || gotStats.Dropped != 0 {
+			t.Fatalf("mode %v: batched stats calls=%d dropped=%d, per-call calls=%d",
+				mode, gotStats.Calls, gotStats.Dropped, wantStats.Calls)
+		}
+		if gotObserved != gotStats.Calls {
+			t.Fatalf("mode %v: Observe.Count=%d != Calls=%d (ObserveN attribution broken)",
+				mode, gotObserved, gotStats.Calls)
+		}
+	}
+}
+
+// TestSessionObserveBatchEdgeCases: empty batches are accepted no-ops and
+// batches after Close report ErrClosed without counting calls.
+func TestSessionObserveBatchEdgeCases(t *testing.T) {
+	p, traces := trainAppH(t)
+	rt := New(p, WithWorkers(1))
+	defer rt.Close()
+
+	s := rt.Session("edge")
+	if err := s.ObserveBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := s.ObserveBatchContext(context.Background(), traces[0][:1]); err != nil {
+		t.Fatalf("one-call batch: %v", err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveBatch(traces[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close = %v, want ErrClosed", err)
+	}
+	if st := rt.Stats(); st.Calls != 1 {
+		t.Fatalf("Calls = %d, want 1", st.Calls)
+	}
+}

@@ -75,6 +75,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"log/slog"
+	"math"
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,7 @@ import (
 
 	"adprom/internal/collector"
 	"adprom/internal/detect"
+	"adprom/internal/hmm"
 	"adprom/internal/metrics"
 	"adprom/internal/obsv"
 	"adprom/internal/profile"
@@ -176,6 +178,7 @@ type config struct {
 	workerHook    WorkerHook
 	threshold     *float64
 	windowLen     int
+	scorerMode    hmm.ScorerMode
 	attach        []func(*Runtime)
 	logger        *slog.Logger
 	decisionCap   int
@@ -319,6 +322,15 @@ func WithWindowLen(n int) Option {
 	}
 }
 
+// WithScorerMode selects the HMM scoring kernel every session's engine runs:
+// hmm.ScorerExact (the default, bit-identical to the batch forward pass) or
+// hmm.ScorerTopK(k), which prunes each transition row to its k largest
+// entries and attaches a sound per-window error bound to every alert
+// (detect.Alert.ScoreErrorBound).
+func WithScorerMode(m hmm.ScorerMode) Option {
+	return func(c *config) { c.scorerMode = m }
+}
+
 // generation is one immutable (profile, version) pair. The runtime's current
 // generation is published through an atomic pointer; workers read it without
 // locking and never mutate it.
@@ -379,9 +391,10 @@ type alertMsg struct {
 type opKind int
 
 const (
-	opObserve opKind = iota
-	opFlush          // judge partial window, reply with history, reset window
-	opClose          // opFlush + recycle the engine
+	opObserve      opKind = iota
+	opObserveBatch        // score a run of calls from one stream in one pass
+	opFlush               // judge partial window, reply with history, reset window
+	opClose               // opFlush + recycle the engine
 )
 
 type reply struct {
@@ -392,6 +405,7 @@ type reply struct {
 type op struct {
 	s       *Session
 	call    collector.Call
+	calls   []collector.Call // opObserveBatch only; owned by the op
 	kind    opKind
 	done    chan reply // buffered(1); at most one send (guarded by replied)
 	replied bool
@@ -401,6 +415,19 @@ func (o *op) reply(r reply) {
 	if o.done != nil && !o.replied {
 		o.replied = true
 		o.done <- r
+	}
+}
+
+// callCount returns how many monitored calls the op carries (0 for control
+// ops) — the unit Dropped counts in.
+func (o *op) callCount() uint64 {
+	switch o.kind {
+	case opObserve:
+		return 1
+	case opObserveBatch:
+		return uint64(len(o.calls))
+	default:
+		return 0
 	}
 }
 
@@ -470,10 +497,10 @@ func New(p *profile.Profile, opts ...Option) *Runtime {
 		g := rt.cur.Load()
 		return &pooledEngine{gen: g.gen, e: detect.NewEngine(g.p)}
 	}
-	// Force the shared scorer into existence before any worker races to use
-	// it (Profile.Scorer is once-guarded anyway; this keeps first-call
-	// latency out of the serving path).
-	p.Scorer()
+	// Force the shared scorer for the configured mode into existence before
+	// any worker races to use it (Profile.ScorerFor caches per mode anyway;
+	// this keeps first-call latency out of the serving path).
+	p.ScorerFor(cfg.scorerMode)
 	if cfg.sink != nil {
 		rt.alertq = make(chan alertMsg, cfg.sinkBuffer)
 		rt.handoff = make(chan alertMsg)
@@ -520,7 +547,7 @@ func (rt *Runtime) SwapProfile(next *profile.Profile) (uint64, error) {
 	}
 	// Materialise the read-only scoring view before publication so the first
 	// session to upgrade does not pay for it on the serving path.
-	next.Scorer()
+	next.ScorerFor(rt.cfg.scorerMode)
 	for {
 		old := rt.cur.Load()
 		g := &generation{p: next, gen: old.gen + 1}
@@ -603,6 +630,31 @@ func (s *Session) ObserveContext(ctx context.Context, c collector.Call) error {
 		return err
 	}
 	return s.rt.enqueue(ctx, s.worker, op{s: s, call: c, kind: opObserve}, false)
+}
+
+// ObserveBatch enqueues a run of calls as one op. The batch is scored in one
+// pass on the session's worker (detect.Engine.ObserveBatch), raising exactly
+// the alerts per-call Observes would, so it is the preferred ingest form for
+// replay and any producer that naturally batches — it amortises the queue
+// round-trip and the engine dispatch across the batch. The calls slice is
+// copied; the caller may reuse it immediately. Under DropNewest a full queue
+// sheds the whole batch (counted as len(calls) drops) and returns ErrDropped;
+// batches are never partially enqueued.
+func (s *Session) ObserveBatch(calls []collector.Call) error {
+	return s.ObserveBatchContext(context.Background(), calls)
+}
+
+// ObserveBatchContext is ObserveBatch bounded by ctx.
+func (s *Session) ObserveBatchContext(ctx context.Context, calls []collector.Call) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	if err := s.ingestErr(); err != nil {
+		return err
+	}
+	owned := make([]collector.Call, len(calls))
+	copy(owned, calls)
+	return s.rt.enqueue(ctx, s.worker, op{s: s, calls: owned, kind: opObserveBatch}, false)
 }
 
 func (s *Session) ingestErr() error {
@@ -755,7 +807,7 @@ func (rt *Runtime) enqueue(ctx context.Context, worker int, o op, control bool) 
 		case q <- o:
 			return nil
 		default:
-			rt.ctr.AddDropped(1)
+			rt.ctr.AddDropped(o.callCount())
 			return ErrDropped
 		}
 	}
@@ -801,6 +853,9 @@ func (rt *Runtime) supervise(w int) {
 func (rt *Runtime) runWorker(w int) (clean bool) {
 	q := rt.queues[w]
 	var cur *op
+	// o lives outside the loop so taking its address escapes it to the heap
+	// once per worker run, not once per op.
+	var o op
 	defer func() {
 		if r := recover(); r != nil {
 			rt.ctr.AddPanic()
@@ -811,7 +866,7 @@ func (rt *Runtime) runWorker(w int) (clean bool) {
 	}()
 	for {
 		select {
-		case o := <-q:
+		case o = <-q:
 			cur = &o
 			if h := rt.cfg.workerHook; h != nil {
 				// Outside the per-op recovery: a panic here kills the worker.
@@ -832,8 +887,8 @@ func (rt *Runtime) drainQueue(q chan op) {
 	for {
 		select {
 		case o := <-q:
-			if o.kind == opObserve {
-				rt.ctr.AddDropped(1)
+			if n := o.callCount(); n > 0 {
+				rt.ctr.AddDropped(n)
 			}
 			o.reply(reply{err: ErrClosed})
 		default:
@@ -869,8 +924,8 @@ func (rt *Runtime) process(o *op) {
 	if s.dead {
 		// An op that raced with Close and was enqueued behind the close
 		// op must not resurrect an engine on the dead session.
-		if o.kind == opObserve {
-			rt.ctr.AddDropped(1)
+		if n := o.callCount(); n > 0 {
+			rt.ctr.AddDropped(n)
 		}
 		o.reply(reply{})
 		return
@@ -878,8 +933,8 @@ func (rt *Runtime) process(o *op) {
 	if err := s.Err(); err != nil {
 		// Quarantined: shed queued observes, answer control ops with the
 		// failure, and let a close op retire the registration.
-		if o.kind == opObserve {
-			rt.ctr.AddDropped(1)
+		if n := o.callCount(); n > 0 {
+			rt.ctr.AddDropped(n)
 		}
 		if o.kind == opClose {
 			s.dead = true
@@ -903,6 +958,14 @@ func (rt *Runtime) process(o *op) {
 		rt.deliver(s.id, alerts)
 		if err := s.engine.Err(); err != nil {
 			// Error-propagating judge hook: quarantine without a panic.
+			rt.failSession(o, err)
+		}
+	case opObserveBatch:
+		alerts := s.engine.ObserveBatch(o.calls)
+		rt.ctr.AddCalls(len(o.calls), time.Since(start).Nanoseconds())
+		rt.recordAlerts(s, alerts)
+		rt.deliver(s.id, alerts)
+		if err := s.engine.Err(); err != nil {
 			rt.failSession(o, err)
 		}
 	case opFlush, opClose:
@@ -961,6 +1024,7 @@ func (rt *Runtime) installEngine(s *Session) {
 	if rt.cfg.windowLen > 0 {
 		e.SetWindowLen(rt.cfg.windowLen)
 	}
+	e.SetScorerMode(rt.cfg.scorerMode)
 	if rt.cfg.judgeHook != nil || rt.cfg.observer != nil || rt.rec.Enabled() {
 		id, hook, obs, rec := s.id, rt.cfg.judgeHook, rt.cfg.observer, rt.rec
 		e.SetJudgeHook(func(seq int, score float64, flagged bool) error {
@@ -999,17 +1063,22 @@ func (rt *Runtime) recordAlerts(s *Session, alerts []detect.Alert) {
 	}
 	for i := range alerts {
 		a := &alerts[i]
+		bound := a.ScoreErrorBound
+		if math.IsInf(bound, 1) {
+			bound = math.MaxFloat64
+		}
 		rt.rec.Record(obsv.Decision{
-			Session:    s.id,
-			Seq:        a.Seq,
-			UnixNanos:  s.opTime.UnixNano(),
-			Score:      a.Score,
-			Threshold:  a.Threshold,
-			Flag:       a.Flag.String(),
-			Flagged:    true,
-			Generation: s.gen,
-			Label:      a.Label,
-			Caller:     a.Caller,
+			Session:         s.id,
+			Seq:             a.Seq,
+			UnixNanos:       s.opTime.UnixNano(),
+			Score:           a.Score,
+			Threshold:       a.Threshold,
+			Flag:            a.Flag.String(),
+			Flagged:         true,
+			Generation:      s.gen,
+			Label:           a.Label,
+			Caller:          a.Caller,
+			ScoreErrorBound: bound,
 		})
 	}
 }
