@@ -6,9 +6,10 @@ GO ?= go
 
 .PHONY: all build test vet race fuzz verify bench bench-smoke serve-demo
 
-# The scorer microbenches gated by bench-smoke; keep in sync with the names
-# in internal/hmm/bench_test.go.
+# The microbenches gated by bench-smoke; keep in sync with the names in
+# internal/hmm/bench_test.go and internal/shed/bench_test.go.
 SCORER_BENCHES = BenchmarkScorerLogProb|BenchmarkStreamPush|BenchmarkStreamPushBatch
+SMOKE_BENCHES = $(SCORER_BENCHES)|BenchmarkShedDecide
 
 all: verify
 
@@ -42,17 +43,18 @@ verify: build test vet race fuzz
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRuntimeThroughput|BenchmarkInstrumentationOverhead' -benchmem -benchtime 3x . > BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/hmm >> BENCH_runtime.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/shed >> BENCH_runtime.txt
 	cat BENCH_runtime.txt
 	$(GO) run ./cmd/benchjson -o BENCH_runtime.json < BENCH_runtime.txt
 
-# bench-smoke is the CI regression gate: rerun only the hmm scorer
-# microbenches and fail when any of them is >20% slower (min-of-3 ns/op)
-# than the committed BENCH_runtime.json baseline. Cheap enough to run on
-# every push; `make bench` refreshes the baseline after an intentional
+# bench-smoke is the CI regression gate: rerun only the hmm scorer and shed
+# admission microbenches and fail when any of them is >20% slower (min-of-3
+# ns/op) than the committed BENCH_runtime.json baseline. Cheap enough to run
+# on every push; `make bench` refreshes the baseline after an intentional
 # change.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(SCORER_BENCHES)' -count 3 ./internal/hmm | \
-		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'ScorerLogProb|StreamPush'
+	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -count 3 ./internal/hmm ./internal/shed | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'ScorerLogProb|StreamPush|ShedDecide'
 
 serve-demo:
 	$(GO) run ./cmd/adprom serve -app apph -streams 64 -workers 4

@@ -56,6 +56,7 @@ import (
 	"adprom/internal/profile"
 	"adprom/internal/qsig"
 	"adprom/internal/runtime"
+	"adprom/internal/shed"
 )
 
 // Program building and execution.
@@ -119,6 +120,20 @@ type (
 	// JudgeHook observes (or vetoes) every completed window judgement; a
 	// non-nil error quarantines the session. See WithJudgeHook.
 	JudgeHook = runtime.JudgeHook
+	// ShedConfig tunes the ShedByRisk admission controller: occupancy
+	// watermarks, the guarantee band, risk-signal memories, and the seed
+	// that makes shed decisions reproducible. See WithShedConfig.
+	ShedConfig = shed.Config
+	// ShedSnapshot is a point-in-time view of the admission controller:
+	// shed counts, risk mass admitted vs shed, and the estimated
+	// miss probability. See Runtime.ShedSnapshot.
+	ShedSnapshot = shed.Snapshot
+	// BatchShedError reports a partially or fully rejected ObserveBatch
+	// under DropNewest or ShedByRisk: Shed of Batch calls were rejected,
+	// the rest were admitted in order. It wraps ErrDropped (and ErrShed
+	// when risk-aware admission did the shedding); match with errors.As
+	// for exact counts or errors.Is(err, ErrDropped) for the class.
+	BatchShedError = runtime.BatchShedError
 )
 
 // Observability: decision provenance, latency histograms, and the live
@@ -178,6 +193,11 @@ const (
 	Block = runtime.Block
 	// DropNewest sheds the incoming call and returns ErrDropped.
 	DropNewest = runtime.DropNewest
+	// ShedByRisk sheds by session risk under pressure: high-risk sessions
+	// (recent alerts, drifting scores, sensitive-table touches) are always
+	// scored, low-risk ones are thinned probabilistically as queues fill.
+	// Shed calls return ErrShed. Configure with WithShedConfig.
+	ShedByRisk = runtime.ShedByRisk
 )
 
 // Runtime ingest errors.
@@ -186,6 +206,10 @@ var (
 	ErrClosed = runtime.ErrClosed
 	// ErrDropped reports a call shed by the DropNewest policy.
 	ErrDropped = runtime.ErrDropped
+	// ErrShed reports a call rejected by the ShedByRisk admission
+	// controller. errors.Is(ErrShed, ErrDropped) is true, so callers that
+	// only distinguish "not scored" from "scored" need one check.
+	ErrShed = runtime.ErrShed
 	// ErrSessionFailed reports a session quarantined after a detection
 	// failure (engine panic or judge-hook error); other sessions are
 	// unaffected.
@@ -400,9 +424,22 @@ func WithWorkers(n int) RuntimeOption { return runtimeOptionWrap{runtime.WithWor
 func WithQueueDepth(d int) RuntimeOption { return runtimeOptionWrap{runtime.WithQueueDepth(d)} }
 
 // WithDropPolicy selects the runtime's full-queue behaviour: Block
-// (backpressure, the default) or DropNewest (load shedding).
+// (backpressure, the default), DropNewest (indiscriminate load shedding),
+// or ShedByRisk (risk-aware admission; WithShedConfig selects it with
+// explicit tuning).
 func WithDropPolicy(p DropPolicy) RuntimeOption {
 	return runtimeOptionWrap{runtime.WithDropPolicy(p)}
+}
+
+// WithShedConfig selects the ShedByRisk drop policy with explicit tuning:
+// occupancy watermarks, guarantee band, risk memories, deterministic seed,
+// and administrator-marked sensitive call labels (see NewSensitiveTables /
+// SensitiveLabelsFor for deriving those from query signatures). The zero
+// ShedConfig applies the documented defaults:
+//
+//	rt := adprom.NewRuntime(prof, adprom.WithShedConfig(adprom.ShedConfig{Seed: 1}))
+func WithShedConfig(sc ShedConfig) RuntimeOption {
+	return runtimeOptionWrap{runtime.WithShedConfig(sc)}
 }
 
 // WithSessionSink routes every runtime session's alerts to fn, tagged with
@@ -541,3 +578,21 @@ type QueryAuditor = qsig.Auditor
 // World.Queries from training runs via Learn and check later runs with
 // Check.
 func NewQueryAuditor() *QueryAuditor { return qsig.NewAuditor() }
+
+// SensitiveTables is a set of table names whose queries mark a session as
+// touching sensitive data; the ShedByRisk admission controller keeps such
+// sessions out of the shed pool.
+type SensitiveTables = qsig.SensitiveTables
+
+// NewSensitiveTables builds a sensitive-table set from names
+// (case-insensitive).
+func NewSensitiveTables(names ...string) SensitiveTables {
+	return qsig.NewSensitiveTables(names...)
+}
+
+// SensitiveLabelsFor derives the call labels that issued queries against
+// sensitive tables from a training run's query log (World.Queries); the
+// result plugs into ShedConfig.SensitiveLabels.
+func SensitiveLabelsFor(records []interp.QueryRecord, tables SensitiveTables) map[string]bool {
+	return qsig.SensitiveLabels(records, tables)
+}

@@ -7,11 +7,20 @@
 //	adprom analyze    -app <name>
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
-//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
 //	adprom profile    inspect <file>...
 //	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
 //
 // App names: apph, appb, apps (CA-dataset), app1..app4 (SIR-style).
+//
+// With -shed, serve runs the risk-aware ShedByRisk admission controller
+// instead of a blanket full-queue policy: sessions with recent alerts,
+// drifting scores, or sensitive-table touches are always scored, while
+// low-risk streams are thinned probabilistically (deterministically under
+// -shed-seed) as queues fill. -overload slows the detection workers so the
+// replay's offered load exceeds capacity, demonstrating the measured
+// degradation curve; the run ends with a shed summary (shed rate, estimated
+// miss probability, queue high water).
 //
 // With -profile-dir, serve loads its starting profile from the newest
 // .adprof file in the directory (when one exists) and keeps watching it for
@@ -59,6 +68,7 @@ import (
 	"adprom/internal/obsv"
 	"adprom/internal/profile"
 	"adprom/internal/runtime"
+	"adprom/internal/shed"
 )
 
 func main() {
@@ -97,7 +107,7 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
-  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
   adprom profile    inspect <file>...
   adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
 
@@ -105,7 +115,10 @@ apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)
 serve -profile-dir: load the newest .adprof in <dir> at startup and hot-swap
 every profile published there while the replay runs
 serve -http: expose /metrics, /decisions, /healthz, /readyz, /debug/pprof/ on
-<addr> and stay alive after the replay until SIGINT/SIGTERM`)
+<addr> and stay alive after the replay until SIGINT/SIGTERM
+serve -shed: risk-aware admission (ShedByRisk) — high-risk sessions always
+scored, low-risk ones thinned as queues fill; -overload slows the workers so
+the replay overruns capacity and exercises the degradation curve`)
 }
 
 func lookupApp(name string) (*dataset.App, error) {
@@ -342,6 +355,9 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "detection workers (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 256, "per-worker ingest queue depth")
 	drop := fs.String("drop", "block", "full-queue policy: block (backpressure) or newest (shed)")
+	shedFlag := fs.Bool("shed", false, "risk-aware admission (ShedByRisk): always score high-risk sessions, thin low-risk ones under pressure")
+	shedSeed := fs.Uint64("shed-seed", 1, "deterministic admission seed for -shed")
+	overload := fs.Bool("overload", false, "slow the workers so the replay's offered load exceeds capacity (pairs with -shed or -drop newest)")
 	repeat := fs.Int("repeat", 8, "replay passes per stream")
 	batch := fs.Int("batch", 64, "calls per batched observe (0 = per-call ingest)")
 	scorer := fs.String("scorer", "exact", "scoring kernel: exact or topk:<k> (approximate, with reported error bound)")
@@ -417,9 +433,24 @@ func cmdServe(args []string) error {
 	switch *drop {
 	case "block":
 	case "newest":
+		if *shedFlag {
+			return errors.New("-shed replaces -drop newest; pick one")
+		}
 		opts = append(opts, runtime.WithDropPolicy(runtime.DropNewest))
 	default:
 		return fmt.Errorf("bad -drop %q (want block or newest)", *drop)
+	}
+	if *shedFlag {
+		opts = append(opts, runtime.WithShedConfig(shed.Config{Seed: *shedSeed}))
+	}
+	if *overload {
+		if *chaos {
+			return errors.New("-overload and -chaos both own the worker hook; pick one")
+		}
+		// A per-op stall puts worker capacity far below the replay's offered
+		// rate, so queues saturate and the configured policy must degrade.
+		opts = append(opts, runtime.WithWorkerHook(faultinject.WorkerLatency(500*time.Microsecond)))
+		fmt.Println("overload: workers stalled 500µs/op; offered load will exceed drain capacity")
 	}
 
 	var (
@@ -541,6 +572,11 @@ func cmdServe(args []string) error {
 	fmt.Println(st)
 	fmt.Printf("replayed in %v: %.0f calls/sec across %d workers\n",
 		elapsed.Round(time.Millisecond), float64(st.Calls)/elapsed.Seconds(), st.Workers)
+	if *shedFlag {
+		ss := rt.ShedSnapshot()
+		fmt.Printf("shedding: %d calls shed over %d rejecting decisions (rate %.4f); estimated miss probability %.4f; queue high water %d calls\n",
+			st.Shed, ss.ShedDecisions, st.ShedRate, st.EstimatedMissProb, st.QueueHighWater)
+	}
 	if *chaos {
 		fmt.Printf("chaos outcome: %d/%d streams quarantined; sink deliveries=%d panics=%d; engine fault fired=%v; worker fault fired=%v\n",
 			quarantinedStreams.Load(), *streams, sink.Calls(), sink.Panics(),

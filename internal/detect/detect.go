@@ -146,6 +146,14 @@ type Engine struct {
 	// Judge hook (fault injection / external policy) and its sticky error.
 	judgeHook JudgeFunc
 	err       error
+
+	// Sensitive-touch tracking for the risk-aware shedding tier: sensitive
+	// counts the calls seen so far that output targeted data (leak origins or
+	// a profile leak label) or carry a label the administrator marked
+	// sensitive (e.g. derived from query signatures touching protected
+	// tables via qsig.SensitiveLabels).
+	sensitive       int
+	sensitiveLabels map[string]bool
 }
 
 // JudgeFunc observes every completed-window judgement: the index of the
@@ -219,6 +227,28 @@ func (e *Engine) Reset() {
 	e.adaptRate, e.adaptMargin = 0, 0
 	e.judgeHook = nil
 	e.err = nil
+	e.sensitive = 0
+	e.sensitiveLabels = nil
+}
+
+// SetSensitiveLabels installs extra call labels counted as sensitive touches
+// beyond the profile's leak labels; pass nil to remove them. Like the judge
+// hook this is owner configuration, cleared by Reset and not carried by
+// Adopt. The map is read, never written.
+func (e *Engine) SetSensitiveLabels(labels map[string]bool) { e.sensitiveLabels = labels }
+
+// SensitiveTouches returns the cumulative count of observed calls that touch
+// sensitive data: calls carrying leak origins, calls whose label is a profile
+// leak label, and calls whose label the administrator marked sensitive. The
+// counter survives window resets and is carried across engine replacement by
+// Adopt, so a stream owner can read deltas to drive per-session risk.
+func (e *Engine) SensitiveTouches() int { return e.sensitive }
+
+// noteSensitive folds one observed call into the sensitive-touch counter.
+func (e *Engine) noteSensitive(c *collector.Call) {
+	if len(c.Origins) > 0 || e.p.LeakLabels[c.Label] || e.sensitiveLabels[c.Label] {
+		e.sensitive++
+	}
 }
 
 // SetJudgeHook installs h, which observes every subsequent completed-window
@@ -238,6 +268,7 @@ func (e *Engine) Adopt(prev *Engine) {
 	}
 	e.seq = prev.seq
 	e.alerts = prev.alerts
+	e.sensitive = prev.sensitive
 }
 
 // Err reports the first error returned by the engine's judge hook, nil while
@@ -256,6 +287,7 @@ func (e *Engine) Observe(c collector.Call) []Alert {
 	var out []Alert
 	seq := e.seq
 	e.seq++
+	e.noteSensitive(&c)
 
 	// Out-of-context: a known label from an unexpected caller (unless the
 	// administrator whitelisted the pair).
@@ -330,6 +362,7 @@ func (e *Engine) ObserveBatch(calls []collector.Call) []Alert {
 	w := float64(e.winLen)
 	for i := range calls {
 		c := &calls[i]
+		e.noteSensitive(c)
 		if e.p.KnownLabel(c.Label) && !e.p.KnownCaller(c.Label, c.Caller) &&
 			!e.oocAllowed[[2]string{c.Label, c.Caller}] {
 			e.alerts = append(e.alerts, Alert{

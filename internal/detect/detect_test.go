@@ -262,3 +262,73 @@ func TestFlagString(t *testing.T) {
 		}
 	}
 }
+
+// TestSensitiveTouchCounting exercises the sensitive-touch counter that the
+// shedding tier reads for per-session risk: profile leak labels and
+// administrator-installed sensitive labels both count, the counter survives
+// Reset via Adopt, and Reset clears both the counter and the label set.
+func TestSensitiveTouchCounting(t *testing.T) {
+	p, traces, _ := trainAppH(t)
+	e := NewEngine(p)
+
+	var leak, plain string
+	for l := range p.LeakLabels {
+		leak = l
+		break
+	}
+	for _, s := range p.Symbols {
+		if !p.LeakLabels[s] {
+			plain = s
+			break
+		}
+	}
+	if leak == "" || plain == "" {
+		t.Fatalf("profile needs both a leak label and a plain label (leak=%q plain=%q)", leak, plain)
+	}
+
+	e.Observe(collector.Call{Label: plain})
+	if got := e.SensitiveTouches(); got != 0 {
+		t.Fatalf("plain label counted as sensitive: touches = %d", got)
+	}
+	e.Observe(collector.Call{Label: leak})
+	if got := e.SensitiveTouches(); got != 1 {
+		t.Fatalf("leak label touches = %d, want 1", got)
+	}
+
+	e.SetSensitiveLabels(map[string]bool{plain: true})
+	e.Observe(collector.Call{Label: plain})
+	if got := e.SensitiveTouches(); got != 2 {
+		t.Fatalf("administrator label touches = %d, want 2", got)
+	}
+
+	// Adopt carries the counter across an engine swap (retraining hot-swap).
+	next := NewEngine(p)
+	next.Adopt(e)
+	if got := next.SensitiveTouches(); got != 2 {
+		t.Fatalf("Adopt lost the sensitive counter: touches = %d, want 2", got)
+	}
+	// ...but not the owner-installed label set.
+	next.Observe(collector.Call{Label: plain})
+	if got := next.SensitiveTouches(); got != 2 {
+		t.Fatalf("Adopt must not carry sensitive labels: touches = %d, want 2", got)
+	}
+
+	e.Reset()
+	if got := e.SensitiveTouches(); got != 0 {
+		t.Fatalf("Reset kept sensitive touches: %d", got)
+	}
+	e.Observe(collector.Call{Label: plain})
+	if got := e.SensitiveTouches(); got != 0 {
+		t.Fatalf("Reset kept sensitive labels: touches = %d", got)
+	}
+
+	// The traces the profile was trained on necessarily touch leak labels;
+	// a replayed normal stream must therefore accumulate touches.
+	fresh := NewEngine(p)
+	for _, c := range traces[0] {
+		fresh.Observe(c)
+	}
+	if fresh.SensitiveTouches() == 0 {
+		t.Fatal("replaying a training trace accumulated zero sensitive touches")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adprom/internal/collector"
 	"adprom/internal/detect"
 )
 
@@ -197,4 +198,94 @@ func WorkerLatency(d time.Duration) func(worker int, session string) {
 // deadline tests).
 func WorkerGate(release <-chan struct{}) func(worker int, session string) {
 	return func(int, string) { <-release }
+}
+
+// Stream is the slice of a runtime session the overload generator drives.
+// runtime.Session satisfies it; the indirection keeps this package free of a
+// runtime import (the runtime's own chaos tests import faultinject).
+type Stream interface {
+	Observe(c collector.Call) error
+	ObserveBatch(calls []collector.Call) error
+}
+
+// OverloadReport tallies one generator run: calls offered to the stream,
+// calls the runtime accepted, calls rejected by drop/shed errors, and how
+// many individual ops returned a rejection. Admitted + Shed == Sent unless
+// Run aborted on an unclassified error.
+type OverloadReport struct {
+	Sent     int
+	Admitted int
+	Shed     int
+	ShedOps  int
+}
+
+// OverloadGen replays traces into a Stream as fast as the caller's loop can
+// go — no pacing, no backoff — so that against a small queue (or a stalled
+// worker) the offered load exceeds capacity by construction. Passes repeats
+// the whole corpus; Batch > 1 sends calls through ObserveBatch in chunks of
+// that size, exercising partial-batch admission.
+type OverloadGen struct {
+	Traces []collector.Trace
+	Passes int
+	Batch  int
+}
+
+// Run offers every call to s and classifies each error with classify, which
+// reports how many of the op's n calls were rejected and whether the error
+// is an expected overload rejection (drop/shed) rather than a hard failure.
+// Run stops at the first unclassified error and returns it with the partial
+// report.
+func (g *OverloadGen) Run(s Stream, classify func(err error, n int) (rejected int, overload bool)) (OverloadReport, error) {
+	passes := g.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	var r OverloadReport
+	offer := func(calls []collector.Call) error {
+		n := len(calls)
+		var err error
+		if g.Batch > 1 {
+			err = s.ObserveBatch(calls)
+		} else {
+			err = s.Observe(calls[0])
+		}
+		r.Sent += n
+		if err == nil {
+			r.Admitted += n
+			return nil
+		}
+		rejected, overload := classify(err, n)
+		if !overload {
+			return err
+		}
+		if rejected < 0 || rejected > n {
+			return fmt.Errorf("faultinject: classifier reported %d of %d calls rejected: %w", rejected, n, err)
+		}
+		r.Shed += rejected
+		r.Admitted += n - rejected
+		r.ShedOps++
+		return nil
+	}
+	for pass := 0; pass < passes; pass++ {
+		for _, tr := range g.Traces {
+			if g.Batch > 1 {
+				for lo := 0; lo < len(tr); lo += g.Batch {
+					hi := lo + g.Batch
+					if hi > len(tr) {
+						hi = len(tr)
+					}
+					if err := offer(tr[lo:hi]); err != nil {
+						return r, err
+					}
+				}
+				continue
+			}
+			for i := range tr {
+				if err := offer(tr[i : i+1]); err != nil {
+					return r, err
+				}
+			}
+		}
+	}
+	return r, nil
 }

@@ -13,9 +13,14 @@ const NumFlags = 4
 type Counters struct {
 	calls    atomic.Uint64
 	dropped  atomic.Uint64
+	shed     atomic.Uint64
 	alerts   [NumFlags]atomic.Uint64
 	sessions atomic.Int64
 	opened   atomic.Uint64
+
+	// queueHighWater is the lifetime maximum of pending ingest calls observed
+	// on any single worker queue — the saturation early-warning gauge.
+	queueHighWater atomic.Int64
 
 	// Latency histograms for the three instrumented paths: per-call engine
 	// scoring (observe), flush/close processing, and async sink deliveries.
@@ -66,6 +71,22 @@ func (c *Counters) AddSinkDelivery(latencyNanos int64) { c.sinkDeliver.Observe(l
 // AddDropped records calls shed by the ingest queue's drop policy.
 func (c *Counters) AddDropped(n uint64) { c.dropped.Add(n) }
 
+// AddShed records calls rejected by the risk-aware admission controller
+// (ShedByRisk). Kept separate from Dropped so operators can distinguish a
+// deliberate, risk-ranked degradation from blind queue-full drops.
+func (c *Counters) AddShed(n uint64) { c.shed.Add(n) }
+
+// NoteQueueDepth folds one observed per-worker pending-call depth into the
+// lifetime high-water mark. Lock-free CAS max; safe from every producer.
+func (c *Counters) NoteQueueDepth(depth int64) {
+	for {
+		cur := c.queueHighWater.Load()
+		if depth <= cur || c.queueHighWater.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
 // AddAlert records one alert of the given flag; out-of-range flags are
 // ignored rather than panicking a worker.
 func (c *Counters) AddAlert(flag int) {
@@ -109,6 +130,12 @@ type CountersSnapshot struct {
 	Calls uint64
 	// Dropped is the number of calls shed under queue pressure.
 	Dropped uint64
+	// Shed is the number of calls rejected by risk-aware admission
+	// (ShedByRisk); disjoint from Dropped.
+	Shed uint64
+	// QueueHighWater is the lifetime maximum pending-call depth observed on
+	// any single worker queue.
+	QueueHighWater int64
 	// Alerts counts raised alerts by flag value.
 	Alerts [NumFlags]uint64
 	// LatencyNanos is the cumulative per-call processing time.
@@ -166,6 +193,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 	s := CountersSnapshot{
 		Calls:          c.calls.Load(),
 		Dropped:        c.dropped.Load(),
+		Shed:           c.shed.Load(),
+		QueueHighWater: c.queueHighWater.Load(),
 		ActiveSessions: c.sessions.Load(),
 		SessionsOpened: c.opened.Load(),
 		Panics:         c.panics.Load(),

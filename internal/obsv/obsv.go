@@ -39,6 +39,20 @@ type Decision struct {
 	// kernel. A vacuous (+Inf) bound is clamped to MaxFloat64 so the decision
 	// log stays valid JSON.
 	ScoreErrorBound float64 `json:"score_error_bound,omitempty"`
+
+	// Shed provenance: when risk-aware admission (ShedByRisk) rejects calls
+	// instead of scoring them, the runtime records a Decision with Shed=true
+	// so an operator can see exactly what was not scored and why. ShedCalls
+	// is the number of calls rejected by this decision, SessionShed the
+	// session's cumulative shed-call count, Risk the session's risk score at
+	// decision time, and Occupancy the worker-queue occupancy (0..1) that
+	// triggered shedding. All zero (and omitted from JSON) for scored
+	// windows.
+	Shed        bool    `json:"shed,omitempty"`
+	ShedCalls   int     `json:"shed_calls,omitempty"`
+	SessionShed uint64  `json:"session_shed,omitempty"`
+	Risk        float64 `json:"risk,omitempty"`
+	Occupancy   float64 `json:"occupancy,omitempty"`
 }
 
 // Recorder samples judgement decisions into a bounded ring. The sampling
@@ -85,6 +99,25 @@ func (r *Recorder) Record(d Decision) bool {
 	}
 	if !d.Flagged && r.every > 1 && r.gate.Add(1)%r.every != 0 {
 		r.skipped.Add(1)
+		return false
+	}
+	r.recorded.Add(1)
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// RecordAlways writes one decision into the ring, bypassing the 1-in-N
+// sampling gate. Used for decisions that must survive regardless of volume:
+// the first shed on a session, like an alert, is evidence an operator needs.
+func (r *Recorder) RecordAlways(d Decision) bool {
+	if !r.Enabled() {
 		return false
 	}
 	r.recorded.Add(1)

@@ -65,6 +65,83 @@ func Normalize(sql string) string {
 	return strings.TrimSpace(sb.String())
 }
 
+// Tables extracts the table names a query touches: the identifiers following
+// FROM, JOIN, INTO, and UPDATE in the normalised signature, lower-cased,
+// deduplicated, and sorted. It is a lexical scan, not a SQL parser — good
+// enough to classify the flat statements application libraries issue, which
+// is all the risk model needs.
+func Tables(sql string) []string {
+	fields := strings.Fields(Normalize(sql))
+	seen := map[string]bool{}
+	var out []string
+	expect := false
+	for _, f := range fields {
+		switch f {
+		case "from", "join", "into", "update":
+			expect = true
+			continue
+		}
+		if !expect {
+			continue
+		}
+		expect = false
+		// Strip trailing punctuation (commas, parens, semicolons) and a
+		// leading paren from subqueries; "(select" yields nothing.
+		name := strings.Trim(f, "(),;")
+		if name == "" || name == "select" || name == "?" {
+			continue
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SensitiveTables is a set of table names whose queries mark a session as
+// touching sensitive data. Used by the risk-aware shedding tier to keep
+// sessions that read protected tables out of the shed pool.
+type SensitiveTables map[string]bool
+
+// NewSensitiveTables builds the set from a list of names (case-insensitive).
+func NewSensitiveTables(names ...string) SensitiveTables {
+	s := make(SensitiveTables, len(names))
+	for _, n := range names {
+		s[strings.ToLower(strings.TrimSpace(n))] = true
+	}
+	return s
+}
+
+// Touches reports whether the query reads or writes any sensitive table.
+func (s SensitiveTables) Touches(sql string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for _, t := range Tables(sql) {
+		if s[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// SensitiveLabels derives the set of call labels that issued a query against
+// a sensitive table, from a training run's query log. A label here is the
+// issuing origin's function name — the observation symbol the detection
+// runtime sees — so the result plugs directly into shed.Config
+// SensitiveLabels / detect.Engine.SetSensitiveLabels.
+func SensitiveLabels(records []interp.QueryRecord, tables SensitiveTables) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range records {
+		if tables.Touches(r.SQL) {
+			out[r.Origin.Func] = true
+		}
+	}
+	return out
+}
+
 // Violation is a query whose signature (or issuing site) was never seen in
 // training.
 type Violation struct {

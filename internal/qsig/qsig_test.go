@@ -133,3 +133,55 @@ func itoa(n int) string {
 	}
 	return string(b)
 }
+
+func TestTables(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT * FROM clients WHERE id = 10", []string{"clients"}},
+		{"select name from Clients", []string{"clients"}},
+		{"INSERT INTO audit_log VALUES (1, 'x')", []string{"audit_log"}},
+		{"UPDATE accounts SET balance = 0", []string{"accounts"}},
+		{"SELECT a.x, b.y FROM accounts a JOIN clients b ON a.id = b.id",
+			[]string{"accounts", "clients"}},
+		{"SELECT * FROM alpha, beta WHERE 1 = 1", []string{"alpha"}}, // lexical scan: only the first FROM identifier
+		{"SELECT * FROM (SELECT * FROM inner_t) WHERE x = 1", []string{"inner_t"}},
+		{"SELECT 1", nil},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		if got := Tables(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tables(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSensitiveTablesTouches(t *testing.T) {
+	s := NewSensitiveTables(" Patients ", "salaries")
+	if !s.Touches("SELECT * FROM patients WHERE id = 3") {
+		t.Error("case-insensitive sensitive table not detected")
+	}
+	if !s.Touches("SELECT a.x FROM visits a JOIN salaries b ON a.id = b.id") {
+		t.Error("sensitive join partner not detected")
+	}
+	if s.Touches("SELECT * FROM visits") {
+		t.Error("non-sensitive table flagged")
+	}
+	if (SensitiveTables{}).Touches("SELECT * FROM patients") {
+		t.Error("empty set must never match")
+	}
+}
+
+func TestSensitiveLabels(t *testing.T) {
+	records := []interp.QueryRecord{
+		{Origin: interp.Origin{Func: "report", Block: 1}, SQL: "SELECT * FROM patients WHERE id = 1"},
+		{Origin: interp.Origin{Func: "report", Block: 2}, SQL: "SELECT * FROM patients WHERE id = 2"},
+		{Origin: interp.Origin{Func: "lookup", Block: 0}, SQL: "SELECT * FROM visits WHERE id = 3"},
+	}
+	got := SensitiveLabels(records, NewSensitiveTables("patients"))
+	want := map[string]bool{"report": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SensitiveLabels = %v, want %v", got, want)
+	}
+}

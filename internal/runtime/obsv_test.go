@@ -41,16 +41,22 @@ func TestStatsStringGolden(t *testing.T) {
 		Swaps:             5,
 		EnginesRetired:    16,
 		DecisionsRecorded: 11,
+		Shed:              17,
+		ShedRate:          0.125,
+		EstimatedMissProb: 0.0625,
+		ShedEngaged:       true,
+		QueueHighWater:    33,
 	}
 	st.Alerts[int(detect.FlagAnomalous)] = 2
 	st.Alerts[int(detect.FlagDL)] = 5
 	st.Alerts[int(detect.FlagOutOfContext)] = 1
 
 	want := "calls=100 dropped=3 alerts=8 (anomalous=2 dl=5 ooc=1) " +
-		"sessions=2/9 queue=7/4×64 " +
+		"sessions=2/9 queue=7/4×64 qhw=33 " +
 		"avg=1.5µs max=2ms p50=1µs p95=3µs p99=9µs " +
 		"panics=1 restarts=12 quarantined=13 sink[dropped=14 panics=15] " +
-		"gen=6 swaps=5 retired=16 decisions=11"
+		"gen=6 swaps=5 retired=16 decisions=11 " +
+		"shed[calls=17 rate=0.1250 missp=0.0625 engaged=true]"
 	if got := st.String(); got != want {
 		t.Errorf("Stats.String() =\n  %q\nwant\n  %q", got, want)
 	}
@@ -72,6 +78,10 @@ func TestStatsStringCoversEveryField(t *testing.T) {
 			v.SetUint(99)
 		case reflect.Int, reflect.Int64:
 			v.SetInt(99)
+		case reflect.Float64:
+			v.SetFloat(0.99)
+		case reflect.Bool:
+			v.SetBool(true)
 		case reflect.Array:
 			v.Index(0).SetUint(99) // FlagNormal still feeds AlertTotal
 		default:
@@ -128,6 +138,9 @@ func TestWritePrometheusCoversEveryCounter(t *testing.T) {
 		"adprom_profile_generation", "adprom_workers",
 		"adprom_queue_capacity", "adprom_queue_depth",
 		"adprom_decisions_recorded_total", "adprom_decisions_sampled_out_total",
+		"adprom_worker_queue_depth", "adprom_shed_rate",
+		"adprom_shed_estimated_miss_probability", "adprom_shed_engaged",
+		"adprom_shed_decisions_total",
 	} {
 		if !strings.Contains(out, extra) {
 			t.Errorf("gauge %q missing from /metrics output", extra)

@@ -1,11 +1,13 @@
 package runtime
 
 import (
+	"fmt"
 	"io"
 
 	"adprom/internal/detect"
 	"adprom/internal/metrics"
 	"adprom/internal/obsv"
+	"adprom/internal/shed"
 )
 
 // countersMetric maps every metrics.CountersSnapshot field to the Prometheus
@@ -16,6 +18,8 @@ import (
 var countersMetric = map[string]string{
 	"Calls":          "adprom_calls_total",
 	"Dropped":        "adprom_dropped_total",
+	"Shed":           "adprom_shed_calls_total",
+	"QueueHighWater": "adprom_queue_high_water",
 	"Alerts":         "adprom_alerts_total",
 	"LatencyNanos":   "adprom_observe_latency_seconds_sum",
 	"ActiveSessions": "adprom_active_sessions",
@@ -41,6 +45,8 @@ func (rt *Runtime) WritePrometheus(w io.Writer) error {
 
 	p.Counter(countersMetric["Calls"], "Calls scored by detection workers.", float64(snap.Calls))
 	p.Counter(countersMetric["Dropped"], "Calls shed under queue pressure or after session failure.", float64(snap.Dropped))
+	p.Counter(countersMetric["Shed"], "Calls rejected by the risk-aware admission controller.", float64(snap.Shed))
+	p.Gauge(countersMetric["QueueHighWater"], "Lifetime maximum pending-call depth on any single worker queue.", float64(snap.QueueHighWater))
 	p.Family(countersMetric["Alerts"], "counter", "Alerts raised, by flag.")
 	for f := 0; f < metrics.NumFlags; f++ {
 		p.Sample(countersMetric["Alerts"],
@@ -64,14 +70,42 @@ func (rt *Runtime) WritePrometheus(w io.Writer) error {
 	p.Gauge("adprom_profile_generation", "Serving profile generation (1 until the first swap).", float64(rt.cur.Load().gen))
 	p.Gauge("adprom_workers", "Detection worker count.", float64(rt.cfg.workers))
 	p.Gauge("adprom_queue_capacity", "Per-worker ingest queue capacity.", float64(rt.cfg.queueDepth))
+	depths := rt.WorkerQueueDepths()
 	depth := 0
-	rt.mu.RLock()
-	for _, q := range rt.queues {
-		depth += len(q)
+	p.Family("adprom_worker_queue_depth", "gauge", "Pending calls per worker ingest queue.")
+	for i, d := range depths {
+		depth += d
+		p.Sample("adprom_worker_queue_depth", [][2]string{{"worker", itoa(i)}}, float64(d))
 	}
-	rt.mu.RUnlock()
 	p.Gauge("adprom_queue_depth", "Calls waiting across all worker queues.", float64(depth))
 	p.Counter("adprom_decisions_recorded_total", "Provenance decisions written into the ring.", float64(rt.rec.Recorded()))
 	p.Counter("adprom_decisions_sampled_out_total", "Unflagged judgements passed over by the 1-in-N sampler.", float64(rt.rec.Skipped()))
+
+	// Risk-aware shedding gauges: rendered whether or not ShedByRisk is
+	// active, so dashboards keyed on them never see the family disappear.
+	var ss shed.Snapshot
+	if rt.shed != nil {
+		ss = rt.shed.Snapshot()
+	}
+	shedRate := 0.0
+	if snap.Shed > 0 {
+		shedRate = float64(snap.Shed) / float64(snap.Shed+snap.Calls)
+	}
+	p.Gauge("adprom_shed_rate", "Fraction of offered calls rejected by risk-aware admission.", shedRate)
+	p.Gauge("adprom_shed_estimated_miss_probability", "Estimated fraction of alert evidence lost to shedding (shed risk mass over total).", ss.MissProbability)
+	engaged := 0.0
+	if ss.Engaged {
+		engaged = 1
+	}
+	p.Gauge("adprom_shed_engaged", "Whether any worker's admission controller is currently shedding (1) or passing everything (0).", engaged)
+	p.Counter("adprom_shed_decisions_total", "Admission decisions that rejected an op.", float64(ss.ShedDecisions))
 	return p.Err()
+}
+
+// itoa is a tiny allocation-light strconv.Itoa for small worker indices.
+func itoa(i int) string {
+	if i >= 0 && i < 10 {
+		return string([]byte{'0' + byte(i)})
+	}
+	return fmt.Sprintf("%d", i)
 }

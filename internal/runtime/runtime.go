@@ -18,7 +18,12 @@
 //     when sessions close, so steady-state session churn does not allocate.
 //   - Ingest queues are bounded. Under pressure the configured DropPolicy
 //     either applies backpressure (Block, the default — Observe waits for
-//     queue space) or sheds the newest call (DropNewest, counted in Stats).
+//     queue space), sheds the newest call (DropNewest, counted in Stats), or
+//     sheds by session risk (ShedByRisk): an admission controller keyed to
+//     queue occupancy thins low-risk sessions probabilistically while
+//     sessions with recent alerts, drifting scores, or sensitive-data
+//     touches are always scored. See the internal/shed package doc for the
+//     risk model, hysteresis, and the estimated-miss-probability metric.
 //   - Close flushes every open session (judging partial windows, like
 //     Engine.Flush), waits for the workers to drain, and stops them.
 //
@@ -87,6 +92,7 @@ import (
 	"adprom/internal/metrics"
 	"adprom/internal/obsv"
 	"adprom/internal/profile"
+	"adprom/internal/shed"
 )
 
 // Errors returned by the ingest path.
@@ -101,7 +107,40 @@ var (
 	// the returned error and available via Session.Err; other sessions are
 	// unaffected. Close a failed session to release its slot.
 	ErrSessionFailed = errors.New("runtime: session failed")
+	// ErrShed reports a call rejected by the risk-aware admission controller
+	// (ShedByRisk). It matches errors.Is(err, ErrDropped) so callers that
+	// already classify DropNewest losses handle risk-aware sheds the same
+	// way, while errors.Is(err, ErrShed) distinguishes a deliberate,
+	// risk-ranked rejection from a blind queue-full drop.
+	ErrShed error = shedSentinel{}
 )
+
+// shedSentinel gives ErrShed its own identity while still matching
+// ErrDropped under errors.Is.
+type shedSentinel struct{}
+
+func (shedSentinel) Error() string        { return "runtime: call shed: risk-aware admission" }
+func (shedSentinel) Is(target error) bool { return target == ErrDropped }
+
+// BatchShedError reports a batch that was partially or fully rejected: Shed
+// of Batch calls were not enqueued (the admitted prefix, if any, is already
+// queued in order). It unwraps to ErrDropped under DropNewest and to ErrShed
+// under ShedByRisk, so existing errors.Is(err, ErrDropped) checks keep
+// working while callers that need exact accounting read the counts with
+// errors.As.
+type BatchShedError struct {
+	// Shed is how many of the batch's Batch calls were rejected; the first
+	// Batch−Shed calls were admitted.
+	Shed  int
+	Batch int
+	cause error
+}
+
+func (e *BatchShedError) Error() string {
+	return fmt.Sprintf("%v (%d of %d batch calls shed)", e.cause, e.Shed, e.Batch)
+}
+
+func (e *BatchShedError) Unwrap() error { return e.cause }
 
 // Supervised worker restarts back off exponentially from restartBackoffBase,
 // doubling per consecutive crash up to restartBackoffCap.
@@ -118,6 +157,14 @@ const (
 	Block DropPolicy = iota
 	// DropNewest sheds the incoming call, counts it, and returns ErrDropped.
 	DropNewest
+	// ShedByRisk sheds by session risk instead of arrival order: when a
+	// worker's queue saturates, low-risk sessions are thinned
+	// probabilistically (deterministically, given shed.Config.Seed) while
+	// sessions with recent alerts, drifting scores, or sensitive-data
+	// touches are always scored — with blocking backpressure if necessary.
+	// Rejected calls return ErrShed and are counted in Stats.Shed. Tune with
+	// WithShedConfig.
+	ShedByRisk
 )
 
 func (p DropPolicy) String() string {
@@ -126,6 +173,8 @@ func (p DropPolicy) String() string {
 		return "block"
 	case DropNewest:
 		return "drop-newest"
+	case ShedByRisk:
+		return "shed-by-risk"
 	default:
 		return fmt.Sprintf("DropPolicy(%d)", int(p))
 	}
@@ -183,6 +232,7 @@ type config struct {
 	logger        *slog.Logger
 	decisionCap   int
 	decisionEvery int
+	shedCfg       *shed.Config
 }
 
 // Option configures a Runtime.
@@ -219,9 +269,23 @@ func WithQueueDepth(d int) Option {
 	}
 }
 
-// WithDropPolicy selects backpressure (Block) or load shedding (DropNewest).
+// WithDropPolicy selects backpressure (Block), newest-call shedding
+// (DropNewest), or risk-aware shedding (ShedByRisk; tune with
+// WithShedConfig).
 func WithDropPolicy(p DropPolicy) Option {
 	return func(c *config) { c.policy = p }
+}
+
+// WithShedConfig tunes the risk-aware admission controller — watermarks,
+// guarantee band, risk-signal memories, deterministic seed, sensitive labels
+// (see shed.Config) — and selects the ShedByRisk policy. Zero fields keep
+// their documented defaults, so WithDropPolicy(ShedByRisk) alone is a valid
+// configuration.
+func WithShedConfig(sc shed.Config) Option {
+	return func(c *config) {
+		c.policy = ShedByRisk
+		c.shedCfg = &sc
+	}
 }
 
 // WithAlertFunc routes every session's alerts to fn through the async sink
@@ -359,6 +423,17 @@ type Runtime struct {
 	queues []chan op
 	wg     sync.WaitGroup
 
+	// pending tracks the calls offered to each worker and not yet dequeued —
+	// the call-granularity ledger behind partial batch admission, the
+	// per-worker depth gauges, and ShedByRisk's occupancy signal. Producers
+	// add on enqueue; the worker (or the shutdown drain) subtracts on
+	// dequeue.
+	pending []atomic.Int64
+
+	// shed is the risk-aware admission controller, non-nil only under the
+	// ShedByRisk policy.
+	shed *shed.Controller
+
 	// stopped is closed when workers must abandon ingest (shutdown); senders
 	// and reply-waiters select on it so nothing hangs past Close.
 	stopped  chan struct{}
@@ -459,6 +534,12 @@ type Session struct {
 	// worker before each op is scored, so after a synchronous Flush returns,
 	// Generation reports the generation that scored the flushed trace.
 	lastGen atomic.Uint64
+
+	// risk is the session's shed-tier state (nil unless the runtime runs
+	// ShedByRisk). sensSeen is the engine's sensitive-touch count already
+	// folded into risk — worker-owned, like engine.
+	risk     *shed.SessionRisk
+	sensSeen int
 }
 
 // Generation reports the profile generation that scored the session's most
@@ -466,6 +547,16 @@ type Session struct {
 // sessions only change generation at trace boundaries, the value read after a
 // Flush returns names the single generation that scored the whole trace.
 func (s *Session) Generation() uint64 { return s.lastGen.Load() }
+
+// ShedCalls reports how many of this session's calls the risk-aware
+// admission controller has rejected so far (always 0 under Block and
+// DropNewest).
+func (s *Session) ShedCalls() uint64 {
+	if s.risk == nil {
+		return 0
+	}
+	return s.risk.ShedCalls()
+}
 
 // New builds a runtime over a trained profile. The profile becomes generation
 // 1 and is treated as immutable from this point on: publish retrained models
@@ -488,9 +579,17 @@ func New(p *profile.Profile, opts ...Option) *Runtime {
 		cfg:      cfg,
 		seed:     maphash.MakeSeed(),
 		queues:   make([]chan op, cfg.workers),
+		pending:  make([]atomic.Int64, cfg.workers),
 		sessions: make(map[string]*Session),
 		stopped:  make(chan struct{}),
 		rec:      obsv.NewRecorder(cfg.decisionCap, cfg.decisionEvery),
+	}
+	if cfg.policy == ShedByRisk {
+		var sc shed.Config
+		if cfg.shedCfg != nil {
+			sc = *cfg.shedCfg
+		}
+		rt.shed = shed.New(sc, cfg.workers)
 	}
 	rt.cur.Store(&generation{p: p, gen: 1})
 	rt.pool.New = func() any {
@@ -583,6 +682,9 @@ func (rt *Runtime) Session(id string) *Session {
 	h.SetSeed(rt.seed)
 	h.WriteString(id)
 	s = &Session{rt: rt, id: id, worker: int(h.Sum64() % uint64(len(rt.queues)))}
+	if rt.shed != nil {
+		s.risk = rt.shed.NewSession(id)
+	}
 	if rt.draining || rt.closed {
 		s.closed = true
 		return s
@@ -637,9 +739,11 @@ func (s *Session) ObserveContext(ctx context.Context, c collector.Call) error {
 // the alerts per-call Observes would, so it is the preferred ingest form for
 // replay and any producer that naturally batches — it amortises the queue
 // round-trip and the engine dispatch across the batch. The calls slice is
-// copied; the caller may reuse it immediately. Under DropNewest a full queue
-// sheds the whole batch (counted as len(calls) drops) and returns ErrDropped;
-// batches are never partially enqueued.
+// copied; the caller may reuse it immediately. Under DropNewest (and
+// non-guaranteed ShedByRisk admissions) a saturated queue admits the batch
+// prefix that fits the worker's call budget and sheds the tail: the error is
+// a *BatchShedError wrapping ErrDropped (or ErrShed) whose Shed/Batch fields
+// report the exact counts.
 func (s *Session) ObserveBatch(calls []collector.Call) error {
 	return s.ObserveBatchContext(context.Background(), calls)
 }
@@ -802,23 +906,184 @@ func (rt *Runtime) enqueue(ctx context.Context, worker int, o op, control bool) 
 	}
 	q := rt.queues[worker]
 	rt.mu.RUnlock()
-	if !control && rt.cfg.policy == DropNewest {
-		select {
-		case q <- o:
-			return nil
-		default:
-			rt.ctr.AddDropped(o.callCount())
-			return ErrDropped
+	if !control {
+		switch rt.cfg.policy {
+		case DropNewest:
+			return rt.enqueueDropNewest(q, worker, o)
+		case ShedByRisk:
+			return rt.enqueueShed(ctx, q, worker, o)
 		}
 	}
+	n := o.callCount()
+	rt.trackPending(worker, n)
 	select {
 	case q <- o:
 		return nil
 	case <-rt.stopped:
+		rt.releasePending(worker, n)
 		return ErrClosed
 	case <-ctx.Done():
+		rt.releasePending(worker, n)
 		return ctx.Err()
 	}
+}
+
+// trackPending charges n offered calls to worker w's pending ledger and
+// folds the new depth into the lifetime high-water mark.
+func (rt *Runtime) trackPending(w int, n uint64) {
+	if n == 0 {
+		return
+	}
+	rt.ctr.NoteQueueDepth(rt.pending[w].Add(int64(n)))
+}
+
+func (rt *Runtime) releasePending(w int, n uint64) {
+	if n > 0 {
+		rt.pending[w].Add(-int64(n))
+	}
+}
+
+// reserve charges up to n calls against worker w's call budget (queueDepth
+// calls of un-dequeued backlog) and returns how many fit — the admitted
+// batch prefix. The unadmitted remainder is released immediately.
+func (rt *Runtime) reserve(w, n int) int {
+	now := rt.pending[w].Add(int64(n))
+	admit := n
+	if over := now - int64(rt.cfg.queueDepth); over > 0 {
+		cut := int(over)
+		if cut > n {
+			cut = n
+		}
+		admit = n - cut
+		rt.pending[w].Add(-int64(cut))
+		now -= int64(cut)
+	}
+	rt.ctr.NoteQueueDepth(now)
+	return admit
+}
+
+// dropErr shapes the rejection error: per-call ops keep the plain sentinel
+// contract; batch ops carry exact counts via BatchShedError.
+func dropErr(o *op, shedCount, batch int, cause error) error {
+	if o.kind != opObserveBatch {
+		return cause
+	}
+	return &BatchShedError{Shed: shedCount, Batch: batch, cause: cause}
+}
+
+// enqueueDropNewest admits the batch prefix that fits the worker's call
+// budget, sheds the tail, and reports exact counts — a full queue no longer
+// rejects a whole batch when part of it fits.
+func (rt *Runtime) enqueueDropNewest(q chan op, worker int, o op) error {
+	n := int(o.callCount())
+	admit := rt.reserve(worker, n)
+	if admit == 0 {
+		rt.ctr.AddDropped(uint64(n))
+		return dropErr(&o, n, n, ErrDropped)
+	}
+	if admit < n {
+		o.calls = o.calls[:admit]
+	}
+	select {
+	case q <- o:
+		if admit < n {
+			rt.ctr.AddDropped(uint64(n - admit))
+			return dropErr(&o, n-admit, n, ErrDropped)
+		}
+		return nil
+	default:
+		// The call budget had room but the op-slot channel is full (many
+		// small ops queued): shed the whole batch.
+		rt.releasePending(worker, uint64(admit))
+		rt.ctr.AddDropped(uint64(n))
+		return dropErr(&o, n, n, ErrDropped)
+	}
+}
+
+// enqueueShed is the ShedByRisk admission path: one deterministic controller
+// decision per op, guaranteed (blocking) admission for high-risk sessions,
+// budgeted prefix admission for the rest.
+func (rt *Runtime) enqueueShed(ctx context.Context, q chan op, worker int, o op) error {
+	n := int(o.callCount())
+	sr := o.s.risk
+	occ := float64(rt.pending[worker].Load()) / float64(rt.cfg.queueDepth)
+	d := rt.shed.Decide(sr, worker, occ)
+	if !d.Admit {
+		rt.noteShed(o.s, d, n)
+		return dropErr(&o, n, n, ErrShed)
+	}
+	if d.Guaranteed {
+		// High-risk sessions are always scored: blocking backpressure,
+		// bounded only by the caller's context and shutdown.
+		rt.trackPending(worker, uint64(n))
+		select {
+		case q <- o:
+			rt.shed.Admitted(sr, d, n)
+			return nil
+		case <-rt.stopped:
+			rt.releasePending(worker, uint64(n))
+			return ErrClosed
+		case <-ctx.Done():
+			rt.releasePending(worker, uint64(n))
+			return ctx.Err()
+		}
+	}
+	admit := rt.reserve(worker, n)
+	if admit == 0 {
+		rt.noteShed(o.s, d, n)
+		return dropErr(&o, n, n, ErrShed)
+	}
+	if admit < n {
+		o.calls = o.calls[:admit]
+	}
+	select {
+	case q <- o:
+		rt.shed.Admitted(sr, d, admit)
+		if admit < n {
+			rt.noteShed(o.s, d, n-admit)
+			return dropErr(&o, n-admit, n, ErrShed)
+		}
+		return nil
+	default:
+		rt.releasePending(worker, uint64(admit))
+		rt.noteShed(o.s, d, n)
+		return dropErr(&o, n, n, ErrShed)
+	}
+}
+
+// noteShed does the bookkeeping of one shed outcome: controller risk-mass
+// accounting, the Stats.Shed counter, and decision provenance.
+func (rt *Runtime) noteShed(s *Session, d shed.Decision, calls int) {
+	rt.shed.Shed(s.risk, d, calls)
+	rt.ctr.AddShed(uint64(calls))
+	rt.recordShed(s, d, calls)
+}
+
+// recordShed writes shed provenance so an operator can see exactly what was
+// not scored and why. The first shed on a session bypasses the sampling gate
+// (like an alert, it is evidence that must survive); later ones are sampled
+// 1-in-N with the cumulative per-session count carried on each record.
+func (rt *Runtime) recordShed(s *Session, d shed.Decision, calls int) {
+	if !rt.rec.Enabled() {
+		return
+	}
+	total := s.risk.ShedCalls()
+	dec := obsv.Decision{
+		Session:     s.id,
+		UnixNanos:   time.Now().UnixNano(),
+		Flag:        "Shed",
+		Generation:  s.lastGen.Load(),
+		Shed:        true,
+		ShedCalls:   calls,
+		SessionShed: total,
+		Risk:        d.Risk,
+		Occupancy:   d.Occupancy,
+	}
+	if total == uint64(calls) {
+		rt.rec.RecordAlways(dec)
+		return
+	}
+	rt.rec.Record(dec)
 }
 
 // supervise owns one worker slot: it runs the worker loop and restarts it
@@ -838,7 +1103,7 @@ func (rt *Runtime) supervise(w int) {
 		select {
 		case <-time.After(backoff):
 		case <-rt.stopped:
-			rt.drainQueue(rt.queues[w])
+			rt.drainQueue(w)
 			return
 		}
 		if backoff *= 2; backoff > restartBackoffCap {
@@ -867,6 +1132,7 @@ func (rt *Runtime) runWorker(w int) (clean bool) {
 	for {
 		select {
 		case o = <-q:
+			rt.releasePending(w, o.callCount())
 			cur = &o
 			if h := rt.cfg.workerHook; h != nil {
 				// Outside the per-op recovery: a panic here kills the worker.
@@ -875,7 +1141,7 @@ func (rt *Runtime) runWorker(w int) (clean bool) {
 			rt.process(&o)
 			cur = nil
 		case <-rt.stopped:
-			rt.drainQueue(q)
+			rt.drainQueue(w)
 			return true
 		}
 	}
@@ -883,11 +1149,13 @@ func (rt *Runtime) runWorker(w int) (clean bool) {
 
 // drainQueue empties a worker queue during shutdown, answering control ops
 // so no Flush/Close waits on a stopped worker.
-func (rt *Runtime) drainQueue(q chan op) {
+func (rt *Runtime) drainQueue(w int) {
+	q := rt.queues[w]
 	for {
 		select {
 		case o := <-q:
 			if n := o.callCount(); n > 0 {
+				rt.releasePending(w, n)
 				rt.ctr.AddDropped(n)
 			}
 			o.reply(reply{err: ErrClosed})
@@ -954,6 +1222,7 @@ func (rt *Runtime) process(o *op) {
 	case opObserve:
 		alerts := s.engine.Observe(o.call)
 		rt.ctr.AddCall(time.Since(start).Nanoseconds())
+		rt.noteSensitive(s)
 		rt.recordAlerts(s, alerts)
 		rt.deliver(s.id, alerts)
 		if err := s.engine.Err(); err != nil {
@@ -963,6 +1232,7 @@ func (rt *Runtime) process(o *op) {
 	case opObserveBatch:
 		alerts := s.engine.ObserveBatch(o.calls)
 		rt.ctr.AddCalls(len(o.calls), time.Since(start).Nanoseconds())
+		rt.noteSensitive(s)
 		rt.recordAlerts(s, alerts)
 		rt.deliver(s.id, alerts)
 		if err := s.engine.Err(); err != nil {
@@ -999,9 +1269,22 @@ func (rt *Runtime) process(o *op) {
 			old := s.engine
 			rt.installEngine(s)
 			s.engine.Adopt(old)
+			s.sensSeen = s.engine.SensitiveTouches()
 			rt.ctr.AddEngineRetired()
 		}
 		o.reply(reply{alerts: out})
+	}
+}
+
+// noteSensitive feeds the engine's sensitive-touch delta into the session's
+// risk state. Runs on the worker goroutine after each observe op.
+func (rt *Runtime) noteSensitive(s *Session) {
+	if s.risk == nil {
+		return
+	}
+	if t := s.engine.SensitiveTouches(); t > s.sensSeen {
+		s.risk.NoteSensitive()
+		s.sensSeen = t
 	}
 }
 
@@ -1025,9 +1308,17 @@ func (rt *Runtime) installEngine(s *Session) {
 		e.SetWindowLen(rt.cfg.windowLen)
 	}
 	e.SetScorerMode(rt.cfg.scorerMode)
-	if rt.cfg.judgeHook != nil || rt.cfg.observer != nil || rt.rec.Enabled() {
-		id, hook, obs, rec := s.id, rt.cfg.judgeHook, rt.cfg.observer, rt.rec
+	if rt.shed != nil {
+		e.SetSensitiveLabels(rt.shed.Config().SensitiveLabels)
+	}
+	if rt.cfg.judgeHook != nil || rt.cfg.observer != nil || rt.rec.Enabled() || s.risk != nil {
+		id, hook, obs, rec, risk := s.id, rt.cfg.judgeHook, rt.cfg.observer, rt.rec, s.risk
 		e.SetJudgeHook(func(seq int, score float64, flagged bool) error {
+			// The shed tier's per-session risk signals come from the same
+			// judgement stream the observers tap.
+			if risk != nil {
+				risk.NoteJudgement(score, flagged)
+			}
 			// Unflagged judgements are sampled here (1-in-N); flagged ones
 			// are recorded with their full alert context in recordAlerts.
 			if !flagged && rec.Enabled() {
@@ -1052,6 +1343,7 @@ func (rt *Runtime) installEngine(s *Session) {
 	}
 	s.engine = e
 	s.gen = pe.gen
+	s.sensSeen = e.SensitiveTouches()
 }
 
 // recordAlerts writes one provenance Decision per raised alert — alerts are
@@ -1255,6 +1547,21 @@ type Stats struct {
 	// DecisionsRecorded counts provenance records written into the decision
 	// ring (alerts plus 1-in-N sampled Normal judgements).
 	DecisionsRecorded uint64
+	// Shed counts calls rejected by risk-aware admission (ShedByRisk only;
+	// disjoint from Dropped), and ShedRate is the fraction of offered calls
+	// shed so far: Shed / (Shed + Calls).
+	Shed     uint64
+	ShedRate float64
+	// EstimatedMissProb estimates the fraction of expected alert evidence
+	// the shedding gave up: shed risk mass over total offered risk mass.
+	EstimatedMissProb float64
+	// ShedEngaged reports whether any worker's admission controller is
+	// currently shedding (queue occupancy inside the hysteresis band or
+	// above).
+	ShedEngaged bool
+	// QueueHighWater is the lifetime maximum pending-call depth observed on
+	// any single worker queue — the saturation early warning.
+	QueueHighWater int
 }
 
 // AlertTotal sums the per-flag alert counts.
@@ -1268,13 +1575,14 @@ func (s Stats) AlertTotal() uint64 {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d avg=%s max=%s p50=%s p95=%s p99=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d decisions=%d",
+		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d qhw=%d avg=%s max=%s p50=%s p95=%s p99=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d decisions=%d shed[calls=%d rate=%.4f missp=%.4f engaged=%v]",
 		s.Calls, s.Dropped, s.AlertTotal(),
 		s.Alerts[int(detect.FlagAnomalous)], s.Alerts[int(detect.FlagDL)], s.Alerts[int(detect.FlagOutOfContext)],
-		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap,
+		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap, s.QueueHighWater,
 		s.AvgLatency, s.MaxLatency, s.P50Latency, s.P95Latency, s.P99Latency,
 		s.Panics, s.WorkerRestarts, s.Quarantined, s.SinkDropped, s.SinkPanics,
-		s.Generation, s.Swaps, s.EnginesRetired, s.DecisionsRecorded)
+		s.Generation, s.Swaps, s.EnginesRetired, s.DecisionsRecorded,
+		s.Shed, s.ShedRate, s.EstimatedMissProb, s.ShedEngaged)
 }
 
 // Stats snapshots the runtime's counters and gauges.
@@ -1303,12 +1611,45 @@ func (rt *Runtime) Stats() Stats {
 		EnginesRetired: snap.EnginesRetired,
 	}
 	st.DecisionsRecorded = rt.rec.Recorded()
-	rt.mu.RLock()
-	for _, q := range rt.queues {
-		st.QueueDepth += len(q)
+	st.Shed = snap.Shed
+	st.QueueHighWater = int(snap.QueueHighWater)
+	if st.Shed > 0 {
+		st.ShedRate = float64(st.Shed) / float64(st.Shed+st.Calls)
 	}
-	rt.mu.RUnlock()
+	if rt.shed != nil {
+		ss := rt.shed.Snapshot()
+		st.EstimatedMissProb = ss.MissProbability
+		st.ShedEngaged = ss.Engaged
+	}
+	// QueueDepth is the pending-call ledger, not channel occupancy: it counts
+	// calls (batches weighted by size) offered and not yet dequeued.
+	for i := range rt.pending {
+		if d := rt.pending[i].Load(); d > 0 {
+			st.QueueDepth += int(d)
+		}
+	}
 	return st
+}
+
+// WorkerQueueDepths returns each worker's current pending-call depth — the
+// per-worker saturation gauges behind the adprom_worker_queue_depth metric.
+func (rt *Runtime) WorkerQueueDepths() []int {
+	out := make([]int, len(rt.pending))
+	for i := range rt.pending {
+		if d := rt.pending[i].Load(); d > 0 {
+			out[i] = int(d)
+		}
+	}
+	return out
+}
+
+// ShedSnapshot exposes the risk-aware admission controller's counters (the
+// zero Snapshot when the runtime does not run ShedByRisk).
+func (rt *Runtime) ShedSnapshot() shed.Snapshot {
+	if rt.shed == nil {
+		return shed.Snapshot{}
+	}
+	return rt.shed.Snapshot()
 }
 
 // Histograms bundles the runtime's latency histograms: per-call engine

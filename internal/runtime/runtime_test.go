@@ -305,6 +305,7 @@ func TestDropPolicyString(t *testing.T) {
 	}{
 		{Block, "block"},
 		{DropNewest, "drop-newest"},
+		{ShedByRisk, "shed-by-risk"},
 		{DropPolicy(7), "DropPolicy(7)"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,27 @@
+package shed
+
+import "testing"
+
+// BenchmarkShedDecide measures the full per-op admission check while the
+// controller is engaged — risk composition, hysteresis, deterministic draw,
+// and outcome accounting. This is the cost ShedByRisk adds to every enqueue
+// under overload, so it is gated by make bench-smoke against the committed
+// baseline.
+func BenchmarkShedDecide(b *testing.B) {
+	c := New(Config{Seed: 9}, 4)
+	sr := c.NewSession("bench-session")
+	for i := 0; i < 32; i++ {
+		sr.NoteJudgement(-1.1, false)
+	}
+	sr.NoteSensitive()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := c.Decide(sr, i&3, 0.9)
+		if d.Admit {
+			c.Admitted(sr, d, 1)
+		} else {
+			c.Shed(sr, d, 1)
+		}
+	}
+}
