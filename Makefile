@@ -7,9 +7,10 @@ GO ?= go
 .PHONY: all build test vet race fuzz verify bench bench-smoke serve-demo
 
 # The microbenches gated by bench-smoke; keep in sync with the names in
-# internal/hmm/bench_test.go and internal/shed/bench_test.go.
+# internal/hmm/bench_test.go, internal/shed/bench_test.go,
+# internal/tenant/tenant_test.go and internal/ingest/frame_test.go.
 SCORER_BENCHES = BenchmarkScorerLogProb|BenchmarkStreamPush|BenchmarkStreamPushBatch
-SMOKE_BENCHES = $(SCORER_BENCHES)|BenchmarkShedDecide
+SMOKE_BENCHES = $(SCORER_BENCHES)|BenchmarkShedDecide|BenchmarkTenantRoute|BenchmarkIngestDecode
 
 all: verify
 
@@ -26,14 +27,17 @@ vet:
 	$(GO) vet ./...
 
 # The runtime package is the concurrency-critical surface; -race across the
-# whole module also covers the facade's Runtime tests.
+# whole module also covers the facade's Runtime tests. tenant and ingest
+# carry the fleet chaos suite and the network front door.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/lifecycle/... .
+	$(GO) test -race ./internal/runtime/... ./internal/lifecycle/... ./internal/tenant/... ./internal/ingest/... .
 
-# A short coverage-guided smoke over the profile codec: enough to catch
-# parser regressions on every verify without the cost of a long campaign.
+# A short coverage-guided smoke over the two wire parsers — the profile
+# codec and the ingest frame decoder: enough to catch parser regressions on
+# every verify without the cost of a long campaign.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime 5s ./internal/profile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 5s ./internal/ingest
 
 verify: build test vet race fuzz
 
@@ -44,6 +48,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRuntimeThroughput|BenchmarkInstrumentationOverhead' -benchmem -benchtime 3x . > BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/hmm >> BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/shed >> BENCH_runtime.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/tenant >> BENCH_runtime.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/ingest >> BENCH_runtime.txt
 	cat BENCH_runtime.txt
 	$(GO) run ./cmd/benchjson -o BENCH_runtime.json < BENCH_runtime.txt
 
@@ -53,8 +59,8 @@ bench:
 # on every push; `make bench` refreshes the baseline after an intentional
 # change.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -count 3 ./internal/hmm ./internal/shed | \
-		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'ScorerLogProb|StreamPush|ShedDecide'
+	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -count 3 ./internal/hmm ./internal/shed ./internal/tenant ./internal/ingest | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'ScorerLogProb|StreamPush|ShedDecide|TenantRoute|IngestDecode'
 
 serve-demo:
 	$(GO) run ./cmd/adprom serve -app apph -streams 64 -workers 4

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"adprom/internal/ingest"
+	"adprom/internal/lifecycle"
+	"adprom/internal/obsv"
+	"adprom/internal/profile"
+	"adprom/internal/runtime"
+	"adprom/internal/shed"
+	"adprom/internal/tenant"
+)
+
+// fleetFlags is the serve flag subset that switches serve from single-app
+// replay into the multi-tenant network daemon.
+type fleetFlags struct {
+	tenants     string
+	ingestAddr  string
+	ingestCodec string
+	tenantDir   string
+	quota       int
+	maxActive   int
+}
+
+// registerFleetFlags adds the fleet-mode flags to serve's flag set.
+func registerFleetFlags(fs *flag.FlagSet) *fleetFlags {
+	ff := &fleetFlags{}
+	fs.StringVar(&ff.tenants, "tenants", "", "comma-separated app names to serve as tenants (fleet mode; e.g. apph,appb)")
+	fs.StringVar(&ff.ingestAddr, "ingest-addr", "", "accept collector events over TCP on this address (fleet mode)")
+	fs.StringVar(&ff.ingestCodec, "ingest-codec", "auto", "ingest wire format: auto, ndjson, or binary")
+	fs.StringVar(&ff.tenantDir, "tenant-dir", "", "fleet profile store root (one lineage per tenant); lazily loads unknown tenants and hot-swaps published generations")
+	fs.IntVar(&ff.quota, "tenant-quota", 0, "max concurrent sessions per tenant (0 = unlimited)")
+	fs.IntVar(&ff.maxActive, "tenant-max-active", 64, "max resident tenant shards; past it the coldest tenant is evicted (negative disables)")
+	return ff
+}
+
+// active reports whether any fleet-mode flag was used.
+func (ff *fleetFlags) active() bool { return ff.tenants != "" || ff.ingestAddr != "" }
+
+// serveFleet runs serve's fleet mode: a long-lived network daemon routing
+// ingested call events to per-tenant profile shards. Each -tenants entry is
+// trained (or loaded from -tenant-dir's newest generation); -tenant-dir also
+// enables lazy loading of tenants first seen on the wire and hot-swapping of
+// generations published while serving. The daemon runs until SIGINT/SIGTERM.
+func serveFleet(ff *fleetFlags, workers, queue int, drop string, shedFlag bool, shedSeed uint64,
+	scorer string, httpAddr string, watchEvery time.Duration, logEvents bool) error {
+	if ff.ingestAddr == "" {
+		return errors.New("fleet mode needs -ingest-addr (the TCP address collectors stream to)")
+	}
+	codec, err := ingest.ParseCodec(ff.ingestCodec)
+	if err != nil {
+		return err
+	}
+	mode, err := parseScorerMode(scorer)
+	if err != nil {
+		return err
+	}
+	opts := []runtime.Option{
+		runtime.WithWorkers(workers),
+		runtime.WithQueueDepth(queue),
+		runtime.WithScorerMode(mode),
+	}
+	var logger *slog.Logger
+	if logEvents {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		opts = append(opts, runtime.WithLogger(logger))
+	}
+	switch drop {
+	case "block":
+	case "newest":
+		if shedFlag {
+			return errors.New("-shed replaces -drop newest; pick one")
+		}
+		opts = append(opts, runtime.WithDropPolicy(runtime.DropNewest))
+	default:
+		return fmt.Errorf("bad -drop %q (want block or newest)", drop)
+	}
+	if shedFlag {
+		opts = append(opts, runtime.WithShedConfig(shed.Config{Seed: shedSeed}))
+	}
+
+	cfg := tenant.Config{
+		MaxActive:            ff.maxActive,
+		MaxSessionsPerTenant: ff.quota,
+		RuntimeOptions:       opts,
+		Logger:               logger,
+	}
+	var reg *tenant.Registry
+	if ff.tenantDir != "" {
+		if reg, err = tenant.OpenRegistry(ff.tenantDir); err != nil {
+			return err
+		}
+		cfg.Loader = reg
+	}
+
+	// Resolve each named tenant's starting profile: the newest generation in
+	// its registry lineage when one exists, else a fresh training run (which
+	// is published into the lineage so restarts and watchers see it).
+	names := splitTenants(ff.tenants)
+	if len(names) == 0 && reg == nil {
+		return errors.New("fleet mode needs -tenants or -tenant-dir")
+	}
+	cfg.Static = make(map[string]*profile.Profile, len(names))
+	for _, name := range names {
+		app, err := lookupApp(name)
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			if p, err := reg.LoadTenant(name); err == nil {
+				cfg.Static[name] = p
+				fmt.Printf("tenant %s: serving newest registry generation\n", name)
+				continue
+			}
+		}
+		fmt.Printf("tenant %s: training profile...\n", name)
+		p, err := trainApp(app)
+		if err != nil {
+			return fmt.Errorf("tenant %s: %w", name, err)
+		}
+		cfg.Static[name] = p
+		if reg != nil {
+			if _, err := reg.Publish(name, p, "serve-startup"); err != nil {
+				return fmt.Errorf("tenant %s: publishing: %w", name, err)
+			}
+		}
+	}
+
+	router, err := tenant.NewRouter(cfg)
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+
+	srv, err := ingest.NewServer(ingest.ServerConfig{Sink: router, Codec: codec, Logger: logger})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", ff.ingestAddr)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Printf("ingest: listening on %s (codec %s)\n", ln.Addr(), codec)
+
+	var httpSrv *http.Server
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: fleetHandler(router, srv)}
+		go func() { _ = httpSrv.Serve(hln) }()
+		fmt.Printf("introspection: http://%s (/metrics /tenants /decisions?tenant=ID /healthz /readyz /debug/pprof/)\n", hln.Addr())
+	}
+
+	// Hot-swap watchers: one per known tenant lineage, each feeding only its
+	// tenant's shard. Tenants loaded lazily later are served at whatever
+	// generation the load found; their lineage gains a watcher on restart.
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	var watchWG sync.WaitGroup
+	if reg != nil {
+		watched := map[string]bool{}
+		known, _ := reg.Tenants()
+		for _, name := range append(append([]string{}, names...), known...) {
+			if watched[name] {
+				continue
+			}
+			watched[name] = true
+			dir, err := reg.TenantDir(name)
+			if err != nil {
+				return err
+			}
+			name := name
+			watchWG.Add(1)
+			go func() {
+				defer watchWG.Done()
+				_ = lifecycle.WatchDir(watchCtx, dir, watchEvery,
+					func(path string, next *profile.Profile, err error) {
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "tenant %s: skipping %s: %v\n", name, path, err)
+							return
+						}
+						gen, err := router.SwapProfile(name, next)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "tenant %s: swap of %s refused: %v\n", name, path, err)
+							return
+						}
+						fmt.Printf("tenant %s: %s live as generation %d\n", name, path, gen)
+					})
+			}()
+		}
+		fmt.Printf("watching %s every %v for published tenant generations\n", ff.tenantDir, watchEvery)
+	}
+
+	fmt.Printf("fleet serving %d tenants — SIGINT/SIGTERM to exit\n", len(cfg.Static))
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigc:
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+	}
+	signal.Stop(sigc)
+
+	stopWatch()
+	watchWG.Wait()
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = httpSrv.Shutdown(shutCtx)
+		cancel()
+	}
+	srv.Close()
+	if err := router.Close(); err != nil && !errors.Is(err, tenant.ErrClosed) {
+		return err
+	}
+	fmt.Printf("ingest: %s\n", srv.Stats())
+	for _, st := range router.StatsAll() {
+		fmt.Println(st)
+	}
+	rs := router.Stats()
+	fmt.Printf("router: tenants=%d loads=%d evictions=%d unknown=%d quota_rejected=%d\n",
+		rs.ActiveTenants, rs.Loads, rs.Evictions, rs.UnknownTenant, rs.QuotaRejected)
+	return nil
+}
+
+func splitTenants(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// fleetHandler is the fleet flavour of the introspection endpoint: the
+// standard probe/pprof surface plus per-tenant metrics, a JSON tenant
+// listing, and tenant-scoped decision provenance.
+func fleetHandler(router *tenant.Router, srv *ingest.Server) http.Handler {
+	base := obsv.NewHandler(obsv.ServerConfig{
+		Metrics: func(w io.Writer) error {
+			if err := router.WritePrometheus(w); err != nil {
+				return err
+			}
+			return srv.WritePrometheus(w)
+		},
+		Healthz: func() error { return nil },
+		Readyz:  router.Ready,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, st := range router.StatsAll() {
+			fmt.Fprintln(w, st)
+		}
+	})
+	mux.HandleFunc("/decisions", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("tenant")
+		if id == "" {
+			http.Error(w, "missing tenant parameter", http.StatusBadRequest)
+			return
+		}
+		ds := router.Decisions(id, 100)
+		if ds == nil {
+			ds = []obsv.Decision{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ds)
+	})
+	return mux
+}

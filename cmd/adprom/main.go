@@ -8,6 +8,7 @@
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
 //	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+//	adprom serve      -tenants <a,b,...> -ingest-addr <addr> [-ingest-codec auto|ndjson|binary] [-tenant-dir <dir>] [-tenant-quota <n>] [-http <addr>]
 //	adprom profile    inspect <file>...
 //	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
 //
@@ -118,7 +119,11 @@ serve -http: expose /metrics, /decisions, /healthz, /readyz, /debug/pprof/ on
 <addr> and stay alive after the replay until SIGINT/SIGTERM
 serve -shed: risk-aware admission (ShedByRisk) — high-risk sessions always
 scored, low-risk ones thinned as queues fill; -overload slows the workers so
-the replay overruns capacity and exercises the degradation curve`)
+the replay overruns capacity and exercises the degradation curve
+serve -tenants/-ingest-addr: fleet mode — serve many apps at once as tenants,
+each behind its own profile shard, accepting collector events over TCP in
+NDJSON or binary frames (-ingest-codec); -tenant-dir holds per-tenant profile
+lineages for lazy loading and hot-swap, -tenant-quota caps sessions per tenant`)
 }
 
 func lookupApp(name string) (*dataset.App, error) {
@@ -366,8 +371,15 @@ func cmdServe(args []string) error {
 	watchEvery := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -profile-dir")
 	httpAddr := fs.String("http", "", "serve the introspection endpoint (/metrics /decisions /healthz /readyz /debug/pprof/) on this address and linger after the replay")
 	logEvents := fs.Bool("log", false, "emit structured runtime events (worker restarts, quarantines, swaps) to stderr")
+	ff := registerFleetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if ff.active() {
+		// Fleet mode: a long-lived network daemon serving many tenants at
+		// once instead of replaying one app's traces locally.
+		return serveFleet(ff, *workers, *queue, *drop, *shedFlag, *shedSeed,
+			*scorer, *httpAddr, *watchEvery, *logEvents)
 	}
 	if *streams < 1 {
 		*streams = 1

@@ -1,0 +1,166 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adprom/internal/collector"
+)
+
+// wireCall is one call in an NDJSON event. The label is optional: when
+// omitted it defaults to the call name, matching how collectors label
+// non-query calls.
+type wireCall struct {
+	Label  string `json:"label,omitempty"`
+	Name   string `json:"name"`
+	Caller string `json:"caller,omitempty"`
+	Block  int    `json:"block,omitempty"`
+}
+
+// wireEvent is the NDJSON line schema — the human-debuggable codec:
+//
+//	{"tenant":"apph","session":"s1","calls":[{"name":"curl_easy_perform","caller":"send_report"}]}
+//	{"tenant":"apph","session":"s1","op":"flush"}
+//	{"tenant":"apph","session":"s1","op":"close"}
+//
+// op defaults to "observe" when calls are present.
+type wireEvent struct {
+	Tenant  string     `json:"tenant"`
+	Session string     `json:"session"`
+	Op      string     `json:"op,omitempty"`
+	Calls   []wireCall `json:"calls,omitempty"`
+}
+
+// NDJSONDecoder reads newline-delimited JSON events from a stream. Like
+// FrameDecoder it amortises the decoded Calls slice and interns the
+// recurring string vocabulary across events. Not safe for concurrent use.
+type NDJSONDecoder struct {
+	sc     *bufio.Scanner
+	calls  []collector.Call
+	intern map[string]string
+}
+
+// DefaultMaxLine bounds one NDJSON line (same ceiling as a binary frame).
+const DefaultMaxLine = DefaultMaxFrame
+
+// NewNDJSONDecoder wraps r. maxLine bounds a single line's byte length
+// (DefaultMaxLine when <= 0).
+func NewNDJSONDecoder(r io.Reader, maxLine int) *NDJSONDecoder {
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLine
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	return &NDJSONDecoder{sc: sc, intern: make(map[string]string)}
+}
+
+// Next decodes the next non-blank line. End of stream returns io.EOF; a
+// malformed line returns an error wrapping ErrFrameCorrupt. The returned
+// Event's Calls slice is valid only until the following Next.
+func (d *NDJSONDecoder) Next() (Event, error) {
+	for {
+		if !d.sc.Scan() {
+			if err := d.sc.Err(); err != nil {
+				return Event{}, fmt.Errorf("%w: reading line: %v", ErrFrameCorrupt, err)
+			}
+			return Event{}, io.EOF
+		}
+		line := d.sc.Bytes()
+		if isBlank(line) {
+			continue
+		}
+		var we wireEvent
+		if err := json.Unmarshal(line, &we); err != nil {
+			return Event{}, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
+		}
+		return d.toEvent(we)
+	}
+}
+
+func isBlank(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *NDJSONDecoder) toEvent(we wireEvent) (Event, error) {
+	e := Event{Tenant: d.reuse(we.Tenant), Session: d.reuse(we.Session)}
+	switch we.Op {
+	case "", "observe":
+		e.Kind = KindObserve
+	case "flush":
+		e.Kind = KindFlush
+		return e, nil
+	case "close":
+		e.Kind = KindClose
+		return e, nil
+	default:
+		return Event{}, fmt.Errorf("%w: unknown op %q", ErrFrameCorrupt, we.Op)
+	}
+	if cap(d.calls) < len(we.Calls) {
+		d.calls = make([]collector.Call, len(we.Calls))
+	}
+	calls := d.calls[:len(we.Calls)]
+	for i, wc := range we.Calls {
+		label := wc.Label
+		if label == "" {
+			label = wc.Name
+		}
+		calls[i] = collector.Call{
+			Label:  d.reuse(label),
+			Name:   d.reuse(wc.Name),
+			Caller: d.reuse(wc.Caller),
+			Block:  wc.Block,
+		}
+	}
+	e.Calls = calls
+	return e, nil
+}
+
+// reuse interns s: json.Unmarshal already allocated it, but returning the
+// first-seen copy lets the per-connection vocabulary collapse to one string
+// per distinct value, and downstream maps hash identical pointers faster.
+func (d *NDJSONDecoder) reuse(s string) string {
+	if s == "" {
+		return ""
+	}
+	if got, ok := d.intern[s]; ok {
+		return got
+	}
+	d.intern[s] = s
+	return s
+}
+
+// EncodeNDJSON appends the NDJSON encoding of e (one line, newline
+// terminated) to dst — the collector-side sender for the text codec.
+func EncodeNDJSON(dst []byte, e Event) ([]byte, error) {
+	we := wireEvent{Tenant: e.Tenant, Session: e.Session}
+	switch e.Kind {
+	case KindObserve:
+		we.Calls = make([]wireCall, len(e.Calls))
+		for i, c := range e.Calls {
+			wc := wireCall{Name: c.Name, Caller: c.Caller, Block: c.Block}
+			if c.Label != c.Name {
+				wc.Label = c.Label
+			}
+			we.Calls[i] = wc
+		}
+	case KindFlush:
+		we.Op = "flush"
+	case KindClose:
+		we.Op = "close"
+	default:
+		return dst, fmt.Errorf("ingest: encoding unknown kind %d", e.Kind)
+	}
+	b, err := json.Marshal(we)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n'), nil
+}

@@ -1,0 +1,244 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adprom/internal/collector"
+)
+
+// memSink records every delivered event, optionally refusing some tenants.
+type memSink struct {
+	mu     sync.Mutex
+	got    []Event
+	refuse map[string]error
+}
+
+func (m *memSink) record(kind Kind, tenant, session string, calls []collector.Call) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.refuse[tenant]; err != nil {
+		return err
+	}
+	// Copy calls: decoders reuse the slice.
+	m.got = append(m.got, Event{Kind: kind, Tenant: tenant, Session: session,
+		Calls: append([]collector.Call(nil), calls...)})
+	return nil
+}
+
+func (m *memSink) Observe(tenant, session string, calls []collector.Call) error {
+	return m.record(KindObserve, tenant, session, calls)
+}
+func (m *memSink) Flush(tenant, session string) error {
+	return m.record(KindFlush, tenant, session, nil)
+}
+func (m *memSink) CloseSession(tenant, session string) error {
+	return m.record(KindClose, tenant, session, nil)
+}
+
+func (m *memSink) events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.got...)
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	waitFor(t, "listener registration", func() bool { return srv.Addr() != "" })
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// TestServerAutoDetectsBothCodecs streams one connection per codec into an
+// auto-sniffing server and checks both demultiplex into the sink intact.
+func TestServerAutoDetectsBothCodecs(t *testing.T) {
+	sink := &memSink{}
+	srv, addr := startServer(t, ServerConfig{Sink: sink})
+
+	events := sampleEvents()
+	var ndjson, frames []byte
+	var err error
+	for _, e := range events {
+		if ndjson, err = EncodeNDJSON(ndjson, e); err != nil {
+			t.Fatal(err)
+		}
+		if frames, err = EncodeFrame(frames, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, wire := range map[string][]byte{"ndjson": ndjson, "binary": frames} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		conn.Close()
+	}
+	waitFor(t, "all events", func() bool { return len(sink.events()) == 2*len(events) })
+
+	// Both connections carried the same batch, so every event must land
+	// exactly twice, byte-identical across codecs.
+	for _, want := range events {
+		n := 0
+		for _, got := range sink.events() {
+			if eventsEqual(got, want) {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Errorf("event %+v delivered %d times, want 2", want, n)
+		}
+	}
+	st := srv.Stats()
+	if st.Conns != 2 || st.Events != 2*uint64(len(events)) || st.DecodeErrors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestServerRejectsGarbageConnection(t *testing.T) {
+	sink := &memSink{}
+	srv, addr := startServer(t, ServerConfig{Sink: sink, Codec: CodecBinary})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("XXXXXXXXXXXXXXXXXXXXXXXX")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitFor(t, "decode error", func() bool { return srv.Stats().DecodeErrors == 1 })
+	if got := len(sink.events()); got != 0 {
+		t.Fatalf("%d events delivered from a garbage connection", got)
+	}
+}
+
+// TestServerSinkRejectKeepsStreaming proves refusals degrade, not sever: a
+// refused tenant's events are counted as rejects while a healthy tenant's
+// events on the same connection still land.
+func TestServerSinkRejectKeepsStreaming(t *testing.T) {
+	sink := &memSink{refuse: map[string]error{"evil": errors.New("quota")}}
+	srv, addr := startServer(t, ServerConfig{Sink: sink})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire []byte
+	for i := 0; i < 3; i++ {
+		if wire, err = EncodeNDJSON(wire, Event{Kind: KindFlush, Tenant: "evil", Session: "e"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wire, err = EncodeNDJSON(wire, Event{Kind: KindFlush, Tenant: "good", Session: "g"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitFor(t, "rejects counted", func() bool { return srv.Stats().SinkRejects == 3 })
+	waitFor(t, "good event delivered", func() bool {
+		for _, e := range sink.events() {
+			if e.Tenant == "good" {
+				return true
+			}
+		}
+		return false
+	})
+	if st := srv.Stats(); st.Events != 4 || st.DecodeErrors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestHTTPHandlerBothCodecs(t *testing.T) {
+	events := sampleEvents()
+	for _, tc := range []struct {
+		name, contentType string
+		encode            func([]byte, Event) ([]byte, error)
+	}{
+		{"ndjson", "application/x-ndjson", EncodeNDJSON},
+		{"binary", "application/octet-stream", EncodeFrame},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := &memSink{}
+			h := Handler(sink, 0)
+			var body []byte
+			var err error
+			for _, e := range events {
+				if body, err = tc.encode(body, e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			req := httptest.NewRequest("POST", "/ingest", strings.NewReader(string(body)))
+			req.Header.Set("Content-Type", tc.contentType)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 202 {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			got := sink.events()
+			if len(got) != len(events) {
+				t.Fatalf("%d events delivered, want %d", len(got), len(events))
+			}
+			for i := range got {
+				if !eventsEqual(got[i], events[i]) {
+					t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+				}
+			}
+			if !strings.Contains(rec.Body.String(), fmt.Sprintf("events=%d", len(events))) {
+				t.Fatalf("summary missing event count: %s", rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestHTTPHandlerRejectsMalformed(t *testing.T) {
+	h := Handler(&memSink{}, 0)
+	req := httptest.NewRequest("POST", "/ingest", strings.NewReader("{broken\n"))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	req = httptest.NewRequest("GET", "/ingest", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 405 {
+		t.Fatalf("status %d, want 405", rec.Code)
+	}
+}

@@ -99,6 +99,11 @@ func (c *Counters) AddAlert(flag int) {
 func (c *Counters) SessionOpened() { c.sessions.Add(1); c.opened.Add(1) }
 func (c *Counters) SessionClosed() { c.sessions.Add(-1) }
 
+// ActiveSessions reads the active-session gauge alone — a single atomic
+// load, cheap enough for per-call admission checks (the tenant router's
+// session quota), unlike Snapshot which also copies three histograms.
+func (c *Counters) ActiveSessions() int64 { return c.sessions.Load() }
+
 // AddPanic records one panic recovered on a detection worker (per-op recovery
 // or a worker-goroutine crash).
 func (c *Counters) AddPanic() { c.panics.Add(1) }

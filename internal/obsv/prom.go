@@ -74,21 +74,35 @@ func (p *PromWriter) Sample(name string, labels [][2]string, v float64) {
 // seconds, the Prometheus convention for durations.
 func (p *PromWriter) Histogram(name, help string, h metrics.HistogramSnapshot) {
 	p.Family(name, "histogram", help)
+	p.HistogramSamples(name, nil, h)
+}
+
+// HistogramSamples writes one histogram's series (cumulative le-buckets,
+// _sum, _count) without a family header, with labels prepended to every
+// series — the building block for multi-series histogram families such as
+// the per-tenant latency histograms, where Family is written once and each
+// tenant contributes one labelled sample set.
+func (p *PromWriter) HistogramSamples(name string, labels [][2]string, h metrics.HistogramSnapshot) {
 	last := 0
 	for i, n := range h.Buckets {
 		if n > 0 {
 			last = i + 1
 		}
 	}
+	bucketLabels := func(le string) [][2]string {
+		out := make([][2]string, 0, len(labels)+1)
+		out = append(out, labels...)
+		return append(out, [2]string{"le", le})
+	}
 	var cum uint64
 	for i := 0; i < last && i < metrics.HistBuckets-1; i++ {
 		cum += h.Buckets[i]
 		le := metrics.BucketBound(i) / 1e9
-		p.Sample(name+"_bucket", [][2]string{{"le", formatValue(le)}}, float64(cum))
+		p.Sample(name+"_bucket", bucketLabels(formatValue(le)), float64(cum))
 	}
-	p.Sample(name+"_bucket", [][2]string{{"le", "+Inf"}}, float64(h.Count))
-	p.Sample(name+"_sum", nil, float64(h.Sum)/1e9)
-	p.Sample(name+"_count", nil, float64(h.Count))
+	p.Sample(name+"_bucket", bucketLabels("+Inf"), float64(h.Count))
+	p.Sample(name+"_sum", labels, float64(h.Sum)/1e9)
+	p.Sample(name+"_count", labels, float64(h.Count))
 }
 
 func formatValue(v float64) string {

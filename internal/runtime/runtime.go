@@ -694,6 +694,22 @@ func (rt *Runtime) Session(id string) *Session {
 	return s
 }
 
+// LookupSession returns the session registered under id without creating
+// one — the non-allocating existence probe quota enforcement (the tenant
+// router's per-tenant session cap) needs before deciding whether a Session
+// call would admit a new stream.
+func (rt *Runtime) LookupSession(id string) (*Session, bool) {
+	rt.mu.RLock()
+	s := rt.sessions[id]
+	rt.mu.RUnlock()
+	return s, s != nil
+}
+
+// ActiveSessions reports how many sessions are currently registered — a
+// single atomic load, safe on the ingest hot path (Stats carries the same
+// gauge but pays for full histogram snapshots).
+func (rt *Runtime) ActiveSessions() int64 { return rt.ctr.ActiveSessions() }
+
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
 
@@ -1666,6 +1682,11 @@ func (rt *Runtime) Histograms() Histograms {
 	snap := rt.ctr.Snapshot()
 	return Histograms{Observe: snap.Observe, Flush: snap.Flush, SinkDelivery: snap.SinkDelivery}
 }
+
+// CountersSnapshot exposes the raw counters snapshot — the tenant router's
+// per-shard Prometheus exposition renders it under tenant labels, holding
+// the same every-field reflection guard the single-runtime /metrics does.
+func (rt *Runtime) CountersSnapshot() metrics.CountersSnapshot { return rt.ctr.Snapshot() }
 
 // Decisions returns up to limit of the most recent provenance records,
 // newest first (limit ≤ 0 returns everything retained). Empty when the

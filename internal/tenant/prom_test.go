@@ -1,0 +1,111 @@
+package tenant
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"adprom/internal/metrics"
+	"adprom/internal/profile"
+	"adprom/internal/runtime"
+)
+
+// TestWriteTenantPrometheusCoversEveryCounter is the fleet flavour of the
+// runtime's exposition guard, bidirectional: every CountersSnapshot field
+// must be mapped in tenantMetric and rendered with a tenant label, and every
+// tenantMetric entry must still name a live CountersSnapshot field. Adding a
+// runtime counter without per-tenant exposition (or retiring one without
+// pruning the map) fails here.
+func TestWriteTenantPrometheusCoversEveryCounter(t *testing.T) {
+	typ := reflect.TypeOf(metrics.CountersSnapshot{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := tenantMetric[name]; !ok {
+			t.Errorf("CountersSnapshot.%s has no entry in tenantMetric; extend the map and WritePrometheus", name)
+		}
+	}
+	for name := range tenantMetric {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("tenantMetric maps %q, which is no longer a CountersSnapshot field", name)
+		}
+	}
+
+	p, traces := trainAppH(t)
+	r, err := NewRouter(Config{
+		Static:         map[string]*profile.Profile{"alpha": p, "beta": p},
+		RuntimeOptions: []runtime.Option{runtime.WithWorkers(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, tenant := range []string{"alpha", "beta"} {
+		if err := r.Observe(tenant, "s1", attacked(traces[0])); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Flush(tenant, "s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for field, family := range tenantMetric {
+		if !strings.Contains(out, family) {
+			t.Errorf("family %q (CountersSnapshot.%s) missing from exposition", family, field)
+		}
+	}
+	for _, extra := range []string{
+		"adprom_tenants_active", "adprom_tenant_loads_total",
+		"adprom_tenant_evictions_total", "adprom_tenant_unknown_total",
+		"adprom_tenant_quota_rejected_total", "adprom_tenant_generation",
+		"adprom_tenant_queue_depth", "adprom_tenant_shed_rate",
+	} {
+		if !strings.Contains(out, extra) {
+			t.Errorf("family %q missing from exposition", extra)
+		}
+	}
+	// Every resident tenant appears as a label on the per-tenant families.
+	for _, tenant := range []string{`tenant="alpha"`, `tenant="beta"`} {
+		if n := strings.Count(out, tenant); n < len(tenantMetric) {
+			t.Errorf("label %s appears %d times, want at least one per mapped family (%d)",
+				tenant, n, len(tenantMetric))
+		}
+	}
+	// Per-tenant calls must be attributed, not pooled: each tenant's
+	// calls_total sample equals its own stream length.
+	wantCalls := float64(len(attacked(traces[0])))
+	for _, tenant := range []string{"alpha", "beta"} {
+		needle := `adprom_tenant_calls_total{tenant="` + tenant + `"} `
+		i := strings.Index(out, needle)
+		if i < 0 {
+			t.Fatalf("sample %q missing", needle)
+		}
+		rest := out[i+len(needle):]
+		val := rest[:strings.IndexByte(rest, '\n')]
+		got, err := strconv.ParseFloat(val, 64)
+		if err != nil || got != wantCalls {
+			t.Errorf("%s = %q, want %v", needle, val, wantCalls)
+		}
+	}
+	// Exposition stays parseable: `name[{labels}] value` per sample line.
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		if v := line[sp+1:]; v != "+Inf" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Fatalf("line %d: unparseable value %q: %v", ln+1, v, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"adprom/internal/lifecycle"
+	"adprom/internal/profile"
+)
+
+// Registry is the on-disk profile store of a fleet: one lifecycle.Registry
+// per tenant, rooted at <dir>/<tenant>/. It satisfies Loader, so a Router
+// configured with it lazily loads each tenant's newest published generation
+// on first route, and a lifecycle manager (or an operator) publishing into a
+// tenant's subdirectory feeds that tenant's hot-swap watcher without
+// touching any other tenant's lineage.
+type Registry struct {
+	dir string
+
+	mu   sync.Mutex
+	regs map[string]*lifecycle.Registry
+}
+
+// OpenRegistry opens (creating if needed) the fleet profile store rooted at
+// dir.
+func OpenRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tenant: opening registry: %w", err)
+	}
+	return &Registry{dir: dir, regs: make(map[string]*lifecycle.Registry)}, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// TenantDir returns the directory holding one tenant's profile lineage —
+// the path to hand a lifecycle WatchDir or an operator publishing
+// generations.
+func (r *Registry) TenantDir(tenant string) (string, error) {
+	if err := checkTenantID(tenant); err != nil {
+		return "", err
+	}
+	return filepath.Join(r.dir, tenant), nil
+}
+
+// checkTenantID refuses ids that would escape the registry root when used
+// as a path element — tenant ids arrive over the network.
+func checkTenantID(id string) error {
+	if id == "" || id == "." || id == ".." ||
+		strings.ContainsAny(id, "/\\") || strings.ContainsRune(id, 0) {
+		return fmt.Errorf("tenant: invalid tenant id %q", id)
+	}
+	return nil
+}
+
+// registry returns (opening if needed) the per-tenant lifecycle registry.
+func (r *Registry) registry(tenant string) (*lifecycle.Registry, error) {
+	if err := checkTenantID(tenant); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg := r.regs[tenant]; reg != nil {
+		return reg, nil
+	}
+	reg, err := lifecycle.OpenRegistry(filepath.Join(r.dir, tenant))
+	if err != nil {
+		return nil, err
+	}
+	r.regs[tenant] = reg
+	return reg, nil
+}
+
+// LoadTenant loads the tenant's newest published generation, satisfying
+// Loader. A tenant with no published generation is an error (wrapped by the
+// router into ErrUnknownTenant).
+func (r *Registry) LoadTenant(tenant string) (*profile.Profile, error) {
+	reg, err := r.registry(tenant)
+	if err != nil {
+		return nil, err
+	}
+	latest, ok := reg.Latest()
+	if !ok {
+		return nil, errors.New("no published generations")
+	}
+	return reg.LoadEntry(latest)
+}
+
+// Publish persists p as tenant's next generation (1 for a fresh lineage),
+// written atomically with a checksummed manifest entry.
+func (r *Registry) Publish(tenant string, p *profile.Profile, source string) (lifecycle.Entry, error) {
+	reg, err := r.registry(tenant)
+	if err != nil {
+		return lifecycle.Entry{}, err
+	}
+	gen := uint64(1)
+	if latest, ok := reg.Latest(); ok {
+		gen = latest.Generation + 1
+	}
+	return reg.Add(p, gen, source)
+}
+
+// Tenants lists the tenant ids with a registry subdirectory, sorted. Useful
+// for preloading or dashboards; routing never needs it.
+func (r *Registry) Tenants() ([]string, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: listing registry: %w", err)
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,340 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"adprom/internal/collector"
+	"adprom/internal/core"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+	"adprom/internal/profile"
+	"adprom/internal/runtime"
+)
+
+var appHOnce struct {
+	sync.Once
+	p      *profile.Profile
+	traces []collector.Trace
+	err    error
+}
+
+func trainAppH(t testing.TB) (*profile.Profile, []collector.Trace) {
+	t.Helper()
+	appHOnce.Do(func() {
+		app := dataset.AppH()
+		traces, err := app.CollectTraces(collector.ModeADPROM)
+		if err != nil {
+			appHOnce.err = err
+			return
+		}
+		p, _, err := core.Train(app.Prog, traces, profile.Options{
+			Train: hmm.TrainOptions{MaxIters: 6},
+		})
+		appHOnce.p, appHOnce.traces, appHOnce.err = p, traces, err
+	})
+	if appHOnce.err != nil {
+		t.Fatal(appHOnce.err)
+	}
+	return appHOnce.p, appHOnce.traces
+}
+
+// attacked appends a foreign call burst so the stream alerts.
+func attacked(tr collector.Trace) collector.Trace {
+	out := append(collector.Trace{}, tr...)
+	for i := 0; i < 6; i++ {
+		out = append(out, collector.Call{
+			Label: "curl_easy_perform", Name: "curl_easy_perform", Caller: "main",
+		})
+	}
+	return out
+}
+
+// TestRouterRoutesTenantsIndependently drives two tenants' streams through
+// one router and checks each tenant's per-shard accounting saw exactly its
+// own traffic.
+func TestRouterRoutesTenantsIndependently(t *testing.T) {
+	p, traces := trainAppH(t)
+	r, err := NewRouter(Config{
+		Static:         map[string]*profile.Profile{"alpha": p, "beta": p},
+		RuntimeOptions: []runtime.Option{runtime.WithWorkers(2), runtime.WithQueueDepth(64)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	alphaTrace, betaTrace := traces[0], attacked(traces[0])
+	if err := r.Observe("alpha", "s1", alphaTrace); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Observe("beta", "s1", betaTrace); err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range []string{"alpha", "beta"} {
+		if err := r.CloseSession(tenant, "s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	alpha, ok := r.TenantStats("alpha")
+	if !ok {
+		t.Fatal("alpha not resident")
+	}
+	beta, ok := r.TenantStats("beta")
+	if !ok {
+		t.Fatal("beta not resident")
+	}
+	if alpha.Runtime.Calls != uint64(len(alphaTrace)) {
+		t.Errorf("alpha calls = %d, want %d", alpha.Runtime.Calls, len(alphaTrace))
+	}
+	if beta.Runtime.Calls != uint64(len(betaTrace)) {
+		t.Errorf("beta calls = %d, want %d", beta.Runtime.Calls, len(betaTrace))
+	}
+	// The attacked stream alerts; its alerts must be accounted to beta only.
+	if beta.Runtime.AlertTotal() == 0 {
+		t.Error("attacked tenant raised no alerts")
+	}
+	if alpha.Runtime.AlertTotal() != 0 {
+		t.Errorf("clean tenant charged %d alerts from its neighbour", alpha.Runtime.AlertTotal())
+	}
+	if got := r.Tenants(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Errorf("Tenants() = %v", got)
+	}
+}
+
+// TestRouterAlertsMatchSingleTenantBaseline holds tenant serving to the
+// paper's detection semantics: a stream scored through a shard produces the
+// same judgement count as the sequential Monitor on the same profile.
+func TestRouterAlertsMatchSingleTenantBaseline(t *testing.T) {
+	p, traces := trainAppH(t)
+	stream := attacked(traces[0])
+	want := core.NewMonitor(p, nil).ObserveTrace(stream)
+
+	var got []detect.Alert
+	var mu sync.Mutex
+	r, err := NewRouter(Config{
+		Static: map[string]*profile.Profile{"alpha": p},
+		RuntimeOptions: []runtime.Option{
+			runtime.WithWorkers(2),
+			runtime.WithAlertFunc(func(session string, a detect.Alert) {
+				mu.Lock()
+				got = append(got, a)
+				mu.Unlock()
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Observe("alpha", "s1", stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CloseSession("alpha", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close() // drains the sink dispatcher
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("%d alerts through the shard, %d through the Monitor", len(got), len(want))
+	}
+}
+
+func TestRouterUnknownTenant(t *testing.T) {
+	p, _ := trainAppH(t)
+	r, err := NewRouter(Config{Static: map[string]*profile.Profile{"alpha": p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Observe("ghost", "s1", nil); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("got %v, want ErrUnknownTenant", err)
+	}
+	if rs := r.Stats(); rs.UnknownTenant != 1 {
+		t.Errorf("UnknownTenant = %d, want 1", rs.UnknownTenant)
+	}
+}
+
+// TestRouterLazyLoadAndLRUEviction exercises the loader seam and the
+// residency cap: the coldest tenant is evicted when a load pushes past
+// MaxActive, its sessions drained, and a later route reloads it.
+func TestRouterLazyLoadAndLRUEviction(t *testing.T) {
+	p, traces := trainAppH(t)
+	var loads []string
+	var evicted []string
+	var evictedCalls uint64
+	r, err := NewRouter(Config{
+		Loader: LoaderFunc(func(id string) (*profile.Profile, error) {
+			loads = append(loads, id)
+			return p, nil
+		}),
+		MaxActive: 2,
+		OnEvict: func(id string, final runtime.Stats) {
+			evicted = append(evicted, id)
+			evictedCalls = final.Calls
+		},
+		RuntimeOptions: []runtime.Option{runtime.WithWorkers(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// t1 gets traffic so its final stats prove the drain saw it.
+	if err := r.Observe("t1", "s", traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Shard("t2"); err != nil {
+		t.Fatal(err)
+	}
+	// Touch t1 so t2 is now the coldest.
+	if _, err := r.Shard("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Shard("t3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tenants(); len(got) != 2 || got[0] != "t1" || got[1] != "t3" {
+		t.Fatalf("resident after eviction: %v (want [t1 t3])", got)
+	}
+	if len(evicted) != 1 || evicted[0] != "t2" {
+		t.Fatalf("evicted %v, want [t2]", evicted)
+	}
+	// Re-routing the evicted tenant reloads it (and evicts the new coldest).
+	if _, err := r.Shard("t2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 4 {
+		t.Fatalf("loader calls: %v, want 4 loads (t1 t2 t3 t2)", loads)
+	}
+	rs := r.Stats()
+	if rs.Loads != 4 || rs.Evictions != 2 || rs.ActiveTenants != 2 {
+		t.Fatalf("router stats: %+v", rs)
+	}
+
+	// Evicting t1 drained its session: its final stats carried the calls.
+	if evictedCalls != uint64(len(traces[0])) {
+		t.Errorf("evicted t1 final calls = %d, want %d", evictedCalls, len(traces[0]))
+	}
+}
+
+func TestRouterSessionQuota(t *testing.T) {
+	p, _ := trainAppH(t)
+	r, err := NewRouter(Config{
+		Static:               map[string]*profile.Profile{"alpha": p, "beta": p},
+		MaxSessionsPerTenant: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, s := range []string{"s1", "s2"} {
+		if _, err := r.Session("alpha", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-fetching an existing session is not a new slot.
+	if _, err := r.Session("alpha", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Session("alpha", "s3"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("third session: %v, want ErrTenantQuota", err)
+	}
+	// The quota is per tenant: beta is unaffected by alpha's saturation.
+	if _, err := r.Session("beta", "s1"); err != nil {
+		t.Fatalf("beta blocked by alpha's quota: %v", err)
+	}
+	// Closing a session releases its slot.
+	if err := r.CloseSession("alpha", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Session("alpha", "s3"); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if rs := r.Stats(); rs.QuotaRejected != 1 {
+		t.Errorf("QuotaRejected = %d, want 1", rs.QuotaRejected)
+	}
+}
+
+func TestRouterSwapProfile(t *testing.T) {
+	p, _ := trainAppH(t)
+	r, err := NewRouter(Config{Static: map[string]*profile.Profile{"alpha": p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gen, err := r.SwapProfile("alpha", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen < 2 {
+		t.Fatalf("generation after swap = %d, want >= 2", gen)
+	}
+	st, _ := r.TenantStats("alpha")
+	if st.Runtime.Swaps != 1 {
+		t.Errorf("Swaps = %d, want 1", st.Runtime.Swaps)
+	}
+}
+
+func TestRouterClose(t *testing.T) {
+	p, _ := trainAppH(t)
+	r, err := NewRouter(Config{Static: map[string]*profile.Profile{"alpha": p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Shard("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := r.Shard("alpha"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("route after close: %v, want ErrClosed", err)
+	}
+	if err := r.Ready(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ready after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Config{}); err == nil {
+		t.Fatal("router with no profile source built without error")
+	}
+}
+
+// BenchmarkTenantRoute holds the resident routing hot path to zero
+// allocations: one read lock, one map probe, one atomic stamp.
+func BenchmarkTenantRoute(b *testing.B) {
+	p, _ := trainAppH(b)
+	static := make(map[string]*profile.Profile)
+	for i := 0; i < 16; i++ {
+		static[fmt.Sprintf("tenant-%02d", i)] = p
+	}
+	r, err := NewRouter(Config{Static: static, RuntimeOptions: []runtime.Option{runtime.WithWorkers(1)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	ids := make([]string, 0, len(static))
+	for id := range static {
+		ids = append(ids, id)
+		if _, err := r.Shard(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Shard(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
