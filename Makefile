@@ -8,9 +8,10 @@ GO ?= go
 
 # The microbenches gated by bench-smoke; keep in sync with the names in
 # internal/hmm/bench_test.go, internal/shed/bench_test.go,
-# internal/tenant/tenant_test.go and internal/ingest/frame_test.go.
+# internal/tenant/tenant_test.go, internal/ingest/frame_test.go and
+# internal/sqlchan/sqlchan_test.go.
 SCORER_BENCHES = BenchmarkScorerLogProb|BenchmarkStreamPush|BenchmarkStreamPushBatch
-SMOKE_BENCHES = $(SCORER_BENCHES)|BenchmarkShedDecide|BenchmarkTenantRoute|BenchmarkIngestDecode
+SMOKE_BENCHES = $(SCORER_BENCHES)|BenchmarkShedDecide|BenchmarkTenantRoute|BenchmarkIngestDecode|BenchmarkSQLChanObserve
 
 all: verify
 
@@ -32,12 +33,14 @@ vet:
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/lifecycle/... ./internal/tenant/... ./internal/ingest/... .
 
-# A short coverage-guided smoke over the two wire parsers — the profile
-# codec and the ingest frame decoder: enough to catch parser regressions on
-# every verify without the cost of a long campaign.
+# A short coverage-guided smoke over the hostile-input surfaces — the profile
+# codec, the ingest frame decoder, and the SQL-channel scorer (arbitrary query
+# text and cardinalities): enough to catch regressions on every verify without
+# the cost of a long campaign.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime 5s ./internal/profile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 5s ./internal/ingest
+	$(GO) test -run '^$$' -fuzz '^FuzzSQLChanObserve$$' -fuzztime 5s ./internal/sqlchan
 
 verify: build test vet race fuzz
 
@@ -50,6 +53,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/shed >> BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/tenant >> BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/ingest >> BENCH_runtime.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sqlchan >> BENCH_runtime.txt
 	cat BENCH_runtime.txt
 	$(GO) run ./cmd/benchjson -o BENCH_runtime.json < BENCH_runtime.txt
 
@@ -59,8 +63,8 @@ bench:
 # on every push; `make bench` refreshes the baseline after an intentional
 # change.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -count 3 ./internal/hmm ./internal/shed ./internal/tenant ./internal/ingest | \
-		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'ScorerLogProb|StreamPush|ShedDecide|TenantRoute|IngestDecode'
+	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -count 3 ./internal/hmm ./internal/shed ./internal/tenant ./internal/ingest ./internal/sqlchan | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'ScorerLogProb|StreamPush|ShedDecide|TenantRoute|IngestDecode|SQLChanObserve'
 
 serve-demo:
 	$(GO) run ./cmd/adprom serve -app apph -streams 64 -workers 4

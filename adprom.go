@@ -57,6 +57,7 @@ import (
 	"adprom/internal/qsig"
 	"adprom/internal/runtime"
 	"adprom/internal/shed"
+	"adprom/internal/sqlchan"
 )
 
 // Program building and execution.
@@ -335,10 +336,12 @@ type runtimeOptionWrap struct{ o runtime.Option }
 func (w runtimeOptionWrap) runtimeOption() runtime.Option { return w.o }
 
 type monitorConfig struct {
-	sink      AlertSink
-	threshold *float64
-	window    int
-	mode      ScorerMode
+	sink       AlertSink
+	threshold  *float64
+	window     int
+	mode       ScorerMode
+	sqlProfile *sqlchan.Profile
+	fusion     FusionConfig
 }
 
 // ScorerModeOption is the option WithScorerMode returns; it configures both
@@ -355,6 +358,69 @@ func (s ScorerModeOption) runtimeOption() runtime.Option { return runtime.WithSc
 //	mon := adprom.NewMonitor(prof, adprom.WithScorerMode(adprom.ScorerTopK(8)))
 //	rt := adprom.NewRuntime(prof, adprom.WithScorerMode(adprom.ScorerTopK(8)))
 func WithScorerMode(m ScorerMode) ScorerModeOption { return ScorerModeOption{m: m} }
+
+// Two-channel detection: the SQL-behaviour channel and score fusion.
+type (
+	// SQLProfile is a trained SQL-behaviour profile: per-session signature
+	// n-grams, result-cardinality distributions, and sensitive-column access
+	// sets, calibrated to a per-window log-likelihood threshold the same way
+	// the HMM channel is. Train one with TrainSQLProfile.
+	SQLProfile = sqlchan.Profile
+	// SQLOptions tunes TrainSQLProfile (window length, threshold slack,
+	// smoothing, sensitive columns).
+	SQLOptions = sqlchan.Options
+	// FusionConfig tunes how the HMM and SQL channels' verdicts combine:
+	// per-channel weights and the fused OR-escalation slack. The zero value
+	// selects equal weights with a 0.05 slack.
+	FusionConfig = detect.FusionConfig
+)
+
+// Channel provenance names recorded in Alert.Channels / Decision.Channels.
+const (
+	ChannelHMM   = detect.ChannelHMM
+	ChannelSQL   = detect.ChannelSQL
+	ChannelFused = detect.ChannelFused
+)
+
+// TrainSQLProfile trains the SQL-behaviour detection channel from the same
+// collected traces the HMM trains on: each trace's query-bearing calls
+// (Call.SQL/Call.Rows) become one training session. sensitiveColumns lists
+// column names whose first access by a novel query upgrades an alert to DL;
+// it may be empty. Returns sqlchan.ErrNoQueries when the traces carry no
+// query data.
+func TrainSQLProfile(traces []Trace, opts SQLOptions) (*SQLProfile, error) {
+	return sqlchan.Train(traces, opts)
+}
+
+// SQLChannelOption is the option WithSQLChannel returns; it configures both
+// NewMonitor and NewRuntime.
+type SQLChannelOption struct{ p *sqlchan.Profile }
+
+func (s SQLChannelOption) applyMonitor(c *monitorConfig) { c.sqlProfile = s.p }
+func (s SQLChannelOption) runtimeOption() runtime.Option { return runtime.WithSQLChannel(s.p) }
+
+// WithSQLChannel attaches the SQL-behaviour detection channel to a monitor
+// or runtime: every session scores its query stream against prof alongside
+// the HMM, and alerts carry per-channel provenance (Alert.Channels). Without
+// this option detection is single-channel and alert histories are unchanged
+// bit for bit. Tune the combination rule with WithFusion.
+//
+//	sqlProf, _ := adprom.TrainSQLProfile(traces, adprom.SQLOptions{})
+//	rt := adprom.NewRuntime(prof, adprom.WithSQLChannel(sqlProf))
+func WithSQLChannel(p *SQLProfile) SQLChannelOption { return SQLChannelOption{p: p} }
+
+// FusionOption is the option WithFusion returns; it configures both
+// NewMonitor and NewRuntime.
+type FusionOption struct{ fc FusionConfig }
+
+func (f FusionOption) applyMonitor(c *monitorConfig) { c.fusion = f.fc }
+func (f FusionOption) runtimeOption() runtime.Option { return runtime.WithFusion(f.fc) }
+
+// WithFusion tunes the weighted log-linear fusion of the HMM and SQL
+// channels (no effect without WithSQLChannel). Zero fields keep the
+// documented defaults; a negative EscalationSlack disables fused escalation,
+// leaving the pure OR of the per-channel thresholds.
+func WithFusion(fc FusionConfig) FusionOption { return FusionOption{fc: fc} }
 
 // WithSink routes the monitor's alerts to sink (the security administrator).
 func WithSink(sink AlertSink) MonitorOption {
@@ -391,6 +457,9 @@ func NewMonitor(p *Profile, opts ...MonitorOption) *Monitor {
 		m.Engine().SetThreshold(*c.threshold)
 	}
 	m.Engine().SetScorerMode(c.mode)
+	if c.sqlProfile != nil {
+		m.Engine().SetSQLChannel(sqlchan.NewScorer(c.sqlProfile), c.fusion)
+	}
 	return m
 }
 
@@ -564,6 +633,12 @@ func SIRApps() []*App { return dataset.SIRApps() }
 
 // BankingAttacks returns the five Table V attacks against the banking app.
 func BankingAttacks() []Attack { return attack.AppBAttacks() }
+
+// SQLChannelBankingAttacks returns the three HMM-evading adversaries of the
+// two-channel corpus — low-and-slow exfiltration, cardinality mimicry, and
+// UNION exfiltration — each engineered to keep the call trace inside the
+// trained distribution so only the SQL-behaviour channel can flag it.
+func SQLChannelBankingAttacks() []Attack { return attack.SQLChannelAttacks() }
 
 // TautologyPayload is the SQL-injection input of attack 5.
 const TautologyPayload = attack.TautologyPayload

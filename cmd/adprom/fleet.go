@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"adprom/internal/collector"
 	"adprom/internal/ingest"
 	"adprom/internal/lifecycle"
 	"adprom/internal/obsv"
@@ -57,7 +58,7 @@ func (ff *fleetFlags) active() bool { return ff.tenants != "" || ff.ingestAddr !
 // trained (or loaded from -tenant-dir's newest generation); -tenant-dir also
 // enables lazy loading of tenants first seen on the wire and hot-swapping of
 // generations published while serving. The daemon runs until SIGINT/SIGTERM.
-func serveFleet(ff *fleetFlags, workers, queue int, drop string, shedFlag bool, shedSeed uint64,
+func serveFleet(ff *fleetFlags, sf *sqlChannelFlags, workers, queue int, drop string, shedFlag bool, shedSeed uint64,
 	scorer string, httpAddr string, watchEvery time.Duration, logEvents bool) error {
 	if ff.ingestAddr == "" {
 		return errors.New("fleet mode needs -ingest-addr (the TCP address collectors stream to)")
@@ -120,6 +121,27 @@ func serveFleet(ff *fleetFlags, workers, queue int, drop string, shedFlag bool, 
 		app, err := lookupApp(name)
 		if err != nil {
 			return err
+		}
+		if sf.enabled {
+			// The SQL channel trains on the same traces the HMM trains on;
+			// each named tenant's shard gets its own profile. Tenants first
+			// seen on the wire (lazy loads) stay single-channel.
+			traces, err := app.CollectTraces(collector.ModeADPROM)
+			if err != nil {
+				return fmt.Errorf("tenant %s: %w", name, err)
+			}
+			sqlProf, err := sf.trainFor(app, traces)
+			if err != nil {
+				return fmt.Errorf("tenant %s: %w", name, err)
+			}
+			if cfg.PerTenant == nil {
+				cfg.PerTenant = map[string][]runtime.Option{}
+			}
+			cfg.PerTenant[name] = []runtime.Option{
+				runtime.WithSQLChannel(sqlProf),
+				runtime.WithFusion(sf.fusionConfig()),
+			}
+			fmt.Printf("tenant %s: sql channel: %s\n", name, sqlProf)
 		}
 		if reg != nil {
 			if p, err := reg.LoadTenant(name); err == nil {

@@ -7,10 +7,10 @@
 //	adprom analyze    -app <name>
 //	adprom train      -app <name> -out <profile.gob>
 //	adprom detect     -app <name> [-profile <profile.gob>] [-attack <1..5|mitm>]
-//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
-//	adprom serve      -tenants <a,b,...> -ingest-addr <addr> [-ingest-codec auto|ndjson|binary] [-tenant-dir <dir>] [-tenant-quota <n>] [-http <addr>]
+//	adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-sql-channel] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+//	adprom serve      -tenants <a,b,...> -ingest-addr <addr> [-ingest-codec auto|ndjson|binary] [-tenant-dir <dir>] [-tenant-quota <n>] [-sql-channel] [-http <addr>]
 //	adprom profile    inspect <file>...
-//	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|all> [-full]
+//	adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|corpus|all> [-full]
 //
 // App names: apph, appb, apps (CA-dataset), app1..app4 (SIR-style).
 //
@@ -51,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -70,6 +71,7 @@ import (
 	"adprom/internal/profile"
 	"adprom/internal/runtime"
 	"adprom/internal/shed"
+	"adprom/internal/sqlchan"
 )
 
 func main() {
@@ -108,9 +110,9 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
-  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-sql-channel] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
   adprom profile    inspect <file>...
-  adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|all> [-full]
+  adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|corpus|all> [-full]
 
 apps: apph, appb, apps (CA-dataset), app1, app2, app3, app4 (SIR-style)
 serve -profile-dir: load the newest .adprof in <dir> at startup and hot-swap
@@ -123,7 +125,13 @@ the replay overruns capacity and exercises the degradation curve
 serve -tenants/-ingest-addr: fleet mode — serve many apps at once as tenants,
 each behind its own profile shard, accepting collector events over TCP in
 NDJSON or binary frames (-ingest-codec); -tenant-dir holds per-tenant profile
-lineages for lazy loading and hot-swap, -tenant-quota caps sessions per tenant`)
+lineages for lazy loading and hot-swap, -tenant-quota caps sessions per tenant
+serve -sql-channel: two-channel detection — an SQL-behaviour scorer (query
+signatures, result cardinalities, sensitive columns) runs beside the HMM and
+the fused judge escalates when the weighted margins agree; tune with
+-sql-window, -sql-sensitive, -fusion-hmm-weight, -fusion-sql-weight, and
+-fusion-slack (negative disables escalation). In fleet mode each named tenant
+trains its own SQL profile.`)
 }
 
 func lookupApp(name string) (*dataset.App, error) {
@@ -331,6 +339,59 @@ func parseScorerMode(s string) (hmm.ScorerMode, error) {
 	}
 }
 
+// sqlChannelFlags is the serve flag subset enabling two-channel detection:
+// an SQL-behaviour scorer fused with the HMM channel.
+type sqlChannelFlags struct {
+	enabled   bool
+	window    int
+	sensitive string
+	hmmWeight float64
+	sqlWeight float64
+	slack     float64
+}
+
+// registerSQLFlags adds the two-channel detection flags to serve's flag set.
+func registerSQLFlags(fs *flag.FlagSet) *sqlChannelFlags {
+	sf := &sqlChannelFlags{}
+	fs.BoolVar(&sf.enabled, "sql-channel", false, "enable the SQL-behaviour detection channel fused with the HMM channel")
+	fs.IntVar(&sf.window, "sql-window", 0, "SQL channel sliding query-window length (0 = default)")
+	fs.StringVar(&sf.sensitive, "sql-sensitive", "name,balance", "comma-separated sensitive column names for DL attribution")
+	fs.Float64Var(&sf.hmmWeight, "fusion-hmm-weight", 0, "HMM margin weight in fused scoring (0 = default)")
+	fs.Float64Var(&sf.sqlWeight, "fusion-sql-weight", 0, "SQL margin weight in fused scoring (0 = default)")
+	fs.Float64Var(&sf.slack, "fusion-slack", 0, "fused-margin escalation slack (0 = default, negative disables escalation)")
+	return sf
+}
+
+// trainOptions maps the flags to sqlchan training options.
+func (sf *sqlChannelFlags) trainOptions() sqlchan.Options {
+	var cols []string
+	for _, c := range strings.Split(sf.sensitive, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			cols = append(cols, c)
+		}
+	}
+	return sqlchan.Options{WindowLen: sf.window, SensitiveColumns: cols}
+}
+
+// fusionConfig maps the flags to the fused judge's configuration.
+func (sf *sqlChannelFlags) fusionConfig() detect.FusionConfig {
+	return detect.FusionConfig{
+		HMMWeight:       sf.hmmWeight,
+		SQLWeight:       sf.sqlWeight,
+		EscalationSlack: sf.slack,
+	}
+}
+
+// trainFor builds the SQL-behaviour profile for one app from its collected
+// traces (the same corpus the HMM trains on).
+func (sf *sqlChannelFlags) trainFor(app *dataset.App, traces []collector.Trace) (*sqlchan.Profile, error) {
+	sqlProf, err := sqlchan.Train(traces, sf.trainOptions())
+	if err != nil {
+		return nil, fmt.Errorf("sql channel for %s: %w", app.Name, err)
+	}
+	return sqlProf, nil
+}
+
 // replayTrace feeds one trace through a serving session — batched when
 // batch > 0, per-call otherwise — and flushes the trailing short window.
 // Chunks shed under -drop newest are skipped, matching ObserveTrace.
@@ -372,13 +433,14 @@ func cmdServe(args []string) error {
 	httpAddr := fs.String("http", "", "serve the introspection endpoint (/metrics /decisions /healthz /readyz /debug/pprof/) on this address and linger after the replay")
 	logEvents := fs.Bool("log", false, "emit structured runtime events (worker restarts, quarantines, swaps) to stderr")
 	ff := registerFleetFlags(fs)
+	sf := registerSQLFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if ff.active() {
 		// Fleet mode: a long-lived network daemon serving many tenants at
 		// once instead of replaying one app's traces locally.
-		return serveFleet(ff, *workers, *queue, *drop, *shedFlag, *shedSeed,
+		return serveFleet(ff, sf, *workers, *queue, *drop, *shedFlag, *shedSeed,
 			*scorer, *httpAddr, *watchEvery, *logEvents)
 	}
 	if *streams < 1 {
@@ -438,6 +500,14 @@ func cmdServe(args []string) error {
 		runtime.WithWorkers(*workers),
 		runtime.WithQueueDepth(*queue),
 		runtime.WithScorerMode(mode),
+	}
+	if sf.enabled {
+		sqlProf, err := sf.trainFor(app, traces)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, runtime.WithSQLChannel(sqlProf), runtime.WithFusion(sf.fusionConfig()))
+		fmt.Printf("sql channel: %s\n", sqlProf)
 	}
 	if *logEvents {
 		opts = append(opts, runtime.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
@@ -668,6 +738,8 @@ func cmdExperiment(args []string) error {
 			_, rep, err = experiments.Clustering(cfg)
 		case "ablation":
 			_, rep, err = experiments.Ablation(cfg)
+		case "corpus":
+			_, rep, err = experiments.Corpus(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -679,7 +751,7 @@ func cmdExperiment(args []string) error {
 	}
 
 	if id == "all" {
-		for _, e := range []string{"table3", "table4", "table5", "table6", "table7", "table8", "fig10", "clustering", "ablation"} {
+		for _, e := range []string{"table3", "table4", "table5", "table6", "table7", "table8", "fig10", "clustering", "ablation", "corpus"} {
 			if err := run(e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"fmt"
+
+	"adprom/internal/dataset"
+	"adprom/internal/interp"
+)
+
+// Adversaries engineered to evade call-sequence (HMM) detection — each keeps
+// the library-call trace inside the trained distribution and leaks through
+// the query channel instead. They are the SQL-behaviour channel's raison
+// d'être: the golden corpus proves the HMM alone misses all three while the
+// fused two-channel judge catches them.
+
+// LowAndSlowExfil is a patient injection campaign through the Figure 2
+// lookup: each run steals exactly one other client's record with the payload
+//
+//	1' OR id='1NN
+//
+// (the vulnerable code wraps it as WHERE id='1' OR id='1NN'). Every run
+// returns a single row — the same result cardinality and the same
+// fetch/print trace as a legitimate lookup — so call-sequence detection sees
+// nothing. The query *signature* is novel (two quoted literals where normal
+// lookups have one), which is what the SQL channel's signature bigram
+// catches. runs bounds the campaign length (clamped to the 25 seeded
+// accounts).
+func LowAndSlowExfil(runs int) Attack {
+	if runs < 1 || runs > 25 {
+		runs = 25
+	}
+	cases := make([]dataset.TestCase, 0, runs)
+	for k := 1; k <= runs; k++ {
+		cases = append(cases, dataset.TestCase{
+			Name:  fmt.Sprintf("low-and-slow-%02d", k),
+			Input: []string{"1", fmt.Sprintf("1' OR id='%d", 100+k)},
+		})
+	}
+	return Attack{
+		ID:   7,
+		Name: "low-and-slow-exfil",
+		Description: "no access: a patient injection campaign steals one client record " +
+			"per run (1' OR id='1NN), keeping per-run cardinality and call trace " +
+			"identical to a legitimate lookup — only the query signature is novel",
+		Cases: cases,
+	}
+}
+
+// CardinalityMimicry is the call-plausible mimicry attack: a man-in-the-middle
+// rewrites the interest report's LIMIT 12 to LIMIT 9999 in transit. The
+// program is unchanged, the executed query's *signature* is unchanged too
+// (literals normalise to '?'), and the extra rows flow through the report's
+// own legitimate fetch/print loop — transitions the HMM scored as normal in
+// training. The only observable is the inflated result cardinality, which is
+// exactly the feature the SQL channel's per-signature cardinality
+// distribution models. The HMM and the signature bigram are both blind to it.
+func CardinalityMimicry() Attack {
+	return Attack{
+		ID:   8,
+		Name: "cardinality-mimicry",
+		Description: "network access: rewrite 'LIMIT 12' to 'LIMIT 9999' in transit — " +
+			"identical query signature, identical call vocabulary, leaked rows visible " +
+			"only as an out-of-distribution result cardinality",
+		Cases: []dataset.TestCase{{Name: "interest-mimic", Input: []string{"6"}}},
+		Setup: func(_ *interp.Interp, w *interp.World) {
+			w.Rewriter = MITMRewriter("LIMIT 12", "LIMIT 9999")
+		},
+	}
+}
+
+// UnionExfilPayload grafts a UNION arm onto the vulnerable lookup, pulling a
+// targeted client's full record (id, name, balance) while the tautology-free
+// first arm matches nothing:
+//
+//	SELECT * FROM clients WHERE id='1' UNION SELECT id, name, balance
+//	    FROM clients WHERE id='125'
+//
+// The union arm returns exactly one row, so the run's trace and cardinality
+// are indistinguishable from a legitimate lookup.
+const UnionExfilPayload = "1' UNION SELECT id, name, balance FROM clients WHERE id='125"
+
+// UnionExfil is the UNION-based exfiltration through the injectable lookup:
+// one row out, one fetch/print round — trace-identical to a normal lookup and
+// invisible to the HMM. The SQL channel sees a novel signature whose
+// projection touches the sensitive balance/name columns, so the alert
+// upgrades to DL.
+func UnionExfil() Attack {
+	return Attack{
+		ID:   9,
+		Name: "union-exfil",
+		Description: "no access: UNION injection through the vulnerable lookup steals a " +
+			"targeted client's record in a single plausible-cardinality row — novel " +
+			"signature projecting sensitive columns, trace identical to a lookup",
+		Cases: []dataset.TestCase{{Name: "union-steal", Input: []string{"1", UnionExfilPayload}}},
+	}
+}
+
+// SQLChannelAttacks bundles the three HMM-evading adversaries the
+// two-channel corpus evaluates.
+func SQLChannelAttacks() []Attack {
+	return []Attack{LowAndSlowExfil(5), CardinalityMimicry(), UnionExfil()}
+}

@@ -47,6 +47,11 @@ type Call struct {
 	Block int
 	// Origins carries the query origins when the call leaked TD.
 	Origins []interp.Origin
+	// SQL is the wire query text when the call executed a query; "" for
+	// non-query calls. Feeds the SQL-behaviour detection channel.
+	SQL string
+	// Rows is the query's result cardinality (0 for errors and non-queries).
+	Rows int
 }
 
 // Trace is the recorded call sequence of one program run.
@@ -121,6 +126,8 @@ func (c *Collector) Hook() interp.Hook {
 			Caller:  e.Caller,
 			Block:   e.Block,
 			Origins: e.Origins,
+			SQL:     e.SQL,
+			Rows:    e.Rows,
 		}
 		if c.mode == ModeLtrace {
 			resolved := c.sym.resolve(e.Caller, e.Block)

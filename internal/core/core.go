@@ -141,6 +141,8 @@ func (m *Monitor) Attach(ip *interp.Interp) {
 			Caller:  e.Caller,
 			Block:   e.Block,
 			Origins: e.Origins,
+			SQL:     e.SQL,
+			Rows:    e.Rows,
 		})
 		if m.sink != nil {
 			for _, a := range alerts {

@@ -18,6 +18,7 @@ import (
 	"adprom/internal/hmm"
 	"adprom/internal/interp"
 	"adprom/internal/profile"
+	"adprom/internal/sqlchan"
 )
 
 // Flag classifies an observation.
@@ -102,11 +103,25 @@ type Alert struct {
 	// all probability mass (the bound is vacuous but Score < threshold still
 	// holds exactly).
 	ScoreErrorBound float64 `json:",omitempty"`
-	// Window is the flagged call sequence.
+	// Window is the flagged call sequence — call labels for HMM-window and
+	// OutOfContext alerts, query signatures for SQL-channel alerts.
 	Window []string
 	// Origins links a DL alert to the queries whose data leaked — the
 	// "connected to source" property of Table V.
 	Origins []interp.Origin
+
+	// Channels names every detection channel whose rule this alert crossed
+	// (ChannelHMM, ChannelSQL, ChannelFused). It is nil on engines running
+	// without an SQL channel, where the HMM is the only judge.
+	Channels []string `json:",omitempty"`
+	// SQLScore and SQLThreshold carry the SQL channel's most recent
+	// query-window judgement (per-query log-likelihood) at alert time; both
+	// are zero without an SQL channel or before its first judged window.
+	SQLScore     float64 `json:",omitempty"`
+	SQLThreshold float64 `json:",omitempty"`
+	// FusedScore is the weighted fused anomaly margin at judgement time,
+	// recorded once both channels have judged at least one window.
+	FusedScore float64 `json:",omitempty"`
 }
 
 // Engine performs streaming detection for one monitored execution. Window
@@ -154,6 +169,22 @@ type Engine struct {
 	// tables via qsig.SensitiveLabels).
 	sensitive       int
 	sensitiveLabels map[string]bool
+
+	// Second-channel state (see fusion.go). Every branch below is gated on
+	// sqlScorer != nil, so an engine without an SQL channel executes exactly
+	// the single-channel code path — the disabled-channel bit-identity the
+	// property tests pin down.
+	sqlScorer *sqlchan.Scorer
+	fusion    FusionConfig
+	// Latest per-channel anomaly margins (threshold − score) and whether
+	// each channel has judged a window since the last window reset.
+	lastHMM, lastSQL float64
+	hmmSeen, sqlSeen bool
+	// Latest SQL-channel verdict, stamped onto alerts for provenance.
+	lastSQLScore, lastSQLThreshold float64
+	// The most recent query-bearing call, so a Flush-judged partial SQL
+	// window can still name a triggering call.
+	lastQuery collector.Call
 }
 
 // JudgeFunc observes every completed-window judgement: the index of the
@@ -203,6 +234,23 @@ func (e *Engine) SetScorerMode(m hmm.ScorerMode) {
 // ScorerMode returns the engine's active scoring kernel mode.
 func (e *Engine) ScorerMode() hmm.ScorerMode { return e.mode }
 
+// SetSQLChannel attaches a second detection channel — a per-session SQL
+// behaviour scorer — judged alongside the HMM under cfg's fusion rule; pass a
+// nil scorer to detach it. Like the judge hook this is owner configuration,
+// cleared by Reset and not carried by Adopt. The scorer is owned by the
+// engine from here on: ResetWindow resets it at trace boundaries.
+func (e *Engine) SetSQLChannel(s *sqlchan.Scorer, cfg FusionConfig) {
+	e.sqlScorer = s
+	e.fusion = cfg.withDefaults()
+	e.hmmSeen, e.sqlSeen = false, false
+	e.lastHMM, e.lastSQL = 0, 0
+	e.lastSQLScore, e.lastSQLThreshold = 0, 0
+	e.lastQuery = collector.Call{}
+}
+
+// SQLChannel returns the attached SQL-channel scorer, nil when detached.
+func (e *Engine) SQLChannel() *sqlchan.Scorer { return e.sqlScorer }
+
 // ResetWindow clears the sliding window between monitored executions, so a
 // window never straddles two program runs. Alert history is preserved.
 func (e *Engine) ResetWindow() {
@@ -210,6 +258,11 @@ func (e *Engine) ResetWindow() {
 	e.winStart = 0
 	if e.stream != nil {
 		e.stream.Reset()
+	}
+	if e.sqlScorer != nil {
+		e.sqlScorer.Reset()
+		e.hmmSeen, e.sqlSeen = false, false
+		e.lastHMM, e.lastSQL = 0, 0
 	}
 }
 
@@ -229,6 +282,12 @@ func (e *Engine) Reset() {
 	e.err = nil
 	e.sensitive = 0
 	e.sensitiveLabels = nil
+	e.sqlScorer = nil
+	e.fusion = FusionConfig{}
+	e.lastHMM, e.lastSQL = 0, 0
+	e.hmmSeen, e.sqlSeen = false, false
+	e.lastSQLScore, e.lastSQLThreshold = 0, 0
+	e.lastQuery = collector.Call{}
 }
 
 // SetSensitiveLabels installs extra call labels counted as sensitive touches
@@ -321,6 +380,18 @@ func (e *Engine) Observe(c collector.Call) []Alert {
 		}
 	}
 
+	// Second channel: fold query-bearing calls into the SQL scorer and judge
+	// its window when it completes, after the HMM judgement for this call —
+	// the same per-call order ObserveBatch replays.
+	if e.sqlScorer != nil && c.SQL != "" {
+		e.lastQuery = c
+		if v, done := e.sqlScorer.Observe(c.SQL, c.Rows); done {
+			if a, flagged := e.judgeSQLWindow(seq, &c, v); flagged {
+				out = append(out, a)
+			}
+		}
+	}
+
 	e.alerts = append(e.alerts, out...)
 	return out
 }
@@ -377,6 +448,14 @@ func (e *Engine) ObserveBatch(calls []collector.Call) []Alert {
 				e.alerts = append(e.alerts, a)
 			}
 		}
+		if e.sqlScorer != nil && c.SQL != "" {
+			e.lastQuery = *c
+			if v, done := e.sqlScorer.Observe(c.SQL, c.Rows); done {
+				if a, flagged := e.judgeSQLWindow(baseSeq+i, c, v); flagged {
+					e.alerts = append(e.alerts, a)
+				}
+			}
+		}
 	}
 
 	// Rebuild the ring to hold the last winLen calls, oldest first.
@@ -430,6 +509,17 @@ func (e *Engine) Flush() []Alert {
 			e.alerts = append(e.alerts, a)
 		}
 	}
+	// The SQL channel judges its partial window too: application runs issue
+	// few queries, so the short-trace flush is where most of its detections
+	// happen.
+	if e.sqlScorer != nil {
+		if v, done := e.sqlScorer.Flush(); done {
+			last := e.lastQuery
+			if a, flagged := e.judgeSQLWindow(e.seq-1, &last, v); flagged {
+				e.alerts = append(e.alerts, a)
+			}
+		}
+	}
 	return e.alerts
 }
 
@@ -452,6 +542,8 @@ func (e *Engine) Hook() interp.Hook {
 			Caller:  ev.Caller,
 			Block:   ev.Block,
 			Origins: ev.Origins,
+			SQL:     ev.SQL,
+			Rows:    ev.Rows,
 		})
 	}
 }
@@ -460,7 +552,8 @@ func (e *Engine) Hook() interp.Hook {
 // error bound (from the incremental scorer). The window of pending calls is
 // a ring: index winStart is the oldest call once the ring is full.
 func (e *Engine) judgeWindow(seq int, score, bound float64) (Alert, bool) {
-	if score >= e.threshold {
+	fusedFired, fused := e.noteHMM(score)
+	if score >= e.threshold && !fusedFired {
 		e.adapt(score)
 		e.runJudgeHook(seq, score, false)
 		return Alert{}, false
@@ -484,6 +577,7 @@ func (e *Engine) judgeWindow(seq int, score, bound float64) (Alert, bool) {
 	for i := 0; i < n; i++ {
 		e.attachLeak(&a, &e.window[(e.winStart+i)%n])
 	}
+	e.stampChannels(&a, score, fused, fusedFired)
 	e.runJudgeHook(seq, score, true)
 	return a, true
 }
@@ -495,7 +589,8 @@ func (e *Engine) judgeWindow(seq int, score, bound float64) (Alert, bool) {
 // copies and leak origins from the engine's arenas instead of allocating
 // slices each.
 func (e *Engine) judgeBatchWindow(seq int, score, bound float64, calls []collector.Call, i, prevLen int) (Alert, bool) {
-	if score >= e.threshold {
+	fusedFired, fused := e.noteHMM(score)
+	if score >= e.threshold && !fusedFired {
 		e.adapt(score)
 		e.runJudgeHook(seq, score, false)
 		return Alert{}, false
@@ -563,6 +658,7 @@ func (e *Engine) judgeBatchWindow(seq int, score, bound float64, calls []collect
 		e.originArena = e.originArena[:len(e.originArena)+len(a.Origins)]
 		a.Origins = a.Origins[:len(a.Origins):len(a.Origins)]
 	}
+	e.stampChannels(&a, score, fused, fusedFired)
 	e.runJudgeHook(seq, score, true)
 	return a, true
 }

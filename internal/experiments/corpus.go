@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adprom/internal/attack"
+	"adprom/internal/collector"
+	"adprom/internal/core"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+	"adprom/internal/interp"
+	"adprom/internal/profile"
+	"adprom/internal/sqlchan"
+)
+
+// CorpusOutcome is one adversarial-corpus scenario's verdict matrix: what
+// each detection channel saw. Together the outcomes prove what each channel
+// can and cannot see — the HMM catches trace-shape attacks, the SQL channel
+// catches query-shape and cardinality attacks, and the fused judge catches
+// the union.
+type CorpusOutcome struct {
+	// Scenario names the attack ("healthy" for the clean baseline).
+	Scenario string `json:"scenario"`
+	// HMMOnly reports whether a single-channel (HMM) monitor raised any
+	// alert on the scenario's traces.
+	HMMOnly bool `json:"hmm_only"`
+	// SQL reports whether the two-channel monitor raised an alert naming
+	// the SQL channel.
+	SQL bool `json:"sql"`
+	// Fused reports whether the two-channel monitor raised any alert at
+	// all — the system verdict.
+	Fused bool `json:"fused"`
+	// DL reports whether the two-channel monitor connected the scenario to
+	// a data leak (a DL-flagged alert).
+	DL bool `json:"dl"`
+}
+
+// CorpusSensitiveColumns are the column names the corpus marks as protected
+// when training the SQL channel: a novel query projecting them (or *) is a
+// data-leak suspect.
+var CorpusSensitiveColumns = []string{"name", "balance"}
+
+// Corpus evaluates the adversarial scenario corpus against the banking
+// application: the clean test suite, the five Table V attacks, and the three
+// HMM-evading adversaries (low-and-slow exfiltration, cardinality mimicry,
+// UNION exfiltration). Each scenario runs through a single-channel monitor
+// and a two-channel (HMM + SQL, fused) monitor trained on the same traces.
+func Corpus(cfg Config) ([]CorpusOutcome, *Report, error) {
+	app := dataset.AppB()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: corpus traces: %w", err)
+	}
+
+	hmmProf, _, err := core.Train(app.Prog, traces, profile.Options{
+		Seed:            cfg.Seed,
+		Train:           hmm.TrainOptions{MaxIters: cfg.trainIters()},
+		MaxTrainWindows: cfg.maxWindows(),
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: corpus hmm profile: %w", err)
+	}
+	sqlProf, err := sqlchan.Train(traces, sqlchan.Options{
+		SensitiveColumns: CorpusSensitiveColumns,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: corpus sql profile: %w", err)
+	}
+
+	scenarios := []struct {
+		name string
+		atk  *attack.Attack
+	}{{name: "healthy"}}
+	for _, a := range attack.AppBAttacks() {
+		a := a
+		scenarios = append(scenarios, struct {
+			name string
+			atk  *attack.Attack
+		}{a.Name, &a})
+	}
+	for _, a := range attack.SQLChannelAttacks() {
+		a := a
+		scenarios = append(scenarios, struct {
+			name string
+			atk  *attack.Attack
+		}{a.Name, &a})
+	}
+
+	rep := &Report{ID: "corpus", Title: "Two-channel detection corpus (HMM vs SQL vs fused)"}
+	rep.addf("%-24s %-10s %-10s %-10s %s", "scenario", "hmm-only", "sql", "fused", "leak")
+	var out []CorpusOutcome
+	for _, sc := range scenarios {
+		o, err := corpusScenario(app, sc.name, sc.atk, hmmProf, sqlProf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: corpus scenario %s: %w", sc.name, err)
+		}
+		out = append(out, o)
+		rep.addf("%-24s %-10s %-10s %-10s %s",
+			o.Scenario, mark(o.HMMOnly), mark(o.SQL), mark(o.Fused), mark(o.DL))
+	}
+	return out, rep, nil
+}
+
+func mark(b bool) string {
+	if b {
+		return "detected"
+	}
+	return "-"
+}
+
+// corpusScenario runs one scenario's cases through a single-channel and a
+// two-channel monitor and aggregates the per-channel verdicts.
+func corpusScenario(app *dataset.App, name string, atk *attack.Attack, hmmProf *profile.Profile, sqlProf *sqlchan.Profile) (CorpusOutcome, error) {
+	out := CorpusOutcome{Scenario: name}
+	prog := app.Prog
+	cases := app.TestCases
+	var setup func(*interp.Interp, *interp.World)
+	if atk != nil {
+		var err error
+		if prog, err = atk.Apply(app.Prog); err != nil {
+			return out, err
+		}
+		if atk.Cases != nil {
+			cases = atk.Cases
+		}
+		setup = atk.Setup
+	}
+
+	for _, tc := range cases {
+		tr, err := app.RunCase(prog, tc, collector.ModeADPROM, setup)
+		if err != nil {
+			return out, err
+		}
+
+		solo := core.NewMonitor(hmmProf, nil)
+		if len(solo.ObserveTrace(tr)) > 0 {
+			out.HMMOnly = true
+		}
+
+		fused := core.NewMonitor(hmmProf, nil)
+		fused.Engine().SetSQLChannel(sqlchan.NewScorer(sqlProf), detect.FusionConfig{})
+		for _, a := range fused.ObserveTrace(tr) {
+			out.Fused = true
+			for _, ch := range a.Channels {
+				if ch == detect.ChannelSQL {
+					out.SQL = true
+				}
+			}
+			if a.Flag == detect.FlagDL {
+				out.DL = true
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update", false, "regenerate testdata/sqlchan_corpus.json from a live run")
+
+const corpusFixture = "testdata/sqlchan_corpus.json"
+
+// TestCorpusGolden is the channel-coverage drift test: the adversarial corpus
+// must keep producing exactly the per-channel verdict matrix pinned in
+// testdata. Any change to the HMM, the SQL channel, fusion, or the attack
+// generators that shifts who-sees-what shows up here as a diff.
+func TestCorpusGolden(t *testing.T) {
+	got, rep, err := Corpus(quick)
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	if *updateCorpus {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(corpusFixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(corpusFixture, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s:\n%s", corpusFixture, rep)
+		return
+	}
+
+	blob, err := os.ReadFile(corpusFixture)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update to regenerate): %v", err)
+	}
+	var want []CorpusOutcome
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("corpus has %d scenarios, fixture has %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("scenario %s: got %+v, want %+v", w.Scenario, got[i], w)
+		}
+	}
+}
+
+// TestCorpusChannelCoverage encodes the corpus's reason to exist as explicit
+// claims, independent of the golden fixture:
+//
+//   - the healthy suite raises no alert on any channel (no false positives),
+//   - every classic Table V attack is caught by the HMM alone,
+//   - every HMM-evading adversary is missed by the HMM alone yet caught by
+//     the fused two-channel judge via the SQL channel,
+//   - only union-exfil is upgraded to a data leak: it projects a sensitive
+//     column (name) outside the trained access set. low-and-slow hides behind
+//     the lookup's own SELECT * projection and cardinality-mimicry behind a
+//     fully known signature, so the channel flags them anomalous but cannot
+//     attribute a column-level leak — a documented limitation, not a bug.
+func TestCorpusChannelCoverage(t *testing.T) {
+	got, _, err := Corpus(quick)
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	byName := map[string]CorpusOutcome{}
+	for _, o := range got {
+		byName[o.Scenario] = o
+	}
+
+	healthy, ok := byName["healthy"]
+	if !ok {
+		t.Fatal("corpus missing healthy scenario")
+	}
+	if healthy.HMMOnly || healthy.SQL || healthy.Fused || healthy.DL {
+		t.Errorf("healthy suite raised alerts: %+v", healthy)
+	}
+
+	for _, name := range []string{"insert-similar-print", "new-call-other-function",
+		"reuse-existing-print", "binary-patch", "sql-injection"} {
+		o, ok := byName[name]
+		if !ok {
+			t.Fatalf("corpus missing classic attack %s", name)
+		}
+		if !o.HMMOnly {
+			t.Errorf("%s: classic attack not caught by HMM alone: %+v", name, o)
+		}
+		if !o.Fused {
+			t.Errorf("%s: classic attack not caught by fused monitor: %+v", name, o)
+		}
+	}
+
+	for _, name := range []string{"low-and-slow-exfil", "cardinality-mimicry", "union-exfil"} {
+		o, ok := byName[name]
+		if !ok {
+			t.Fatalf("corpus missing adversary %s", name)
+		}
+		if o.HMMOnly {
+			t.Errorf("%s: supposed HMM-evader was caught by the HMM alone: %+v", name, o)
+		}
+		if !o.SQL || !o.Fused {
+			t.Errorf("%s: not caught via the SQL channel: %+v", name, o)
+		}
+	}
+	if !byName["union-exfil"].DL {
+		t.Errorf("union-exfil: sensitive projection not flagged as a data leak: %+v",
+			byName["union-exfil"])
+	}
+	for _, name := range []string{"low-and-slow-exfil", "cardinality-mimicry"} {
+		if byName[name].DL {
+			t.Errorf("%s: projection stays inside the trained access set, should not be "+
+				"DL-attributed: %+v", name, byName[name])
+		}
+	}
+}

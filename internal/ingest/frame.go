@@ -3,13 +3,13 @@
 // length-prefixed binary frame format, and demultiplexes them by tenant id
 // into the tenant router.
 //
-// # Binary frame format (v1)
+// # Binary frame format (v2)
 //
 // Mirroring the profile codec's header discipline (magic / version / length
 // / CRC-32), each event batch travels as one self-delimiting frame:
 //
 //	magic   [4]byte  "ADIN"
-//	version uint16   big-endian, currently 1
+//	version uint16   big-endian, currently 2
 //	kind    uint8    1=observe, 2=flush, 3=close-session
 //	length  uint32   big-endian payload byte count
 //	crc     uint32   big-endian IEEE CRC-32 of the payload
@@ -20,6 +20,14 @@
 //	    count   uint16 number of calls, then per call:
 //	        label, name, caller  uint16-length-prefixed bytes each
 //	        block                uint32 big-endian
+//	        (v2 only)
+//	        sql                  uint16-length-prefixed bytes
+//	        rows                 uint32 big-endian
+//
+// Version 2 extends each call with the executed query's wire text and result
+// row count, feeding the SQL-behaviour detection channel. The decoder still
+// reads v1 streams from older collectors — their calls simply carry no
+// query data and sessions degrade to call-sequence detection.
 //
 // Malformed input — bad magic, truncated headers or payloads, checksum
 // mismatches, over-limit lengths, payloads that underrun their declared
@@ -75,9 +83,10 @@ func (k Kind) String() string {
 	}
 }
 
-// Frame codec constants; FrameVersion is what EncodeFrame writes today.
+// Frame codec constants; FrameVersion is what EncodeFrame writes today (the
+// decoder also reads version 1, which lacks the per-call sql/rows fields).
 const (
-	FrameVersion = 1
+	FrameVersion = 2
 
 	frameHeaderLen = 4 + 2 + 1 + 4 + 4
 
@@ -143,6 +152,10 @@ func EncodeFrame(dst []byte, e Event) ([]byte, error) {
 				return dst, err
 			}
 			payload = binary.BigEndian.AppendUint32(payload, uint32(c.Block))
+			if payload, err = appendString(payload, c.SQL); err != nil {
+				return dst, err
+			}
+			payload = binary.BigEndian.AppendUint32(payload, uint32(c.Rows))
 		}
 	}
 	dst = append(dst, frameMagic[:]...)
@@ -241,11 +254,13 @@ func (d *FrameDecoder) Next() (Event, error) {
 		return Event{}, fmt.Errorf("%w: checksum mismatch: %08x, header says %08x",
 			ErrFrameCorrupt, got, sum)
 	}
-	return d.decodePayload(kind, payload)
+	return d.decodePayload(version, kind, payload)
 }
 
-// decodePayload parses one verified payload into an Event.
-func (d *FrameDecoder) decodePayload(kind Kind, p []byte) (Event, error) {
+// decodePayload parses one verified payload into an Event. version selects
+// the per-call layout: v1 calls end at the block id, v2 calls append the
+// executed query and its row count.
+func (d *FrameDecoder) decodePayload(version uint16, kind Kind, p []byte) (Event, error) {
 	e := Event{Kind: kind}
 	var err error
 	if e.Tenant, p, err = d.takeString(p); err != nil {
@@ -291,6 +306,23 @@ func (d *FrameDecoder) decodePayload(kind Kind, p []byte) (Event, error) {
 		}
 		c.Block = int(int32(binary.BigEndian.Uint32(p)))
 		p = p[4:]
+		if version >= 2 {
+			// SQL text is not interned: literals make most queries distinct,
+			// so the table would only grow. takeString's intern map is for
+			// the recurring label vocabulary; copy the query bytes directly.
+			var sql []byte
+			if sql, p, err = takeBytes(p); err != nil {
+				return Event{}, fmt.Errorf("%w: call %d sql: %v", ErrFrameCorrupt, i, err)
+			}
+			if len(sql) > 0 {
+				c.SQL = string(sql)
+			}
+			if len(p) < 4 {
+				return Event{}, fmt.Errorf("%w: call %d truncated rows", ErrFrameCorrupt, i)
+			}
+			c.Rows = int(int32(binary.BigEndian.Uint32(p)))
+			p = p[4:]
+		}
 	}
 	if len(p) != 0 {
 		return Event{}, fmt.Errorf("%w: %d trailing payload bytes after %d calls",
@@ -319,4 +351,18 @@ func (d *FrameDecoder) takeString(p []byte) (string, []byte, error) {
 		d.intern[s] = s
 	}
 	return s, p[n:], nil
+}
+
+// takeBytes consumes one uint16-length-prefixed byte run without interning;
+// the returned slice aliases p and is only valid until the next frame.
+func takeBytes(p []byte) ([]byte, []byte, error) {
+	if len(p) < 2 {
+		return nil, p, errors.New("truncated length prefix")
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < n {
+		return nil, p, fmt.Errorf("declared %d bytes, %d remain", n, len(p))
+	}
+	return p[:n], p[n:], nil
 }

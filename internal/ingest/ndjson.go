@@ -17,6 +17,12 @@ type wireCall struct {
 	Name   string `json:"name"`
 	Caller string `json:"caller,omitempty"`
 	Block  int    `json:"block,omitempty"`
+	// SQL and Rows feed the SQL-behaviour detection channel: the wire query
+	// the call executed (after any client-side rewriting) and the result's
+	// row count. Both are optional; senders without query capture simply
+	// omit them and the stream degrades to call-sequence detection.
+	SQL  string `json:"sql,omitempty"`
+	Rows int    `json:"rows,omitempty"`
 }
 
 // wireEvent is the NDJSON line schema — the human-debuggable codec:
@@ -116,6 +122,10 @@ func (d *NDJSONDecoder) toEvent(we wireEvent) (Event, error) {
 			Name:   d.reuse(wc.Name),
 			Caller: d.reuse(wc.Caller),
 			Block:  wc.Block,
+			// SQL text is deliberately not interned: literals make most
+			// queries distinct, so the intern table would only grow.
+			SQL:  wc.SQL,
+			Rows: wc.Rows,
 		}
 	}
 	e.Calls = calls
@@ -144,7 +154,7 @@ func EncodeNDJSON(dst []byte, e Event) ([]byte, error) {
 	case KindObserve:
 		we.Calls = make([]wireCall, len(e.Calls))
 		for i, c := range e.Calls {
-			wc := wireCall{Name: c.Name, Caller: c.Caller, Block: c.Block}
+			wc := wireCall{Name: c.Name, Caller: c.Caller, Block: c.Block, SQL: c.SQL, Rows: c.Rows}
 			if c.Label != c.Name {
 				wc.Label = c.Label
 			}

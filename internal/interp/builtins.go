@@ -10,13 +10,19 @@ import (
 )
 
 // callBuiltin executes one library call, emitting its event first (the
-// collector sees the call on entry, like an instrumented call does).
+// collector sees the call on entry, like an instrumented call does). The
+// two query calls are the exception: they emit after the statement ran so
+// the event carries the wire query and result cardinality for the SQL
+// channel — still exactly one event per call, in the same stream position,
+// since query execution itself emits nothing.
 //
 // Unknown call names still emit an event and return null: the attack
 // framework may splice in calls the runtime has no semantics for, and what
 // matters to the detector is that the call appears in the trace.
 func (x *exec) callBuiltin(name string, args []Value, site ir.CallSite) (Value, error) {
-	x.emit(name, args, site)
+	if name != "PQexec" && name != "mysql_query" {
+		x.emit(name, args, site, "", 0)
+	}
 	w := x.ip.world
 
 	switch name {
@@ -133,12 +139,15 @@ func (x *exec) callBuiltin(name string, args []Value, site ir.CallSite) (Value, 
 	case "PQexec":
 		conn := argConn(args, 0)
 		if conn == nil {
+			x.emit(name, args, site, "", 0)
 			return Value{}, fmt.Errorf("%w: PQexec needs a connection", ErrRuntime)
 		}
 		sql := argText(args, 1)
 		origin := Origin{Func: site.Func, Block: site.Block}
 		res, err := conn.Exec(sql)
-		w.Queries = append(w.Queries, QueryRecord{Origin: origin, SQL: lastWireQuery(conn, sql)})
+		wire := lastWireQuery(conn, sql)
+		w.Queries = append(w.Queries, QueryRecord{Origin: origin, SQL: wire})
+		x.emit(name, args, site, wire, resultRows(res, err))
 		if err != nil {
 			return NullV(), nil // programs test the handle, as with PQresultStatus
 		}
@@ -168,12 +177,15 @@ func (x *exec) callBuiltin(name string, args []Value, site ir.CallSite) (Value, 
 	case "mysql_query":
 		conn := argConn(args, 0)
 		if conn == nil {
+			x.emit(name, args, site, "", 0)
 			return Value{}, fmt.Errorf("%w: mysql_query needs a connection", ErrRuntime)
 		}
 		sql := argText(args, 1)
 		origin := Origin{Func: site.Func, Block: site.Block}
 		res, err := conn.Exec(sql)
-		w.Queries = append(w.Queries, QueryRecord{Origin: origin, SQL: lastWireQuery(conn, sql)})
+		wire := lastWireQuery(conn, sql)
+		w.Queries = append(w.Queries, QueryRecord{Origin: origin, SQL: wire})
+		x.emit(name, args, site, wire, resultRows(res, err))
 		x.pending[conn] = pendingResult{res: res, origin: origin, err: err}
 		if err != nil {
 			return IntV(1), nil // non-zero status, like the C API
@@ -401,6 +413,15 @@ func argResult(args []Value, i int) *dbclient.Result {
 		return nil
 	}
 	return args[i].Result
+}
+
+// resultRows is the cardinality a query event reports: the tuple count of a
+// successful row-returning statement, 0 for errors and non-SELECT statements.
+func resultRows(res *dbclient.Result, err error) int {
+	if err != nil || res == nil {
+		return 0
+	}
+	return res.NTuples()
 }
 
 // lastWireQuery returns the query as it crossed the wire (after any MITM

@@ -50,6 +50,12 @@ type Event struct {
 	// Origins lists the query origins of the leaked data when Label is a
 	// _Q label; nil otherwise.
 	Origins []Origin
+	// SQL is the query text as it crossed the wire (after any MITM rewrite)
+	// when the call executed a query (PQexec, mysql_query); "" otherwise.
+	SQL string
+	// Rows is the result cardinality of a query call: NTuples for a
+	// row-returning statement, 0 for errors and non-query calls.
+	Rows int
 	// Args holds rendered call arguments, captured only when
 	// Options.CaptureArgs is set (the ltrace-style costly mode of Table VI).
 	Args []string
@@ -436,7 +442,7 @@ func compare(l, r Value, op ir.Op) bool {
 // dynamic instrumentation of §IV-D: output calls carrying TD are renamed to
 // their _Q form so the downstream model can tell line-9 printf from line-11
 // printf in Figure 9.
-func (x *exec) emit(name string, args []Value, site ir.CallSite) {
+func (x *exec) emit(name string, args []Value, site ir.CallSite, sql string, rows int) {
 	ev := Event{
 		Seq:    x.seq,
 		Name:   name,
@@ -444,6 +450,8 @@ func (x *exec) emit(name string, args []Value, site ir.CallSite) {
 		Caller: site.Func,
 		Block:  site.Block,
 		Stmt:   site.Stmt,
+		SQL:    sql,
+		Rows:   rows,
 	}
 	x.seq++
 	if callspec.IsOutput(name) {

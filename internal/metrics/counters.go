@@ -7,6 +7,11 @@ import "sync/atomic"
 // detect package, so flags are counted by their integer value.
 const NumFlags = 4
 
+// NumChannels is the size of the detection-channel provenance taxonomy
+// (detect.ChannelNames: hmm, sql, fusion). As with flags, metrics stays
+// independent of the detect package, so channels are counted by index.
+const NumChannels = 3
+
 // Counters is a lock-free set of detection-runtime counters, shared by every
 // worker of a runtime. All methods are safe for concurrent use; the zero
 // value is ready.
@@ -15,6 +20,7 @@ type Counters struct {
 	dropped  atomic.Uint64
 	shed     atomic.Uint64
 	alerts   [NumFlags]atomic.Uint64
+	channels [NumChannels]atomic.Uint64
 	sessions atomic.Int64
 	opened   atomic.Uint64
 
@@ -95,6 +101,15 @@ func (c *Counters) AddAlert(flag int) {
 	}
 }
 
+// AddChannelAlert records that an alert crossed the given detection
+// channel's rule (index into detect.ChannelNames); one alert can count
+// against several channels. Out-of-range indices are ignored.
+func (c *Counters) AddChannelAlert(channel int) {
+	if channel >= 0 && channel < NumChannels {
+		c.channels[channel].Add(1)
+	}
+}
+
 // SessionOpened / SessionClosed maintain the active-session gauge.
 func (c *Counters) SessionOpened() { c.sessions.Add(1); c.opened.Add(1) }
 func (c *Counters) SessionClosed() { c.sessions.Add(-1) }
@@ -143,6 +158,9 @@ type CountersSnapshot struct {
 	QueueHighWater int64
 	// Alerts counts raised alerts by flag value.
 	Alerts [NumFlags]uint64
+	// ChannelAlerts counts alert provenance by detection channel (hmm, sql,
+	// fusion); one alert can increment several channels.
+	ChannelAlerts [NumChannels]uint64
 	// LatencyNanos is the cumulative per-call processing time.
 	LatencyNanos int64
 	// ActiveSessions and SessionsOpened describe session churn.
@@ -216,6 +234,9 @@ func (c *Counters) Snapshot() CountersSnapshot {
 	s.LatencyNanos = s.Observe.Sum
 	for i := range s.Alerts {
 		s.Alerts[i] = c.alerts[i].Load()
+	}
+	for i := range s.ChannelAlerts {
+		s.ChannelAlerts[i] = c.channels[i].Load()
 	}
 	return s
 }

@@ -238,6 +238,64 @@ func (db *Database) execInsert(s *InsertStmt) (*Result, error) {
 func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	out, err := db.selectLocked(s)
+	if err != nil {
+		return nil, err
+	}
+	for arm := s.Union; arm != nil; arm = arm.Union {
+		right, err := db.selectLocked(arm)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Cols) != len(out.Cols) {
+			return nil, fmt.Errorf("%w: UNION arms select %d and %d columns",
+				ErrSyntax, len(out.Cols), len(right.Cols))
+		}
+		out.Rows = append(out.Rows, right.Rows...)
+	}
+	if s.Union != nil && !unionAllOnly(s) {
+		out.Rows = dedupRows(out.Rows)
+	}
+	return out, nil
+}
+
+// unionAllOnly reports whether every UNION in the chain is UNION ALL; a
+// single plain UNION deduplicates the whole result, the mini engine's
+// flattening of standard left-associative binding.
+func unionAllOnly(s *SelectStmt) bool {
+	for ; s.Union != nil; s = s.Union {
+		if !s.UnionAll {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupRows removes duplicate result rows, keeping first occurrences in
+// order (UNION distinct semantics over pre-rendered cells).
+func dedupRows(rows [][]string) [][]string {
+	seen := make(map[string]bool, len(rows))
+	kept := rows[:0]
+	for _, r := range rows {
+		var key string
+		for i, c := range r {
+			if i > 0 {
+				key += "\x00"
+			}
+			key += c
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, r)
+	}
+	return kept
+}
+
+// selectLocked evaluates one SELECT arm (no UNION handling) under the
+// caller's read lock.
+func (db *Database) selectLocked(s *SelectStmt) (*Result, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)

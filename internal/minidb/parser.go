@@ -18,8 +18,8 @@ type InsertStmt struct {
 }
 
 // SelectStmt is SELECT ... FROM table [WHERE ...] [GROUP BY col]
-// [ORDER BY col [DESC]] [LIMIT n]. The projection is either * (Star) or a
-// list of columns/aggregates (Items).
+// [ORDER BY col [DESC]] [LIMIT n] [UNION [ALL] SELECT ...]. The projection
+// is either * (Star) or a list of columns/aggregates (Items).
 type SelectStmt struct {
 	Table     string
 	Star      bool
@@ -29,6 +29,11 @@ type SelectStmt struct {
 	OrderBy   string    // "" when absent
 	OrderDesc bool
 	Limit     int // -1 when absent
+	// Union chains a further SELECT whose rows are concatenated onto this
+	// one's (deduplicated unless UnionAll). Each arm keeps its own ORDER
+	// BY/LIMIT — the mini engine's simplification of standard binding.
+	Union    *SelectStmt
+	UnionAll bool
 }
 
 // HasAggregates reports whether any projection item aggregates.
@@ -368,6 +373,21 @@ func (p *parser) selectStmt() (Stmt, error) {
 		n := 0
 		fmt.Sscanf(t.text, "%d", &n)
 		s.Limit = n
+	}
+	if p.peekKeyword("union") {
+		p.next()
+		if p.peekKeyword("all") {
+			p.next()
+			s.UnionAll = true
+		}
+		if !p.peekKeyword("select") {
+			return nil, p.errorf("expected SELECT after UNION")
+		}
+		rest, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Union = rest.(*SelectStmt)
 	}
 	return s, nil
 }

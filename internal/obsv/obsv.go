@@ -40,6 +40,15 @@ type Decision struct {
 	// log stays valid JSON.
 	ScoreErrorBound float64 `json:"score_error_bound,omitempty"`
 
+	// Channel provenance: which detection channels raised this alert
+	// (detect.ChannelNames entries), the SQL channel's window judgement, and
+	// the fused anomaly margin. All empty/zero on single-channel runtimes
+	// and on sampled Normal judgements.
+	Channels     []string `json:"channels,omitempty"`
+	SQLScore     float64  `json:"sql_score,omitempty"`
+	SQLThreshold float64  `json:"sql_threshold,omitempty"`
+	FusedScore   float64  `json:"fused_score,omitempty"`
+
 	// Shed provenance: when risk-aware admission (ShedByRisk) rejects calls
 	// instead of scoring them, the runtime records a Decision with Shed=true
 	// so an operator can see exactly what was not scored and why. ShedCalls

@@ -100,6 +100,73 @@ func Tables(sql string) []string {
 	return out
 }
 
+// maxColumns bounds the identifiers Columns returns, so a hostile query
+// with an enormous projection list cannot make feature extraction allocate
+// without limit.
+const maxColumns = 64
+
+// columnKeywords are select-list tokens that are not column references.
+var columnKeywords = map[string]bool{
+	"select": true, "distinct": true, "as": true, "all": true,
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// Columns extracts the column identifiers in a query's SELECT projection,
+// lower-cased, deduplicated, and sorted. `SELECT *` yields ["*"]. Like
+// Tables it is a bounded lexical scan, not a parser: aggregate arguments
+// count as columns (sum(balance) yields "balance"), and at most 64 distinct
+// identifiers are returned. Non-SELECT statements yield nil.
+func Columns(sql string) []string {
+	fields := strings.Fields(Normalize(sql))
+	if len(fields) == 0 || fields[0] != "select" {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if name == "" || name == "?" || name == "'?'" || columnKeywords[name] || seen[name] {
+			return
+		}
+		if len(out) >= maxColumns {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	inList := false
+	for _, f := range fields {
+		switch f {
+		case "select":
+			inList = true
+			continue
+		case "from":
+			inList = false
+			continue
+		}
+		if !inList {
+			continue
+		}
+		if strings.Contains(f, "*") {
+			add("*")
+			continue
+		}
+		// Split compound tokens — "count(id)," yields "count" and "id" —
+		// and keep the identifier parts.
+		for len(f) > 0 {
+			cut := strings.IndexAny(f, "(),;")
+			var part string
+			if cut < 0 {
+				part, f = f, ""
+			} else {
+				part, f = f[:cut], f[cut+1:]
+			}
+			add(part)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // SensitiveTables is a set of table names whose queries mark a session as
 // touching sensitive data. Used by the risk-aware shedding tier to keep
 // sessions that read protected tables out of the shed pool.

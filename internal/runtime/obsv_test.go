@@ -50,8 +50,10 @@ func TestStatsStringGolden(t *testing.T) {
 	st.Alerts[int(detect.FlagAnomalous)] = 2
 	st.Alerts[int(detect.FlagDL)] = 5
 	st.Alerts[int(detect.FlagOutOfContext)] = 1
+	st.ChannelAlerts = [metrics.NumChannels]uint64{21, 22, 23}
 
 	want := "calls=100 dropped=3 alerts=8 (anomalous=2 dl=5 ooc=1) " +
+		"channels[hmm=21 sql=22 fused=23] " +
 		"sessions=2/9 queue=7/4×64 qhw=33 " +
 		"avg=1.5µs max=2ms p50=1µs p95=3µs p99=9µs " +
 		"panics=1 restarts=12 quarantined=13 sink[dropped=14 panics=15] " +

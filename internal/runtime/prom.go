@@ -21,6 +21,7 @@ var countersMetric = map[string]string{
 	"Shed":           "adprom_shed_calls_total",
 	"QueueHighWater": "adprom_queue_high_water",
 	"Alerts":         "adprom_alerts_total",
+	"ChannelAlerts":  "adprom_channel_alerts_total",
 	"LatencyNanos":   "adprom_observe_latency_seconds_sum",
 	"ActiveSessions": "adprom_active_sessions",
 	"SessionsOpened": "adprom_sessions_opened_total",
@@ -51,6 +52,11 @@ func (rt *Runtime) WritePrometheus(w io.Writer) error {
 	for f := 0; f < metrics.NumFlags; f++ {
 		p.Sample(countersMetric["Alerts"],
 			[][2]string{{"flag", detect.Flag(f).String()}}, float64(snap.Alerts[f]))
+	}
+	p.Family(countersMetric["ChannelAlerts"], "counter", "Alert provenance by detection channel (one alert can count against several).")
+	for ch := 0; ch < metrics.NumChannels; ch++ {
+		p.Sample(countersMetric["ChannelAlerts"],
+			[][2]string{{"channel", detect.ChannelNames[ch]}}, float64(snap.ChannelAlerts[ch]))
 	}
 	p.Gauge(countersMetric["ActiveSessions"], "Sessions currently open.", float64(snap.ActiveSessions))
 	p.Counter(countersMetric["SessionsOpened"], "Sessions opened since start.", float64(snap.SessionsOpened))

@@ -93,6 +93,7 @@ import (
 	"adprom/internal/obsv"
 	"adprom/internal/profile"
 	"adprom/internal/shed"
+	"adprom/internal/sqlchan"
 )
 
 // Errors returned by the ingest path.
@@ -233,6 +234,8 @@ type config struct {
 	decisionCap   int
 	decisionEvery int
 	shedCfg       *shed.Config
+	sqlProfile    *sqlchan.Profile
+	fusion        detect.FusionConfig
 }
 
 // Option configures a Runtime.
@@ -384,6 +387,22 @@ func WithWindowLen(n int) Option {
 			c.windowLen = n
 		}
 	}
+}
+
+// WithSQLChannel attaches the SQL-behaviour detection channel: every session
+// engine gets its own sqlchan.Scorer over the trained profile, judged
+// alongside the HMM under the configured fusion rule (see WithFusion; the
+// default is equal weights with a 0.05 escalation slack). Pass nil to keep
+// the runtime single-channel.
+func WithSQLChannel(p *sqlchan.Profile) Option {
+	return func(c *config) { c.sqlProfile = p }
+}
+
+// WithFusion tunes the channel-fusion rule applied when an SQL channel is
+// attached (no effect without WithSQLChannel). Zero fields keep the
+// documented detect.FusionConfig defaults.
+func WithFusion(fc detect.FusionConfig) Option {
+	return func(c *config) { c.fusion = fc }
 }
 
 // WithScorerMode selects the HMM scoring kernel every session's engine runs:
@@ -1324,6 +1343,9 @@ func (rt *Runtime) installEngine(s *Session) {
 		e.SetWindowLen(rt.cfg.windowLen)
 	}
 	e.SetScorerMode(rt.cfg.scorerMode)
+	if rt.cfg.sqlProfile != nil {
+		e.SetSQLChannel(sqlchan.NewScorer(rt.cfg.sqlProfile), rt.cfg.fusion)
+	}
 	if rt.shed != nil {
 		e.SetSensitiveLabels(rt.shed.Config().SensitiveLabels)
 	}
@@ -1387,6 +1409,10 @@ func (rt *Runtime) recordAlerts(s *Session, alerts []detect.Alert) {
 			Label:           a.Label,
 			Caller:          a.Caller,
 			ScoreErrorBound: bound,
+			Channels:        a.Channels,
+			SQLScore:        a.SQLScore,
+			SQLThreshold:    a.SQLThreshold,
+			FusedScore:      a.FusedScore,
 		})
 	}
 }
@@ -1396,6 +1422,9 @@ func (rt *Runtime) recordAlerts(s *Session, alerts []detect.Alert) {
 func (rt *Runtime) deliver(session string, alerts []detect.Alert) {
 	for _, a := range alerts {
 		rt.ctr.AddAlert(int(a.Flag))
+		for _, ch := range a.Channels {
+			rt.ctr.AddChannelAlert(detect.ChannelIndex(ch))
+		}
 	}
 	if rt.alertq == nil {
 		return
@@ -1527,6 +1556,10 @@ type Stats struct {
 	Calls, Dropped uint64
 	// Alerts raised, by detect.Flag value.
 	Alerts [metrics.NumFlags]uint64
+	// ChannelAlerts counts alert provenance by detection channel, indexed by
+	// detect.ChannelNames (hmm, sql, fusion); one alert can count against
+	// several channels. All zero on single-channel runtimes.
+	ChannelAlerts [metrics.NumChannels]uint64
 	// QueueDepth is the number of calls currently waiting across all worker
 	// queues; Workers and QueueCap describe capacity.
 	QueueDepth int
@@ -1591,9 +1624,10 @@ func (s Stats) AlertTotal() uint64 {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) sessions=%d/%d queue=%d/%d×%d qhw=%d avg=%s max=%s p50=%s p95=%s p99=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d decisions=%d shed[calls=%d rate=%.4f missp=%.4f engaged=%v]",
+		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) channels[hmm=%d sql=%d fused=%d] sessions=%d/%d queue=%d/%d×%d qhw=%d avg=%s max=%s p50=%s p95=%s p99=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d decisions=%d shed[calls=%d rate=%.4f missp=%.4f engaged=%v]",
 		s.Calls, s.Dropped, s.AlertTotal(),
 		s.Alerts[int(detect.FlagAnomalous)], s.Alerts[int(detect.FlagDL)], s.Alerts[int(detect.FlagOutOfContext)],
+		s.ChannelAlerts[0], s.ChannelAlerts[1], s.ChannelAlerts[2],
 		s.ActiveSessions, s.SessionsOpened, s.QueueDepth, s.Workers, s.QueueCap, s.QueueHighWater,
 		s.AvgLatency, s.MaxLatency, s.P50Latency, s.P95Latency, s.P99Latency,
 		s.Panics, s.WorkerRestarts, s.Quarantined, s.SinkDropped, s.SinkPanics,
@@ -1608,6 +1642,7 @@ func (rt *Runtime) Stats() Stats {
 		Calls:          snap.Calls,
 		Dropped:        snap.Dropped,
 		Alerts:         snap.Alerts,
+		ChannelAlerts:  snap.ChannelAlerts,
 		Workers:        rt.cfg.workers,
 		QueueCap:       rt.cfg.queueDepth,
 		ActiveSessions: snap.ActiveSessions,

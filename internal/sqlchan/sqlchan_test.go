@@ -1,0 +1,234 @@
+package sqlchan
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"adprom/internal/collector"
+)
+
+// qcall builds a query-bearing call; plain calls carry no SQL.
+func qcall(sql string, rows int) collector.Call {
+	return collector.Call{Label: "mysql_query@main", Name: "mysql_query", SQL: sql, Rows: rows}
+}
+
+// trainingTraces mimic the banking app: a parameterised lookup returning one
+// row and a report returning a dozen, in both orders so both bigram
+// transitions are trained.
+func trainingTraces() []collector.Trace {
+	lookup := func(id string) collector.Call {
+		return qcall("SELECT * FROM clients WHERE id='"+id+"'", 1)
+	}
+	report := qcall("SELECT id, balance FROM clients ORDER BY balance DESC LIMIT 12", 12)
+	var traces []collector.Trace
+	for i := 0; i < 4; i++ {
+		traces = append(traces,
+			collector.Trace{lookup("101"), report},
+			collector.Trace{report, lookup("119")},
+			collector.Trace{lookup("125")},
+		)
+	}
+	return traces
+}
+
+func trainedProfile(t *testing.T) *Profile {
+	t.Helper()
+	p, err := Train(trainingTraces(), Options{SensitiveColumns: []string{"name", "balance"}})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return p
+}
+
+func TestTrainRejectsQueryFreeCorpus(t *testing.T) {
+	_, err := Train([]collector.Trace{{{Label: "printf@main", Name: "printf"}}}, Options{})
+	if !errors.Is(err, ErrNoQueries) {
+		t.Fatalf("err = %v, want ErrNoQueries", err)
+	}
+}
+
+func TestTrainingTracesScoreAboveThreshold(t *testing.T) {
+	p := trainedProfile(t)
+	sc := NewScorer(p)
+	for _, tr := range trainingTraces() {
+		sc.Reset()
+		judged := false
+		for _, c := range tr {
+			if v, done := sc.Observe(c.SQL, c.Rows); done {
+				judged = true
+				if v.Score < v.Threshold {
+					t.Errorf("training window scored %.4f below threshold %.4f", v.Score, v.Threshold)
+				}
+			}
+		}
+		if v, done := sc.Flush(); done {
+			judged = true
+			if v.Score < v.Threshold {
+				t.Errorf("training partial scored %.4f below threshold %.4f", v.Score, v.Threshold)
+			}
+			if v.Sensitive {
+				t.Errorf("training partial marked sensitive: %+v", v)
+			}
+		}
+		if !judged {
+			t.Error("trace produced no judgement")
+		}
+	}
+}
+
+// A query shape never issued in training lands in UNK and pays the unseen
+// bigram plus the novel-column penalty: the partial window must flag.
+func TestNovelSignatureFlagged(t *testing.T) {
+	p := trainedProfile(t)
+	sc := NewScorer(p)
+	sc.Observe("SELECT * FROM clients WHERE id='1' OR id='102'", 1)
+	v, done := sc.Flush()
+	if !done {
+		t.Fatal("no partial verdict")
+	}
+	if v.Score >= v.Threshold {
+		t.Errorf("novel signature scored %.4f, want below threshold %.4f", v.Score, v.Threshold)
+	}
+	if v.Sensitive {
+		t.Errorf("SELECT * projection is inside the trained access set, got Sensitive")
+	}
+}
+
+// The mimicry case: identical signature and call trace, inflated result
+// cardinality. Only the per-signature cardinality profile can see it.
+func TestCardinalityShiftFlagged(t *testing.T) {
+	p := trainedProfile(t)
+	sc := NewScorer(p)
+	sc.Observe("SELECT id, balance FROM clients ORDER BY balance DESC LIMIT 9999", 25)
+	v, done := sc.Flush()
+	if !done {
+		t.Fatal("no partial verdict")
+	}
+	if v.Score >= v.Threshold {
+		t.Errorf("25-row report scored %.4f, want below threshold %.4f", v.Score, v.Threshold)
+	}
+	if v.Sensitive {
+		t.Error("known signature should never be a DL suspect")
+	}
+}
+
+// A novel query projecting a declared sensitive column outside the trained
+// access set marks the window for the DL upgrade.
+func TestSensitiveProjectionMarksWindow(t *testing.T) {
+	p := trainedProfile(t)
+	sc := NewScorer(p)
+	sc.Observe("SELECT id, name, balance FROM clients WHERE id='125'", 1)
+	v, done := sc.Flush()
+	if !done {
+		t.Fatal("no partial verdict")
+	}
+	if v.Score >= v.Threshold || !v.Sensitive {
+		t.Errorf("sensitive projection: got score=%.4f threshold=%.4f sensitive=%v, "+
+			"want flagged and sensitive", v.Score, v.Threshold, v.Sensitive)
+	}
+}
+
+func TestCardBucketSaturates(t *testing.T) {
+	cases := []struct{ rows, want int }{
+		{-3, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {12, 4}, {25, 5},
+		{1 << 25, cardBuckets - 1}, {math.MaxInt, cardBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := cardBucket(c.rows); got != c.want {
+			t.Errorf("cardBucket(%d) = %d, want %d", c.rows, got, c.want)
+		}
+	}
+}
+
+// Hostile streams must never grow scorer state: the ring stays WindowLen
+// entries and each retained signature is length-bounded.
+func TestScorerStateBounded(t *testing.T) {
+	p := trainedProfile(t)
+	sc := NewScorer(p)
+	huge := "SELECT " + strings.Repeat("x", 1<<20) + " FROM clients"
+	for i := 0; i < 100; i++ {
+		sc.Observe(huge, i)
+	}
+	if sc.QueryCount() != 100 {
+		t.Fatalf("QueryCount = %d", sc.QueryCount())
+	}
+	w := sc.AppendWindow(nil)
+	if len(w) != p.WindowLen {
+		t.Fatalf("window holds %d signatures, want %d", len(w), p.WindowLen)
+	}
+	for _, sig := range w {
+		if len(sig) > maxSigLen+len("…") {
+			t.Fatalf("retained signature is %d bytes", len(sig))
+		}
+	}
+	if n := len(p.sigID); n != 2 {
+		t.Errorf("profile vocabulary grew to %d entries under unseen queries", n)
+	}
+}
+
+func TestProfileStringMentionsCalibration(t *testing.T) {
+	p := trainedProfile(t)
+	s := p.String()
+	for _, want := range []string{"signatures=2", "sensitive=2", "threshold="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// FuzzSQLChanObserve drives arbitrary query text and cardinalities through a
+// trained scorer: no panic, no state growth, and every emitted verdict must
+// be finite and carry the profile threshold.
+func FuzzSQLChanObserve(f *testing.F) {
+	p, err := Train(trainingTraces(), Options{SensitiveColumns: []string{"name", "balance"}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("SELECT * FROM clients WHERE id='1'", 1)
+	f.Add("SELECT id, balance FROM clients ORDER BY balance DESC LIMIT 12", 12)
+	f.Add("1' UNION SELECT id, name, balance FROM clients WHERE id='125", -7)
+	f.Add("", 0)
+	f.Add("\x00\xff'\"` --", math.MaxInt)
+	sc := NewScorer(p)
+	f.Fuzz(func(t *testing.T, sql string, rows int) {
+		v, done := sc.Observe(sql, rows)
+		if done {
+			if math.IsNaN(v.Score) || math.IsInf(v.Score, 0) {
+				t.Fatalf("verdict score %v for %q rows=%d", v.Score, sql, rows)
+			}
+			if v.Threshold != p.Threshold {
+				t.Fatalf("verdict threshold %v, profile %v", v.Threshold, p.Threshold)
+			}
+		}
+		if len(p.sigID) != 2 {
+			t.Fatalf("profile vocabulary grew to %d", len(p.sigID))
+		}
+		if w := sc.AppendWindow(nil); len(w) > p.WindowLen {
+			t.Fatalf("window grew to %d", len(w))
+		}
+	})
+}
+
+func BenchmarkSQLChanObserve(b *testing.B) {
+	p, err := Train(trainingTraces(), Options{SensitiveColumns: []string{"name", "balance"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := NewScorer(p)
+	queries := []struct {
+		sql  string
+		rows int
+	}{
+		{"SELECT * FROM clients WHERE id='104'", 1},
+		{"SELECT id, balance FROM clients ORDER BY balance DESC LIMIT 12", 12},
+		{"SELECT * FROM clients WHERE id='1' OR id='119'", 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		sc.Observe(q.sql, q.rows)
+	}
+}

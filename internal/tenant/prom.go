@@ -22,6 +22,7 @@ var tenantMetric = map[string]string{
 	"Shed":           "adprom_tenant_shed_calls_total",
 	"QueueHighWater": "adprom_tenant_queue_high_water",
 	"Alerts":         "adprom_tenant_alerts_total",
+	"ChannelAlerts":  "adprom_tenant_channel_alerts_total",
 	"LatencyNanos":   "adprom_tenant_observe_latency_seconds_sum",
 	"ActiveSessions": "adprom_tenant_active_sessions",
 	"SessionsOpened": "adprom_tenant_sessions_opened_total",
@@ -113,6 +114,15 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 			p.Sample(tenantMetric["Alerts"],
 				[][2]string{{"tenant", s.id}, {"flag", detect.Flag(f).String()}},
 				float64(s.ctr.Alerts[f]))
+		}
+	}
+
+	p.Family(tenantMetric["ChannelAlerts"], "counter", "Alert provenance by tenant and detection channel (one alert can count against several).")
+	for _, s := range snaps {
+		for ch := 0; ch < metrics.NumChannels; ch++ {
+			p.Sample(tenantMetric["ChannelAlerts"],
+				[][2]string{{"tenant", s.id}, {"channel", detect.ChannelNames[ch]}},
+				float64(s.ctr.ChannelAlerts[ch]))
 		}
 	}
 
