@@ -48,7 +48,7 @@ verify: build test vet race fuzz
 # machine-readable report (name, ns/op, allocs/op, throughput and latency-
 # percentile metrics) to BENCH_runtime.json; CI archives both as artifacts.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRuntimeThroughput|BenchmarkInstrumentationOverhead' -benchmem -benchtime 3x . > BENCH_runtime.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRuntimeThroughput|BenchmarkInstrumentationOverhead|BenchmarkTracingOverhead' -benchmem -benchtime 3x . > BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/hmm >> BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/shed >> BENCH_runtime.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/tenant >> BENCH_runtime.txt
@@ -61,10 +61,14 @@ bench:
 # admission microbenches and fail when any of them is >20% slower (min-of-3
 # ns/op) than the committed BENCH_runtime.json baseline. Cheap enough to run
 # on every push; `make bench` refreshes the baseline after an intentional
-# change.
+# change. The second step prices decision tracing end to end on the 64-stream
+# runtime replay and fails when its min-of-3 throughput cost exceeds the 5%
+# acceptance budget (or the bench itself regresses >20% ns/op vs baseline).
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -count 3 ./internal/hmm ./internal/shed ./internal/tenant ./internal/ingest ./internal/sqlchan | \
 		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'ScorerLogProb|StreamPush|ShedDecide|TenantRoute|IngestDecode|SQLChanObserve'
+	$(GO) test -run '^$$' -bench 'BenchmarkTracingOverhead' -benchtime 1x -count 3 . | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_runtime.json -tolerance 0.20 -filter 'TracingOverhead' -metric-max 'TracingOverhead:overhead_pct=5'
 
 serve-demo:
 	$(GO) run ./cmd/adprom serve -app apph -streams 64 -workers 4

@@ -58,6 +58,7 @@ import (
 	"adprom/internal/runtime"
 	"adprom/internal/shed"
 	"adprom/internal/sqlchan"
+	"adprom/internal/trace"
 )
 
 // Program building and execution.
@@ -554,11 +555,37 @@ func WithDecisionLog(capacity, sampleEvery int) RuntimeOption {
 	return runtimeOptionWrap{runtime.WithDecisionLog(capacity, sampleEvery)}
 }
 
+// WithTracing enables end-to-end decision tracing: every observe op gets a
+// trace whose spans cover shed admission, engine scoring (with per-channel
+// judgement and fusion spans on flagged windows), and async sink delivery.
+// The runtime retains up to capacity healthy traces (sampled one-in-
+// sampleEvery) plus up to capacity alert traces (always kept); capacity ≤ 0
+// leaves tracing off, with zero hot-path cost and a decision log
+// bit-identical to a trace-free build. Retrieve traces with Runtime.Traces /
+// Runtime.TraceByID, the introspection endpoint's /traces routes, or render
+// one with `adprom explain`.
+func WithTracing(capacity, sampleEvery int) RuntimeOption {
+	return runtimeOptionWrap{runtime.WithTracing(capacity, sampleEvery)}
+}
+
+// DecisionTrace is one completed end-to-end decision trace: a root ingest or
+// observe span plus child spans for each pipeline stage the op crossed.
+type DecisionTrace = trace.Trace
+
+// TraceSpan is one completed pipeline stage within a DecisionTrace.
+type TraceSpan = trace.Span
+
+// TraceContext carries wire-level trace metadata (client trace ID, decode
+// time, remote, codec) into Runtime.BeginTrace.
+type TraceContext = trace.Context
+
 // NewIntrospectionHandler builds the live introspection endpoint for a
 // runtime: GET /metrics (Prometheus text format, including the lifecycle
 // manager's counters when lc is non-nil), /decisions (recent provenance as
-// JSON, ?limit=N), /healthz and /readyz (200/503 probes), and the
-// net/http/pprof suite under /debug/pprof/. Serve it on a private address:
+// JSON, ?limit=N), /traces and /traces/{id} (retained decision traces as
+// JSON when WithTracing is on), /healthz and /readyz (200/503 probes), and
+// the net/http/pprof suite under /debug/pprof/. Serve it on a private
+// address:
 //
 //	go http.ListenAndServe("localhost:9313", adprom.NewIntrospectionHandler(rt, nil))
 func NewIntrospectionHandler(rt *Runtime, lc *Lifecycle) http.Handler {
@@ -573,6 +600,8 @@ func NewIntrospectionHandler(rt *Runtime, lc *Lifecycle) http.Handler {
 			return nil
 		},
 		Decisions: rt.Decisions,
+		Traces:    rt.Traces,
+		TraceByID: rt.TraceByID,
 		// Liveness is the process answering at all; readiness is the runtime
 		// accepting ingest with a published profile generation.
 		Healthz: func() error { return nil },

@@ -187,6 +187,85 @@ func BenchmarkInstrumentationOverhead(b *testing.B) {
 	b.ReportMetric(100*(rateOff-rateOn)/rateOff, "overhead_pct")
 }
 
+// BenchmarkTracingOverhead prices end-to-end decision tracing on the
+// tentpole path: the 64-stream batched replay of BenchmarkRuntimeThroughput,
+// once with tracing off and once with the serve default trace store
+// (capacity 1024, healthy traces sampled 1-in-16; alerts always kept). The
+// overhead_pct metric is the throughput cost of tracing every op's
+// admit/score/sink spans; the acceptance budget for the PR is 5%, enforced
+// by bench-smoke via benchjson -metric-max.
+//
+// Each iteration interleaves several off/on replays and compares the best
+// rate of each mode: a replay can run unluckily slow on a shared box but
+// never unluckily fast, so best-of-K isolates the tracing cost from
+// scheduler noise the same way the ns/op gate's min-of-N does.
+func BenchmarkTracingOverhead(b *testing.B) {
+	p, traces := benchProfileAppH(b)
+	const streams = 64
+	const chunk = 64
+	const repeats = 4 // stream replays per session, lengthening each run past scheduler jitter
+	const rounds = 3  // interleaved off/on replay pairs per iteration
+	var stream Trace
+	for _, tr := range traces {
+		stream = append(stream, tr...)
+	}
+
+	replay := func(opts ...RuntimeOption) float64 {
+		rt := NewRuntime(p, append([]RuntimeOption{WithQueueDepth(128)}, opts...)...)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sess := rt.Session(fmt.Sprintf("bench-%02d", s))
+				for r := 0; r < repeats; r++ {
+					for lo := 0; lo < len(stream); lo += chunk {
+						hi := lo + chunk
+						if hi > len(stream) {
+							hi = len(stream)
+						}
+						if err := sess.ObserveBatch(stream[lo:hi]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+				if _, err := sess.Close(); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return float64(rt.Stats().Calls) / elapsed.Seconds()
+	}
+
+	b.ResetTimer()
+	var rateOff, rateOn float64
+	for i := 0; i < b.N; i++ {
+		var bestOff, bestOn float64
+		for r := 0; r < rounds; r++ {
+			if v := replay(); v > bestOff {
+				bestOff = v
+			}
+			if v := replay(WithTracing(1024, 16)); v > bestOn {
+				bestOn = v
+			}
+		}
+		rateOff += bestOff
+		rateOn += bestOn
+	}
+	rateOff /= float64(b.N)
+	rateOn /= float64(b.N)
+	b.ReportMetric(rateOn, "calls/s")
+	b.ReportMetric(rateOff, "baseline_calls/s")
+	b.ReportMetric(100*(rateOff-rateOn)/rateOff, "overhead_pct")
+}
+
 // BenchmarkTable3CADataset regenerates Table III: CA-dataset statistics.
 func BenchmarkTable3CADataset(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"adprom/internal/attack"
+	"adprom/internal/collector"
+	"adprom/internal/core"
+	"adprom/internal/dataset"
+	"adprom/internal/detect"
+	"adprom/internal/hmm"
+	"adprom/internal/obsv"
+	"adprom/internal/profile"
+	"adprom/internal/runtime"
+	"adprom/internal/sqlchan"
+)
+
+// TestExplainFusedAlert drives the full forensic loop the explain command
+// exists for: a two-channel runtime with tracing on judges the
+// cardinality-mimicry attack (invisible to the HMM, caught by the SQL
+// channel), and `explain <alert-seq>` against the live introspection
+// endpoint must reconstruct the complete stage timeline — admission,
+// scoring with both channels' score/threshold margins, the profile
+// generation — plus the correlated judgement evidence. Trace-ID lookup and
+// the offline decision-log mode must explain the same alert.
+func TestExplainFusedAlert(t *testing.T) {
+	app := dataset.AppB()
+	traces, err := app.CollectTraces(collector.ModeADPROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := core.Train(app.Prog, traces, profile.Options{
+		Train: hmm.TrainOptions{MaxIters: 4}, MaxTrainWindows: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlProf, err := sqlchan.Train(traces, sqlchan.Options{SensitiveColumns: []string{"name", "balance"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mim attack.Attack
+	for _, a := range attack.SQLChannelAttacks() {
+		if a.Name == "cardinality-mimicry" {
+			mim = a
+		}
+	}
+	if mim.Name == "" {
+		t.Fatal("cardinality-mimicry attack not bundled")
+	}
+	prog, err := mim.Apply(app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mimicTrace, err := app.RunCase(prog, mim.Cases[0], collector.ModeADPROM, mim.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := runtime.New(p,
+		runtime.WithWorkers(2),
+		runtime.WithSQLChannel(sqlProf),
+		runtime.WithFusion(detect.FusionConfig{}),
+		runtime.WithTracing(64, 1),
+		runtime.WithAlertFunc(func(string, detect.Alert) {}),
+	)
+	defer rt.Close()
+	s := rt.Session("mimic-1")
+	if err := s.ObserveBatch(mimicTrace); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var alert obsv.Decision
+	deadline := time.Now().Add(5 * time.Second)
+	for alert.Trace == "" {
+		for _, d := range rt.Decisions(0) {
+			if d.Flagged && d.Trace != "" {
+				alert = d
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no flagged decision with a trace ID; decisions: %+v", rt.Decisions(0))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ts := httptest.NewServer(obsv.NewHandler(obsv.ServerConfig{
+		Decisions: rt.Decisions,
+		Traces:    rt.Traces,
+		TraceByID: rt.TraceByID,
+	}))
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	var out bytes.Buffer
+	if err := explainLive(&out, addr, "", strconv.Itoa(alert.Seq)); err != nil {
+		t.Fatalf("explain by seq: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"ALERT",         // the trace header marks the alert-bearing op
+		"flush",         // root span: the op that judged the partial window
+		"score",         // engine scoring stage
+		"score.sql",     // the channel that caught the mimicry
+		"threshold=",    // per-channel judgement evidence on the span
+		"fusion",        // the fused judge's span with both margins
+		"hmm_margin=",   // fusion evidence: HMM channel margin
+		"sql_margin=",   // fusion evidence: SQL channel margin
+		"sink",          // alert delivery stage
+		"generation=",   // the profile generation that judged the window
+		"hmm:   score=", // judgement block: HMM margin vs threshold
+		"sql:   score=", // judgement block: SQL margin vs threshold
+		"margin=",       // explicit score/threshold margins
+		"verdict=",      // the decision's flag
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The same alert resolved by trace ID renders the same timeline.
+	out.Reset()
+	if err := explainLive(&out, addr, "", alert.Trace); err != nil {
+		t.Fatalf("explain by trace ID: %v", err)
+	}
+	if !strings.Contains(out.String(), "trace "+alert.Trace) {
+		t.Errorf("trace-ID lookup did not render trace %s:\n%s", alert.Trace, out.String())
+	}
+
+	// Offline mode: a recorded /decisions capture still explains the
+	// judgement (minus the span timeline, which only a live -trace server
+	// holds).
+	capture := filepath.Join(t.TempDir(), "decisions.json")
+	data, err := json.Marshal(rt.Decisions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(capture, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := explainLog(&out, capture, strconv.Itoa(alert.Seq)); err != nil {
+		t.Fatalf("explain from capture: %v", err)
+	}
+	for _, want := range []string{"judgements only", "sql:   score=", "generation="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("offline explain missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// An unknown key fails with a diagnosable error, not an empty render.
+	if err := explainLive(&out, addr, "", "no-such-trace"); err == nil {
+		t.Error("explain of an unknown trace ID succeeded")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"adprom/internal/collector"
+	"adprom/internal/detect"
 	"adprom/internal/ingest"
 	"adprom/internal/lifecycle"
 	"adprom/internal/obsv"
@@ -25,6 +26,7 @@ import (
 	"adprom/internal/runtime"
 	"adprom/internal/shed"
 	"adprom/internal/tenant"
+	"adprom/internal/trace"
 )
 
 // fleetFlags is the serve flag subset that switches serve from single-app
@@ -59,7 +61,7 @@ func (ff *fleetFlags) active() bool { return ff.tenants != "" || ff.ingestAddr !
 // enables lazy loading of tenants first seen on the wire and hot-swapping of
 // generations published while serving. The daemon runs until SIGINT/SIGTERM.
 func serveFleet(ff *fleetFlags, sf *sqlChannelFlags, workers, queue int, drop string, shedFlag bool, shedSeed uint64,
-	scorer string, httpAddr string, watchEvery time.Duration, logEvents bool) error {
+	scorer string, httpAddr string, watchEvery time.Duration, traceCap, traceSample int, logEvents bool, logFormat string) error {
 	if ff.ingestAddr == "" {
 		return errors.New("fleet mode needs -ingest-addr (the TCP address collectors stream to)")
 	}
@@ -78,9 +80,34 @@ func serveFleet(ff *fleetFlags, sf *sqlChannelFlags, workers, queue int, drop st
 	}
 	var logger *slog.Logger
 	if logEvents {
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		if logger, err = newLogger(logFormat); err != nil {
+			return err
+		}
 		opts = append(opts, runtime.WithLogger(logger))
 	}
+	if traceCap > 0 {
+		// Every tenant shard retains its own bounded trace store; the router
+		// fans /traces queries out across resident shards.
+		opts = append(opts, runtime.WithTracing(traceCap, traceSample))
+	}
+	// Alerts are the daemon's product, so deliver each one to the event log
+	// (or stdout) rather than leaving them visible only through /decisions.
+	// Routing them through the async sink pipeline also completes the traced
+	// op timeline — ingest→route→score→fusion→sink — for every alert.
+	opts = append(opts, runtime.WithAlertFunc(func(session string, a detect.Alert) {
+		if logger != nil {
+			logger.Warn("alert",
+				"session", session,
+				"seq", a.Seq,
+				"flag", a.Flag.String(),
+				"score", a.Score,
+				"threshold", a.Threshold,
+				"channels", strings.Join(a.Channels, ","))
+			return
+		}
+		fmt.Printf("alert: session=%s seq=%d flag=%s score=%.4f threshold=%.4f channels=%s\n",
+			session, a.Seq, a.Flag, a.Score, a.Threshold, strings.Join(a.Channels, ","))
+	}))
 	switch drop {
 	case "block":
 	case "newest":
@@ -190,7 +217,7 @@ func serveFleet(ff *fleetFlags, sf *sqlChannelFlags, workers, queue int, drop st
 		}
 		httpSrv = &http.Server{Handler: fleetHandler(router, srv)}
 		go func() { _ = httpSrv.Serve(hln) }()
-		fmt.Printf("introspection: http://%s (/metrics /tenants /decisions?tenant=ID /healthz /readyz /debug/pprof/)\n", hln.Addr())
+		fmt.Printf("introspection: http://%s (/metrics /tenants /decisions?tenant=ID /traces?tenant=ID /traces/{id} /healthz /readyz /debug/pprof/)\n", hln.Addr())
 	}
 
 	// Hot-swap watchers: one per known tenant lineage, each feeding only its
@@ -278,7 +305,10 @@ func splitTenants(s string) []string {
 
 // fleetHandler is the fleet flavour of the introspection endpoint: the
 // standard probe/pprof surface plus per-tenant metrics, a JSON tenant
-// listing, and tenant-scoped decision provenance.
+// listing, and tenant-scoped decision provenance and traces. /traces/{id}
+// falls through the catch-all to the base handler, which scans every
+// resident shard for the ID; the /traces listing is overridden here because
+// it needs a tenant to pick a shard.
 func fleetHandler(router *tenant.Router, srv *ingest.Server) http.Handler {
 	base := obsv.NewHandler(obsv.ServerConfig{
 		Metrics: func(w io.Writer) error {
@@ -287,8 +317,9 @@ func fleetHandler(router *tenant.Router, srv *ingest.Server) http.Handler {
 			}
 			return srv.WritePrometheus(w)
 		},
-		Healthz: func() error { return nil },
-		Readyz:  router.Ready,
+		TraceByID: router.TraceByID,
+		Healthz:   func() error { return nil },
+		Readyz:    router.Ready,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", base)
@@ -312,6 +343,21 @@ func fleetHandler(router *tenant.Router, srv *ingest.Server) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(ds)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("tenant")
+		if id == "" {
+			http.Error(w, "missing tenant parameter", http.StatusBadRequest)
+			return
+		}
+		trs := router.Traces(id, 100)
+		if trs == nil {
+			trs = []trace.Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(trs)
 	})
 	return mux
 }

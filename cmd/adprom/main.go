@@ -93,6 +93,8 @@ func main() {
 		err = cmdProfile(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -110,7 +112,8 @@ func usage() {
   adprom analyze    -app <name>
   adprom train      -app <name> -out <profile.gob>
   adprom detect     -app <name> [-profile <file>] [-attack <1..5|mitm>]
-  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-sql-channel] [-chaos] [-profile-dir <dir>] [-http <addr>] [-log]
+  adprom serve      -app <name> [-streams <n>] [-workers <n>] [-queue <n>] [-drop block|newest] [-shed] [-shed-seed <n>] [-overload] [-repeat <n>] [-batch <n>] [-scorer exact|topk:<k>] [-sql-channel] [-chaos] [-profile-dir <dir>] [-http <addr>] [-trace <n>] [-trace-sample <n>] [-log] [-log-format text|json]
+  adprom explain    [-http <addr>] [-tenant <id>] [-log <decisions.json>] <alert-seq|trace-id>
   adprom profile    inspect <file>...
   adprom experiment <table3|table4|table5|table6|table7|table8|fig10|clustering|ablation|corpus|all> [-full]
 
@@ -131,7 +134,28 @@ signatures, result cardinalities, sensitive columns) runs beside the HMM and
 the fused judge escalates when the weighted margins agree; tune with
 -sql-window, -sql-sensitive, -fusion-hmm-weight, -fusion-sql-weight, and
 -fusion-slack (negative disables escalation). In fleet mode each named tenant
-trains its own SQL profile.`)
+trains its own SQL profile.
+serve -trace: retain up to <n> end-to-end decision traces (alerts always kept,
+healthy ops sampled 1-in-<trace-sample>) and expose them on /traces and
+/traces/{id}; explain renders one as a forensic timeline
+explain: reconstruct an alert's pipeline timeline — ingest, routing, shed
+admission, per-channel scoring, fusion, sink delivery — from a live server's
+/traces endpoint (-http, numeric alert seq or trace ID) or from a recorded
+/decisions JSON capture (-log)`)
+}
+
+// newLogger builds the stderr slog logger for -log in the encoding picked by
+// -log-format: text (the default, human-oriented logfmt) or json (one object
+// per line, for log shippers that index by key).
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }
 
 func lookupApp(name string) (*dataset.App, error) {
@@ -430,8 +454,11 @@ func cmdServe(args []string) error {
 	chaos := fs.Bool("chaos", false, "inject sink, engine, and worker faults during the replay")
 	profileDir := fs.String("profile-dir", "", "load the newest .adprof here and hot-swap profiles published while serving")
 	watchEvery := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -profile-dir")
-	httpAddr := fs.String("http", "", "serve the introspection endpoint (/metrics /decisions /healthz /readyz /debug/pprof/) on this address and linger after the replay")
+	httpAddr := fs.String("http", "", "serve the introspection endpoint (/metrics /decisions /traces /healthz /readyz /debug/pprof/) on this address and linger after the replay")
+	traceCap := fs.Int("trace", 0, "retain up to this many decision traces (0 = tracing off); alerts always kept, healthy ops sampled")
+	traceSample := fs.Int("trace-sample", 16, "with -trace, keep one in this many healthy (unflagged) traces")
 	logEvents := fs.Bool("log", false, "emit structured runtime events (worker restarts, quarantines, swaps) to stderr")
+	logFormat := fs.String("log-format", "text", "structured event encoding for -log: text or json")
 	ff := registerFleetFlags(fs)
 	sf := registerSQLFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -441,7 +468,7 @@ func cmdServe(args []string) error {
 		// Fleet mode: a long-lived network daemon serving many tenants at
 		// once instead of replaying one app's traces locally.
 		return serveFleet(ff, sf, *workers, *queue, *drop, *shedFlag, *shedSeed,
-			*scorer, *httpAddr, *watchEvery, *logEvents)
+			*scorer, *httpAddr, *watchEvery, *traceCap, *traceSample, *logEvents, *logFormat)
 	}
 	if *streams < 1 {
 		*streams = 1
@@ -510,7 +537,14 @@ func cmdServe(args []string) error {
 		fmt.Printf("sql channel: %s\n", sqlProf)
 	}
 	if *logEvents {
-		opts = append(opts, runtime.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+		logger, err := newLogger(*logFormat)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, runtime.WithLogger(logger))
+	}
+	if *traceCap > 0 {
+		opts = append(opts, runtime.WithTracing(*traceCap, *traceSample))
 	}
 	switch *drop {
 	case "block":
@@ -569,11 +603,13 @@ func cmdServe(args []string) error {
 		srv = &http.Server{Handler: obsv.NewHandler(obsv.ServerConfig{
 			Metrics:   func(w io.Writer) error { return rt.WritePrometheus(w) },
 			Decisions: rt.Decisions,
+			Traces:    rt.Traces,
+			TraceByID: rt.TraceByID,
 			Healthz:   func() error { return nil },
 			Readyz:    rt.Ready,
 		})}
 		go func() { _ = srv.Serve(ln) }()
-		fmt.Printf("introspection: http://%s (/metrics /decisions /healthz /readyz /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("introspection: http://%s (/metrics /decisions /traces /healthz /readyz /debug/pprof/)\n", ln.Addr())
 	}
 	var watchWG sync.WaitGroup
 	stopWatch := func() {}

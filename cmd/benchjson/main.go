@@ -24,6 +24,14 @@
 //
 // Benchmarks only on one side are reported but never fail the gate, so
 // adding or retiring a benchmark does not break CI.
+//
+// -metric-max asserts absolute ceilings on custom metrics, independent of any
+// baseline: each comma-separated clause is nameRegexp:metric=max, and the
+// gate fails when the min-of-N value of that metric across matching
+// benchmarks exceeds the ceiling — the tracing-overhead budget:
+//
+//	go test -run '^$' -bench TracingOverhead -count 3 . |
+//	    benchjson -metric-max 'TracingOverhead:overhead_pct=5'
 package main
 
 import (
@@ -63,6 +71,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline report JSON; compare instead of converting, exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs -baseline (0.20 = 20%)")
 	filter := flag.String("filter", "", "regexp restricting which benchmark names -baseline compares")
+	metricMax := flag.String("metric-max", "", "comma-separated nameRegexp:metric=max ceilings on custom metrics (min-of-N); exit 1 when exceeded")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -74,11 +83,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	if *baseline != "" {
-		ok, err := compare(rep, *baseline, *tolerance, *filter)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+	if *baseline != "" || *metricMax != "" {
+		ok := true
+		if *baseline != "" {
+			cmpOK, err := compare(rep, *baseline, *tolerance, *filter)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			ok = ok && cmpOK
+		}
+		if *metricMax != "" {
+			maxOK, err := checkMetricMax(rep, *metricMax)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			ok = ok && maxOK
 		}
 		if !ok {
 			os.Exit(1)
@@ -170,6 +191,70 @@ func compare(cur *Report, baselinePath string, tolerance float64, filter string)
 		fmt.Fprintln(os.Stderr, "benchjson: benchmark regression beyond tolerance")
 	}
 	return ok, nil
+}
+
+// checkMetricMax enforces absolute ceilings on custom metrics. Each clause
+// is nameRegexp:metric=max; the value held against the ceiling is the
+// minimum across every matching benchmark result (min-of-N, same noise
+// policy as the ns/op gate: a run can be unluckily slow, never unluckily
+// fast). A clause matching no result with that metric is an error, so a
+// renamed benchmark cannot silently disarm the gate.
+func checkMetricMax(cur *Report, spec string) (bool, error) {
+	ok := true
+	for _, clause := range strings.Split(spec, ",") {
+		name, rest, found := strings.Cut(clause, ":")
+		if !found {
+			return false, fmt.Errorf("metric-max clause %q: want nameRegexp:metric=max", clause)
+		}
+		metric, maxStr, found := strings.Cut(rest, "=")
+		if !found {
+			return false, fmt.Errorf("metric-max clause %q: want nameRegexp:metric=max", clause)
+		}
+		ceiling, err := strconv.ParseFloat(maxStr, 64)
+		if err != nil {
+			return false, fmt.Errorf("metric-max clause %q: %w", clause, err)
+		}
+		re, err := regexp.Compile(name)
+		if err != nil {
+			return false, fmt.Errorf("metric-max clause %q: %w", clause, err)
+		}
+		best, matched := 0.0, false
+		for _, b := range cur.Benchmarks {
+			if !re.MatchString(b.Name) {
+				continue
+			}
+			v, has := b.Metrics[metric]
+			if !has {
+				continue
+			}
+			if !matched || v < best {
+				best, matched = v, true
+			}
+		}
+		if !matched {
+			return false, fmt.Errorf("metric-max clause %q matched no benchmark reporting %s", clause, metric)
+		}
+		mark := "ok"
+		if best > ceiling {
+			mark, ok = "FAIL", false
+		}
+		fmt.Printf("%4s  %-40s %12.2f %s  (ceiling %.2f, min of %d runs)\n",
+			mark, name, best, metric, ceiling, countMatches(cur, re, metric))
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchjson: metric ceiling exceeded")
+	}
+	return ok, nil
+}
+
+func countMatches(rep *Report, re *regexp.Regexp, metric string) int {
+	n := 0
+	for _, b := range rep.Benchmarks {
+		if _, has := b.Metrics[metric]; has && re.MatchString(b.Name) {
+			n++
+		}
+	}
+	return n
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

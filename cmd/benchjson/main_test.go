@@ -60,6 +60,42 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+// TestCheckMetricMax exercises the absolute-ceiling gate: min-of-N
+// aggregation, pass/fail around the ceiling, multiple clauses, and the
+// matched-nothing error that keeps a renamed benchmark from disarming it.
+func TestCheckMetricMax(t *testing.T) {
+	rep := &Report{Benchmarks: []Result{
+		{Name: "TracingOverhead-4", Metrics: map[string]float64{"overhead_pct": 7.2}},
+		{Name: "TracingOverhead-4", Metrics: map[string]float64{"overhead_pct": 3.1}},
+		{Name: "TracingOverhead-4", Metrics: map[string]float64{"overhead_pct": 4.9}},
+		{Name: "RuntimeThroughput-4", Metrics: map[string]float64{"calls/s": 250000}},
+	}}
+
+	// Min of {7.2, 3.1, 4.9} = 3.1 ≤ 5: noise above the ceiling is forgiven
+	// when any run came in under budget.
+	if ok, err := checkMetricMax(rep, "TracingOverhead:overhead_pct=5"); err != nil || !ok {
+		t.Errorf("min-of-N under ceiling: ok=%v err=%v", ok, err)
+	}
+	// Ceiling below the best run fails.
+	if ok, err := checkMetricMax(rep, "TracingOverhead:overhead_pct=3"); err != nil || ok {
+		t.Errorf("ceiling below min: ok=%v err=%v", ok, err)
+	}
+	// Multiple clauses: one failing clause fails the gate.
+	if ok, err := checkMetricMax(rep, "RuntimeThroughput:calls/s=1000000,TracingOverhead:overhead_pct=3"); err != nil || ok {
+		t.Errorf("mixed clauses: ok=%v err=%v", ok, err)
+	}
+	// A clause matching nothing is an error, not a silent pass.
+	if _, err := checkMetricMax(rep, "Vanished:overhead_pct=5"); err == nil {
+		t.Error("clause matching no benchmark must error")
+	}
+	// Malformed clauses are rejected.
+	for _, spec := range []string{"noseparator", "Name:metriconly", "Name:metric=NaNx", "(bad[:metric=5"} {
+		if _, err := checkMetricMax(rep, spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
 func TestParseBenchRejectsMalformed(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX",             // no iterations

@@ -158,8 +158,11 @@ type Engine struct {
 	adaptRate   float64
 	adaptMargin float64
 
-	// Judge hook (fault injection / external policy) and its sticky error.
+	// Judge hook (fault injection / external policy) and its sticky error,
+	// plus the tracing layer's pure-observation judgement hook.
 	judgeHook JudgeFunc
+	traceHook TraceFunc
+	tsum      TraceSummary
 	err       error
 
 	// Sensitive-touch tracking for the risk-aware shedding tier: sensitive
@@ -185,6 +188,99 @@ type Engine struct {
 	// The most recent query-bearing call, so a Flush-judged partial SQL
 	// window can still name a triggering call.
 	lastQuery collector.Call
+}
+
+// TraceEvent describes one completed-window judgement to the tracing layer:
+// which channel judged, what it computed, and the fusion state at judgement
+// time. Unlike JudgeFunc (policy seam) it is a pure observation — a trace
+// hook cannot fail the engine.
+type TraceEvent struct {
+	// Channel is ChannelHMM or ChannelSQL.
+	Channel string
+	// Seq is the index of the window's last call in the monitored stream.
+	Seq int
+	// Score, Threshold, and Bound are the judging channel's window score,
+	// active threshold, and score-error bound (0 outside top-K HMM scoring).
+	Score     float64
+	Threshold float64
+	Bound     float64
+	// HMMMargin and SQLMargin are the latest per-channel anomaly margins
+	// (threshold − score); the Seen flags report whether the channel has
+	// judged a window since the last window reset.
+	HMMMargin float64
+	SQLMargin float64
+	HMMSeen   bool
+	SQLSeen   bool
+	// Fused is the weighted fused margin; FusedFired whether the escalation
+	// rule crossed. Both zero/false on single-channel engines.
+	Fused      float64
+	FusedFired bool
+	// Flagged reports whether this judgement raised an alert.
+	Flagged bool
+}
+
+// TraceFunc observes flagged channel judgements for the tracing layer.
+// Healthy judgements never reach the hook: they fold into the engine's
+// TraceSummary instead, so tracing a batch of normal traffic costs a few
+// scalar stores per window rather than an event construction and call each.
+type TraceFunc func(TraceEvent)
+
+// SetTraceHook installs h, invoked once per flagged channel judgement; pass
+// nil to remove it. Like the judge hook this is owner configuration, cleared
+// by Reset and not carried by Adopt.
+func (e *Engine) SetTraceHook(h TraceFunc) { e.traceHook = h }
+
+// TraceSummary aggregates every window judged since the last
+// TakeTraceSummary — the tracing layer's bounded per-op score-span summary.
+// Per channel it keeps the most recent judgement (score against threshold,
+// and for the HMM the pruning error bound).
+type TraceSummary struct {
+	Windows                          int
+	HMMScore, HMMThreshold, HMMBound float64
+	HMMSeen                          bool
+	SQLScore, SQLThreshold           float64
+	SQLSeen                          bool
+}
+
+// TakeTraceSummary returns the aggregate since the previous call and resets
+// it. Only populated while a trace hook is installed.
+func (e *Engine) TakeTraceSummary() TraceSummary {
+	s := e.tsum
+	e.tsum = TraceSummary{}
+	return s
+}
+
+// traceJudgement folds one window judgement into the trace summary and, for
+// flagged windows only, emits a full TraceEvent to the hook.
+func (e *Engine) traceJudgement(channel string, seq int, score, threshold, bound, fused float64, fusedFired, flagged bool) {
+	if e.traceHook == nil {
+		return
+	}
+	e.tsum.Windows++
+	switch channel {
+	case ChannelHMM:
+		e.tsum.HMMScore, e.tsum.HMMThreshold, e.tsum.HMMBound = score, threshold, bound
+		e.tsum.HMMSeen = true
+	case ChannelSQL:
+		e.tsum.SQLScore, e.tsum.SQLThreshold = score, threshold
+		e.tsum.SQLSeen = true
+	}
+	if !flagged {
+		return
+	}
+	hmmMargin := e.lastHMM
+	if e.sqlScorer == nil && channel == ChannelHMM {
+		// Single-channel engines never fold margins into fusion state; derive
+		// the HMM margin directly so the event still explains the verdict.
+		hmmMargin = threshold - score
+	}
+	e.traceHook(TraceEvent{
+		Channel: channel, Seq: seq,
+		Score: score, Threshold: threshold, Bound: bound,
+		HMMMargin: hmmMargin, SQLMargin: e.lastSQL,
+		HMMSeen: e.hmmSeen, SQLSeen: e.sqlSeen,
+		Fused: fused, FusedFired: fusedFired, Flagged: flagged,
+	})
 }
 
 // JudgeFunc observes every completed-window judgement: the index of the
@@ -279,6 +375,8 @@ func (e *Engine) Reset() {
 	e.oocAllowed = nil
 	e.adaptRate, e.adaptMargin = 0, 0
 	e.judgeHook = nil
+	e.traceHook = nil
+	e.tsum = TraceSummary{}
 	e.err = nil
 	e.sensitive = 0
 	e.sensitiveLabels = nil
@@ -555,6 +653,7 @@ func (e *Engine) judgeWindow(seq int, score, bound float64) (Alert, bool) {
 	fusedFired, fused := e.noteHMM(score)
 	if score >= e.threshold && !fusedFired {
 		e.adapt(score)
+		e.traceJudgement(ChannelHMM, seq, score, e.threshold, bound, fused, false, false)
 		e.runJudgeHook(seq, score, false)
 		return Alert{}, false
 	}
@@ -578,6 +677,7 @@ func (e *Engine) judgeWindow(seq int, score, bound float64) (Alert, bool) {
 		e.attachLeak(&a, &e.window[(e.winStart+i)%n])
 	}
 	e.stampChannels(&a, score, fused, fusedFired)
+	e.traceJudgement(ChannelHMM, seq, score, e.threshold, bound, fused, fusedFired, true)
 	e.runJudgeHook(seq, score, true)
 	return a, true
 }
@@ -592,6 +692,7 @@ func (e *Engine) judgeBatchWindow(seq int, score, bound float64, calls []collect
 	fusedFired, fused := e.noteHMM(score)
 	if score >= e.threshold && !fusedFired {
 		e.adapt(score)
+		e.traceJudgement(ChannelHMM, seq, score, e.threshold, bound, fused, false, false)
 		e.runJudgeHook(seq, score, false)
 		return Alert{}, false
 	}
@@ -659,6 +760,7 @@ func (e *Engine) judgeBatchWindow(seq int, score, bound float64, calls []collect
 		a.Origins = a.Origins[:len(a.Origins):len(a.Origins)]
 	}
 	e.stampChannels(&a, score, fused, fusedFired)
+	e.traceJudgement(ChannelHMM, seq, score, e.threshold, bound, fused, fusedFired, true)
 	e.runJudgeHook(seq, score, true)
 	return a, true
 }

@@ -175,6 +175,7 @@ func (e *Engine) judgeSQLWindow(seq int, c *collector.Call, v sqlchan.Verdict) (
 	e.lastSQLScore, e.lastSQLThreshold = v.Score, v.Threshold
 	fusedFired, fused := e.fusedState()
 	sqlFired := v.Score < v.Threshold
+	e.traceJudgement(ChannelSQL, seq, v.Score, v.Threshold, 0, fused, fusedFired, sqlFired || fusedFired)
 	if !sqlFired && !fusedFired {
 		return Alert{}, false
 	}

@@ -108,3 +108,17 @@ const (
 	kernelAVX2
 	kernelAVX512
 )
+
+// KernelName reports which scoring kernel the CPU feature detection selected
+// for this process ("go", "avx2", or "avx512") — build-info provenance for
+// metrics and bug reports, since the dispatch is fixed at init.
+func KernelName() string {
+	switch kernelLevel {
+	case kernelAVX512:
+		return "avx512"
+	case kernelAVX2:
+		return "avx2"
+	default:
+		return "go"
+	}
+}

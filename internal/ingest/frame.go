@@ -3,31 +3,35 @@
 // length-prefixed binary frame format, and demultiplexes them by tenant id
 // into the tenant router.
 //
-// # Binary frame format (v2)
+// # Binary frame format (v3)
 //
 // Mirroring the profile codec's header discipline (magic / version / length
 // / CRC-32), each event batch travels as one self-delimiting frame:
 //
 //	magic   [4]byte  "ADIN"
-//	version uint16   big-endian, currently 2
+//	version uint16   big-endian, currently 3
 //	kind    uint8    1=observe, 2=flush, 3=close-session
 //	length  uint32   big-endian payload byte count
 //	crc     uint32   big-endian IEEE CRC-32 of the payload
 //	payload []byte:
 //	    tenant  uint16-length-prefixed UTF-8 bytes
 //	    session uint16-length-prefixed UTF-8 bytes
+//	    (v3 and later)
+//	    trace   uint16-length-prefixed UTF-8 bytes (may be empty)
 //	    (observe only)
 //	    count   uint16 number of calls, then per call:
 //	        label, name, caller  uint16-length-prefixed bytes each
 //	        block                uint32 big-endian
-//	        (v2 only)
+//	        (v2 and later)
 //	        sql                  uint16-length-prefixed bytes
 //	        rows                 uint32 big-endian
 //
 // Version 2 extends each call with the executed query's wire text and result
-// row count, feeding the SQL-behaviour detection channel. The decoder still
-// reads v1 streams from older collectors — their calls simply carry no
-// query data and sessions degrade to call-sequence detection.
+// row count, feeding the SQL-behaviour detection channel. Version 3 adds an
+// optional client-supplied trace ID after the session, so a collector can
+// correlate its own telemetry with the server-side decision trace. The
+// decoder still reads v1 and v2 streams from older collectors — their calls
+// simply carry no query data (v1) and their traces get server-assigned IDs.
 //
 // Malformed input — bad magic, truncated headers or payloads, checksum
 // mismatches, over-limit lengths, payloads that underrun their declared
@@ -84,9 +88,10 @@ func (k Kind) String() string {
 }
 
 // Frame codec constants; FrameVersion is what EncodeFrame writes today (the
-// decoder also reads version 1, which lacks the per-call sql/rows fields).
+// decoder also reads version 1, which lacks the per-call sql/rows fields,
+// and version 2, which lacks the trace ID).
 const (
-	FrameVersion = 2
+	FrameVersion = 3
 
 	frameHeaderLen = 4 + 2 + 1 + 4 + 4
 
@@ -112,6 +117,9 @@ type Event struct {
 	Kind    Kind
 	Tenant  string
 	Session string
+	// Trace is the client-supplied trace ID ("" = none; the server assigns
+	// one when tracing is enabled).
+	Trace string
 	// Calls is populated for KindObserve. Decoders reuse the backing array
 	// across events: the sink must not retain it past the delivery call
 	// (runtime.Session.ObserveBatch copies, so the standard path is safe).
@@ -133,6 +141,9 @@ func EncodeFrame(dst []byte, e Event) ([]byte, error) {
 		return dst, err
 	}
 	if payload, err = appendString(payload, e.Session); err != nil {
+		return dst, err
+	}
+	if payload, err = appendString(payload, e.Trace); err != nil {
 		return dst, err
 	}
 	if e.Kind == KindObserve {
@@ -258,8 +269,8 @@ func (d *FrameDecoder) Next() (Event, error) {
 }
 
 // decodePayload parses one verified payload into an Event. version selects
-// the per-call layout: v1 calls end at the block id, v2 calls append the
-// executed query and its row count.
+// the layout: v1 calls end at the block id, v2 calls append the executed
+// query and its row count, v3 payloads carry a trace ID after the session.
 func (d *FrameDecoder) decodePayload(version uint16, kind Kind, p []byte) (Event, error) {
 	e := Event{Kind: kind}
 	var err error
@@ -268,6 +279,16 @@ func (d *FrameDecoder) decodePayload(version uint16, kind Kind, p []byte) (Event
 	}
 	if e.Session, p, err = d.takeString(p); err != nil {
 		return Event{}, fmt.Errorf("%w: session: %v", ErrFrameCorrupt, err)
+	}
+	if version >= 3 {
+		// Trace IDs are unique per op: copy rather than intern.
+		var tb []byte
+		if tb, p, err = takeBytes(p); err != nil {
+			return Event{}, fmt.Errorf("%w: trace: %v", ErrFrameCorrupt, err)
+		}
+		if len(tb) > 0 {
+			e.Trace = string(tb)
+		}
 	}
 	switch kind {
 	case KindFlush, KindClose:

@@ -18,7 +18,7 @@ import (
 // flush, a second tenant's traffic, and a close.
 func sampleEvents() []Event {
 	return []Event{
-		{Kind: KindObserve, Tenant: "apph", Session: "s1", Calls: []collector.Call{
+		{Kind: KindObserve, Tenant: "apph", Session: "s1", Trace: "c0ffee0123456789", Calls: []collector.Call{
 			{Label: "mysql_query_Q3", Name: "mysql_query", Caller: "report", Block: 7},
 			{Label: "printf", Name: "printf", Caller: "report", Block: 9},
 		}},
@@ -32,7 +32,8 @@ func sampleEvents() []Event {
 
 // eventsEqual compares ignoring Calls slice identity/capacity.
 func eventsEqual(got, want Event) bool {
-	if got.Kind != want.Kind || got.Tenant != want.Tenant || got.Session != want.Session {
+	if got.Kind != want.Kind || got.Tenant != want.Tenant || got.Session != want.Session ||
+		got.Trace != want.Trace {
 		return false
 	}
 	if len(got.Calls) != len(want.Calls) {
@@ -67,6 +68,61 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	if _, err := dec.Next(); err != io.EOF {
 		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// encodeFrameV2 writes the version-2 wire layout (no trace ID) so the
+// back-compat test does not depend on the current encoder.
+func encodeFrameV2(t *testing.T, e Event) []byte {
+	t.Helper()
+	var payload []byte
+	app := func(s string) {
+		payload = binary.BigEndian.AppendUint16(payload, uint16(len(s)))
+		payload = append(payload, s...)
+	}
+	app(e.Tenant)
+	app(e.Session)
+	if e.Kind == KindObserve {
+		payload = binary.BigEndian.AppendUint16(payload, uint16(len(e.Calls)))
+		for _, c := range e.Calls {
+			app(c.Label)
+			app(c.Name)
+			app(c.Caller)
+			payload = binary.BigEndian.AppendUint32(payload, uint32(c.Block))
+			app(c.SQL)
+			payload = binary.BigEndian.AppendUint32(payload, uint32(c.Rows))
+		}
+	}
+	var b []byte
+	b = append(b, frameMagic[:]...)
+	b = binary.BigEndian.AppendUint16(b, 2)
+	b = append(b, byte(e.Kind))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// TestFrameV2BackCompat holds the version promise: v2 streams from older
+// collectors (no trace ID after the session) still decode, their events
+// simply carrying no client trace.
+func TestFrameV2BackCompat(t *testing.T) {
+	var wire []byte
+	for _, e := range sampleEvents() {
+		wire = append(wire, encodeFrameV2(t, e)...)
+	}
+	dec := NewFrameDecoder(bytes.NewReader(wire), 0)
+	for i, want := range sampleEvents() {
+		want.Trace = "" // v2 cannot carry one
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("v2 event %d: %v", i, err)
+		}
+		if !eventsEqual(got, want) {
+			t.Fatalf("v2 event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after last v2 frame: %v, want io.EOF", err)
 	}
 }
 

@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"adprom/internal/trace"
 )
 
 // Handler returns an http.Handler ingesting batches over POST: the request
@@ -25,11 +28,13 @@ func Handler(sink Sink, maxBody int64) http.Handler {
 	if maxBody <= 0 {
 		maxBody = 8 << 20
 	}
-	return &httpIngest{sink: sink, maxBody: maxBody}
+	ts, _ := sink.(TraceSink)
+	return &httpIngest{sink: sink, ts: ts, maxBody: maxBody}
 }
 
 type httpIngest struct {
 	sink    Sink
+	ts      TraceSink // non-nil when sink supports traced observes
 	maxBody int64
 
 	events  atomic.Uint64
@@ -48,8 +53,10 @@ func (h *httpIngest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
 	}
+	codec := "http+ndjson"
 	if strings.TrimSpace(ct) == "application/octet-stream" {
 		dec = NewFrameDecoder(body, 0)
+		codec = "http+binary"
 	} else {
 		dec = NewNDJSONDecoder(body, 0)
 	}
@@ -73,6 +80,15 @@ func (h *httpIngest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		switch e.Kind {
 		case KindObserve:
 			calls += len(e.Calls)
+			if h.ts != nil {
+				serr = h.ts.ObserveTraced(trace.Context{
+					ID:     e.Trace,
+					Start:  time.Now(),
+					Remote: r.RemoteAddr,
+					Codec:  codec,
+				}, e.Tenant, e.Session, e.Calls)
+				break
+			}
 			serr = h.sink.Observe(e.Tenant, e.Session, e.Calls)
 		case KindFlush:
 			serr = h.sink.Flush(e.Tenant, e.Session)

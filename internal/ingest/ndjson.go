@@ -36,7 +36,12 @@ type wireEvent struct {
 	Tenant  string     `json:"tenant"`
 	Session string     `json:"session"`
 	Op      string     `json:"op,omitempty"`
-	Calls   []wireCall `json:"calls,omitempty"`
+	// Trace is an optional client-supplied trace ID: the server opens the
+	// event's decision trace under it, so a collector can correlate its own
+	// telemetry with the server-side stage timeline. Omitted, the server
+	// assigns one.
+	Trace string     `json:"trace,omitempty"`
+	Calls []wireCall `json:"calls,omitempty"`
 }
 
 // NDJSONDecoder reads newline-delimited JSON events from a stream. Like
@@ -95,7 +100,8 @@ func isBlank(b []byte) bool {
 }
 
 func (d *NDJSONDecoder) toEvent(we wireEvent) (Event, error) {
-	e := Event{Tenant: d.reuse(we.Tenant), Session: d.reuse(we.Session)}
+	// Trace IDs are unique per op, so interning would only grow the table.
+	e := Event{Tenant: d.reuse(we.Tenant), Session: d.reuse(we.Session), Trace: we.Trace}
 	switch we.Op {
 	case "", "observe":
 		e.Kind = KindObserve
@@ -149,7 +155,7 @@ func (d *NDJSONDecoder) reuse(s string) string {
 // EncodeNDJSON appends the NDJSON encoding of e (one line, newline
 // terminated) to dst — the collector-side sender for the text codec.
 func EncodeNDJSON(dst []byte, e Event) ([]byte, error) {
-	we := wireEvent{Tenant: e.Tenant, Session: e.Session}
+	we := wireEvent{Tenant: e.Tenant, Session: e.Session, Trace: e.Trace}
 	switch e.Kind {
 	case KindObserve:
 		we.Calls = make([]wireCall, len(e.Calls))

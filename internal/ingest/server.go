@@ -9,9 +9,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adprom/internal/collector"
 	"adprom/internal/obsv"
+	"adprom/internal/trace"
 )
 
 // Sink receives decoded events; tenant.Router satisfies it. Observe may
@@ -23,6 +25,18 @@ type Sink interface {
 	Observe(tenant, session string, calls []collector.Call) error
 	Flush(tenant, session string) error
 	CloseSession(tenant, session string) error
+}
+
+// TraceSink is an optional Sink extension for sinks that open a decision
+// trace per observe event (tenant.Router satisfies it). When the configured
+// Sink implements it, the server delivers observe events through
+// ObserveTraced, carrying the wire-level trace context: the client-supplied
+// trace ID (if the event had one), the decode time, and the connection's
+// remote address and codec — so the trace's root span covers everything
+// from decode onward. Flush and close events still use the plain Sink
+// methods; they carry no trace.
+type TraceSink interface {
+	ObserveTraced(tc trace.Context, tenant, session string, calls []collector.Call) error
 }
 
 // Codec selects the wire format a listener accepts.
@@ -256,6 +270,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	s.log.Debug("ingest connection open", "remote", remote, "codec", codec.String())
+	// The traced-observe seam is resolved once per connection, not per event.
+	ts, _ := s.cfg.Sink.(TraceSink)
 	for {
 		e, err := dec.Next()
 		if err != nil {
@@ -267,7 +283,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.log.Warn("ingest connection dropped", "remote", remote, "err", err)
 			return
 		}
-		s.dispatch(e, remote)
+		s.dispatch(e, remote, codec, ts)
 	}
 }
 
@@ -297,13 +313,24 @@ func (s *Server) newDecoder(br *bufio.Reader) (decoder, Codec, error) {
 
 // dispatch hands one event to the sink, counting refusals without breaking
 // the stream — risk-aware shedding and quota pushback degrade a
-// connection's throughput, they do not sever it.
-func (s *Server) dispatch(e Event, remote string) {
+// connection's throughput, they do not sever it. Observe events go through
+// the TraceSink seam when the sink offers one, carrying the wire trace
+// context so the decision trace opens at decode time.
+func (s *Server) dispatch(e Event, remote string, codec Codec, ts TraceSink) {
 	s.events.Add(1)
 	var err error
 	switch e.Kind {
 	case KindObserve:
 		s.calls.Add(uint64(len(e.Calls)))
+		if ts != nil {
+			err = ts.ObserveTraced(trace.Context{
+				ID:     e.Trace,
+				Start:  time.Now(),
+				Remote: remote,
+				Codec:  codec.String(),
+			}, e.Tenant, e.Session, e.Calls)
+			break
+		}
 		err = s.cfg.Sink.Observe(e.Tenant, e.Session, e.Calls)
 	case KindFlush:
 		err = s.cfg.Sink.Flush(e.Tenant, e.Session)

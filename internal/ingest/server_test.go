@@ -11,41 +11,57 @@ import (
 	"time"
 
 	"adprom/internal/collector"
+	"adprom/internal/trace"
 )
 
 // memSink records every delivered event, optionally refusing some tenants.
+// It implements TraceSink, so servers deliver observes through ObserveTraced
+// and the recorded events keep their client trace IDs.
 type memSink struct {
 	mu     sync.Mutex
 	got    []Event
+	tcs    []trace.Context
 	refuse map[string]error
 }
 
-func (m *memSink) record(kind Kind, tenant, session string, calls []collector.Call) error {
+func (m *memSink) record(kind Kind, tenant, session, traceID string, calls []collector.Call) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.refuse[tenant]; err != nil {
 		return err
 	}
 	// Copy calls: decoders reuse the slice.
-	m.got = append(m.got, Event{Kind: kind, Tenant: tenant, Session: session,
+	m.got = append(m.got, Event{Kind: kind, Tenant: tenant, Session: session, Trace: traceID,
 		Calls: append([]collector.Call(nil), calls...)})
 	return nil
 }
 
 func (m *memSink) Observe(tenant, session string, calls []collector.Call) error {
-	return m.record(KindObserve, tenant, session, calls)
+	return m.record(KindObserve, tenant, session, "", calls)
+}
+func (m *memSink) ObserveTraced(tc trace.Context, tenant, session string, calls []collector.Call) error {
+	m.mu.Lock()
+	m.tcs = append(m.tcs, tc)
+	m.mu.Unlock()
+	return m.record(KindObserve, tenant, session, tc.ID, calls)
 }
 func (m *memSink) Flush(tenant, session string) error {
-	return m.record(KindFlush, tenant, session, nil)
+	return m.record(KindFlush, tenant, session, "", nil)
 }
 func (m *memSink) CloseSession(tenant, session string) error {
-	return m.record(KindClose, tenant, session, nil)
+	return m.record(KindClose, tenant, session, "", nil)
 }
 
 func (m *memSink) events() []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]Event(nil), m.got...)
+}
+
+func (m *memSink) contexts() []trace.Context {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]trace.Context(nil), m.tcs...)
 }
 
 // waitFor polls cond for up to 2s.
@@ -127,6 +143,71 @@ func TestServerAutoDetectsBothCodecs(t *testing.T) {
 	st := srv.Stats()
 	if st.Conns != 2 || st.Events != 2*uint64(len(events)) || st.DecodeErrors != 0 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// plainSink hides memSink's TraceSink extension, forcing the untraced
+// delivery path.
+type plainSink struct{ m *memSink }
+
+func (p plainSink) Observe(tenant, session string, calls []collector.Call) error {
+	return p.m.Observe(tenant, session, calls)
+}
+func (p plainSink) Flush(tenant, session string) error        { return p.m.Flush(tenant, session) }
+func (p plainSink) CloseSession(tenant, session string) error { return p.m.CloseSession(tenant, session) }
+
+// TestServerTraceContext pins the wire-level trace context handed to a
+// TraceSink: the client's trace ID, the connection's remote address, the
+// resolved codec, and a decode timestamp — and that a sink without the
+// extension still receives events through the plain path.
+func TestServerTraceContext(t *testing.T) {
+	sink := &memSink{}
+	_, addr := startServer(t, ServerConfig{Sink: sink})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := EncodeNDJSON(nil, sampleEvents()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitFor(t, "traced observe", func() bool { return len(sink.contexts()) == 1 })
+	tc := sink.contexts()[0]
+	if tc.ID != "c0ffee0123456789" {
+		t.Errorf("trace ID = %q", tc.ID)
+	}
+	if tc.Remote == "" {
+		t.Error("trace context missing the remote address")
+	}
+	if tc.Codec != "ndjson" {
+		t.Errorf("trace codec = %q, want ndjson", tc.Codec)
+	}
+	if tc.Start.IsZero() {
+		t.Error("trace context missing the decode time")
+	}
+
+	// A sink without the TraceSink extension still gets the event (minus the
+	// trace, which the plain interface cannot carry).
+	plain := &memSink{}
+	_, addr = startServer(t, ServerConfig{Sink: plainSink{plain}})
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitFor(t, "plain observe", func() bool { return len(plain.events()) == 1 })
+	if got := plain.events()[0]; got.Trace != "" || got.Kind != KindObserve {
+		t.Errorf("plain sink event = %+v", got)
+	}
+	if len(plain.contexts()) != 0 {
+		t.Error("plain sink received a trace context")
 	}
 }
 

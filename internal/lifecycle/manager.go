@@ -101,6 +101,18 @@ func (m *Manager) Bind(rt *runtime.Runtime) {
 	m.mu.Unlock()
 }
 
+// boundGeneration is the bound runtime's serving profile generation, 0
+// before Bind — the correlation key on every lifecycle slog event.
+func (m *Manager) boundGeneration() uint64 {
+	m.mu.Lock()
+	rt := m.rt
+	m.mu.Unlock()
+	if rt == nil {
+		return 0
+	}
+	return rt.Generation()
+}
+
 // Observe is the runtime.JudgeObserver feeding the drift detector. It is on
 // the workers' hot path: unsampled judgements cost one gate update, sampled
 // ones a short mutex-guarded fold; a confirmed verdict additionally performs
@@ -117,7 +129,11 @@ func (m *Manager) Observe(_ string, _ int, at time.Time, score float64, flagged 
 		m.logf("lifecycle: drift confirmed by %s signal (baseline mean %.3f rate %.3f, window mean %.3f rate %.3f, PH %.3f)",
 			st.Cause, st.BaselineMean, st.BaselineRate, st.WindowMean, st.WindowRate, st.PH)
 		if l := m.cfg.Logger; l != nil {
+			// Every lifecycle event names the profile generation it concerns
+			// (here: the drifting one), so operators can correlate the whole
+			// drift→retrain→swap arc by one key.
 			l.Warn("drift confirmed",
+				"generation", m.boundGeneration(),
 				"cause", st.Cause,
 				"baseline_mean", st.BaselineMean, "baseline_rate", st.BaselineRate,
 				"window_mean", st.WindowMean, "window_rate", st.WindowRate,
@@ -248,7 +264,9 @@ func (m *Manager) retrainOnce() {
 	base := rt.Profile()
 	start := time.Now()
 	if l := m.cfg.Logger; l != nil {
-		l.Info("retrain started", "traces", len(traces), "base_threshold", base.Threshold)
+		l.Info("retrain started",
+			"generation", rt.Generation(),
+			"traces", len(traces), "base_threshold", base.Threshold)
 	}
 	next, err := profile.Retrain(m.ctx, base, traces, m.cfg.Retrain)
 	m.lc.ObserveRetrain(time.Since(start).Nanoseconds())
@@ -256,7 +274,9 @@ func (m *Manager) retrainOnce() {
 		m.lc.AddRetrainFailed()
 		m.logf("lifecycle: retrain failed after %s: %v", time.Since(start).Round(time.Millisecond), err)
 		if l := m.cfg.Logger; l != nil {
-			l.Error("retrain failed", "elapsed", time.Since(start), "err", err)
+			l.Error("retrain failed",
+				"generation", rt.Generation(),
+				"elapsed", time.Since(start), "err", err)
 		}
 		m.det.Reset()
 		return
@@ -266,7 +286,7 @@ func (m *Manager) retrainOnce() {
 		m.lc.AddRetrainFailed()
 		m.logf("lifecycle: swap refused: %v", err)
 		if l := m.cfg.Logger; l != nil {
-			l.Error("swap refused", "err", err)
+			l.Error("swap refused", "generation", rt.Generation(), "err", err)
 		}
 		return
 	}

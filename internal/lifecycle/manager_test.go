@@ -1,7 +1,11 @@
 package lifecycle
 
 import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
 	stdruntime "runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,6 +14,35 @@ import (
 	"adprom/internal/profile"
 	"adprom/internal/runtime"
 )
+
+// lockedBuffer lets a slog JSON handler and the test share a buffer across
+// the manager goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) lines() []map[string]any {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []map[string]any
+	for _, line := range bytes.Split(b.buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if json.Unmarshal(line, &m) == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
 
 // driftTraces injects a systematic benign behavioural shift into every
 // trace: a telemetry call unknown to the original alphabet every stride
@@ -60,6 +93,7 @@ func TestLifecycleDriftRetrainSwapE2E(t *testing.T) {
 	before := stdruntime.NumGoroutine()
 	base, traces := trainAppH(t)
 	drifted := driftTraces(traces, 5)
+	logBuf := &lockedBuffer{}
 
 	reg, err := OpenRegistry(t.TempDir())
 	if err != nil {
@@ -75,6 +109,7 @@ func TestLifecycleDriftRetrainSwapE2E(t *testing.T) {
 		MinTraces:    minInt(len(drifted), 4),
 		Registry:     reg,
 		Logf:         t.Logf,
+		Logger:       slog.New(slog.NewJSONHandler(logBuf, nil)),
 	})
 	rt := runtime.New(base,
 		runtime.WithWorkers(2),
@@ -169,6 +204,25 @@ func TestLifecycleDriftRetrainSwapE2E(t *testing.T) {
 			t.Fatal("retrained generation never reached the registry")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Uniform slog keys: every lifecycle event of the arc names the profile
+	// generation it concerns, so one key correlates drift → retrain → swap.
+	seen := map[string]bool{}
+	for _, rec := range logBuf.lines() {
+		msg, _ := rec["msg"].(string)
+		switch msg {
+		case "drift confirmed", "retrain started", "retrain finished":
+			seen[msg] = true
+			if _, ok := rec["generation"]; !ok {
+				t.Errorf("slog event %q missing the generation key: %v", msg, rec)
+			}
+		}
+	}
+	for _, msg := range []string{"drift confirmed", "retrain started", "retrain finished"} {
+		if !seen[msg] {
+			t.Errorf("slog event %q never emitted during the drift-retrain-swap arc", msg)
+		}
 	}
 
 	if _, err := s.Close(); err != nil {

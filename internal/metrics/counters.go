@@ -67,6 +67,11 @@ func (c *Counters) AddCalls(n int, totalNanos int64) {
 	c.observe.ObserveN(totalNanos/int64(n), uint64(n))
 }
 
+// NoteObserveExemplar attaches a decision-trace ID to the observe-latency
+// histogram as its latest exemplar — the runtime stamps each alert-raising
+// op's trace here so latency snapshots link back to a forensic trace.
+func (c *Counters) NoteObserveExemplar(traceID string) { c.observe.SetExemplar(traceID) }
+
 // AddFlush records the processing latency of one flush or close op.
 func (c *Counters) AddFlush(latencyNanos int64) { c.flush.Observe(latencyNanos) }
 

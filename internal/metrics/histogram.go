@@ -21,6 +21,21 @@ type Histogram struct {
 	sum     atomic.Int64
 	max     atomic.Int64
 	buckets [HistBuckets]atomic.Uint64
+
+	// exemplar is the decision-trace ID of a recent notable observation (the
+	// runtime stamps the trace of each alert-raising op), correlating the
+	// latency distribution with a retained trace. A pointer swap keeps reads
+	// and writes lock-free.
+	exemplar atomic.Pointer[string]
+}
+
+// SetExemplar attaches a trace ID to the histogram as its latest exemplar;
+// empty IDs (tracing disabled) are ignored.
+func (h *Histogram) SetExemplar(traceID string) {
+	if traceID == "" {
+		return
+	}
+	h.exemplar.Store(&traceID)
 }
 
 // bucketOf maps a value (nanoseconds) to its bucket index: the number of bits
@@ -85,6 +100,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range s.Buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	if p := h.exemplar.Load(); p != nil {
+		s.Exemplar = *p
+	}
 	return s
 }
 
@@ -96,6 +114,9 @@ type HistogramSnapshot struct {
 	Max   int64
 	// Buckets[i] counts values in (BucketBound(i-1), BucketBound(i)].
 	Buckets [HistBuckets]uint64
+	// Exemplar is the trace ID of the latest notable observation, empty when
+	// tracing is off or nothing notable has been observed yet.
+	Exemplar string `json:"exemplar,omitempty"`
 }
 
 // BucketBound returns the inclusive upper bound of bucket i in nanoseconds;

@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"runtime/debug"
+	runtimemetrics "runtime/metrics"
+	"strconv"
+)
+
+// goRuntimeSamples maps every adprom_go_* exposition family to the
+// runtime/metrics sample that backs it. The map is the contract the
+// bidirectional guard test enforces: a family rendered below without an
+// entry here fails CI, a stale entry for a family no longer rendered fails
+// it too, and every runtime/metrics name is checked against the running
+// toolchain's metrics.All() so a Go upgrade that renames a metric is caught
+// instead of silently exporting zeros.
+var goRuntimeSamples = map[string]string{
+	"adprom_go_goroutines":       "/sched/goroutines:goroutines",
+	"adprom_go_heap_live_bytes":  "/memory/classes/heap/objects:bytes",
+	"adprom_go_gc_pause_seconds": "/sched/pauses/total/gc:seconds",
+}
+
+// gcPauseQuantiles are the summary quantiles exported for GC pauses.
+var gcPauseQuantiles = []float64{0.5, 0.9, 0.99}
+
+// BuildInfo labels the adprom_build_info gauge: the module version (resolved
+// from debug.ReadBuildInfo when empty) and the scoring-kernel dispatch the
+// CPU feature detection selected (hmm.KernelName()).
+type BuildInfo struct {
+	Version        string
+	ScorerDispatch string
+}
+
+// WriteGoRuntimeProm renders the serving process's Go runtime health —
+// goroutine count, live heap bytes, GC pause quantiles — plus the
+// adprom_build_info provenance gauge. Process-wide, so multi-runtime
+// surfaces (the fleet router) must render it exactly once per scrape.
+func WriteGoRuntimeProm(w io.Writer, info BuildInfo) error {
+	samples := []runtimemetrics.Sample{
+		{Name: goRuntimeSamples["adprom_go_goroutines"]},
+		{Name: goRuntimeSamples["adprom_go_heap_live_bytes"]},
+		{Name: goRuntimeSamples["adprom_go_gc_pause_seconds"]},
+	}
+	runtimemetrics.Read(samples)
+
+	p := NewPromWriter(w)
+	p.Gauge("adprom_go_goroutines", "Live goroutines in the serving process.", uintSample(samples[0]))
+	p.Gauge("adprom_go_heap_live_bytes", "Bytes of live heap objects after the last GC mark.", uintSample(samples[1]))
+
+	p.Family("adprom_go_gc_pause_seconds", "summary", "Stop-the-world GC pause durations over the process lifetime.")
+	var count uint64
+	if samples[2].Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		h := samples[2].Value.Float64Histogram()
+		for _, c := range h.Counts {
+			count += c
+		}
+		for _, q := range gcPauseQuantiles {
+			p.Sample("adprom_go_gc_pause_seconds",
+				[][2]string{{"quantile", strconv.FormatFloat(q, 'g', -1, 64)}},
+				histQuantile(h, q))
+		}
+	}
+	p.Sample("adprom_go_gc_pause_seconds_count", nil, float64(count))
+
+	version := info.Version
+	if version == "" {
+		version = buildVersion()
+	}
+	p.Family("adprom_build_info", "gauge", "Build provenance; always 1, labels carry the facts.")
+	p.Sample("adprom_build_info", [][2]string{
+		{"version", version},
+		{"go_version", runtime.Version()},
+		{"scorer_dispatch", info.ScorerDispatch},
+	}, 1)
+	return p.Err()
+}
+
+func uintSample(s runtimemetrics.Sample) float64 {
+	if s.Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	return float64(s.Value.Uint64())
+}
+
+// histQuantile returns the upper bound of the bucket containing the q-th
+// quantile of a runtime/metrics histogram — the same upper-bound convention
+// Prometheus histogram_quantile uses. Infinite edge buckets fall back to
+// their finite neighbour so the exposition never emits +Inf as a quantile.
+func histQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Counts[i] spans Buckets[i] .. Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// buildVersion resolves the module version stamped into the binary: the VCS
+// revision (short) when building from a checkout, else the module version,
+// else "unknown" (e.g. some test binaries).
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev string
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			rev = s.Value
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return rev
+	}
+	if v := bi.Main.Version; v != "" {
+		return v
+	}
+	return "unknown"
+}

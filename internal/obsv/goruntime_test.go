@@ -1,0 +1,82 @@
+package obsv
+
+import (
+	runtimemetrics "runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestGoRuntimePromBidirectional holds goRuntimeSamples bidirectional
+// against both sides of the contract: every mapped family must be rendered
+// (with a # TYPE header), every rendered adprom_go_* family must be mapped,
+// and every runtime/metrics name in the map must exist in the running
+// toolchain's metrics.All() — so a Go upgrade that renames a sample fails
+// CI instead of silently exporting zeros.
+func TestGoRuntimePromBidirectional(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteGoRuntimeProm(&buf, BuildInfo{Version: "test", ScorerDispatch: "go"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for family := range goRuntimeSamples {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("mapped family %s not rendered by WriteGoRuntimeProm", family)
+		}
+	}
+
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "# TYPE adprom_go_") {
+			continue
+		}
+		family := strings.Fields(line)[2]
+		if _, ok := goRuntimeSamples[family]; !ok {
+			t.Errorf("rendered family %s has no goRuntimeSamples entry; extend the map", family)
+		}
+	}
+
+	known := map[string]bool{}
+	for _, d := range runtimemetrics.All() {
+		known[d.Name] = true
+	}
+	for family, sample := range goRuntimeSamples {
+		if !known[sample] {
+			t.Errorf("%s is backed by %q, which this toolchain's runtime/metrics does not export", family, sample)
+		}
+	}
+}
+
+// TestGoRuntimePromContent sanity-checks the rendered samples: a live
+// goroutine count, heap bytes, the GC pause summary series, and the build
+// provenance gauge with all three labels.
+func TestGoRuntimePromContent(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteGoRuntimeProm(&buf, BuildInfo{Version: "v1.2.3", ScorerDispatch: "avx2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"adprom_go_goroutines ",
+		"adprom_go_heap_live_bytes ",
+		`adprom_go_gc_pause_seconds{quantile="0.5"}`,
+		`adprom_go_gc_pause_seconds{quantile="0.99"}`,
+		"adprom_go_gc_pause_seconds_count ",
+		`adprom_build_info{version="v1.2.3",go_version="go`,
+		`scorer_dispatch="avx2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "adprom_go_goroutines 0\n") {
+		t.Error("goroutine count of 0 in a running process")
+	}
+	// An empty version resolves from the binary's build info, never to "".
+	buf.Reset()
+	if err := WriteGoRuntimeProm(&buf, BuildInfo{ScorerDispatch: "go"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `version=""`) {
+		t.Error("empty version label; buildVersion fallback did not apply")
+	}
+}

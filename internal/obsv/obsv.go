@@ -11,6 +11,7 @@
 package obsv
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -62,13 +63,24 @@ type Decision struct {
 	SessionShed uint64  `json:"session_shed,omitempty"`
 	Risk        float64 `json:"risk,omitempty"`
 	Occupancy   float64 `json:"occupancy,omitempty"`
+
+	// Trace is the ID of the decision trace covering the op that produced
+	// this judgement, when tracing is enabled — the correlation key into
+	// /traces/{id}. Empty (and omitted, keeping the decision log bit-identical
+	// to a trace-free build) when tracing is off.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Recorder samples judgement decisions into a bounded ring. The sampling
 // policy is 1-in-N for unflagged (Normal) judgements — gated by one atomic
 // add, so skipped judgements never touch the ring's mutex — plus
 // always-sample for alerts, so the evidence for every flagged window
-// survives. The ring overwrites oldest-first; Record never allocates.
+// survives.
+//
+// Eviction keeps alerts: a full ring always overwrites its oldest unflagged
+// decision while one exists (an O(1) pop off the unflagged-slot queue), so a
+// flagged decision is only ever evicted by newer flagged decisions once the
+// whole ring is alerts. Record never allocates.
 type Recorder struct {
 	every uint64
 	gate  atomic.Uint64
@@ -78,8 +90,18 @@ type Recorder struct {
 
 	mu   sync.Mutex
 	buf  []Decision
-	next int
-	full bool
+	seqs []uint64 // per-slot commit index: the newest-first sort key
+	seq  uint64   // monotonic commit counter
+	n    int      // live entries
+	next int      // ring cursor used once every slot holds an alert
+
+	// unflagged is a FIFO queue (ring over a fixed slice) of the slot indices
+	// currently holding unflagged decisions, in write order. Eviction pops
+	// the front — the oldest unflagged decision — in O(1) instead of sweeping
+	// the ring, which costs O(capacity) per write once alerts accumulate.
+	unflagged []int
+	ufHead    int
+	ufLen     int
 }
 
 // NewRecorder builds a recorder keeping the last capacity decisions and
@@ -93,6 +115,8 @@ func NewRecorder(capacity, sampleEvery int) *Recorder {
 	}
 	if capacity > 0 {
 		r.buf = make([]Decision, capacity)
+		r.seqs = make([]uint64, capacity)
+		r.unflagged = make([]int, capacity)
 	}
 	return r
 }
@@ -110,16 +134,38 @@ func (r *Recorder) Record(d Decision) bool {
 		r.skipped.Add(1)
 		return false
 	}
+	r.write(d)
+	return true
+}
+
+// write commits one decision under the keep-alerts eviction policy: a full
+// ring evicts its oldest unflagged decision while one exists; only an
+// all-alert ring evicts a flagged decision (round-robin at the cursor). The
+// unflagged-slot queue makes both cases O(1) per write.
+func (r *Recorder) write(d Decision) {
 	r.recorded.Add(1)
 	r.mu.Lock()
-	r.buf[r.next] = d
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
+	var slot int
+	switch {
+	case r.n < len(r.buf):
+		slot = r.n
+		r.n++
+	case r.ufLen > 0:
+		slot = r.unflagged[r.ufHead]
+		r.ufHead = (r.ufHead + 1) % len(r.unflagged)
+		r.ufLen--
+	default:
+		slot = r.next
+		r.next = (slot + 1) % len(r.buf)
+	}
+	r.buf[slot] = d
+	r.seqs[slot] = r.seq
+	r.seq++
+	if !d.Flagged {
+		r.unflagged[(r.ufHead+r.ufLen)%len(r.unflagged)] = slot
+		r.ufLen++
 	}
 	r.mu.Unlock()
-	return true
 }
 
 // RecordAlways writes one decision into the ring, bypassing the 1-in-N
@@ -129,15 +175,7 @@ func (r *Recorder) RecordAlways(d Decision) bool {
 	if !r.Enabled() {
 		return false
 	}
-	r.recorded.Add(1)
-	r.mu.Lock()
-	r.buf[r.next] = d
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
-	}
-	r.mu.Unlock()
+	r.write(d)
 	return true
 }
 
@@ -153,19 +191,24 @@ func (r *Recorder) Decisions(limit int) []Decision {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := r.next
-	if r.full {
-		n = len(r.buf)
+	type entry struct {
+		seq uint64
+		idx int
 	}
-	if limit <= 0 || limit > n {
-		limit = n
+	live := make([]entry, r.n)
+	for i := 0; i < r.n; i++ {
+		live[i] = entry{r.seqs[i], i}
+	}
+	// Keep-alerts eviction writes out of ring order, so newest-first comes
+	// from the per-slot commit index, not slot position.
+	sort.Slice(live, func(i, j int) bool { return live[i].seq > live[j].seq })
+	if limit <= 0 || limit > len(live) {
+		limit = len(live)
 	}
 	out := make([]Decision, limit)
 	for i := 0; i < limit; i++ {
-		// next-1 is the newest slot; walk backwards, wrapping.
-		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
-		out[i] = r.buf[idx]
+		out[i] = r.buf[live[i].idx]
 	}
+	r.mu.Unlock()
 	return out
 }

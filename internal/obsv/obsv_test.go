@@ -95,6 +95,114 @@ func TestRecorderRingOverwritesOldest(t *testing.T) {
 	}
 }
 
+// TestRecorderKeepAlertsPropertyConcurrent drives the ring with concurrent
+// writers and checks the two documented properties hold under contention
+// (run it with -race):
+//
+//  1. Keep-alerts eviction: while the ring holds any unflagged decision, a
+//     flagged one is never evicted. The workload writes fewer alerts than
+//     the ring's capacity, so every single alert — from every session —
+//     must survive, even though an order of magnitude more unflagged
+//     decisions were committed after them and churned through the ring.
+//  2. Sampling ratio: the 1-in-N gate is one shared atomic counter, so
+//     across any interleaving exactly ⌊U/N⌋±1 of U unflagged judgements
+//     are kept and the rest are counted as skipped.
+//
+// A second, deterministic phase then floods the ring with alerts alone to
+// pin down the only legal flagged-eviction mode: once the whole ring is
+// alerts, the cursor round-robins and older alerts yield to newer ones.
+func TestRecorderKeepAlertsPropertyConcurrent(t *testing.T) {
+	const (
+		capacity  = 128
+		every     = 4
+		writers   = 8
+		perWriter = 512
+		flagEvery = 64 // writers*perWriter/flagEvery = 64 alerts < capacity
+	)
+	r := NewRecorder(capacity, every)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(Decision{
+					Session: fmt.Sprintf("w%d", g),
+					Seq:     i,
+					Flagged: i%flagEvery == flagEvery-1,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const (
+		total        = writers * perWriter
+		flaggedTotal = writers * (perWriter / flagEvery)
+		unflagged    = total - flaggedTotal
+	)
+
+	// Every judgement was either committed or counted as sampled out.
+	recorded, skipped := int(r.Recorded()), int(r.Skipped())
+	if recorded+skipped != total {
+		t.Errorf("recorded %d + skipped %d = %d, want %d", recorded, skipped, recorded+skipped, total)
+	}
+
+	// Property 2 — the shared gate keeps exactly one in `every` unflagged
+	// judgements, ±1 for where the counter started relative to the modulus.
+	keptUnflagged := recorded - flaggedTotal
+	if want := unflagged / every; keptUnflagged < want-1 || keptUnflagged > want+1 {
+		t.Errorf("kept %d unflagged decisions, want %d±1 (gate is exact under contention)", keptUnflagged, want)
+	}
+
+	// Property 1 — with flaggedTotal < capacity the ring is never all-alerts,
+	// so no alert may ever have been evicted: all 64 must be retained, while
+	// the ~900 kept unflagged decisions fought over the remaining slots.
+	ds := r.Decisions(0)
+	if len(ds) != capacity {
+		t.Fatalf("ring retained %d decisions, want full capacity %d", len(ds), capacity)
+	}
+	surviving := map[string]bool{}
+	unflaggedSurvivors := 0
+	for _, d := range ds {
+		if d.Flagged {
+			surviving[fmt.Sprintf("%s/%d", d.Session, d.Seq)] = true
+		} else {
+			unflaggedSurvivors++
+		}
+	}
+	for g := 0; g < writers; g++ {
+		for i := flagEvery - 1; i < perWriter; i += flagEvery {
+			if key := fmt.Sprintf("w%d/%d", g, i); !surviving[key] {
+				t.Errorf("alert %s was evicted while %d same-run unflagged decisions survive", key, unflaggedSurvivors)
+			}
+		}
+	}
+	if unflaggedSurvivors != capacity-flaggedTotal {
+		t.Errorf("%d unflagged survivors, want %d (capacity minus the retained alerts)", unflaggedSurvivors, capacity-flaggedTotal)
+	}
+
+	// Phase 2 — the only way to evict an alert: newer alerts once the ring is
+	// all-flagged. 2×capacity alert-only writes first displace the unflagged
+	// survivors, then cycle every slot, so the final ring is exactly the
+	// newest `capacity` flood alerts.
+	for i := 0; i < 2*capacity; i++ {
+		r.Record(Decision{Session: "flood", Seq: 1_000_000 + i, Flagged: true})
+	}
+	ds = r.Decisions(0)
+	if len(ds) != capacity {
+		t.Fatalf("post-flood ring retained %d, want %d", len(ds), capacity)
+	}
+	for _, d := range ds {
+		if !d.Flagged || d.Session != "flood" {
+			t.Fatalf("post-flood ring kept %s/%d flagged=%v; an all-alert flood must leave only flood alerts", d.Session, d.Seq, d.Flagged)
+		}
+		if d.Seq < 1_000_000+capacity {
+			t.Errorf("flood alert seq %d survived; the round-robin cursor should keep only the newest %d", d.Seq, capacity)
+		}
+	}
+}
+
 func TestRecorderConcurrent(t *testing.T) {
 	r := NewRecorder(256, 4)
 	var wg sync.WaitGroup

@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
+
+	"adprom/internal/trace"
 )
 
 // ServerConfig wires the introspection handler to a live runtime without
@@ -18,6 +21,11 @@ type ServerConfig struct {
 	// Decisions returns the most recent provenance records (newest first) for
 	// /decisions; limit ≤ 0 means everything retained.
 	Decisions func(limit int) []Decision
+	// Traces returns the most recent retained decision traces (newest first)
+	// for /traces; limit ≤ 0 means everything retained.
+	Traces func(limit int) []trace.Trace
+	// TraceByID resolves one decision trace for /traces/{id}.
+	TraceByID func(id string) (trace.Trace, bool)
 	// Healthz reports process liveness: nil while the serving process is able
 	// to make progress at all.
 	Healthz func() error
@@ -27,9 +35,10 @@ type ServerConfig struct {
 }
 
 // NewHandler builds the introspection endpoint: /metrics (Prometheus text
-// format), /decisions (recent provenance as JSON), /healthz and /readyz
-// (200 ok / 503 with the cause), and the net/http/pprof suite under
-// /debug/pprof/. GET / lists the routes.
+// format), /decisions (recent provenance as JSON), /traces and /traces/{id}
+// (retained decision traces as JSON — the forensic feed behind adprom
+// explain), /healthz and /readyz (200 ok / 503 with the cause), and the
+// net/http/pprof suite under /debug/pprof/. GET / lists the routes.
 func NewHandler(cfg ServerConfig) http.Handler {
 	mux := http.NewServeMux()
 	if cfg.Metrics != nil {
@@ -62,6 +71,45 @@ func NewHandler(cfg ServerConfig) http.Handler {
 			_ = enc.Encode(ds)
 		})
 	}
+	if cfg.Traces != nil {
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			limit := 100
+			if s := r.URL.Query().Get("limit"); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			trs := cfg.Traces(limit)
+			if trs == nil {
+				trs = []trace.Trace{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(trs)
+		})
+	}
+	if cfg.TraceByID != nil {
+		mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+			id := strings.TrimPrefix(r.URL.Path, "/traces/")
+			if id == "" || strings.ContainsRune(id, '/') {
+				http.NotFound(w, r)
+				return
+			}
+			tr, ok := cfg.TraceByID(id)
+			if !ok {
+				http.Error(w, "no such trace: "+id, http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(tr)
+		})
+	}
 	probe := func(check func() error) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -91,7 +139,7 @@ func NewHandler(cfg ServerConfig) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "adprom introspection endpoints:")
-		for _, route := range []string{"/metrics", "/decisions?limit=N", "/healthz", "/readyz", "/debug/pprof/"} {
+		for _, route := range []string{"/metrics", "/decisions?limit=N", "/traces?limit=N", "/traces/{id}", "/healthz", "/readyz", "/debug/pprof/"} {
 			fmt.Fprintln(w, "  "+route)
 		}
 	})

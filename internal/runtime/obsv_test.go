@@ -41,6 +41,8 @@ func TestStatsStringGolden(t *testing.T) {
 		Swaps:             5,
 		EnginesRetired:    16,
 		DecisionsRecorded: 11,
+		TracesStored:      18,
+		TracesSampledOut:  19,
 		Shed:              17,
 		ShedRate:          0.125,
 		EstimatedMissProb: 0.0625,
@@ -58,6 +60,7 @@ func TestStatsStringGolden(t *testing.T) {
 		"avg=1.5µs max=2ms p50=1µs p95=3µs p99=9µs " +
 		"panics=1 restarts=12 quarantined=13 sink[dropped=14 panics=15] " +
 		"gen=6 swaps=5 retired=16 decisions=11 " +
+		"traces[stored=18 sampled_out=19] " +
 		"shed[calls=17 rate=0.1250 missp=0.0625 engaged=true]"
 	if got := st.String(); got != want {
 		t.Errorf("Stats.String() =\n  %q\nwant\n  %q", got, want)

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"adprom/internal/detect"
+	"adprom/internal/hmm"
 	"adprom/internal/metrics"
 	"adprom/internal/obsv"
 	"adprom/internal/shed"
@@ -86,6 +87,8 @@ func (rt *Runtime) WritePrometheus(w io.Writer) error {
 	p.Gauge("adprom_queue_depth", "Calls waiting across all worker queues.", float64(depth))
 	p.Counter("adprom_decisions_recorded_total", "Provenance decisions written into the ring.", float64(rt.rec.Recorded()))
 	p.Counter("adprom_decisions_sampled_out_total", "Unflagged judgements passed over by the 1-in-N sampler.", float64(rt.rec.Skipped()))
+	p.Counter("adprom_traces_stored_total", "Decision traces committed into the trace store (alerts plus sampled healthy traces).", float64(rt.traces.Stored()))
+	p.Counter("adprom_traces_sampled_out_total", "Healthy decision traces passed over by the trace sampling gate.", float64(rt.traces.SampledOut()))
 
 	// Risk-aware shedding gauges: rendered whether or not ShedByRisk is
 	// active, so dashboards keyed on them never see the family disappear.
@@ -105,7 +108,12 @@ func (rt *Runtime) WritePrometheus(w io.Writer) error {
 	}
 	p.Gauge("adprom_shed_engaged", "Whether any worker's admission controller is currently shedding (1) or passing everything (0).", engaged)
 	p.Counter("adprom_shed_decisions_total", "Admission decisions that rejected an op.", float64(ss.ShedDecisions))
-	return p.Err()
+	if err := p.Err(); err != nil {
+		return err
+	}
+	// Process-level Go runtime health and build provenance ride on the same
+	// scrape; rendered here (not per-tenant) so they appear exactly once.
+	return obsv.WriteGoRuntimeProm(w, obsv.BuildInfo{ScorerDispatch: hmm.KernelName()})
 }
 
 // itoa is a tiny allocation-light strconv.Itoa for small worker indices.

@@ -94,6 +94,7 @@ import (
 	"adprom/internal/profile"
 	"adprom/internal/shed"
 	"adprom/internal/sqlchan"
+	"adprom/internal/trace"
 )
 
 // Errors returned by the ingest path.
@@ -236,6 +237,8 @@ type config struct {
 	shedCfg       *shed.Config
 	sqlProfile    *sqlchan.Profile
 	fusion        detect.FusionConfig
+	traceCap      int
+	traceEvery    int
 }
 
 // Option configures a Runtime.
@@ -369,6 +372,23 @@ func WithDecisionLog(capacity, sampleEvery int) Option {
 	}
 }
 
+// WithTracing enables end-to-end decision tracing: every observe op builds a
+// trace (root span, shed admission, engine scoring with per-channel judgement
+// and fusion spans, async sink delivery) and the runtime retains up to
+// capacity healthy traces plus up to capacity alert traces, sampling one in
+// sampleEvery healthy traces at commit while always keeping alert-bearing
+// ones — the same retention bias as the decision ring. capacity ≤ 0 (the
+// default) disables tracing entirely: no trace is ever built, the hot path
+// only pays a nil check, and the decision log stays bit-identical to a
+// trace-free build. sampleEvery ≤ 1 keeps every healthy trace. Read traces
+// with Runtime.Traces / Runtime.TraceByID or the /traces endpoints.
+func WithTracing(capacity, sampleEvery int) Option {
+	return func(c *config) {
+		c.traceCap = capacity
+		c.traceEvery = sampleEvery
+	}
+}
+
 // WithWorkerHook installs fn on the worker loop; see WorkerHook. Test-only.
 func WithWorkerHook(fn WorkerHook) Option {
 	return func(c *config) { c.workerHook = fn }
@@ -472,14 +492,20 @@ type Runtime struct {
 	handoff chan alertMsg
 	sinkWG  sync.WaitGroup
 
-	pool sync.Pool // *pooledEngine, each tagged with its generation
-	ctr  metrics.Counters
-	rec  *obsv.Recorder // decision provenance; nil-safe, Enabled gates use
+	pool   sync.Pool // *pooledEngine, each tagged with its generation
+	ctr    metrics.Counters
+	rec    *obsv.Recorder // decision provenance; nil-safe, Enabled gates use
+	traces *trace.Store   // decision traces; nil when tracing is disabled
 }
 
 type alertMsg struct {
 	session string
 	alert   detect.Alert
+	// gen and ta carry the judging generation and the op's live trace into
+	// the async sink pipeline; ta holds one reference, released after the
+	// sink span is recorded (or the delivery is shed).
+	gen uint64
+	ta  *trace.Active
 }
 
 type opKind int
@@ -503,12 +529,26 @@ type op struct {
 	kind    opKind
 	done    chan reply // buffered(1); at most one send (guarded by replied)
 	replied bool
+	// ta is the op's live decision trace (nil when tracing is off). Ownership
+	// transfers to the worker once the op is enqueued; finishTrace closes it
+	// exactly once on whichever path ends the op.
+	ta *trace.Active
 }
 
 func (o *op) reply(r reply) {
 	if o.done != nil && !o.replied {
 		o.replied = true
 		o.done <- r
+	}
+}
+
+// finishTrace closes the op's trace exactly once (idempotent through the
+// cleared pointer), so normal completion, shutdown drain, and crash-recovery
+// paths never double-finish.
+func (o *op) finishTrace() {
+	if o.ta != nil {
+		o.ta.Finish()
+		o.ta = nil
 	}
 }
 
@@ -559,7 +599,24 @@ type Session struct {
 	// folded into risk — worker-owned, like engine.
 	risk     *shed.SessionRisk
 	sensSeen int
+
+	// curTrace, scoreSpan, and judgeSpans are worker-owned tracing state for
+	// the op currently being scored: the op's live trace (nil for untraced
+	// ops), the span ID of its engine-scoring span (the parent of per-channel
+	// judgement spans), and how many full judgement spans the op has emitted.
+	// The per-window judgement summary itself is aggregated inside the
+	// engine (detect.TraceSummary) so healthy windows never cross the hook.
+	curTrace   *trace.Active
+	scoreSpan  uint64
+	judgeSpans int
 }
+
+// maxJudgementSpans caps the full score.<channel>/fusion spans one op may
+// emit. The first flagged windows of an op get complete judgement spans;
+// later ones still fold into the score summary (and each still records its
+// own alert Decision), so an alert-dense batch costs bounded span
+// construction instead of one allocation per flagged window.
+const maxJudgementSpans = 4
 
 // Generation reports the profile generation that scored the session's most
 // recently processed op (0 before any call reached the worker). Because
@@ -602,6 +659,7 @@ func New(p *profile.Profile, opts ...Option) *Runtime {
 		sessions: make(map[string]*Session),
 		stopped:  make(chan struct{}),
 		rec:      obsv.NewRecorder(cfg.decisionCap, cfg.decisionEvery),
+		traces:   trace.NewStore(cfg.traceCap, cfg.traceEvery),
 	}
 	if cfg.policy == ShedByRisk {
 		var sc shed.Config
@@ -766,7 +824,8 @@ func (s *Session) ObserveContext(ctx context.Context, c collector.Call) error {
 	if err := s.ingestErr(); err != nil {
 		return err
 	}
-	return s.rt.enqueue(ctx, s.worker, op{s: s, call: c, kind: opObserve}, false)
+	ta := s.rt.traces.Begin(trace.Context{}, s.id, "observe")
+	return s.rt.enqueue(ctx, s.worker, op{s: s, call: c, kind: opObserve, ta: ta}, false)
 }
 
 // ObserveBatch enqueues a run of calls as one op. The batch is scored in one
@@ -785,15 +844,35 @@ func (s *Session) ObserveBatch(calls []collector.Call) error {
 
 // ObserveBatchContext is ObserveBatch bounded by ctx.
 func (s *Session) ObserveBatchContext(ctx context.Context, calls []collector.Call) error {
+	ta := s.rt.traces.Begin(trace.Context{}, s.id, "observe")
+	return s.observeBatchTraced(ctx, ta, calls)
+}
+
+// ObserveBatchTraced is ObserveBatchContext under an externally opened
+// decision trace (see Runtime.BeginTrace): the network ingest and tenant
+// routing layers open the trace before routing so its root span covers
+// decode and routing, then hand it to the session here. The session takes
+// ownership of ta on every path — a batch rejected before reaching a worker
+// finishes the trace immediately, an admitted one is finished by the worker
+// after scoring (and after any async sink deliveries it holds references
+// for). ta may be nil (tracing disabled); the call then behaves exactly like
+// ObserveBatchContext.
+func (s *Session) ObserveBatchTraced(ctx context.Context, ta *trace.Active, calls []collector.Call) error {
+	return s.observeBatchTraced(ctx, ta, calls)
+}
+
+func (s *Session) observeBatchTraced(ctx context.Context, ta *trace.Active, calls []collector.Call) error {
 	if len(calls) == 0 {
+		ta.Finish()
 		return nil
 	}
 	if err := s.ingestErr(); err != nil {
+		ta.Finish()
 		return err
 	}
 	owned := make([]collector.Call, len(calls))
 	copy(owned, calls)
-	return s.rt.enqueue(ctx, s.worker, op{s: s, calls: owned, kind: opObserveBatch}, false)
+	return s.rt.enqueue(ctx, s.worker, op{s: s, calls: owned, kind: opObserveBatch, ta: ta}, false)
 }
 
 func (s *Session) ingestErr() error {
@@ -860,7 +939,11 @@ func (s *Session) FlushContext(ctx context.Context) ([]detect.Alert, error) {
 		return nil, err
 	}
 	done := make(chan reply, 1)
-	if err := s.rt.enqueue(ctx, s.worker, op{s: s, kind: opFlush, done: done}, true); err != nil {
+	// The flush is traced in its own right: it judges the pending short
+	// window, which is where SQL-channel and fused verdicts on partial
+	// windows surface.
+	ta := s.rt.traces.Begin(trace.Context{}, s.id, "flush")
+	if err := s.rt.enqueue(ctx, s.worker, op{s: s, kind: opFlush, done: done, ta: ta}, true); err != nil {
 		return nil, err
 	}
 	return s.await(ctx, done)
@@ -888,7 +971,8 @@ func (s *Session) CloseContext(ctx context.Context) ([]detect.Alert, error) {
 	done := make(chan reply, 1)
 	// The session is already marked closed, so enqueue directly (control ops
 	// bypass the DropNewest policy).
-	err := s.rt.enqueue(ctx, s.worker, op{s: s, kind: opClose, done: done}, true)
+	ta := s.rt.traces.Begin(trace.Context{}, s.id, "close")
+	err := s.rt.enqueue(ctx, s.worker, op{s: s, kind: opClose, done: done, ta: ta}, true)
 	var alerts []detect.Alert
 	if err == nil {
 		alerts, err = s.await(ctx, done)
@@ -930,10 +1014,58 @@ func (s *Session) deregister() {
 	}
 }
 
-// enqueue routes an op to a worker queue. Control ops (flush/close) always
-// use backpressure: they are rare, small, and their reply channel must be
-// served. Blocking sends are bounded by ctx and by runtime shutdown.
+// enqueue routes an op to a worker, recording the trace admission span for
+// traced ops. Trace ownership transfers to the worker only when the op
+// actually reaches a queue; fully rejected ops finish their trace here, so
+// producer and worker never double-finish.
 func (rt *Runtime) enqueue(ctx context.Context, worker int, o op, control bool) error {
+	if o.ta == nil {
+		return rt.enqueueOp(ctx, worker, o, control)
+	}
+	start := time.Now()
+	depth := rt.pending[worker].Load()
+	// Once the op reaches a queue the worker owns the creator reference and
+	// may finish the op — and thus commit the trace — before this producer
+	// records the admit span. Holding our own reference across the admission
+	// window keeps the trace uncommitted until the span lands.
+	o.ta.Ref()
+	defer o.ta.Release()
+	err := rt.enqueueOp(ctx, worker, o, control)
+	verdict, shedCalls := "admitted", 0
+	enqueued := err == nil
+	var bse *BatchShedError
+	switch {
+	case err == nil:
+	case errors.As(err, &bse):
+		shedCalls = bse.Shed
+		verdict = "shed"
+		if bse.Shed < bse.Batch {
+			verdict = "partial"
+			enqueued = true // the admitted prefix is queued; the worker owns the trace
+		}
+	case errors.Is(err, ErrShed):
+		verdict, shedCalls = "shed", 1
+	case errors.Is(err, ErrDropped):
+		verdict, shedCalls = "dropped", 1
+	default:
+		verdict = "rejected" // closed runtime or expired context
+	}
+	o.ta.Event(trace.RootSpan, "admit", start,
+		trace.Int("queue_depth", depth),
+		trace.Int("worker", int64(worker)),
+		trace.String("policy", rt.cfg.policy.String()),
+		trace.String("verdict", verdict),
+		trace.Int("shed_calls", int64(shedCalls)))
+	if !enqueued {
+		o.ta.Finish()
+	}
+	return err
+}
+
+// enqueueOp is the policy-dispatching enqueue body. Control ops (flush/close)
+// always use backpressure: they are rare, small, and their reply channel must
+// be served. Blocking sends are bounded by ctx and by runtime shutdown.
+func (rt *Runtime) enqueueOp(ctx context.Context, worker int, o op, control bool) error {
 	rt.mu.RLock()
 	if rt.closed {
 		rt.mu.RUnlock()
@@ -1044,7 +1176,7 @@ func (rt *Runtime) enqueueShed(ctx context.Context, q chan op, worker int, o op)
 	occ := float64(rt.pending[worker].Load()) / float64(rt.cfg.queueDepth)
 	d := rt.shed.Decide(sr, worker, occ)
 	if !d.Admit {
-		rt.noteShed(o.s, d, n)
+		rt.noteShed(o.s, d, n, o.ta.ID())
 		return dropErr(&o, n, n, ErrShed)
 	}
 	if d.Guaranteed {
@@ -1065,7 +1197,7 @@ func (rt *Runtime) enqueueShed(ctx context.Context, q chan op, worker int, o op)
 	}
 	admit := rt.reserve(worker, n)
 	if admit == 0 {
-		rt.noteShed(o.s, d, n)
+		rt.noteShed(o.s, d, n, o.ta.ID())
 		return dropErr(&o, n, n, ErrShed)
 	}
 	if admit < n {
@@ -1075,30 +1207,31 @@ func (rt *Runtime) enqueueShed(ctx context.Context, q chan op, worker int, o op)
 	case q <- o:
 		rt.shed.Admitted(sr, d, admit)
 		if admit < n {
-			rt.noteShed(o.s, d, n-admit)
+			rt.noteShed(o.s, d, n-admit, o.ta.ID())
 			return dropErr(&o, n-admit, n, ErrShed)
 		}
 		return nil
 	default:
 		rt.releasePending(worker, uint64(admit))
-		rt.noteShed(o.s, d, n)
+		rt.noteShed(o.s, d, n, o.ta.ID())
 		return dropErr(&o, n, n, ErrShed)
 	}
 }
 
 // noteShed does the bookkeeping of one shed outcome: controller risk-mass
-// accounting, the Stats.Shed counter, and decision provenance.
-func (rt *Runtime) noteShed(s *Session, d shed.Decision, calls int) {
+// accounting, the Stats.Shed counter, and decision provenance correlated to
+// the op's trace.
+func (rt *Runtime) noteShed(s *Session, d shed.Decision, calls int, traceID string) {
 	rt.shed.Shed(s.risk, d, calls)
 	rt.ctr.AddShed(uint64(calls))
-	rt.recordShed(s, d, calls)
+	rt.recordShed(s, d, calls, traceID)
 }
 
 // recordShed writes shed provenance so an operator can see exactly what was
 // not scored and why. The first shed on a session bypasses the sampling gate
 // (like an alert, it is evidence that must survive); later ones are sampled
 // 1-in-N with the cumulative per-session count carried on each record.
-func (rt *Runtime) recordShed(s *Session, d shed.Decision, calls int) {
+func (rt *Runtime) recordShed(s *Session, d shed.Decision, calls int, traceID string) {
 	if !rt.rec.Enabled() {
 		return
 	}
@@ -1113,6 +1246,7 @@ func (rt *Runtime) recordShed(s *Session, d shed.Decision, calls int) {
 		SessionShed: total,
 		Risk:        d.Risk,
 		Occupancy:   d.Occupancy,
+		Trace:       traceID,
 	}
 	if total == uint64(calls) {
 		rt.rec.RecordAlways(dec)
@@ -1161,6 +1295,9 @@ func (rt *Runtime) runWorker(w int) (clean bool) {
 			rt.ctr.AddPanic()
 			if cur != nil {
 				rt.failSession(cur, fmt.Errorf("worker %d crashed: %v", w, r))
+				// A panic outside process (the worker hook) leaves the op's
+				// trace open; process's own recovery closes its own.
+				cur.finishTrace()
 			}
 		}
 	}()
@@ -1194,6 +1331,7 @@ func (rt *Runtime) drainQueue(w int) {
 				rt.ctr.AddDropped(n)
 			}
 			o.reply(reply{err: ErrClosed})
+			o.finishTrace()
 		default:
 			return
 		}
@@ -1206,7 +1344,11 @@ func (rt *Runtime) failSession(o *op, cause error) {
 	if o.s.quarantine(cause) {
 		rt.ctr.AddQuarantined()
 		if l := rt.cfg.logger; l != nil {
-			l.Warn("session quarantined", "session", o.s.id, "cause", cause)
+			l.Warn("session quarantined",
+				"session", o.s.id,
+				"generation", o.s.lastGen.Load(),
+				"trace", o.ta.ID(),
+				"cause", cause)
 		}
 	}
 	o.s.engine = nil
@@ -1217,6 +1359,10 @@ func (rt *Runtime) failSession(o *op, cause error) {
 // hook, or profile quarantines only the offending session and the worker
 // moves on to its next op.
 func (rt *Runtime) process(o *op) {
+	// Registered first so it runs last: the panic-recovery defer below still
+	// sees o.ta for its quarantine log, and sink deliveries take their trace
+	// references inside the body, before the worker's reference is released.
+	defer o.finishTrace()
 	defer func() {
 		if r := recover(); r != nil {
 			rt.ctr.AddPanic()
@@ -1253,13 +1399,26 @@ func (rt *Runtime) process(o *op) {
 	// histogram, the observer hooks, and every Decision this op produces.
 	start := time.Now()
 	s.opTime = start
+	var scoreSpan trace.SpanHandle
+	if rt.traces.Enabled() {
+		// Reset the per-op tracing state unconditionally — even for an
+		// untraced op (ta == nil), a pointer a panicked prior op left behind
+		// must be cleared (its Active may already be recycled through the
+		// store's pool).
+		s.curTrace, s.scoreSpan, s.judgeSpans = o.ta, 0, 0
+		if o.ta != nil {
+			scoreSpan = o.ta.StartSpan(trace.RootSpan, "score")
+			s.scoreSpan = scoreSpan.ID()
+		}
+	}
 	switch o.kind {
 	case opObserve:
 		alerts := s.engine.Observe(o.call)
 		rt.ctr.AddCall(time.Since(start).Nanoseconds())
 		rt.noteSensitive(s)
-		rt.recordAlerts(s, alerts)
-		rt.deliver(s.id, alerts)
+		rt.finishScore(s, o, scoreSpan, 1, alerts)
+		rt.recordAlerts(s, alerts, o.ta.ID())
+		rt.deliver(s, alerts, o.ta)
 		if err := s.engine.Err(); err != nil {
 			// Error-propagating judge hook: quarantine without a panic.
 			rt.failSession(o, err)
@@ -1268,8 +1427,9 @@ func (rt *Runtime) process(o *op) {
 		alerts := s.engine.ObserveBatch(o.calls)
 		rt.ctr.AddCalls(len(o.calls), time.Since(start).Nanoseconds())
 		rt.noteSensitive(s)
-		rt.recordAlerts(s, alerts)
-		rt.deliver(s.id, alerts)
+		rt.finishScore(s, o, scoreSpan, len(o.calls), alerts)
+		rt.recordAlerts(s, alerts, o.ta.ID())
+		rt.deliver(s, alerts, o.ta)
 		if err := s.engine.Err(); err != nil {
 			rt.failSession(o, err)
 		}
@@ -1277,8 +1437,12 @@ func (rt *Runtime) process(o *op) {
 		before := len(s.engine.Alerts())
 		history := s.engine.Flush()
 		rt.ctr.AddFlush(time.Since(start).Nanoseconds())
-		rt.recordAlerts(s, history[before:])
-		rt.deliver(s.id, history[before:])
+		// The flush judges the pending short window, so SQL-channel and
+		// fused verdicts surface here: the flush op's own trace carries
+		// their judgement spans and the alert correlation.
+		rt.finishScore(s, o, scoreSpan, 0, history[before:])
+		rt.recordAlerts(s, history[before:], o.ta.ID())
+		rt.deliver(s, history[before:], o.ta)
 		// Windows never straddle traces: the next stream starts clean.
 		s.engine.ResetWindow()
 		out := make([]detect.Alert, len(history))
@@ -1309,6 +1473,43 @@ func (rt *Runtime) process(o *op) {
 		}
 		o.reply(reply{alerts: out})
 	}
+}
+
+// finishScore closes a traced op's engine-scoring span with the op's
+// judgement summary (windows judged, latest per-channel score and threshold,
+// scorer mode, score-error bound, judging generation) and marks the trace
+// alert-bearing when the op raised alerts so the store's keep-alerts
+// retention applies. The alert-raising op's trace ID also becomes the
+// observe-latency histogram's exemplar. No-op for untraced ops.
+func (rt *Runtime) finishScore(s *Session, o *op, h trace.SpanHandle, calls int, alerts []detect.Alert) {
+	if o.ta == nil {
+		return
+	}
+	sum := s.engine.TakeTraceSummary()
+	attrs := []trace.Attr{
+		trace.Int("calls", int64(calls)),
+		trace.Int("windows", int64(sum.Windows)),
+		trace.Int("alerts", int64(len(alerts))),
+		trace.String("scorer", rt.cfg.scorerMode.String()),
+		trace.Int("generation", int64(s.gen)),
+	}
+	if sum.HMMSeen {
+		attrs = append(attrs,
+			trace.Float("hmm_score", sum.HMMScore),
+			trace.Float("hmm_threshold", sum.HMMThreshold),
+			trace.Float("score_error_bound", sum.HMMBound))
+	}
+	if sum.SQLSeen {
+		attrs = append(attrs,
+			trace.Float("sql_score", sum.SQLScore),
+			trace.Float("sql_threshold", sum.SQLThreshold))
+	}
+	h.End(attrs...)
+	if len(alerts) > 0 {
+		o.ta.MarkAlert()
+		rt.ctr.NoteObserveExemplar(o.ta.ID())
+	}
+	s.curTrace, s.scoreSpan = nil, 0
 }
 
 // noteSensitive feeds the engine's sensitive-touch delta into the session's
@@ -1349,6 +1550,34 @@ func (rt *Runtime) installEngine(s *Session) {
 	if rt.shed != nil {
 		e.SetSensitiveLabels(rt.shed.Config().SensitiveLabels)
 	}
+	if rt.traces.Enabled() {
+		e.SetTraceHook(func(ev detect.TraceEvent) {
+			// Only flagged judgements reach this hook (healthy windows fold
+			// into the engine's TraceSummary), and only the op's first
+			// maxJudgementSpans of them get full per-channel spans, so an
+			// alert-dense batch cannot blow the span cap.
+			a := s.curTrace
+			if a == nil || !ev.Flagged || s.judgeSpans >= maxJudgementSpans {
+				return
+			}
+			s.judgeSpans++
+			now := time.Now()
+			a.Event(s.scoreSpan, "score."+ev.Channel, now,
+				trace.Int("seq", int64(ev.Seq)),
+				trace.Float("score", ev.Score),
+				trace.Float("threshold", ev.Threshold),
+				trace.Float("margin", ev.Threshold-ev.Score),
+				trace.Float("score_error_bound", ev.Bound),
+				trace.Bool("flagged", true))
+			if ev.FusedFired || (ev.HMMSeen && ev.SQLSeen) {
+				a.Event(s.scoreSpan, "fusion", now,
+					trace.Float("fused_score", ev.Fused),
+					trace.Float("hmm_margin", ev.HMMMargin),
+					trace.Float("sql_margin", ev.SQLMargin),
+					trace.Bool("escalated", ev.FusedFired))
+			}
+		})
+	}
 	if rt.cfg.judgeHook != nil || rt.cfg.observer != nil || rt.rec.Enabled() || s.risk != nil {
 		id, hook, obs, rec, risk := s.id, rt.cfg.judgeHook, rt.cfg.observer, rt.rec, s.risk
 		e.SetJudgeHook(func(seq int, score float64, flagged bool) error {
@@ -1368,6 +1597,7 @@ func (rt *Runtime) installEngine(s *Session) {
 					Threshold:  e.Threshold(),
 					Flag:       detect.FlagNormal.String(),
 					Generation: s.gen,
+					Trace:      s.curTrace.ID(),
 				})
 			}
 			if obs != nil {
@@ -1386,8 +1616,9 @@ func (rt *Runtime) installEngine(s *Session) {
 
 // recordAlerts writes one provenance Decision per raised alert — alerts are
 // always sampled, so the evidence behind every flag survives in the ring.
-// Runs on the session's worker goroutine.
-func (rt *Runtime) recordAlerts(s *Session, alerts []detect.Alert) {
+// traceID correlates each record with the op's decision trace ("" when
+// untraced). Runs on the session's worker goroutine.
+func (rt *Runtime) recordAlerts(s *Session, alerts []detect.Alert, traceID string) {
 	if !rt.rec.Enabled() {
 		return
 	}
@@ -1413,13 +1644,16 @@ func (rt *Runtime) recordAlerts(s *Session, alerts []detect.Alert) {
 			SQLScore:        a.SQLScore,
 			SQLThreshold:    a.SQLThreshold,
 			FusedScore:      a.FusedScore,
+			Trace:           traceID,
 		})
 	}
 }
 
 // deliver counts alerts and hands them to the async sink pipeline without
-// ever blocking the worker: a full buffer sheds the delivery.
-func (rt *Runtime) deliver(session string, alerts []detect.Alert) {
+// ever blocking the worker: a full buffer sheds the delivery. A traced op
+// keeps one trace reference per enqueued delivery, so the sink span still
+// lands in the trace after the op itself completes.
+func (rt *Runtime) deliver(s *Session, alerts []detect.Alert, ta *trace.Active) {
 	for _, a := range alerts {
 		rt.ctr.AddAlert(int(a.Flag))
 		for _, ch := range a.Channels {
@@ -1430,11 +1664,31 @@ func (rt *Runtime) deliver(session string, alerts []detect.Alert) {
 		return
 	}
 	for _, a := range alerts {
+		ta.Ref()
 		select {
-		case rt.alertq <- alertMsg{session: session, alert: a}:
+		case rt.alertq <- alertMsg{session: s.id, alert: a, gen: s.gen, ta: ta}:
 		default:
 			rt.ctr.AddSinkDropped(1)
+			rt.logSinkOverflow(s.id, s.gen, ta.ID(), "buffer full")
+			ta.Event(trace.RootSpan, "sink", time.Now(),
+				trace.String("verdict", "shed"),
+				trace.String("cause", "buffer full"),
+				trace.Int("seq", int64(a.Seq)))
+			ta.Release()
 		}
+	}
+}
+
+// logSinkOverflow emits the sink-overflow slog event with the uniform
+// session/generation/trace correlation keys every session-scoped event
+// carries.
+func (rt *Runtime) logSinkOverflow(session string, gen uint64, traceID, cause string) {
+	if l := rt.cfg.logger; l != nil {
+		l.Warn("sink overflow",
+			"session", session,
+			"generation", gen,
+			"trace", traceID,
+			"cause", cause)
 	}
 }
 
@@ -1457,6 +1711,12 @@ func (rt *Runtime) dispatchLoop() {
 		case rt.handoff <- m:
 		case <-timer.C:
 			rt.ctr.AddSinkDropped(1)
+			rt.logSinkOverflow(m.session, m.gen, m.ta.ID(), "handoff timeout")
+			m.ta.Event(trace.RootSpan, "sink", time.Now(),
+				trace.String("verdict", "shed"),
+				trace.String("cause", "handoff timeout"),
+				trace.Int("seq", int64(m.alert.Seq)))
+			m.ta.Release()
 		}
 	}
 	close(rt.handoff)
@@ -1475,9 +1735,16 @@ func (rt *Runtime) callSink(m alertMsg) {
 	start := time.Now()
 	defer func() {
 		rt.ctr.AddSinkDelivery(time.Since(start).Nanoseconds())
+		verdict := "delivered"
 		if r := recover(); r != nil {
 			rt.ctr.AddSinkPanic()
+			verdict = "panicked"
 		}
+		m.ta.Event(trace.RootSpan, "sink", start,
+			trace.String("verdict", verdict),
+			trace.String("flag", m.alert.Flag.String()),
+			trace.Int("seq", int64(m.alert.Seq)))
+		m.ta.Release()
 	}()
 	rt.cfg.sink(m.session, m.alert)
 }
@@ -1596,6 +1863,12 @@ type Stats struct {
 	// DecisionsRecorded counts provenance records written into the decision
 	// ring (alerts plus 1-in-N sampled Normal judgements).
 	DecisionsRecorded uint64
+	// TracesStored counts decision traces committed into the trace store
+	// (alert traces plus 1-in-N sampled healthy traces); TracesSampledOut
+	// counts healthy traces the sampling gate passed over. Both zero when
+	// tracing is disabled.
+	TracesStored     uint64
+	TracesSampledOut uint64
 	// Shed counts calls rejected by risk-aware admission (ShedByRisk only;
 	// disjoint from Dropped), and ShedRate is the fraction of offered calls
 	// shed so far: Shed / (Shed + Calls).
@@ -1624,7 +1897,7 @@ func (s Stats) AlertTotal() uint64 {
 
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) channels[hmm=%d sql=%d fused=%d] sessions=%d/%d queue=%d/%d×%d qhw=%d avg=%s max=%s p50=%s p95=%s p99=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d decisions=%d shed[calls=%d rate=%.4f missp=%.4f engaged=%v]",
+		"calls=%d dropped=%d alerts=%d (anomalous=%d dl=%d ooc=%d) channels[hmm=%d sql=%d fused=%d] sessions=%d/%d queue=%d/%d×%d qhw=%d avg=%s max=%s p50=%s p95=%s p99=%s panics=%d restarts=%d quarantined=%d sink[dropped=%d panics=%d] gen=%d swaps=%d retired=%d decisions=%d traces[stored=%d sampled_out=%d] shed[calls=%d rate=%.4f missp=%.4f engaged=%v]",
 		s.Calls, s.Dropped, s.AlertTotal(),
 		s.Alerts[int(detect.FlagAnomalous)], s.Alerts[int(detect.FlagDL)], s.Alerts[int(detect.FlagOutOfContext)],
 		s.ChannelAlerts[0], s.ChannelAlerts[1], s.ChannelAlerts[2],
@@ -1632,6 +1905,7 @@ func (s Stats) String() string {
 		s.AvgLatency, s.MaxLatency, s.P50Latency, s.P95Latency, s.P99Latency,
 		s.Panics, s.WorkerRestarts, s.Quarantined, s.SinkDropped, s.SinkPanics,
 		s.Generation, s.Swaps, s.EnginesRetired, s.DecisionsRecorded,
+		s.TracesStored, s.TracesSampledOut,
 		s.Shed, s.ShedRate, s.EstimatedMissProb, s.ShedEngaged)
 }
 
@@ -1662,6 +1936,8 @@ func (rt *Runtime) Stats() Stats {
 		EnginesRetired: snap.EnginesRetired,
 	}
 	st.DecisionsRecorded = rt.rec.Recorded()
+	st.TracesStored = rt.traces.Stored()
+	st.TracesSampledOut = rt.traces.SampledOut()
 	st.Shed = snap.Shed
 	st.QueueHighWater = int(snap.QueueHighWater)
 	if st.Shed > 0 {
@@ -1727,6 +2003,28 @@ func (rt *Runtime) CountersSnapshot() metrics.CountersSnapshot { return rt.ctr.S
 // newest first (limit ≤ 0 returns everything retained). Empty when the
 // decision log was disabled with WithDecisionLog(-1, 0).
 func (rt *Runtime) Decisions(limit int) []obsv.Decision { return rt.rec.Decisions(limit) }
+
+// TracingEnabled reports whether the runtime was built with WithTracing.
+func (rt *Runtime) TracingEnabled() bool { return rt.traces.Enabled() }
+
+// BeginTrace opens a decision trace for an externally originated op — the
+// network ingest and tenant routing layers call this before routing so the
+// trace's root span covers decode and routing, not just engine scoring. tc
+// may carry a client-supplied trace ID and transport attribution. Returns
+// nil when tracing is disabled; a non-nil Active must be handed to
+// Session.ObserveBatchTraced (which takes ownership) or Finished by the
+// caller.
+func (rt *Runtime) BeginTrace(tc trace.Context, session, stage string) *trace.Active {
+	return rt.traces.Begin(tc, session, stage)
+}
+
+// Traces returns up to limit of the most recently retained decision traces,
+// newest first (limit ≤ 0 returns everything retained). Nil when tracing is
+// disabled.
+func (rt *Runtime) Traces(limit int) []trace.Trace { return rt.traces.Traces(limit) }
+
+// TraceByID returns the retained decision trace with the given ID.
+func (rt *Runtime) TraceByID(id string) (trace.Trace, bool) { return rt.traces.TraceByID(id) }
 
 // Ready reports nil while the runtime serves ingest: workers supervised, a
 // profile generation published, and Close not yet begun. The introspection

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"adprom/internal/detect"
+	"adprom/internal/hmm"
 	"adprom/internal/metrics"
 	"adprom/internal/obsv"
 )
@@ -160,5 +161,10 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 	for _, s := range snaps {
 		p.Sample("adprom_tenant_shed_rate", label(s.id), s.shedRate)
 	}
-	return p.Err()
+	if err := p.Err(); err != nil {
+		return err
+	}
+	// Shards share one process: Go runtime health and build provenance are
+	// rendered once here, never per tenant.
+	return obsv.WriteGoRuntimeProm(w, obsv.BuildInfo{ScorerDispatch: hmm.KernelName()})
 }

@@ -32,17 +32,20 @@
 package tenant
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adprom/internal/collector"
 	"adprom/internal/obsv"
 	"adprom/internal/profile"
 	"adprom/internal/runtime"
+	"adprom/internal/trace"
 )
 
 // Errors returned by the routing path; match with errors.Is.
@@ -285,6 +288,12 @@ func (r *Router) Session(tenant, session string) (*runtime.Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.shardSession(sh, session)
+}
+
+// shardSession resolves a session on an already-routed shard, enforcing the
+// per-tenant quota.
+func (r *Router) shardSession(sh *Shard, session string) (*runtime.Session, error) {
 	if q := r.cfg.MaxSessionsPerTenant; q > 0 {
 		if s, ok := sh.rt.LookupSession(session); ok {
 			return s, nil
@@ -292,9 +301,9 @@ func (r *Router) Session(tenant, session string) (*runtime.Session, error) {
 		if sh.rt.ActiveSessions() >= int64(q) {
 			r.quota.Add(1)
 			if l := r.cfg.Logger; l != nil {
-				l.Warn("tenant session refused by quota", "tenant", tenant, "session", session, "quota", q)
+				l.Warn("tenant session refused by quota", "tenant", sh.id, "session", session, "quota", q)
 			}
-			return nil, fmt.Errorf("%w: tenant %q at %d sessions", ErrTenantQuota, tenant, q)
+			return nil, fmt.Errorf("%w: tenant %q at %d sessions", ErrTenantQuota, sh.id, q)
 		}
 	}
 	return sh.rt.Session(session), nil
@@ -311,6 +320,68 @@ func (r *Router) Observe(tenant, session string, calls []collector.Call) error {
 		return s.Observe(calls[0])
 	}
 	return s.ObserveBatch(calls)
+}
+
+// ObserveTraced routes one observe event that carries wire-level trace
+// context — the ingest server's preferred entry point (it satisfies
+// ingest.TraceSink). The router stamps the tenant onto the context, opens
+// the decision trace on the shard's runtime (a no-op returning nil when the
+// shard's tracing is off), records the routing stage as a span, and hands
+// the trace to the session, which owns it from then on. Routing failures
+// (unknown tenant, quota, closed router) happen before the trace opens, so
+// nothing leaks.
+func (r *Router) ObserveTraced(tc trace.Context, tenant, session string, calls []collector.Call) error {
+	routeStart := time.Now()
+	sh, err := r.Shard(tenant)
+	if err != nil {
+		return err
+	}
+	s, err := r.shardSession(sh, session)
+	if err != nil {
+		return err
+	}
+	tc.Tenant = tenant
+	ta := sh.rt.BeginTrace(tc, session, "ingest")
+	if ta == nil && len(calls) == 1 {
+		// Untraced single calls keep the copy-free fast path.
+		return s.Observe(calls[0])
+	}
+	if ta != nil {
+		ta.Event(trace.RootSpan, "route", routeStart,
+			trace.String("tenant", tenant),
+			trace.Int("resident_shards", int64(r.ActiveTenants())))
+	}
+	return s.ObserveBatchTraced(context.Background(), ta, calls)
+}
+
+// Traces returns up to limit retained decision traces from tenant's shard,
+// newest first (nil when the tenant is not resident or its tracing is off).
+func (r *Router) Traces(tenant string, limit int) []trace.Trace {
+	r.mu.RLock()
+	sh := r.shards[tenant]
+	r.mu.RUnlock()
+	if sh == nil {
+		return nil
+	}
+	return sh.rt.Traces(limit)
+}
+
+// TraceByID searches every resident shard for the trace with the given ID —
+// the forensic lookup behind /traces/{id} and adprom explain, where the
+// operator holds a trace ID but not necessarily the tenant it belongs to.
+func (r *Router) TraceByID(id string) (trace.Trace, bool) {
+	r.mu.RLock()
+	shards := make([]*Shard, 0, len(r.shards))
+	for _, sh := range r.shards {
+		shards = append(shards, sh)
+	}
+	r.mu.RUnlock()
+	for _, sh := range shards {
+		if tr, ok := sh.rt.TraceByID(id); ok {
+			return tr, true
+		}
+	}
+	return trace.Trace{}, false
 }
 
 // Flush judges (tenant, session)'s pending short window and resets it for

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"adprom/internal/collector"
 	"adprom/internal/core"
@@ -13,6 +14,7 @@ import (
 	"adprom/internal/hmm"
 	"adprom/internal/profile"
 	"adprom/internal/runtime"
+	"adprom/internal/trace"
 )
 
 var appHOnce struct {
@@ -51,6 +53,85 @@ func attacked(tr collector.Trace) collector.Trace {
 		})
 	}
 	return out
+}
+
+// TestRouterObserveTraced checks the fleet tracing seam: an observe routed
+// with wire trace context opens the decision trace on the tenant's shard,
+// stamps the tenant, records the routing stage, and surfaces the finished
+// trace through both Traces(tenant) and the cross-shard TraceByID lookup.
+func TestRouterObserveTraced(t *testing.T) {
+	p, traces := trainAppH(t)
+	r, err := NewRouter(Config{
+		Static: map[string]*profile.Profile{"apph": p},
+		RuntimeOptions: []runtime.Option{
+			runtime.WithWorkers(2),
+			runtime.WithTracing(64, 1),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	tc := trace.Context{ID: "fleet-op-1", Remote: "10.1.2.3:999", Codec: "ndjson"}
+	if err := r.ObserveTraced(tc, "apph", "s1", attacked(traces[0])); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr trace.Trace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var ok bool
+		if tr, ok = r.TraceByID("fleet-op-1"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace never committed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if tr.Tenant != "apph" || tr.Session != "s1" {
+		t.Errorf("trace identity = tenant %q session %q", tr.Tenant, tr.Session)
+	}
+	if !tr.Alert {
+		t.Error("attacked stream's trace not marked alert-bearing")
+	}
+	if tr.Spans[0].Stage != "ingest" {
+		t.Errorf("root span stage = %q, want ingest", tr.Spans[0].Stage)
+	}
+	route := tr.Span("route")
+	if route == nil {
+		t.Fatal("no route span")
+	}
+	if a, ok := route.Attr("tenant"); !ok || a.Str != "apph" {
+		t.Errorf("route span tenant attr = %+v", route.Attrs)
+	}
+	if tr.Span("score") == nil || tr.Span("admit") == nil {
+		t.Errorf("trace missing pipeline spans: %+v", tr.Spans)
+	}
+
+	if got := r.Traces("apph", 0); len(got) == 0 {
+		t.Error("Traces(apph) empty after a committed trace")
+	}
+	if got := r.Traces("ghost", 0); got != nil {
+		t.Errorf("Traces on a non-resident tenant returned %d traces", len(got))
+	}
+	if _, ok := r.TraceByID("no-such-trace"); ok {
+		t.Error("TraceByID found a trace that was never opened")
+	}
+
+	// A router whose shards trace nothing serves the same call untraced.
+	r2, err := NewRouter(Config{Static: map[string]*profile.Profile{"apph": p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if err := r2.ObserveTraced(tc, "apph", "s1", traces[0][:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Traces("apph", 0); got != nil {
+		t.Errorf("untraced shard retained %d traces", len(got))
+	}
 }
 
 // TestRouterRoutesTenantsIndependently drives two tenants' streams through

@@ -1,0 +1,510 @@
+// Package trace is the zero-dependency distributed-tracing layer of the
+// detection pipeline: a span model (trace ID, span ID, parent, monotonic
+// start/duration, stage name, typed attributes) plus a lock-light bounded
+// store of completed traces with the same retention bias as the decision
+// ring — healthy traces are sampled 1-in-N, alert-bearing traces are always
+// kept.
+//
+// One trace covers one ingest event / observe op end to end: a root span
+// ("ingest" on the network path, "observe" on the direct Session API)
+// with child spans for tenant routing, shed admission, engine scoring
+// (including per-channel judgement and fusion spans on flagged windows),
+// and asynchronous sink delivery. The live builder (Active) is refcounted
+// so the sink dispatcher can append its span after the worker finished the
+// op; the trace commits to the store when the last reference is released.
+//
+// Like obsv, the package never imports what it observes: ingest, tenant,
+// runtime, and detect all speak to it through values and callbacks.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates the live value field of an Attr.
+type Kind uint8
+
+// Attribute value kinds.
+const (
+	KindString Kind = iota
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// Attr is one typed span attribute. The struct is flat (no interface boxing)
+// so building attributes on the hot path costs no allocation beyond the
+// attrs slice itself.
+type Attr struct {
+	Key   string
+	Kind  Kind
+	Str   string
+	Int   int64
+	Float float64
+}
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, Kind: KindString, Str: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Kind: KindInt, Int: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Kind: KindFloat, Float: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, Kind: KindBool}
+	if v {
+		a.Int = 1
+	}
+	return a
+}
+
+// Value returns the attribute's live value as an any (for rendering).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindInt:
+		return a.Int
+	case KindFloat:
+		return a.Float
+	case KindBool:
+		return a.Int != 0
+	default:
+		return a.Str
+	}
+}
+
+// MarshalJSON renders the attribute as {"key": ..., "value": ...}.
+func (a Attr) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Key   string `json:"key"`
+		Value any    `json:"value"`
+	}{a.Key, a.Value()})
+}
+
+// UnmarshalJSON accepts the MarshalJSON form, mapping JSON numbers back to
+// float attributes (the explain tool only reads values, never kinds).
+func (a *Attr) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Key   string `json:"key"`
+		Value any    `json:"value"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	a.Key = raw.Key
+	switch v := raw.Value.(type) {
+	case string:
+		*a = String(raw.Key, v)
+	case bool:
+		*a = Bool(raw.Key, v)
+	case float64:
+		*a = Float(raw.Key, v)
+	default:
+		*a = String(raw.Key, fmt.Sprint(v))
+	}
+	return nil
+}
+
+// Span is one completed pipeline stage within a trace. IDs are sequential
+// per trace starting at 1 (the root); Parent 0 marks the root span.
+type Span struct {
+	ID       uint64 `json:"id"`
+	Parent   uint64 `json:"parent,omitempty"`
+	Stage    string `json:"stage"`
+	Start    int64  `json:"start_unix_nanos"`
+	Duration int64  `json:"duration_nanos"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the span attribute with the given key, and whether it exists.
+func (s *Span) Attr(key string) (Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Trace is one completed end-to-end decision trace.
+type Trace struct {
+	ID      string `json:"id"`
+	Tenant  string `json:"tenant,omitempty"`
+	Session string `json:"session"`
+	// Alert reports whether this op raised at least one alert; alert traces
+	// are exempt from the healthy 1-in-N retention sampling.
+	Alert bool   `json:"alert"`
+	Spans []Span `json:"spans"`
+	// Dropped counts spans discarded because the per-trace span cap was hit.
+	Dropped int `json:"dropped_spans,omitempty"`
+}
+
+// Span returns the first span with the given stage name, nil when absent.
+func (t *Trace) Span(stage string) *Span {
+	for i := range t.Spans {
+		if t.Spans[i].Stage == stage {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Context carries wire-level trace metadata from the ingest front door to
+// the runtime that opens the trace. The zero value is valid: an empty ID
+// asks the store to assign one, a zero Start means "now".
+type Context struct {
+	// ID is the client-supplied trace ID ("" = server-assigned).
+	ID string
+	// Start is when the event entered the process (the ingest decode time),
+	// so the root span covers queueing ahead of the worker.
+	Start time.Time
+	// Remote and Codec describe the ingest connection, recorded as root-span
+	// attributes.
+	Remote string
+	Codec  string
+	// Tenant is stamped by the tenant router.
+	Tenant string
+}
+
+// maxSpans bounds one trace's span count; a runaway op drops further spans
+// and counts them in Trace.Dropped instead of growing without bound.
+const maxSpans = 256
+
+// Active is a live trace being built while its op flows through the
+// pipeline. It is refcounted: the worker that finishes the op holds the
+// initial reference and every async alert delivery holds one more, so the
+// sink span lands before the trace commits. All methods are safe on a nil
+// receiver (tracing disabled) and safe for concurrent use.
+type Active struct {
+	store *Store
+	refs  atomic.Int32
+	alert atomic.Bool
+
+	mu     sync.Mutex
+	tr     Trace
+	closed bool // root span duration stamped
+	start  time.Time
+}
+
+// SpanHandle is an open span returned by StartSpan; End completes it.
+type SpanHandle struct {
+	a     *Active
+	idx   int
+	id    uint64
+	start time.Time
+}
+
+// ID returns the trace ID, "" on a nil Active.
+func (a *Active) ID() string {
+	if a == nil {
+		return ""
+	}
+	return a.tr.ID
+}
+
+// Alerted reports whether MarkAlert was called.
+func (a *Active) Alerted() bool { return a != nil && a.alert.Load() }
+
+// MarkAlert pins this trace as alert-bearing: it will always be retained,
+// bypassing the healthy-trace sampling gate.
+func (a *Active) MarkAlert() {
+	if a != nil {
+		a.alert.Store(true)
+	}
+}
+
+// Ref adds one reference; the holder must call Release exactly once.
+func (a *Active) Ref() {
+	if a != nil {
+		a.refs.Add(1)
+	}
+}
+
+// StartSpan opens a child span under parent (use RootSpan for top-level
+// stages). The returned handle's End completes it; a handle from a nil
+// Active is inert.
+func (a *Active) StartSpan(parent uint64, stage string) SpanHandle {
+	if a == nil {
+		return SpanHandle{}
+	}
+	now := time.Now()
+	a.mu.Lock()
+	if len(a.tr.Spans) >= maxSpans {
+		a.tr.Dropped++
+		a.mu.Unlock()
+		return SpanHandle{}
+	}
+	id := uint64(len(a.tr.Spans) + 1)
+	a.tr.Spans = append(a.tr.Spans, Span{ID: id, Parent: parent, Stage: stage, Start: now.UnixNano()})
+	idx := len(a.tr.Spans) - 1
+	a.mu.Unlock()
+	return SpanHandle{a: a, idx: idx, id: id, start: now}
+}
+
+// ID returns the open span's ID, 0 when inert.
+func (h SpanHandle) ID() uint64 { return h.id }
+
+// End completes the span, stamping its monotonic duration and attributes.
+func (h SpanHandle) End(attrs ...Attr) {
+	if h.a == nil {
+		return
+	}
+	d := time.Since(h.start).Nanoseconds()
+	h.a.mu.Lock()
+	sp := &h.a.tr.Spans[h.idx]
+	sp.Duration = d
+	sp.Attrs = attrs
+	h.a.mu.Unlock()
+}
+
+// Event records one already-completed span whose work ran from start to
+// now, returning its span ID (0 when dropped or nil).
+func (a *Active) Event(parent uint64, stage string, start time.Time, attrs ...Attr) uint64 {
+	if a == nil {
+		return 0
+	}
+	d := time.Since(start).Nanoseconds()
+	a.mu.Lock()
+	if len(a.tr.Spans) >= maxSpans {
+		a.tr.Dropped++
+		a.mu.Unlock()
+		return 0
+	}
+	id := uint64(len(a.tr.Spans) + 1)
+	a.tr.Spans = append(a.tr.Spans, Span{
+		ID: id, Parent: parent, Stage: stage,
+		Start: start.UnixNano(), Duration: d, Attrs: attrs,
+	})
+	a.mu.Unlock()
+	return id
+}
+
+// RootSpan is the span ID of the root span every Begin creates.
+const RootSpan uint64 = 1
+
+// Finish stamps the root span's duration (idempotently) and releases the
+// creator's reference. Async holders (sink deliveries) still keep the trace
+// alive until their own Release.
+func (a *Active) Finish() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		if len(a.tr.Spans) > 0 {
+			a.tr.Spans[0].Duration = time.Since(a.start).Nanoseconds()
+		}
+	}
+	a.mu.Unlock()
+	a.Release()
+}
+
+// Release drops one reference; the last release commits the trace to the
+// store (subject to the healthy sampling gate).
+func (a *Active) Release() {
+	if a == nil {
+		return
+	}
+	if a.refs.Add(-1) == 0 {
+		a.store.commit(a)
+	}
+}
+
+// Store is a bounded store of completed traces with keep-alerts retention:
+// healthy traces pass a 1-in-N sampling gate and live in a FIFO ring of
+// their own, alert traces are always committed and evicted only by newer
+// alert traces. Hot-path cost while a trace is open is one mutex-guarded
+// append per span; the commit path touches the store mutex once per op.
+type Store struct {
+	every uint64
+	gate  atomic.Uint64
+	seed  uint64
+	ctr   atomic.Uint64
+
+	stored     atomic.Uint64 // traces committed into the rings
+	sampledOut atomic.Uint64 // healthy traces the 1-in-N gate discarded
+
+	mu      sync.Mutex
+	seq     uint64 // monotonic commit index, newest-first merge key
+	healthy []stored
+	alerts  []stored
+	hNext   int
+	aNext   int
+
+	pool sync.Pool // *Active
+}
+
+type stored struct {
+	seq uint64
+	tr  Trace
+}
+
+// NewStore builds a trace store retaining up to capacity healthy traces and
+// up to capacity alert traces, sampling one in sampleEvery healthy traces
+// (alert traces are always kept). capacity ≤ 0 returns nil — tracing
+// disabled; sampleEvery ≤ 1 keeps every healthy trace.
+func NewStore(capacity, sampleEvery int) *Store {
+	if capacity <= 0 {
+		return nil
+	}
+	s := &Store{
+		healthy: make([]stored, 0, capacity),
+		alerts:  make([]stored, 0, capacity),
+		seed:    mix(uint64(time.Now().UnixNano())),
+	}
+	if sampleEvery > 1 {
+		s.every = uint64(sampleEvery)
+	}
+	return s
+}
+
+// Enabled reports whether the store retains traces.
+func (s *Store) Enabled() bool { return s != nil }
+
+// Stored returns the number of traces committed; SampledOut the healthy
+// traces the retention gate discarded.
+func (s *Store) Stored() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.stored.Load()
+}
+
+func (s *Store) SampledOut() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.sampledOut.Load()
+}
+
+// Begin opens a trace for one op, creating its root span. The trace ID is
+// tc.ID when the client supplied one, otherwise store-assigned. Returns nil
+// (tracing off) on a nil store.
+func (s *Store) Begin(tc Context, session, stage string) *Active {
+	if s == nil {
+		return nil
+	}
+	a, _ := s.pool.Get().(*Active)
+	if a == nil {
+		a = &Active{}
+	}
+	a.store = s
+	a.refs.Store(1)
+	a.alert.Store(false)
+	a.closed = false
+	start := tc.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
+	a.start = start
+	id := tc.ID
+	if id == "" {
+		id = fmt.Sprintf("%016x", mix(s.seed+s.ctr.Add(1)))
+	}
+	a.tr = Trace{ID: id, Tenant: tc.Tenant, Session: session, Spans: a.tr.Spans[:0]}
+	root := Span{ID: RootSpan, Stage: stage, Start: start.UnixNano()}
+	if tc.Remote != "" {
+		root.Attrs = append(root.Attrs, String("remote", tc.Remote))
+	}
+	if tc.Codec != "" {
+		root.Attrs = append(root.Attrs, String("codec", tc.Codec))
+	}
+	a.tr.Spans = append(a.tr.Spans, root)
+	return a
+}
+
+// commit applies the retention policy to a finished trace and recycles the
+// Active.
+func (s *Store) commit(a *Active) {
+	alert := a.alert.Load()
+	if !alert && s.every > 1 && s.gate.Add(1)%s.every != 0 {
+		s.sampledOut.Add(1)
+		s.pool.Put(a)
+		return
+	}
+	// The stored trace owns a copy of the span slice so the Active (and its
+	// span backing array) can be pooled.
+	tr := a.tr
+	tr.Alert = alert
+	tr.Spans = append([]Span(nil), a.tr.Spans...)
+	s.stored.Add(1)
+	s.mu.Lock()
+	s.seq++
+	e := stored{seq: s.seq, tr: tr}
+	if alert {
+		if len(s.alerts) < cap(s.alerts) {
+			s.alerts = append(s.alerts, e)
+		} else {
+			s.alerts[s.aNext] = e
+			s.aNext = (s.aNext + 1) % cap(s.alerts)
+		}
+	} else {
+		if len(s.healthy) < cap(s.healthy) {
+			s.healthy = append(s.healthy, e)
+		} else {
+			s.healthy[s.hNext] = e
+			s.hNext = (s.hNext + 1) % cap(s.healthy)
+		}
+	}
+	s.mu.Unlock()
+	s.pool.Put(a)
+}
+
+// Traces returns up to limit retained traces, newest first (alert and
+// healthy traces merged by commit order). limit ≤ 0 returns everything.
+func (s *Store) Traces(limit int) []Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	all := make([]stored, 0, len(s.healthy)+len(s.alerts))
+	all = append(all, s.healthy...)
+	all = append(all, s.alerts...)
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	if limit > 0 && limit < len(all) {
+		all = all[:limit]
+	}
+	out := make([]Trace, len(all))
+	for i, e := range all {
+		out[i] = e.tr
+	}
+	return out
+}
+
+// TraceByID returns the retained trace with the given ID.
+func (s *Store) TraceByID(id string) (Trace, bool) {
+	if s == nil {
+		return Trace{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.alerts {
+		if s.alerts[i].tr.ID == id {
+			return s.alerts[i].tr, true
+		}
+	}
+	for i := range s.healthy {
+		if s.healthy[i].tr.ID == id {
+			return s.healthy[i].tr, true
+		}
+	}
+	return Trace{}, false
+}
+
+// mix is the splitmix64 finalizer: cheap, well-distributed trace IDs from a
+// seed + counter without math/rand.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
